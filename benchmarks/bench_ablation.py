@@ -1,0 +1,103 @@
+"""E8: ablations over the Section 5 design choices.
+
+* preference order of Φ (Nop-first vs Del-first vs Ins-first): all cost
+  optimal, but they keep different amounts of hidden content;
+* insertlets vs on-the-fly minimal trees: identical results, insertlets
+  pre-validate the fragments once;
+* typing-preserving selection: success (no-fallback) rate and the cost
+  premium it pays on the full graphs.
+"""
+
+import pytest
+
+from repro.core import (
+    AutomatonStateTyping,
+    DEL_OVER_NOP_OVER_INS,
+    INS_OVER_NOP_OVER_DEL,
+    InsertletPackage,
+    NOP_OVER_DEL_OVER_INS,
+    PreferenceChooser,
+    TypePreservingChooser,
+    preserves_typing,
+    propagate,
+    verify_propagation,
+)
+from repro.generators.workloads import hospital, running_example
+
+ORDERS = {
+    "nop_first": NOP_OVER_DEL_OVER_INS,
+    "del_first": DEL_OVER_NOP_OVER_INS,
+    "ins_first": INS_OVER_NOP_OVER_DEL,
+}
+
+
+@pytest.mark.parametrize("order", sorted(ORDERS), ids=sorted(ORDERS))
+class TestChooserAblation:
+    def test_preference_order(self, benchmark, order):
+        workload = running_example(8)
+        chooser = PreferenceChooser(ORDERS[order])
+        script = benchmark(
+            propagate,
+            workload.dtd,
+            workload.annotation,
+            workload.source,
+            workload.update,
+            chooser=chooser,
+        )
+        assert verify_propagation(
+            workload.dtd, workload.annotation, workload.source,
+            workload.update, script,
+        )
+        kept_hidden = sum(
+            1
+            for node in script.nodes()
+            if script.op(node).value == "Nop"
+            and node not in workload.view.node_set
+        )
+        benchmark.extra_info["cost"] = script.cost
+        benchmark.extra_info["kept_hidden_nodes"] = kept_hidden
+
+
+class TestInsertletAblation:
+    def test_minimal_factory(self, benchmark):
+        workload = catalog_workload()
+        script = benchmark(
+            propagate,
+            workload.dtd, workload.annotation, workload.source, workload.update,
+        )
+        benchmark.extra_info["cost"] = script.cost
+
+    def test_insertlet_package(self, benchmark):
+        workload = catalog_workload()
+        package = InsertletPackage.from_terms(workload.dtd, {"margin": "margin"})
+        script = benchmark(
+            propagate,
+            workload.dtd, workload.annotation, workload.source, workload.update,
+            factory=package,
+        )
+        benchmark.extra_info["cost"] = script.cost
+
+
+def catalog_workload():
+    from repro.generators.workloads import catalog
+
+    return catalog(20)
+
+
+class TestTypingAblation:
+    def test_type_preserving_chooser(self, benchmark):
+        workload = hospital(20)
+        chooser = TypePreservingChooser(workload.dtd, workload.source)
+        script = benchmark(
+            propagate,
+            workload.dtd, workload.annotation, workload.source, workload.update,
+            chooser=chooser,
+        )
+        assert verify_propagation(
+            workload.dtd, workload.annotation, workload.source,
+            workload.update, script,
+        )
+        typing = AutomatonStateTyping(workload.dtd)
+        benchmark.extra_info["preserved_graphs"] = chooser.preserved_graphs
+        benchmark.extra_info["fallback_graphs"] = chooser.fallback_graphs
+        benchmark.extra_info["typing_preserved"] = preserves_typing(typing, script)

@@ -1,0 +1,34 @@
+"""E3: the tight exponential bound — "inserting k nodes a has 2^k optimal
+propagations since the choices are independent" (Section 4, DTD D2)."""
+
+import pytest
+
+from repro import paperdata
+from repro.core import count_min_propagations, propagation_graphs
+
+
+@pytest.mark.parametrize("k", [1, 4, 8, 16, 32])
+class TestTwoToTheK:
+    def test_count_exactly_two_to_k(self, benchmark, k):
+        source, update = paperdata.d2_update_insert_k(k)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        count = benchmark(count_min_propagations, collection)
+        benchmark.extra_info["k"] = k
+        benchmark.extra_info["count"] = str(count)
+        assert count == 2**k
+
+
+class TestCountingStaysPolynomial:
+    """The *count* is exponential; counting *time* is polynomial (DAG DP)."""
+
+    @pytest.mark.parametrize("k", [64, 128])
+    def test_large_k(self, benchmark, k):
+        source, update = paperdata.d2_update_insert_k(k)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        count = benchmark(count_min_propagations, collection)
+        assert count == 2**k
+        assert count.bit_length() == k + 1

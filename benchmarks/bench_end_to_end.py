@@ -1,0 +1,63 @@
+"""E6: Theorem 6 — with insertlets and a polynomial Φ, propagation runs
+in time polynomial in |D| + |t| + |S| + |W|. End-to-end timings across
+document sizes and workload families."""
+
+import pytest
+
+from repro.core import InsertletPackage, propagate, verify_propagation
+from repro.generators.workloads import (
+    catalog,
+    deep_document,
+    hospital,
+    positional,
+    running_example,
+)
+
+
+@pytest.mark.parametrize("groups", [2, 8, 32, 128])
+class TestEndToEndScaling:
+    def test_propagate_running_example(self, benchmark, groups):
+        workload = running_example(groups)
+        script = benchmark(
+            propagate,
+            workload.dtd,
+            workload.annotation,
+            workload.source,
+            workload.update,
+        )
+        benchmark.extra_info["source_size"] = workload.source.size
+        benchmark.extra_info["propagation_cost"] = script.cost
+        assert verify_propagation(
+            workload.dtd, workload.annotation, workload.source,
+            workload.update, script,
+        )
+
+
+FAMILIES = {
+    "hospital": lambda: hospital(30),
+    "catalog": lambda: catalog(30),
+    "positional": lambda: positional(12),
+    "deep_document": lambda: deep_document(8),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+class TestWorkloadFamilies:
+    def test_propagate_family(self, benchmark, family):
+        workload = FAMILIES[family]()
+        insertlets = InsertletPackage.minimal(workload.dtd)
+        script = benchmark(
+            propagate,
+            workload.dtd,
+            workload.annotation,
+            workload.source,
+            workload.update,
+            factory=insertlets,
+        )
+        benchmark.extra_info["source_size"] = workload.source.size
+        benchmark.extra_info["update_cost"] = workload.update.cost
+        benchmark.extra_info["propagation_cost"] = script.cost
+        assert verify_propagation(
+            workload.dtd, workload.annotation, workload.source,
+            workload.update, script,
+        )

@@ -1,0 +1,38 @@
+"""E5: Theorem 5 — every valid view update has a schema-compliant,
+side-effect-free propagation. Measured as the success rate over a
+randomized workload sweep (must be 100 %)."""
+
+import random
+
+import pytest
+
+from repro.core import propagate, verify_propagation
+from repro.generators import (
+    random_annotation,
+    random_dtd,
+    random_tree,
+    random_view_update,
+)
+
+
+def run_batch(seed_base: int, batch: int, size_hint: int) -> tuple[int, int]:
+    successes = 0
+    for offset in range(batch):
+        rng = random.Random(seed_base + offset)
+        dtd = random_dtd(rng, rng.randint(3, 6))
+        annotation = random_annotation(rng, dtd, hide_probability=0.35)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=size_hint)
+        update = random_view_update(rng, dtd, annotation, source, n_ops=3)
+        script = propagate(dtd, annotation, source, update)
+        if verify_propagation(dtd, annotation, source, update, script):
+            successes += 1
+    return successes, batch
+
+
+@pytest.mark.parametrize("size_hint", [8, 20, 40])
+class TestExistenceRate:
+    def test_hundred_percent_success(self, benchmark, size_hint):
+        successes, total = benchmark(run_batch, 1000 * size_hint, 20, size_hint)
+        benchmark.extra_info["successes"] = successes
+        benchmark.extra_info["total"] = total
+        assert successes == total  # Theorem 5: no failures, ever

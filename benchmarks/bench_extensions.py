@@ -1,0 +1,67 @@
+"""E9 (beyond the paper): the Section 7 future-work extensions.
+
+* node renaming — propagation through (vii)-edges, including renames
+  that change the content model and force hidden insertions;
+* multiple user views — minimising the disturbance secondary observers
+  see, over the set of cost-optimal propagations.
+"""
+
+import pytest
+
+from repro.core import propagate, verify_propagation
+from repro.dtd import DTD
+from repro.editing import UpdateBuilder
+from repro.multiview import propagate_min_disturbance
+from repro.views import Annotation
+from repro.xmltree import parse_term
+
+
+def rename_workload(n_articles: int):
+    dtd = DTD(
+        {
+            "doc": "(article|note)*",
+            "article": "title,audit?",
+            "note": "title,audit?",
+            "title": "",
+            "audit": "",
+        }
+    )
+    annotation = Annotation.hiding(("article", "audit"), ("note", "audit"))
+    parts = ", ".join(
+        f"article#a{i}(title#t{i}, audit#x{i})" for i in range(n_articles)
+    )
+    source = parse_term(f"doc#d({parts})")
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    for i in range(0, n_articles, 2):
+        builder.rename(f"a{i}", "note")
+    return dtd, annotation, source, builder.script()
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+class TestRenamePropagation:
+    def test_bulk_rename(self, benchmark, n):
+        dtd, annotation, source, update = rename_workload(n)
+        script = benchmark(propagate, dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        # every rename costs exactly 1; hidden audits are kept in place
+        assert script.cost == (n + 1) // 2
+        benchmark.extra_info["renames"] = (n + 1) // 2
+
+
+class TestMultiView:
+    def test_min_disturbance_selection(self, benchmark):
+        dtd = DTD({"r": "(v,(h1|h2))*", "v": "", "h1": "", "h2": ""})
+        primary = Annotation.hiding(("r", "h1"), ("r", "h2"))
+        auditor = Annotation.hiding(("r", "v"), ("r", "h2"))
+        source = parse_term("r#n0(v#v1, h1#x1)")
+        view = primary.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("n0", parse_term("v#u0"))
+        update = builder.script()
+        result = benchmark(
+            propagate_min_disturbance,
+            dtd, primary, {"auditor": auditor}, source, update,
+        )
+        assert result.disturbances["auditor"].is_silent
+        benchmark.extra_info["candidates"] = result.candidates_considered

@@ -1,0 +1,37 @@
+"""F6: Figure 6 — the inversion graph of d#n11(c,c) and its inverse."""
+
+from repro import paperdata
+from repro.inversion import inversion_graphs, invert, verify_inverse
+
+
+def setup_objects():
+    return (
+        paperdata.d0(fig2_automata=True),
+        paperdata.a0(),
+        paperdata.fig6_view_fragment(),
+    )
+
+
+class TestFig6InversionGraph:
+    def test_graph_construction(self, benchmark):
+        dtd, annotation, fragment = setup_objects()
+        graphs = benchmark(inversion_graphs, dtd, annotation, fragment)
+        graph = graphs["n11"]
+        assert graph.n_vertices == 6          # {c0,m1,m2} × {p0,p1}
+        assert graph.n_edges == 8             # 6 Ins + 2 Rec, as drawn
+        assert graphs.min_inversion_size() == 5
+
+    def test_inverse_construction(self, benchmark):
+        dtd, annotation, fragment = setup_objects()
+        inverse = benchmark(invert, dtd, annotation, fragment)
+        assert verify_inverse(dtd, annotation, fragment, inverse)
+        # d(a, c, b, c) up to the free a/b choice of the second hidden node
+        assert inverse.size == 5
+        assert inverse.children(inverse.root)[1] == "n13"
+        assert inverse.children(inverse.root)[3] == "n14"
+
+    def test_optimal_subgraph(self, benchmark):
+        dtd, annotation, fragment = setup_objects()
+        graphs = inversion_graphs(dtd, annotation, fragment)
+        optimal = benchmark(graphs.optimal, "n11")
+        assert optimal.cost == 2

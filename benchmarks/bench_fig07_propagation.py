@@ -1,0 +1,37 @@
+"""F7: Figure 7 — the optimal side-effect-free propagation of S0."""
+
+from repro import paperdata
+from repro.core import propagate, verify_propagation
+
+
+class TestFig7Propagation:
+    def test_full_propagation(self, benchmark):
+        dtd = paperdata.d0(fig2_automata=True)
+        annotation = paperdata.a0()
+        source = paperdata.t0()
+        update = paperdata.s0()
+        script = benchmark(propagate, dtd, annotation, source, update)
+        assert script.cost == 14  # Figure 7's cost, provably optimal
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+        def normalise(shape):
+            label, children = shape
+            if label == "Ins(b)" and not children:
+                label = "Ins(a)"
+            return (label, tuple(normalise(child) for child in children))
+
+        assert normalise(script.shape()) == normalise(
+            paperdata.fig7_propagation().shape()
+        )
+
+    def test_figure7_script_verification(self, benchmark):
+        """Time the verification of the hand-transcribed Figure 7 script."""
+        dtd = paperdata.d0()
+        annotation = paperdata.a0()
+        source = paperdata.t0()
+        update = paperdata.s0()
+        fig7 = paperdata.fig7_propagation()
+        ok = benchmark(
+            verify_propagation, dtd, annotation, source, update, fig7
+        )
+        assert ok

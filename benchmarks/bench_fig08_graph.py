@@ -1,0 +1,34 @@
+"""F8/F9: Figure 8 — the propagation graph G_{n6} — and Figure 9, the
+update fragment its selected path yields."""
+
+from repro import paperdata
+from repro.core import PreferenceChooser, propagation_graphs
+
+
+class TestFig8Graph:
+    def test_collection_construction(self, benchmark):
+        dtd = paperdata.d0(fig2_automata=True)
+        collection = benchmark(
+            propagation_graphs, dtd, paperdata.a0(), paperdata.t0(), paperdata.s0()
+        )
+        graph = collection["n6"]
+        assert graph.n_vertices == 8
+        assert collection.costs["n6"] == 2
+
+    def test_fig9_fragment_from_path(self, benchmark):
+        dtd = paperdata.d0(fig2_automata=True)
+        collection = propagation_graphs(
+            dtd, paperdata.a0(), paperdata.t0(), paperdata.s0()
+        )
+        chooser = PreferenceChooser()
+
+        def fragment_script():
+            return collection.build_script(chooser)
+
+        script = benchmark(fragment_script)
+        fragment = script.subscript("n6")
+        assert fragment.shape() == paperdata.fig9_fragment().shape()
+        # Nop(d)(Nop(b), Nop(c), Ins(a), Ins(c)) with n9/n10/n15 pinned
+        assert fragment.children("n6")[0] == "n9"
+        assert fragment.children("n6")[1] == "n10"
+        assert fragment.children("n6")[3] == "n15"

@@ -1,0 +1,38 @@
+"""F10: Figure 10 — the optimal propagation graph G*_{n0} and the
+Nop-over-Ins selected path."""
+
+from repro import paperdata
+from repro.core import PreferenceChooser, propagation_graphs
+
+
+class TestFig10Optimal:
+    def test_optimal_subgraph_construction(self, benchmark):
+        collection = propagation_graphs(
+            paperdata.d0(fig2_automata=True),
+            paperdata.a0(),
+            paperdata.t0(),
+            paperdata.s0(),
+        )
+
+        def build_optimal():
+            collection._optimal.clear()  # measure a cold build
+            return collection.optimal("n0")
+
+        optimal = benchmark(build_optimal)
+        assert optimal.cost == 14
+        assert optimal.n_edges < collection["n0"].n_edges
+
+    def test_paper_path_selected(self, benchmark):
+        collection = propagation_graphs(
+            paperdata.d0(fig2_automata=True),
+            paperdata.a0(),
+            paperdata.t0(),
+            paperdata.s0(),
+        )
+        optimal = collection.optimal("n0")
+        chooser = PreferenceChooser()  # Nop over Del over Ins, as in the paper
+        path = benchmark(chooser.choose, optimal)
+        assert [edge.display() for edge in path] == [
+            "Del(a)", "Del(b)", "Del(d)", "Nop(a)", "Nop(c)",
+            "Ins(d)", "Ins(a)", "Ins(b)", "Nop(d)",
+        ]

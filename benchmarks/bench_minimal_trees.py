@@ -1,0 +1,29 @@
+"""E4: Section 5 — minimal trees can be exponential in |D| (the
+aᵢ → aᵢ₋₁·aᵢ₋₁ family), yet their *sizes* are computed in polynomial
+time; insertlets keep propagation itself tractable."""
+
+import pytest
+
+from repro import paperdata
+from repro.dtd import minimal_size, minimal_sizes, minimal_tree
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+class TestExponentialSizes:
+    def test_size_computation_polynomial(self, benchmark, n):
+        dtd = paperdata.exponential_dtd(n)
+        sizes = benchmark(minimal_sizes, dtd)
+        benchmark.extra_info["n"] = n
+        benchmark.extra_info["dtd_size"] = dtd.size
+        benchmark.extra_info["min_tree_digits"] = len(str(sizes["a"]))
+        assert sizes["a"] == 2 ** (n + 2) - 1
+
+
+class TestMaterialisation:
+    @pytest.mark.parametrize("n", [2, 6, 10])
+    def test_small_instances_materialise(self, benchmark, n):
+        dtd = paperdata.exponential_dtd(n)
+        tree = benchmark(minimal_tree, dtd, "a")
+        assert tree.size == minimal_size(dtd, "a")
+        assert dtd.validates(tree)
+        benchmark.extra_info["tree_size"] = tree.size

@@ -1,0 +1,68 @@
+"""F1-F5: Figures 1-5 — the running example's objects, regenerated.
+
+Each benchmark rebuilds a figure's object from scratch and asserts the
+paper-exact structure (node identifiers included), so the timing covers
+the real construction path a user would take.
+"""
+
+from repro import paperdata
+from repro.dtd import view_dtd
+from repro.automata import glushkov, parse_regex
+
+
+class TestFig1Tree:
+    def test_fig1(self, benchmark):
+        tree = benchmark(paperdata.t0)
+        assert tree.size == 11
+        assert list(tree.nodes()) == [
+            "n0", "n1", "n2", "n3", "n7", "n8", "n4", "n5", "n6", "n9", "n10",
+        ]
+        assert tree.child_labels("n0") == ("a", "b", "d", "a", "c", "d")
+
+
+class TestFig2DTD:
+    def test_fig2_construction(self, benchmark):
+        dtd = benchmark(paperdata.d0)
+        assert dtd.validates(paperdata.t0())
+
+    def test_fig2_automata_language(self, benchmark):
+        def check():
+            r_model, d_model = paperdata.d0_fig2_automata()
+            assert r_model.equivalent(glushkov(parse_regex("(a,(b|c),d)*")))
+            assert d_model.equivalent(glushkov(parse_regex("((a|b),c)*")))
+            return r_model
+
+        model = benchmark(check)
+        assert model.size == 3 + 4 + 1  # |Q| + |δ| + |F| as in the paper
+
+
+class TestFig3View:
+    def test_fig3_view_extraction(self, benchmark):
+        annotation = paperdata.a0()
+        source = paperdata.t0()
+        view = benchmark(annotation.view, source)
+        assert view == paperdata.view0()
+
+    def test_fig3_view_dtd(self, benchmark):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        derived = benchmark(view_dtd, dtd, annotation)
+        assert derived.automaton("r").equivalent(glushkov(parse_regex("(a,d)*")))
+        assert derived.automaton("d").equivalent(glushkov(parse_regex("c*")))
+
+
+class TestFig4Script:
+    def test_fig4_parse_and_validate(self, benchmark):
+        script = benchmark(paperdata.s0)
+        assert script.cost == 8
+        assert script.input_tree == paperdata.view0()
+
+
+class TestFig5Output:
+    def test_fig5_output_tree(self, benchmark):
+        script = paperdata.s0()
+
+        def output():
+            return script.apply_to(paperdata.view0())
+
+        out = benchmark(output)
+        assert out == paperdata.out_s0()

@@ -1,0 +1,59 @@
+"""E7: Section 6.2 — the repair baseline vs true propagation.
+
+Reproduces the D3 counter-example quantitatively: the baseline returns a
+*closer* tree (distance 1 < cost 2) whose view is isomorphic to the
+edited view, yet violates identifier-exact side-effect-freeness; on the
+scaled positional workload its violation rate is measured (and is
+essentially total), while propagation is correct by construction.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.generators.workloads import positional
+from repro.repair import compare_with_propagation, repair_update
+
+
+class TestD3CounterExample:
+    def test_repair_on_d3(self, benchmark):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        result = benchmark(
+            repair_update, dtd, annotation, source, update.output_tree
+        )
+        assert result.distance == 1
+        benchmark.extra_info["repair_distance"] = result.distance
+
+    def test_comparison_on_d3(self, benchmark):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        report = benchmark(
+            compare_with_propagation, dtd, annotation, source, update
+        )
+        assert report.repair.distance == 1
+        assert report.propagation_cost == 2
+        assert report.repair_view_isomorphic
+        assert not report.repair_side_effect_free
+        benchmark.extra_info["verdict"] = "repair closer but wrong"
+
+
+@pytest.mark.parametrize("entries", [1, 4, 8])
+class TestViolationRate:
+    def test_positional_workload(self, benchmark, entries):
+        workload = positional(entries)
+
+        def run():
+            return compare_with_propagation(
+                workload.dtd, workload.annotation, workload.source, workload.update
+            )
+
+        report = benchmark(run)
+        benchmark.extra_info["repair_distance"] = report.repair.distance
+        benchmark.extra_info["propagation_cost"] = report.propagation_cost
+        benchmark.extra_info["side_effect_free"] = report.repair_side_effect_free
+        # the baseline drops identifiers and mis-places the insertion
+        assert not report.repair_side_effect_free
+        assert report.repair_view_isomorphic
+        assert report.repair.distance <= report.propagation_cost

@@ -1,0 +1,54 @@
+"""E1: Theorems 1-2 — inversion graphs are polynomial-size, built in
+polynomial time (Section 3: "both the size of H(D,A,t′) … is polynomial
+in the size of D and t′")."""
+
+import pytest
+
+from repro import paperdata
+from repro.inversion import inversion_graphs, invert, verify_inverse
+from repro.xmltree import parse_term
+
+
+def scaled_view(groups: int):
+    body = ", ".join(f"a#a{i}, d#d{i}(c#c{i})" for i in range(groups))
+    return parse_term(f"r#v({body})")
+
+
+@pytest.mark.parametrize("groups", [4, 16, 64, 256])
+class TestInversionScaling:
+    def test_graph_build_scales(self, benchmark, groups):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        view = scaled_view(groups)
+        graphs = benchmark(inversion_graphs, dtd, annotation, view)
+        benchmark.extra_info["view_size"] = view.size
+        benchmark.extra_info["collection_size"] = graphs.total_size
+        # linear in the view for a fixed DTD: ≤ c·|t′| with generous c
+        assert graphs.total_size <= 60 * view.size
+
+    def test_invert_scales(self, benchmark, groups):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        view = scaled_view(groups)
+        inverse = benchmark(invert, dtd, annotation, view)
+        assert verify_inverse(dtd, annotation, view, inverse)
+        # one hidden (b|c) per group at r, one hidden (a|b) per c under d
+        assert inverse.size == view.size + 2 * groups
+        benchmark.extra_info["inverse_size"] = inverse.size
+
+
+@pytest.mark.parametrize("alphabet_doubling", [1, 2, 4, 8])
+class TestDTDSizeScaling:
+    def test_graph_size_polynomial_in_dtd(self, benchmark, alphabet_doubling):
+        """Grow the content model (more hidden alternatives); the graph
+        grows linearly with |δ|, not exponentially."""
+        from repro.dtd import DTD
+        from repro.views import Annotation
+
+        hidden = [f"h{i}" for i in range(alphabet_doubling * 2)]
+        rule = f"({'|'.join(hidden)}),a"
+        dtd = DTD({"r": rule})
+        annotation = Annotation.hiding(*[("r", h) for h in hidden])
+        view = parse_term("r#v(a#w)")
+        graphs = benchmark(inversion_graphs, dtd, annotation, view)
+        benchmark.extra_info["dtd_size"] = dtd.size
+        benchmark.extra_info["collection_size"] = graphs.total_size
+        assert graphs.total_size <= 8 * dtd.size

@@ -1,0 +1,76 @@
+"""E2: Theorems 3-4 — propagation graphs are polynomial-size and built in
+polynomial time (Section 4: "G(D,A,t,S) … can be constructed in time
+polynomial in the size of D, t, and S")."""
+
+import pytest
+
+from repro.core import propagation_graphs
+from repro.generators.workloads import hospital, running_example
+
+
+@pytest.mark.parametrize("groups", [2, 8, 32, 128])
+class TestSourceSizeScaling:
+    def test_collection_build_scales_with_document(self, benchmark, groups):
+        workload = running_example(groups)
+        collection = benchmark(
+            propagation_graphs,
+            workload.dtd,
+            workload.annotation,
+            workload.source,
+            workload.update,
+        )
+        benchmark.extra_info["source_size"] = workload.source.size
+        benchmark.extra_info["update_size"] = workload.update.size
+        benchmark.extra_info["collection_size"] = collection.total_size
+        # linear in |t| + |S| for the fixed D0 (quadratic worst case;
+        # this workload's segments stay bounded)
+        bound = 80 * (workload.source.size + workload.update.size)
+        assert collection.total_size <= bound
+
+
+@pytest.mark.parametrize("patients", [5, 20, 80])
+class TestRealisticScaling:
+    def test_hospital_workload_scales(self, benchmark, patients):
+        workload = hospital(patients)
+        collection = benchmark(
+            propagation_graphs,
+            workload.dtd,
+            workload.annotation,
+            workload.source,
+            workload.update,
+        )
+        benchmark.extra_info["source_size"] = workload.source.size
+        benchmark.extra_info["collection_size"] = collection.total_size
+        assert collection.min_cost() >= 0
+
+
+class TestQuadraticSegmentWorstCase:
+    """One long hidden run against one long inserted run: the vertex set
+    of a single segment is |seg_t| × |Q| × |seg_S| — the polynomial
+    worst case the paper's bound allows."""
+
+    @pytest.mark.parametrize("run", [4, 16, 64])
+    def test_segment_product(self, benchmark, run):
+        from repro.dtd import DTD
+        from repro.editing import UpdateBuilder
+        from repro.views import Annotation
+        from repro.xmltree import parse_term
+
+        dtd = DTD({"r": "(h|v)*"})
+        annotation = Annotation.hiding(("r", "h"))
+        hidden = ", ".join(f"h#h{i}" for i in range(run))
+        source = parse_term(f"r#n0({hidden})")
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        for i in range(run):
+            builder.insert("n0", parse_term(f"v#u{i}"))
+        update = builder.script()
+        collection = benchmark(
+            propagation_graphs, dtd, annotation, source, update
+        )
+        graph = collection["n0"]
+        benchmark.extra_info["vertices"] = graph.n_vertices
+        # quadratic, as predicted: (run+1)^2 positions × |Q| states
+        states = len(dtd.automaton("r").states)
+        assert graph.n_vertices <= (run + 1) ** 2 * states
+        assert graph.n_vertices >= (run + 1) ** 2

@@ -1,0 +1,7 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md measurement tables (see repro.reporting)."""
+
+from repro.reporting import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Walks through Figures 1-10 of *The View Update Problem for XML*:
+a DTD, an annotation-defined view, a user edit of the view, and the
+computed schema-compliant, side-effect-free propagation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Annotation,
+    DTD,
+    UpdateBuilder,
+    parse_term,
+    propagate,
+    verify_propagation,
+    view_dtd,
+)
+
+
+def main() -> None:
+    # -- Figure 2: the schema ------------------------------------------------
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    print("DTD D0:")
+    print(dtd.describe())
+
+    # -- Figure 3: the annotation (who may see what) -------------------------
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    derived = view_dtd(dtd, annotation)
+    print("\nView DTD (derived):")
+    print(f"r -> {derived.rule_regex('r').to_dtd()}")
+    print(f"d -> {derived.rule_regex('d').to_dtd()}")
+
+    # -- Figure 1: the source document ---------------------------------------
+    source = parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+    print(f"\nSource document t0 ({source.size} nodes):")
+    print(source.pretty())
+
+    # -- what the user sees ---------------------------------------------------
+    view = annotation.view(source)
+    print(f"\nThe view A0(t0) ({view.size} nodes):")
+    print(view.pretty())
+
+    # -- Figure 4: the user edits the view ------------------------------------
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.delete("n1")                                        # drop the first a
+    edit.delete("n3")                                        # and its d-group
+    edit.insert_after("n4", parse_term("d#n11(c#n13, c#n14)"))
+    edit.insert_after("n11", parse_term("a#n12"))
+    edit.insert("n6", parse_term("c#n15"))                   # extend the last d
+    update = edit.script()
+    print(f"\nThe view update S0 (cost {update.cost}):")
+    print(update.pretty())
+
+    # -- Figures 7-10: propagate ----------------------------------------------
+    result = propagate(dtd, annotation, source, update)
+    print(f"\nPropagation S0' (cost {result.cost}):")
+    print(result.pretty())
+
+    new_source = result.output_tree
+    print(f"\nNew source document ({new_source.size} nodes):")
+    print(new_source.pretty())
+
+    # -- the two correctness criteria ------------------------------------------
+    assert verify_propagation(dtd, annotation, source, update, result)
+    assert dtd.validates(new_source)                      # schema compliant
+    assert annotation.view(new_source) == update.output_tree  # side-effect free
+    print("\nschema compliant: yes")
+    print("side-effect free: yes (view of the new source IS the edited view,")
+    print("                       node identifiers included)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Security views: a ward clerk edits hospital records through a view.
+
+The paper motivates annotation-defined views by secure access to XML
+databases [9, 10]. Here an administrator publishes a view of the
+hospital database that hides diagnoses and billing from ward clerks;
+the clerk admits and discharges patients *through the view*, and the
+propagation reconciles the hidden data:
+
+* discharging a patient deletes their hidden diagnosis and bill too
+  (no dangling confidential data);
+* admitting a patient inserts only what the clerk typed — no hidden
+  fields are invented unless the schema forces them.
+
+Run:  python examples/security_view.py
+"""
+
+from repro import (
+    Annotation,
+    SecurityPolicy,
+    UpdateBuilder,
+    parse_dtd,
+    parse_term,
+    propagate,
+    verify_propagation,
+)
+
+HOSPITAL_DTD = """
+<!ELEMENT hospital (ward*)>
+<!ELEMENT ward     (name, patient*)>
+<!ELEMENT patient  (name, admission, (symptom | treatment | diagnosis)*, bill?)>
+<!ELEMENT name     (#PCDATA)>
+<!ELEMENT admission (#PCDATA)>
+<!ELEMENT symptom  (#PCDATA)>
+<!ELEMENT treatment (#PCDATA)>
+<!ELEMENT diagnosis (#PCDATA)>
+<!ELEMENT bill     (#PCDATA)>
+"""
+
+
+def main() -> None:
+    dtd = parse_dtd(HOSPITAL_DTD)
+
+    # -- the administrator writes the policy ---------------------------------
+    policy = (
+        SecurityPolicy()
+        .deny("patient", "diagnosis", "medical confidentiality")
+        .deny("patient", "bill", "finance only")
+    )
+    print("Security policy:")
+    for line in policy.audit():
+        print(f"  {line}")
+    annotation: Annotation = policy.annotation(dtd.alphabet)
+
+    # -- the database ----------------------------------------------------------
+    source = parse_term(
+        "hospital#h(ward#w(name#wn,"
+        " patient#p1(name#p1n, admission#p1a, symptom#p1s,"
+        "            diagnosis#p1d, bill#p1b),"
+        " patient#p2(name#p2n, admission#p2a, treatment#p2t)))"
+    )
+    print(f"\nDatabase ({source.size} nodes):")
+    print(source.pretty())
+
+    view = annotation.view(source)
+    print(f"\nWhat the ward clerk sees ({view.size} nodes — no diagnosis, no bill):")
+    print(view.pretty())
+
+    # -- the clerk works on the view --------------------------------------------
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.delete("p1")  # discharge patient 1
+    edit.insert(
+        "w",
+        parse_term("patient#p3(name#p3n, admission#p3a, symptom#p3s)"),
+    )  # admit patient 3
+    update = edit.script()
+    print(f"\nClerk's update (cost {update.cost}): discharge p1, admit p3")
+
+    # -- propagation --------------------------------------------------------------
+    result = propagate(dtd, annotation, source, update)
+    assert verify_propagation(dtd, annotation, source, update, result)
+    new_source = result.output_tree
+    print(f"\nNew database ({new_source.size} nodes):")
+    print(new_source.pretty())
+
+    # the hidden diagnosis and bill of p1 are gone with the patient
+    assert "p1d" not in new_source
+    assert "p1b" not in new_source
+    print("\np1's hidden diagnosis and bill were deleted with the patient:")
+    print("  no confidential orphans remain.")
+    # the new patient has exactly the fields the clerk entered
+    assert new_source.child_labels("p3") == ("name", "admission", "symptom")
+    print("p3 carries exactly the fields the clerk typed — the schema does")
+    print("  not force any hidden field here, so none was invented.")
+
+
+if __name__ == "__main__":
+    main()

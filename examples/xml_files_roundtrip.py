@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Working with real XML: parse → view → edit → propagate → serialise.
+
+Everything in the other examples uses term notation; this one runs the
+same pipeline on actual XML text with a classic ``<!ELEMENT …>`` DTD and
+an annotation in the textual directive format, and writes the updated
+document back out as XML.
+
+Run:  python examples/xml_files_roundtrip.py
+"""
+
+from repro import (
+    Annotation,
+    UpdateBuilder,
+    parse_dtd,
+    propagate,
+    tree_from_xml,
+    tree_to_xml,
+    verify_propagation,
+)
+from repro.xmltree import parse_term
+
+DTD_TEXT = """
+<!ELEMENT library (shelf*)>
+<!ELEMENT shelf   (label, book*)>
+<!ELEMENT book    (title, author+, appraisal?)>
+<!ELEMENT label   (#PCDATA)>
+<!ELEMENT title   (#PCDATA)>
+<!ELEMENT author  (#PCDATA)>
+<!ELEMENT appraisal (#PCDATA)>
+"""
+
+ANNOTATION_TEXT = """
+# public catalogue: internal appraisals are not exposed
+hide book appraisal
+"""
+
+DOCUMENT = """
+<library id="lib">
+  <shelf id="s1">
+    <label id="s1l"/>
+    <book id="b1">
+      <title id="b1t"/>
+      <author id="b1a"/>
+      <appraisal id="b1v"/>
+    </book>
+    <book id="b2">
+      <title id="b2t"/>
+      <author id="b2a"/>
+      <author id="b2b"/>
+    </book>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    dtd = parse_dtd(DTD_TEXT)
+    annotation = Annotation.parse(ANNOTATION_TEXT)
+    source = tree_from_xml(DOCUMENT)
+    assert dtd.validates(source)
+
+    view = annotation.view(source)
+    print("Public catalogue view (appraisals hidden):")
+    print(tree_to_xml(view))
+
+    # a cataloguer swaps one book for a new edition and adds another
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.replace("b1", parse_term("book#b1new(title#b1newt, author#b1newa)"))
+    edit.insert("s1", parse_term("book#b3(title#b3t, author#b3a)"))
+    update = edit.script()
+
+    result = propagate(dtd, annotation, source, update)
+    assert verify_propagation(dtd, annotation, source, update, result)
+    new_source = result.output_tree
+
+    print("\nUpdated library document:")
+    print(tree_to_xml(new_source))
+
+    print("\nNotes:")
+    print(" * b1's hidden appraisal b1v left with the old edition;")
+    print(" * the new books carry no appraisal — the schema makes it optional,")
+    print("   so the cheapest propagation does not invent one;")
+    print(" * all surviving nodes kept their id= attributes through the")
+    print("   round-trip, which is what side-effect-freeness is about.")
+    assert "b1v" not in new_source
+    assert dtd.validates(new_source)
+
+
+if __name__ == "__main__":
+    main()

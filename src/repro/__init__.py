@@ -1,0 +1,115 @@
+"""repro — a complete implementation of *The View Update Problem for XML*
+(Staworko, Boneva, Groz; EDBT/ICDT Workshops 2010).
+
+The library answers: given an XML document ``t`` valid for a DTD ``D``,
+an annotation-defined view ``A(t)`` (selected subtrees hidden), and a
+user edit ``S`` of that view (subtree insertions/deletions), how should
+``t`` change? It implements the paper's inversion graphs, propagation
+graphs, their optimal variants, and the polynomial propagation
+algorithm parameterised by insertlets and preference functions.
+
+Quickstart::
+
+    from repro import DTD, Annotation, UpdateBuilder, parse_term, propagate
+
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    source = parse_term("r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))")
+
+    view = annotation.view(source)            # what the user sees
+    edit = UpdateBuilder(view)
+    edit.delete("n1")
+    update = edit.script()                    # the view update S
+
+    result = propagate(dtd, annotation, source, update)
+    new_source = result.output_tree           # schema-compliant, no side effects
+
+Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
+:mod:`repro.dtd`, :mod:`repro.views`, :mod:`repro.editing`,
+:mod:`repro.inversion` (Section 3), :mod:`repro.core` (Sections 4-5),
+:mod:`repro.repair` (the Section 6.2 baseline), :mod:`repro.generators`
+(random workloads), :mod:`repro.paperdata` (every figure of the paper).
+"""
+
+from . import errors
+from .core import (
+    AutomatonStateTyping,
+    CheapestPathChooser,
+    EDTDTyping,
+    InsertletPackage,
+    MinimalTreeFactory,
+    PreferenceChooser,
+    PropagationGraphs,
+    TypePreservingChooser,
+    count_min_propagations,
+    enumerate_min_propagations,
+    is_schema_compliant,
+    is_side_effect_free,
+    preserves_typing,
+    propagate,
+    propagation_graphs,
+    validate_view_update,
+    verify_propagation,
+)
+from .dtd import DTD, EDTD, parse_dtd, serialize_dtd, view_dtd
+from .editing import EditScript, Op, UpdateBuilder
+from .inversion import (
+    count_min_inversions,
+    enumerate_min_inversions,
+    inversion_graphs,
+    invert,
+    verify_inverse,
+)
+from .views import Annotation, SecurityPolicy
+from .xmltree import NodeIds, Tree, parse_term, tree_from_xml, tree_to_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "errors",
+    # trees
+    "Tree",
+    "NodeIds",
+    "parse_term",
+    "tree_from_xml",
+    "tree_to_xml",
+    # schemas
+    "DTD",
+    "EDTD",
+    "parse_dtd",
+    "serialize_dtd",
+    "view_dtd",
+    # views
+    "Annotation",
+    "SecurityPolicy",
+    # editing
+    "EditScript",
+    "Op",
+    "UpdateBuilder",
+    # inversion (Section 3)
+    "invert",
+    "inversion_graphs",
+    "verify_inverse",
+    "count_min_inversions",
+    "enumerate_min_inversions",
+    # propagation (Sections 4-5)
+    "propagate",
+    "propagation_graphs",
+    "PropagationGraphs",
+    "validate_view_update",
+    "verify_propagation",
+    "is_schema_compliant",
+    "is_side_effect_free",
+    "count_min_propagations",
+    "enumerate_min_propagations",
+    # choosers / typings / insertlets
+    "PreferenceChooser",
+    "CheapestPathChooser",
+    "TypePreservingChooser",
+    "AutomatonStateTyping",
+    "EDTDTyping",
+    "preserves_typing",
+    "InsertletPackage",
+    "MinimalTreeFactory",
+]

@@ -1,0 +1,137 @@
+"""Determinisation and deterministic runs.
+
+The propagation machinery itself works with the paper's NFAs, but two
+features need determinism:
+
+* the *automaton-state typing* of Section 5 ("use the states of the
+  automaton used to verify that the sequence of children is valid"),
+  which the paper notes requires deterministic automata; and
+* canonical minimisation used by tests to compare derived view DTDs with
+  hand-written expectations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..errors import NondeterministicAutomatonError
+from .nfa import NFA, State
+
+__all__ = ["determinize", "run_deterministic", "minimize"]
+
+
+def determinize(nfa: NFA) -> NFA:
+    """Subset construction; the result's states are ``frozenset``s of *nfa* states.
+
+    Only reachable subsets are produced; the empty (dead) subset is left
+    implicit, so the result may be partial (missing transitions reject).
+    """
+    start: frozenset[State] = frozenset({nfa.initial})
+    seen: set[frozenset[State]] = {start}
+    order: list[frozenset[State]] = [start]
+    queue: deque[frozenset[State]] = deque([start])
+    transitions: list[tuple[frozenset[State], str, frozenset[State]]] = []
+    symbols = sorted(nfa.alphabet)
+    while queue:
+        subset = queue.popleft()
+        for symbol in symbols:
+            target = nfa.step(subset, symbol)
+            if not target:
+                continue
+            transitions.append((subset, symbol, target))
+            if target not in seen:
+                seen.add(target)
+                order.append(target)
+                queue.append(target)
+    finals = [subset for subset in order if subset & nfa.finals]
+    return NFA(order, nfa.alphabet, start, transitions, finals)
+
+
+def run_deterministic(nfa: NFA, word: Sequence[str]) -> list[State] | None:
+    """Run a deterministic automaton, returning the visited state sequence.
+
+    The result has length ``len(word) + 1`` (initial state included), or
+    is ``None`` when the run gets stuck. Raises
+    :class:`NondeterministicAutomatonError` on a nondeterministic choice.
+    """
+    current = nfa.initial
+    visited = [current]
+    for symbol in word:
+        successors = nfa.successors(current, symbol)
+        if len(successors) > 1:
+            raise NondeterministicAutomatonError(
+                f"state {current!r} has {len(successors)} successors on {symbol!r}"
+            )
+        if not successors:
+            return None
+        (current,) = successors
+        visited.append(current)
+    return visited
+
+
+def minimize(nfa: NFA) -> NFA:
+    """Canonical minimal DFA (Moore partition refinement over a total DFA).
+
+    The input is determinised first; a sink state is added internally so
+    the partition refinement runs on a total automaton, and stripped from
+    the result if unreachable/useless. State names in the result are
+    integers in BFS discovery order, making equal languages yield
+    identical automata — handy for equality assertions in tests.
+    """
+    dfa = determinize(nfa)
+    symbols = sorted(dfa.alphabet)
+    sink = object()
+    states: list = list(dfa.states) + [sink]
+
+    def target(state, symbol) -> object:
+        if state is sink:
+            return sink
+        successors = dfa.successors(state, symbol)
+        if not successors:
+            return sink
+        (only,) = successors
+        return only
+
+    # --- Moore refinement -------------------------------------------------
+    block_of = {state: (state in dfa.finals) for state in states}
+    while True:
+        signature = {
+            state: (
+                block_of[state],
+                tuple(block_of[target(state, symbol)] for symbol in symbols),
+            )
+            for state in states
+        }
+        blocks = sorted({sig for sig in signature.values()}, key=repr)
+        index = {sig: i for i, sig in enumerate(blocks)}
+        new_block_of = {state: index[signature[state]] for state in states}
+        if len(set(new_block_of.values())) == len(set(block_of.values())):
+            block_of = new_block_of
+            break
+        block_of = new_block_of
+
+    # --- rebuild, BFS-renumbered, sink stripped ----------------------------
+    start_block = block_of[dfa.initial]
+    sink_block = block_of[sink]
+    block_finals = {block_of[state] for state in dfa.finals}
+    moves: dict[tuple[int, str], int] = {}
+    for state in states:
+        for symbol in symbols:
+            moves[(block_of[state], symbol)] = block_of[target(state, symbol)]
+
+    renumber: dict[int, int] = {start_block: 0}
+    queue = deque([start_block])
+    transitions: list[tuple[int, str, int]] = []
+    while queue:
+        block = queue.popleft()
+        for symbol in symbols:
+            nxt = moves[(block, symbol)]
+            if nxt == sink_block and nxt not in block_finals:
+                continue
+            if nxt not in renumber:
+                renumber[nxt] = len(renumber)
+                queue.append(nxt)
+            transitions.append((renumber[block], symbol, renumber[nxt]))
+    finals = [renumber[b] for b in block_finals if b in renumber]
+    return NFA(range(len(renumber)), dfa.alphabet, 0, transitions, finals)

@@ -1,0 +1,99 @@
+"""State elimination: automaton → regular expression.
+
+Used to *display* derived automata — most prominently the view DTDs of
+Section 2 ("a DTD capturing A(L(D)) can be easily derived"), whose
+content models we derive as automata but want to show to humans as
+regexes (e.g. ``r → (a·d)*``, ``d → c*`` for the running example).
+
+The produced expression is correct but not guaranteed minimal; pair it
+with :func:`repro.automata.dfa.minimize` on the round-tripped automaton
+when canonical comparisons are needed.
+"""
+
+from __future__ import annotations
+
+from .nfa import NFA
+from .regex import EPSILON, Epsilon, Regex, Star, Symbol, concat, union
+
+__all__ = ["nfa_to_regex"]
+
+
+def _star(inner: Regex | None) -> Regex:
+    if inner is None or isinstance(inner, Epsilon):
+        return EPSILON
+    return Star(inner)
+
+
+def _alt(left: Regex | None, right: Regex | None) -> Regex | None:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return union(left, right)
+
+
+def _cat(*parts: "Regex | None") -> Regex | None:
+    real = [part for part in parts if part is not None]
+    if len(real) != len(parts):
+        return None
+    return concat(*real)
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """A regular expression denoting ``L(nfa)``.
+
+    Classic state elimination over a generalised automaton with fresh
+    start/end states. Returns an expression for the empty language as an
+    impossible-to-satisfy marker only when ``L`` is empty — since content
+    models in this library are always satisfiable, that case raises
+    ``ValueError`` instead.
+    """
+    trimmed = nfa.trim()
+    if not trimmed.language_nonempty():
+        raise ValueError("cannot express the empty language as a content model")
+
+    start, end = object(), object()
+    # edge regex table over the generalised automaton
+    edges: dict[tuple[object, object], Regex | None] = {}
+
+    def add(source: object, target: object, expr: Regex) -> None:
+        edges[(source, target)] = _alt(edges.get((source, target)), expr)
+
+    states = sorted(trimmed.states, key=repr)
+    for source, symbol, target in trimmed.transitions():
+        add(source, target, Symbol(symbol))
+    add(start, trimmed.initial, EPSILON)
+    for final in trimmed.finals:
+        add(final, end, EPSILON)
+
+    remaining = list(states)
+    # eliminate low-degree states first: keeps expressions small in practice
+    while remaining:
+        remaining.sort(
+            key=lambda q: (
+                sum(1 for (a, b) in edges if (a == q) != (b == q)),
+                repr(q),
+            )
+        )
+        victim = remaining.pop(0)
+        loop = edges.pop((victim, victim), None)
+        incoming = [
+            (a, expr)
+            for (a, b), expr in list(edges.items())
+            if b == victim and expr is not None and a != victim
+        ]
+        outgoing = [
+            (b, expr)
+            for (a, b), expr in list(edges.items())
+            if a == victim and expr is not None and b != victim
+        ]
+        for key in [k for k in edges if victim in k]:
+            del edges[key]
+        for source, in_expr in incoming:
+            for target, out_expr in outgoing:
+                add(source, target, _cat(in_expr, _star(loop), out_expr))
+
+    result = edges.get((start, end))
+    if result is None:
+        raise ValueError("state elimination lost the language (internal error)")
+    return result

@@ -1,0 +1,106 @@
+"""Glushkov construction: content-model regex → the paper's NFA model.
+
+The Glushkov (position) automaton of a regular expression ``E`` has one
+state per symbol *occurrence* plus a fresh initial state, no ε-moves, and
+a single starting state — exactly the automaton shape the paper assumes
+for DTD rules. Two additional properties matter here:
+
+* it is *deterministic* iff ``E`` is one-unambiguous, the determinism
+  notion the XML standard imposes on DTD content models; and
+* every state except the initial one "is" a symbol occurrence, which
+  makes the automaton pleasant to display next to the paper's figures.
+
+States are integers: ``0`` is the initial state and ``1..m`` number the
+symbol occurrences of ``E`` from left to right.
+"""
+
+from __future__ import annotations
+
+from .nfa import NFA
+from .regex import Concat, Epsilon, Optional, Plus, Regex, Star, Symbol, Union
+
+__all__ = ["glushkov", "is_one_unambiguous"]
+
+
+class _Analysis:
+    """first/last/follow analysis with left-to-right position numbering."""
+
+    def __init__(self) -> None:
+        self.symbol_of: dict[int, str] = {}
+        self.follow: dict[int, set[int]] = {}
+
+    def analyse(self, node: Regex) -> tuple[bool, set[int], set[int]]:
+        """Returns (nullable, first positions, last positions) of *node*."""
+        if isinstance(node, Epsilon):
+            return (True, set(), set())
+        if isinstance(node, Symbol):
+            position = len(self.symbol_of) + 1
+            self.symbol_of[position] = node.name
+            self.follow[position] = set()
+            return (False, {position}, {position})
+        if isinstance(node, Union):
+            nullable = False
+            first: set[int] = set()
+            last: set[int] = set()
+            for part in node.parts:
+                n, f, l = self.analyse(part)
+                nullable = nullable or n
+                first |= f
+                last |= l
+            return (nullable, first, last)
+        if isinstance(node, Concat):
+            nullable = True
+            first: set[int] = set()
+            last: set[int] = set()
+            for part in node.parts:
+                n, f, l = self.analyse(part)
+                if nullable:
+                    first |= f
+                for position in last:
+                    self.follow[position] |= f
+                if n:
+                    last |= l
+                else:
+                    last = l
+                nullable = nullable and n
+            return (nullable, first, last)
+        if isinstance(node, (Star, Plus)):
+            n, f, l = self.analyse(node.inner)
+            for position in l:
+                self.follow[position] |= f
+            return (n or isinstance(node, Star), f, l)
+        if isinstance(node, Optional):
+            n, f, l = self.analyse(node.inner)
+            return (True, f, l)
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def glushkov(regex: Regex, alphabet: frozenset[str] | None = None) -> NFA:
+    """Compile *regex* into its Glushkov automaton.
+
+    The result recognises exactly ``L(regex)``; it has ``m + 1`` states
+    for a regex with ``m`` symbol occurrences. *alphabet* may enlarge the
+    automaton's alphabet beyond the symbols occurring in the expression
+    (needed when a DTD rule does not mention every label of Σ).
+    """
+    analysis = _Analysis()
+    nullable, first, last = analysis.analyse(regex)
+    states = range(len(analysis.symbol_of) + 1)
+    transitions = [(0, analysis.symbol_of[p], p) for p in sorted(first)]
+    for source in sorted(analysis.follow):
+        for target in sorted(analysis.follow[source]):
+            transitions.append((source, analysis.symbol_of[target], target))
+    finals = set(last)
+    if nullable:
+        finals.add(0)
+    symbols = regex.symbols() if alphabet is None else alphabet | regex.symbols()
+    return NFA(states, symbols, 0, transitions, finals)
+
+
+def is_one_unambiguous(regex: Regex) -> bool:
+    """Whether *regex* is one-unambiguous (W3C "deterministic").
+
+    By the Brüggemann-Klein/Wood characterisation, a regex is
+    one-unambiguous iff its Glushkov automaton is deterministic.
+    """
+    return glushkov(regex).is_deterministic()

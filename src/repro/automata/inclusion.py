@@ -1,0 +1,81 @@
+"""Language inclusion and related decision procedures.
+
+Used to *verify* derived constructions rather than to build them: e.g.
+the view-DTD property tests check
+``h(L(D(a))) = L(viewDTD(a))`` via two inclusions, and schema-evolution
+checks ask whether one content model subsumes another.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import AutomatonError
+from .nfa import NFA, State
+
+__all__ = ["language_subset", "find_counterexample", "language_disjoint"]
+
+
+def find_counterexample(
+    left: NFA, right: NFA, max_states: int = 65536
+) -> "tuple[str, ...] | None":
+    """A shortest word in ``L(left) \\ L(right)``, or ``None`` if ``⊆`` holds.
+
+    Product of ``left`` (NFA subsets) with the determinisation of
+    ``right``, explored breadth-first — so the returned counterexample
+    is one of minimal length. ``max_states`` bounds the explored product
+    (raises :class:`AutomatonError` beyond it).
+    """
+    symbols = sorted(left.alphabet | right.alphabet)
+    start = (frozenset({left.initial}), frozenset({right.initial}))
+    seen: set[tuple[frozenset[State], frozenset[State]]] = {start}
+    queue: deque[tuple[tuple[str, ...], frozenset[State], frozenset[State]]] = deque(
+        [((), *start)]
+    )
+    while queue:
+        word, mine, theirs = queue.popleft()
+        accepts_left = bool(mine & left.finals)
+        accepts_right = bool(theirs & right.finals)
+        if accepts_left and not accepts_right:
+            return word
+        for symbol in symbols:
+            next_mine = left.step(mine, symbol)
+            if not next_mine:
+                continue  # left rejects all extensions: nothing to witness
+            next_theirs = right.step(theirs, symbol)
+            key = (next_mine, next_theirs)
+            if key not in seen:
+                if len(seen) >= max_states:
+                    raise AutomatonError("inclusion check exceeded state budget")
+                seen.add(key)
+                queue.append((word + (symbol,), next_mine, next_theirs))
+    return None
+
+
+def language_subset(left: NFA, right: NFA, max_states: int = 65536) -> bool:
+    """``L(left) ⊆ L(right)``."""
+    return find_counterexample(left, right, max_states) is None
+
+
+def language_disjoint(left: NFA, right: NFA, max_states: int = 65536) -> bool:
+    """``L(left) ∩ L(right) = ∅`` (synchronous product emptiness)."""
+    symbols = sorted(left.alphabet & right.alphabet)
+    start = (frozenset({left.initial}), frozenset({right.initial}))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        mine, theirs = queue.popleft()
+        if (mine & left.finals) and (theirs & right.finals):
+            return False
+        for symbol in symbols:
+            next_mine = left.step(mine, symbol)
+            next_theirs = right.step(theirs, symbol)
+            if not next_mine or not next_theirs:
+                continue
+            key = (next_mine, next_theirs)
+            if key not in seen:
+                if len(seen) >= max_states:
+                    raise AutomatonError("disjointness check exceeded state budget")
+                seen.add(key)
+                queue.append(key)
+    return True

@@ -1,0 +1,325 @@
+"""Finite automata over children-label alphabets.
+
+The paper's automaton model (Section 2) is
+``M = (Σ, Q, q0, δ, F)`` — a nondeterministic finite automaton with a
+single starting state and transition *relation* ``δ ⊆ Q × Σ × Q``; its
+size is ``|Q| + |δ| + |F|``. :class:`NFA` implements exactly this model.
+
+States may be arbitrary hashable values. Instances are immutable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from ..errors import AutomatonError
+
+__all__ = ["NFA", "State", "Transition"]
+
+State = Hashable
+Transition = tuple[State, str, State]
+
+
+class NFA:
+    """A finite automaton ``(Σ, Q, q0, δ, F)``.
+
+    Parameters
+    ----------
+    states:
+        The state set ``Q``. Must contain ``initial`` and all ``finals``.
+    alphabet:
+        The alphabet ``Σ``. Transition symbols must belong to it.
+    initial:
+        The starting state ``q0``.
+    transitions:
+        The relation ``δ`` as an iterable of ``(q, symbol, q′)`` triples.
+    finals:
+        The accepting states ``F``.
+    """
+
+    __slots__ = ("_states", "_alphabet", "_initial", "_delta", "_finals", "_ntransitions")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[str],
+        initial: State,
+        transitions: Iterable[Transition],
+        finals: Iterable[State],
+    ) -> None:
+        self._states: frozenset[State] = frozenset(states)
+        self._alphabet: frozenset[str] = frozenset(alphabet)
+        self._initial = initial
+        self._finals: frozenset[State] = frozenset(finals)
+        delta: dict[State, dict[str, set[State]]] = {}
+        count = 0
+        seen: set[Transition] = set()
+        for source, symbol, target in transitions:
+            if (source, symbol, target) in seen:
+                continue
+            seen.add((source, symbol, target))
+            if source not in self._states or target not in self._states:
+                raise AutomatonError(
+                    f"transition ({source!r}, {symbol!r}, {target!r}) uses unknown states"
+                )
+            if symbol not in self._alphabet:
+                raise AutomatonError(f"transition symbol {symbol!r} not in alphabet")
+            delta.setdefault(source, {}).setdefault(symbol, set()).add(target)
+            count += 1
+        self._delta: dict[State, dict[str, frozenset[State]]] = {
+            source: {symbol: frozenset(targets) for symbol, targets in row.items()}
+            for source, row in delta.items()
+        }
+        self._ntransitions = count
+        if self._initial not in self._states:
+            raise AutomatonError(f"initial state {initial!r} not in state set")
+        if not self._finals <= self._states:
+            raise AutomatonError("final states must be a subset of the state set")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> frozenset[State]:
+        return self._states
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._alphabet
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def finals(self) -> frozenset[State]:
+        return self._finals
+
+    @property
+    def size(self) -> int:
+        """``|Q| + |δ| + |F|`` as defined in the paper."""
+        return len(self._states) + self._ntransitions + len(self._finals)
+
+    @property
+    def n_transitions(self) -> int:
+        return self._ntransitions
+
+    def successors(self, state: State, symbol: str) -> frozenset[State]:
+        """``{q′ | (state, symbol, q′) ∈ δ}``."""
+        return self._delta.get(state, {}).get(symbol, frozenset())
+
+    def moves_from(self, state: State) -> Iterator[tuple[str, State]]:
+        """All ``(symbol, target)`` pairs leaving *state*."""
+        for symbol, targets in self._delta.get(state, {}).items():
+            for target in targets:
+                yield (symbol, target)
+
+    def transitions(self) -> Iterator[Transition]:
+        """All transition triples."""
+        for source, row in self._delta.items():
+            for symbol, targets in row.items():
+                for target in targets:
+                    yield (source, symbol, target)
+
+    def is_final(self, state: State) -> bool:
+        return state in self._finals
+
+    # ------------------------------------------------------------------
+    # Language queries
+    # ------------------------------------------------------------------
+
+    def step(self, states: frozenset[State], symbol: str) -> frozenset[State]:
+        """Subset-construction step."""
+        out: set[State] = set()
+        for state in states:
+            out |= self.successors(state, symbol)
+        return frozenset(out)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether *word* belongs to ``L(M)`` (subset simulation)."""
+        current: frozenset[State] = frozenset({self._initial})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._finals)
+
+    def accepts_epsilon(self) -> bool:
+        return self._initial in self._finals
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen: set[State] = {self._initial}
+        frontier = deque([self._initial])
+        while frontier:
+            state = frontier.popleft()
+            for _, target in self.moves_from(state):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[State]:
+        """States from which some final state is reachable."""
+        reverse: dict[State, set[State]] = {}
+        for source, _, target in self.transitions():
+            reverse.setdefault(target, set()).add(source)
+        seen: set[State] = set(self._finals)
+        frontier = deque(self._finals)
+        while frontier:
+            state = frontier.popleft()
+            for source in reverse.get(state, ()):
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return frozenset(seen)
+
+    def language_nonempty(self) -> bool:
+        """Whether ``L(M) ≠ ∅``."""
+        return bool(self.reachable_states() & self._finals)
+
+    def is_deterministic(self) -> bool:
+        """At most one successor per (state, symbol) pair.
+
+        Glushkov automata of one-unambiguous (W3C-deterministic) content
+        models are deterministic, which the typing machinery exploits.
+        """
+        for row in self._delta.values():
+            for targets in row.values():
+                if len(targets) > 1:
+                    return False
+        return True
+
+    def enumerate_words(self, max_length: int) -> Iterator[tuple[str, ...]]:
+        """All accepted words of length ≤ *max_length*, shortest first.
+
+        Intended for tests and brute-force cross-checks on small automata;
+        the output is deterministic (alphabet sorted at each step).
+        """
+        symbols = sorted(self._alphabet)
+        queue: deque[tuple[tuple[str, ...], frozenset[State]]] = deque(
+            [((), frozenset({self._initial}))]
+        )
+        while queue:
+            word, states = queue.popleft()
+            if states & self._finals:
+                yield word
+            if len(word) == max_length:
+                continue
+            for symbol in symbols:
+                nxt = self.step(states, symbol)
+                if nxt:
+                    queue.append((word + (symbol,), nxt))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def renamed(self, rename: Callable[[State], State]) -> "NFA":
+        """A copy with every state renamed through *rename* (injective)."""
+        return NFA(
+            (rename(q) for q in self._states),
+            self._alphabet,
+            rename(self._initial),
+            ((rename(a), s, rename(b)) for a, s, b in self.transitions()),
+            (rename(q) for q in self._finals),
+        )
+
+    def trim(self) -> "NFA":
+        """Restrict to states that are both reachable and co-reachable.
+
+        The initial state is always kept so the result remains a valid
+        automaton (possibly with the empty language).
+        """
+        useful = self.reachable_states() & self.coreachable_states()
+        keep = useful | {self._initial}
+        return NFA(
+            keep,
+            self._alphabet,
+            self._initial,
+            (
+                (a, s, b)
+                for a, s, b in self.transitions()
+                if a in useful and b in useful
+            ),
+            self._finals & keep,
+        )
+
+    def with_alphabet(self, alphabet: Iterable[str]) -> "NFA":
+        """A copy over a (super-)alphabet."""
+        merged = self._alphabet | frozenset(alphabet)
+        return NFA(self._states, merged, self._initial, self.transitions(), self._finals)
+
+    # ------------------------------------------------------------------
+    # Comparison / rendering
+    # ------------------------------------------------------------------
+
+    def equivalent(self, other: "NFA", max_states: int = 4096) -> bool:
+        """Language equivalence via synchronous subset exploration.
+
+        Suitable for the small content-model automata used throughout;
+        raises :class:`AutomatonError` if the product exceeds *max_states*
+        subset pairs.
+        """
+        symbols = sorted(self._alphabet | other._alphabet)
+        start = (frozenset({self._initial}), frozenset({other._initial}))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            mine, theirs = frontier.popleft()
+            if bool(mine & self._finals) != bool(theirs & other._finals):
+                return False
+            for symbol in symbols:
+                nxt = (self.step(mine, symbol), other.step(theirs, symbol))
+                if nxt not in seen:
+                    if len(seen) >= max_states:
+                        raise AutomatonError("equivalence check exceeded state budget")
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return True
+
+    def to_dot(self, name: str = "M") -> str:
+        """GraphViz rendering (for documentation and debugging)."""
+        lines = [f"digraph {name} {{", "  rankdir=LR;", '  __start [shape=none,label=""];']
+        order = {q: i for i, q in enumerate(sorted(self._states, key=repr))}
+        for state, idx in order.items():
+            shape = "doublecircle" if state in self._finals else "circle"
+            lines.append(f'  s{idx} [shape={shape},label="{state}"];')
+        lines.append(f"  __start -> s{order[self._initial]};")
+        for source, symbol, target in sorted(self.transitions(), key=repr):
+            lines.append(f'  s{order[source]} -> s{order[target]} [label="{symbol}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(|Q|={len(self._states)}, |δ|={self._ntransitions}, "
+            f"|F|={len(self._finals)})"
+        )
+
+    @classmethod
+    def empty_word_automaton(cls, alphabet: Iterable[str] = ()) -> "NFA":
+        """An automaton accepting exactly the empty word (rule ``a → ε``)."""
+        return cls(["q0"], alphabet, "q0", [], ["q0"])
+
+    @classmethod
+    def from_triples(
+        cls,
+        initial: State,
+        transitions: Iterable[Transition],
+        finals: Iterable[State],
+        alphabet: Iterable[str] = (),
+        extra_states: Iterable[State] = (),
+    ) -> "NFA":
+        """Build an automaton from transition triples, inferring states/alphabet."""
+        transitions = list(transitions)
+        finals = list(finals)
+        states = {initial, *finals, *extra_states}
+        symbols = set(alphabet)
+        for source, symbol, target in transitions:
+            states.add(source)
+            states.add(target)
+            symbols.add(symbol)
+        return cls(states, symbols, initial, transitions, finals)

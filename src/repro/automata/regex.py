@@ -1,0 +1,389 @@
+"""Regular expressions for DTD content models.
+
+The paper specifies DTD rules with regular expressions over Σ "defined in
+the standard fashion" and writes them with ``·`` for concatenation and
+``+`` for union (e.g. ``r → (a · (b + c) · d)*``). Real-world DTDs use
+``,`` for concatenation, ``|`` for union, and postfix ``* + ?``.
+
+This module supports both:
+
+* the parser accepts ``,`` / ``.`` / ``·`` for concatenation and ``|``
+  for union, with postfix ``*``, ``+`` (one-or-more), ``?``;
+* printers emit either DTD syntax (:func:`Regex.to_dtd`) or the paper's
+  syntax with ``·`` and union-``+`` (:func:`Regex.to_paper`).
+
+The AST is a small immutable class hierarchy; :mod:`repro.automata.glushkov`
+compiles it to the paper's automaton model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import RegexSyntaxError
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "parse_regex",
+    "EPSILON",
+    "concat",
+    "union",
+]
+
+_EPSILON_TOKENS = {"ε", "eps", "epsilon", "EMPTY"}
+
+
+def _is_word_char(char: str) -> bool:
+    """Symbol characters: any alphanumeric (Unicode included), ``_``, ``-``.
+
+    ``.`` is a concatenation operator in regexes, so unlike tree labels
+    (see :mod:`repro.xmltree.term`) regex symbols may not contain dots;
+    ``ε`` is the empty-word token, never part of a symbol.
+    """
+    return char != "ε" and (char.isalnum() or char in "_-")
+
+
+class Regex:
+    """Base class of regular-expression AST nodes (immutable)."""
+
+    __slots__ = ()
+
+    # -- structural analysis ------------------------------------------------
+
+    def nullable(self) -> bool:
+        """Whether the language contains the empty word."""
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset[str]:
+        """All alphabet symbols occurring in the expression."""
+        return frozenset(self._iter_symbols())
+
+    def _iter_symbols(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    # -- rendering ----------------------------------------------------------
+
+    def to_dtd(self) -> str:
+        """DTD content-model syntax (``,`` concatenation, ``|`` union)."""
+        return self._render(",", "|")
+
+    def to_paper(self) -> str:
+        """The paper's syntax (``·`` concatenation, ``+`` union)."""
+        return self._render("·", "+")
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_dtd()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_dtd()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Regex):
+    """The empty word ``ε``."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return True
+
+    def _iter_symbols(self) -> Iterator[str]:
+        return iter(())
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        return "ε"
+
+
+EPSILON = Epsilon()
+
+
+@dataclass(frozen=True, repr=False)
+class Symbol(Regex):
+    """A single alphabet symbol."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def nullable(self) -> bool:
+        return False
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield self.name
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    """Concatenation of two or more factors."""
+
+    parts: tuple[Regex, ...]
+
+    __slots__ = ("parts",)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def _iter_symbols(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part._iter_symbols()
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        body = cat.join(part._render(cat, alt, 2) for part in self.parts)
+        return f"({body})" if prec > 1 else body
+
+
+@dataclass(frozen=True, repr=False)
+class Union(Regex):
+    """Alternation of two or more branches."""
+
+    parts: tuple[Regex, ...]
+
+    __slots__ = ("parts",)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Union requires at least two parts")
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def _iter_symbols(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part._iter_symbols()
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        body = alt.join(part._render(cat, alt, 1) for part in self.parts)
+        return f"({body})" if prec > 0 else body
+
+
+class _Postfix(Regex):
+    """Common base for the postfix operators ``* + ?``."""
+
+    __slots__ = ()
+    _mark = ""
+
+    @property
+    def inner(self) -> Regex:
+        raise NotImplementedError
+
+    def _iter_symbols(self) -> Iterator[str]:
+        return self.inner._iter_symbols()
+
+    def _render(self, cat: str, alt: str, prec: int = 0) -> str:
+        return self.inner._render(cat, alt, 3) + self._mark
+
+
+@dataclass(frozen=True, repr=False)
+class Star(_Postfix):
+    """Kleene star (zero or more)."""
+
+    child: Regex
+
+    __slots__ = ("child",)
+    _mark = "*"
+
+    @property
+    def inner(self) -> Regex:
+        return self.child
+
+    def nullable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, repr=False)
+class Plus(_Postfix):
+    """One or more repetitions."""
+
+    child: Regex
+
+    __slots__ = ("child",)
+    _mark = "+"
+
+    @property
+    def inner(self) -> Regex:
+        return self.child
+
+    def nullable(self) -> bool:
+        return self.child.nullable()
+
+
+@dataclass(frozen=True, repr=False)
+class Optional(_Postfix):
+    """Zero or one occurrence."""
+
+    child: Regex
+
+    __slots__ = ("child",)
+    _mark = "?"
+
+    @property
+    def inner(self) -> Regex:
+        return self.child
+
+    def nullable(self) -> bool:
+        return True
+
+
+def concat(*parts: Regex) -> Regex:
+    """Smart concatenation: flattens nesting and drops ε factors."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Regex) -> Regex:
+    """Smart alternation: flattens nesting and deduplicates branches."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Union):
+            candidates = part.parts
+        else:
+            candidates = (part,)
+        for candidate in candidates:
+            if candidate not in flat:
+                flat.append(candidate)
+    if not flat:
+        raise ValueError("union of zero branches")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+class _RegexParser:
+    """Recursive-descent parser for content-model expressions.
+
+    Grammar (× is any of ``,``, ``.``, ``·``; juxtaposition is *not*
+    concatenation because symbol names may be multi-character)::
+
+        expr   := term ('|' term)*
+        term   := factor (× factor)*
+        factor := base ('*' | '+' | '?')*
+        base   := SYMBOL | εTOKEN | '(' expr ')'
+    """
+
+    _CONCAT = {",", ".", "·"}
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> Regex:
+        self.skip_ws()
+        if self.pos == len(self.text):
+            return EPSILON  # the empty content model means ε
+        result = self.expr()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing input")
+        return result
+
+    def expr(self) -> Regex:
+        branches = [self.term()]
+        self.skip_ws()
+        while self.peek() == "|":
+            self.pos += 1
+            branches.append(self.term())
+            self.skip_ws()
+        if len(branches) == 1:
+            return branches[0]
+        return Union(tuple(branches))
+
+    def term(self) -> Regex:
+        factors = [self.factor()]
+        self.skip_ws()
+        while self.peek() in self._CONCAT:
+            self.pos += 1
+            factors.append(self.factor())
+            self.skip_ws()
+        return concat(*factors)
+
+    def factor(self) -> Regex:
+        result = self.base()
+        self.skip_ws()
+        while self.peek() in ("*", "+", "?"):
+            mark = self.peek()
+            self.pos += 1
+            if mark == "*":
+                result = Star(result)
+            elif mark == "+":
+                result = Plus(result)
+            else:
+                result = Optional(result)
+            self.skip_ws()
+        return result
+
+    def base(self) -> Regex:
+        self.skip_ws()
+        char = self.peek()
+        if char == "(":
+            self.pos += 1
+            inner = self.expr()
+            self.skip_ws()
+            if self.peek() != ")":
+                raise self.error("expected ')'")
+            self.pos += 1
+            return inner
+        if char == "ε":
+            self.pos += 1
+            return EPSILON
+        if self.text.startswith("#EMPTY", self.pos):
+            self.pos += len("#EMPTY")
+            return EPSILON
+        start = self.pos
+        while self.pos < len(self.text) and _is_word_char(self.text[self.pos]):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a symbol, 'ε', or '('")
+        word = self.text[start:self.pos]
+        if word in _EPSILON_TOKENS:
+            return EPSILON
+        return Symbol(word)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a content-model regular expression.
+
+    >>> parse_regex("(a,(b|c),d)*").to_paper()
+    '(a·(b+c)·d)*'
+    """
+    return _RegexParser(text).parse()

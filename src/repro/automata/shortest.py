@@ -1,0 +1,107 @@
+"""Weighted shortest words of an automaton.
+
+Several constructions of the paper reduce to: *given a per-symbol cost,
+find the cheapest word accepted by a content-model automaton*.
+
+* minimal tree sizes — ``size(a) = 1 + min_{w ∈ L(D(a))} Σ_y size(y)``;
+* (i)-edge weights of inversion/propagation graphs;
+* biasing random generation towards termination.
+
+Costs may be arbitrarily large (minimal trees can be exponential in the
+DTD, Section 5), so everything uses Python integers. A symbol whose cost
+is ``None`` is unusable (its subtree language is empty / not yet known);
+words containing it are excluded.
+
+All functions are deterministic: ties are broken by the
+lexicographically smallest word.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Mapping
+
+from .nfa import NFA, State
+
+__all__ = [
+    "SymbolCost",
+    "min_word_cost",
+    "min_word",
+    "min_completion_costs",
+]
+
+SymbolCost = Mapping[str, "int | None"] | Callable[[str], "int | None"]
+
+
+def _cost_fn(weight: SymbolCost) -> Callable[[str], "int | None"]:
+    if callable(weight):
+        return weight
+    return lambda symbol: weight.get(symbol)
+
+
+def min_word(nfa: NFA, weight: SymbolCost) -> tuple[int, tuple[str, ...]] | None:
+    """The cheapest accepted word and its cost, or ``None`` if none exists.
+
+    Dijkstra over automaton states; the priority is ``(cost, word)`` so
+    equal-cost candidates resolve to the lexicographically smallest word,
+    keeping minimal trees and insertlets reproducible across runs.
+    """
+    cost_of = _cost_fn(weight)
+    counter = 0  # heap tie-breaker so states themselves are never compared
+    heap: list[tuple[int, tuple[str, ...], int, State]] = [(0, (), counter, nfa.initial)]
+    settled: set[State] = set()
+    while heap:
+        cost, word, _, state = heapq.heappop(heap)
+        if state in settled:
+            continue
+        settled.add(state)
+        if nfa.is_final(state):
+            return (cost, word)
+        for symbol, target in sorted(nfa.moves_from(state), key=lambda m: (m[0], repr(m[1]))):
+            if target in settled:
+                continue
+            symbol_cost = cost_of(symbol)
+            if symbol_cost is None:
+                continue
+            counter += 1
+            heapq.heappush(heap, (cost + symbol_cost, word + (symbol,), counter, target))
+    return None
+
+
+def min_word_cost(nfa: NFA, weight: SymbolCost) -> int | None:
+    """The cost of the cheapest accepted word, or ``None`` if ``L`` is empty."""
+    result = min_word(nfa, weight)
+    return None if result is None else result[0]
+
+
+def min_completion_costs(nfa: NFA, weight: SymbolCost) -> dict[State, int]:
+    """For every state, the cheapest cost of reaching acceptance from it.
+
+    Runs Dijkstra on reversed transitions from all final states at once.
+    States that cannot reach a final state (with usable symbols) are
+    absent from the result. ``result[nfa.initial]`` equals
+    :func:`min_word_cost` when both exist.
+    """
+    cost_of = _cost_fn(weight)
+    reverse: dict[State, list[tuple[int, State]]] = {}
+    for source, symbol, target in nfa.transitions():
+        symbol_cost = cost_of(symbol)
+        if symbol_cost is None:
+            continue
+        reverse.setdefault(target, []).append((symbol_cost, source))
+    done: dict[State, int] = {}
+    heap: list[tuple[int, int, State]] = []
+    counter = 0
+    for state in sorted(nfa.finals, key=repr):
+        heapq.heappush(heap, (0, counter, state))
+        counter += 1
+    while heap:
+        cost, _, state = heapq.heappop(heap)
+        if state in done:
+            continue
+        done[state] = cost
+        for edge_cost, source in reverse.get(state, ()):
+            if source not in done:
+                counter += 1
+                heapq.heappush(heap, (cost + edge_cost, counter, source))
+    return done

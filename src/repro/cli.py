@@ -1,0 +1,242 @@
+"""Command-line interface: the view-update pipeline on files.
+
+Subcommands (``repro-xml <command> --help`` for details):
+
+* ``validate``  — check an XML document against a DTD;
+* ``view``      — extract the annotation-defined view of a document;
+* ``view-dtd``  — print the derived DTD of the view language;
+* ``invert``    — build a minimal source document for a given view;
+* ``propagate`` — propagate a view update script onto the source;
+* ``repair-compare`` — run the Section 6.2 baseline next to the real
+  propagation and report the side-effect verdicts.
+
+File formats: documents are XML carrying node identifiers in an ``id``
+attribute; DTDs use classic ``<!ELEMENT …>`` declarations; annotations
+use the ``hide parent child`` directive format; update scripts use the
+compact term notation (``Nop.r#n0(Del.a#n1, Ins.d#u0)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import (
+    DEL_OVER_NOP_OVER_INS,
+    INS_OVER_NOP_OVER_DEL,
+    NOP_OVER_DEL_OVER_INS,
+    InsertletPackage,
+    PreferenceChooser,
+    propagate,
+    verify_propagation,
+)
+from .dtd import parse_dtd, serialize_dtd, view_dtd
+from .editing import EditScript
+from .errors import ReproError
+from .inversion import invert
+from .repair import compare_with_propagation
+from .views import Annotation
+from .xmltree import tree_from_xml, tree_to_xml
+
+__all__ = ["main", "build_parser"]
+
+_PREFERENCES = {
+    "nop": NOP_OVER_DEL_OVER_INS,
+    "del": DEL_OVER_NOP_OVER_INS,
+    "ins": INS_OVER_NOP_OVER_DEL,
+}
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_common(args: argparse.Namespace):
+    dtd = parse_dtd(_read(args.dtd))
+    annotation = Annotation.parse(_read(args.annotation)) if args.annotation else None
+    return dtd, annotation
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    if getattr(args, "out", None):
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = parse_dtd(_read(args.dtd))
+    document = tree_from_xml(_read(args.doc))
+    violations = list(dtd.violations(document))
+    if not violations:
+        print(f"valid: {document.size} nodes conform to the DTD")
+        return 0
+    for violation in violations[: args.max_errors]:
+        print(f"INVALID {violation!r}")
+    if len(violations) > args.max_errors:
+        print(f"... and {len(violations) - args.max_errors} more")
+    return 1
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    _, annotation = _load_common(args)
+    document = tree_from_xml(_read(args.doc))
+    view = annotation.view(document)
+    _emit(args, tree_to_xml(view))
+    return 0
+
+
+def _cmd_view_dtd(args: argparse.Namespace) -> int:
+    dtd, annotation = _load_common(args)
+    derived = view_dtd(dtd, annotation)
+    _emit(args, serialize_dtd(derived))
+    return 0
+
+
+def _cmd_invert(args: argparse.Namespace) -> int:
+    dtd, annotation = _load_common(args)
+    view = tree_from_xml(_read(args.view_doc))
+    inverse = invert(dtd, annotation, view)
+    _emit(args, tree_to_xml(inverse))
+    return 0
+
+
+def _make_factory(args: argparse.Namespace, dtd):
+    if not getattr(args, "insertlets", None):
+        return None
+    terms: dict[str, str] = {}
+    for line in _read(args.insertlets).splitlines():
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        label, _, term = line.partition("=")
+        terms[label.strip()] = term.strip()
+    return InsertletPackage.from_terms(dtd, terms, strict=not args.loose_insertlets)
+
+
+def _cmd_propagate(args: argparse.Namespace) -> int:
+    dtd, annotation = _load_common(args)
+    source = tree_from_xml(_read(args.doc))
+    update = EditScript.parse(_read(args.update).strip())
+    factory = _make_factory(args, dtd)
+    chooser = PreferenceChooser(_PREFERENCES[args.prefer])
+    script = propagate(
+        dtd, annotation, source, update, factory=factory, chooser=chooser
+    )
+    assert verify_propagation(dtd, annotation, source, update, script)
+    if args.script:
+        _emit(args, script.to_term())
+    else:
+        _emit(args, tree_to_xml(script.output_tree))
+    print(f"propagation cost: {script.cost}", file=sys.stderr)
+    return 0
+
+
+def _cmd_repair_compare(args: argparse.Namespace) -> int:
+    dtd, annotation = _load_common(args)
+    source = tree_from_xml(_read(args.doc))
+    update = EditScript.parse(_read(args.update).strip())
+    report = compare_with_propagation(dtd, annotation, source, update)
+    print(report.summary())
+    return 0 if report.repair_side_effect_free else 2
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xml",
+        description="View update propagation for XML "
+        "(Staworko, Boneva, Groz; EDBT/ICDT Workshops 2010)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub, annotation_required=True, doc=True):
+        sub.add_argument("--dtd", required=True, help="<!ELEMENT ...> DTD file")
+        sub.add_argument(
+            "--annotation",
+            required=annotation_required,
+            help="annotation directives file (hide/show lines)",
+        )
+        if doc:
+            sub.add_argument("--doc", required=True, help="source XML document")
+        sub.add_argument("--out", help="write the result here instead of stdout")
+
+    validate = commands.add_parser("validate", help="check a document against a DTD")
+    validate.add_argument("--dtd", required=True)
+    validate.add_argument("--doc", required=True)
+    validate.add_argument("--max-errors", type=int, default=10)
+    validate.set_defaults(handler=_cmd_validate)
+
+    view = commands.add_parser("view", help="extract the view of a document")
+    common(view)
+    view.set_defaults(handler=_cmd_view)
+
+    vdtd = commands.add_parser("view-dtd", help="derive the DTD of the view language")
+    common(vdtd, doc=False)
+    vdtd.set_defaults(handler=_cmd_view_dtd)
+
+    inv = commands.add_parser("invert", help="build a minimal source for a view")
+    inv.add_argument("--dtd", required=True)
+    inv.add_argument("--annotation", required=True)
+    inv.add_argument("--view-doc", required=True, help="the view as XML")
+    inv.add_argument("--out")
+    inv.set_defaults(handler=_cmd_invert)
+
+    prop = commands.add_parser("propagate", help="propagate a view update")
+    common(prop)
+    prop.add_argument("--update", required=True, help="update script (term notation)")
+    prop.add_argument(
+        "--prefer",
+        choices=sorted(_PREFERENCES),
+        default="nop",
+        help="preference function Φ (default: keep hidden content)",
+    )
+    prop.add_argument("--insertlets", help="insertlet file: lines `label = term`")
+    prop.add_argument(
+        "--loose-insertlets",
+        action="store_true",
+        help="allow non-minimal insertlet fragments",
+    )
+    prop.add_argument(
+        "--script",
+        action="store_true",
+        help="print the propagation script instead of the new document",
+    )
+    prop.set_defaults(handler=_cmd_propagate)
+
+    cmp_ = commands.add_parser(
+        "repair-compare",
+        help="run the Section 6.2 repair baseline next to the propagation",
+    )
+    common(cmp_)
+    cmp_.add_argument("--update", required=True)
+    cmp_.set_defaults(handler=_cmd_repair_compare)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: propagation graphs & the algorithm.
+
+Public surface:
+
+* :func:`propagation_graphs` — build ``G(D, A, t, S)`` (Section 4).
+* :class:`PropagationGraphs` — the collection: optimal subgraphs
+  ``G*``, costs, script assembly.
+* :func:`propagate` — the Section 5 algorithm (one propagation).
+* :func:`validate_view_update`, :func:`is_schema_compliant`,
+  :func:`is_side_effect_free`, :func:`verify_propagation` — criteria.
+* choosers (Φ): :class:`PreferenceChooser`, :class:`CheapestPathChooser`,
+  :class:`TypePreservingChooser`; typings Θ:
+  :class:`AutomatonStateTyping`, :class:`EDTDTyping`,
+  :func:`preserves_typing`.
+* counting/enumeration: :func:`count_min_propagations`,
+  :func:`enumerate_min_propagations`, :func:`enumerate_propagations`.
+* insertlets: :class:`InsertletPackage`, :class:`MinimalTreeFactory`.
+"""
+
+from .choosers import (
+    DEL_OVER_NOP_OVER_INS,
+    INS_OVER_NOP_OVER_DEL,
+    NOP_OVER_DEL_OVER_INS,
+    CheapestPathChooser,
+    PathChooser,
+    PreferenceChooser,
+)
+from .enumerate import (
+    count_min_propagations,
+    enumerate_min_propagations,
+    enumerate_propagations,
+)
+from .insertlets import InsertletPackage, MinimalTreeFactory, TreeFactory
+from .optimal import OptimalPropagationGraph
+from .propagate import (
+    PropagationGraphs,
+    is_schema_compliant,
+    is_side_effect_free,
+    propagate,
+    propagation_graphs,
+    validate_view_update,
+    verify_propagation,
+)
+from .propagation_graph import EdgeKind, PEdge, PropagationGraph, PVertex
+from .typing_pref import (
+    AutomatonStateTyping,
+    DocumentTyping,
+    EDTDTyping,
+    TypePreservingChooser,
+    preserves_typing,
+)
+
+__all__ = [
+    "EdgeKind",
+    "PVertex",
+    "PEdge",
+    "PropagationGraph",
+    "OptimalPropagationGraph",
+    "PropagationGraphs",
+    "propagation_graphs",
+    "propagate",
+    "validate_view_update",
+    "is_schema_compliant",
+    "is_side_effect_free",
+    "verify_propagation",
+    "PathChooser",
+    "PreferenceChooser",
+    "CheapestPathChooser",
+    "NOP_OVER_DEL_OVER_INS",
+    "DEL_OVER_NOP_OVER_INS",
+    "INS_OVER_NOP_OVER_DEL",
+    "TypePreservingChooser",
+    "AutomatonStateTyping",
+    "EDTDTyping",
+    "DocumentTyping",
+    "preserves_typing",
+    "count_min_propagations",
+    "enumerate_min_propagations",
+    "enumerate_propagations",
+    "TreeFactory",
+    "MinimalTreeFactory",
+    "InsertletPackage",
+]

@@ -1,0 +1,293 @@
+"""Enumerating and counting propagations (Theorems 3 and 4).
+
+Like the inverse operation, ``P(L(D),A,t,S)`` is infinite in general
+(the paper's ``D1`` example: any number of invisible ``b``-nodes may
+accompany an inserted ``a``), so the machinery is parameterised:
+
+* :func:`count_min_propagations` — exact number of cost-minimal
+  propagations by DAG dynamic programming over the optimal graphs; this
+  is what reproduces the ``2^k`` tight bound of Section 4;
+* :func:`enumerate_min_propagations` — materialise ``Pmin``;
+* :func:`enumerate_propagations` — bounded-cost enumeration over the
+  *full* graphs (cyclic paths included), for Theorem 3 cross-checks.
+
+Counting semantics: a propagation is an editing script; scripts that
+differ only in the interleaving of deletions and insertions between two
+common nodes are distinct (they are distinct paths), exactly as in the
+paper's graph model. Invisible insertions count once per (i)-edge
+traversal by default (the canonical insertlet); ``distinct_trees=True``
+counts every minimal tree shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator
+
+from ..dtd import count_minimal_shapes, minimal_shapes, minimal_sizes, shape_to_tree
+from ..editing import EditScript
+from ..graphutil import count_paths, enumerate_paths
+from ..inversion import count_min_inversions, enumerate_min_inversions
+from ..xmltree import NodeId, NodeIds, Tree
+from .propagate import PropagationGraphs
+from .propagation_graph import EdgeKind
+
+__all__ = [
+    "count_min_propagations",
+    "enumerate_min_propagations",
+    "enumerate_propagations",
+]
+
+
+def count_min_propagations(
+    collection: PropagationGraphs, *, distinct_trees: bool = False
+) -> int:
+    """``|Pmin(L(D), A, t, S)|`` — exact big-int DAG count.
+
+    Without ``distinct_trees``, every insertion ((i)- and (iv)-edges)
+    contributes its canonical choice once; with it, all minimal tree
+    shapes and all minimal inversions are counted.
+    """
+    sizes = minimal_sizes(collection.dtd)
+    shape_counts: dict[str, int] = {}
+
+    def shapes_of(symbol: str) -> int:
+        if symbol not in shape_counts:
+            shape_counts[symbol] = count_minimal_shapes(
+                collection.dtd, symbol, sizes
+            )
+        return shape_counts[symbol]
+
+    inversion_counts: dict[NodeId, int] = {}
+
+    def inversions_of(s_child: NodeId) -> int:
+        if s_child not in inversion_counts:
+            inversion_counts[s_child] = count_min_inversions(
+                collection.insertions[s_child], distinct_trees=distinct_trees
+            )
+        return inversion_counts[s_child]
+
+    memo: dict[NodeId, int] = {}
+
+    def count(node: NodeId) -> int:
+        if node in memo:
+            return memo[node]
+        optimal = collection.optimal(node)
+
+        def multiplicity(edge) -> int:
+            if edge.kind is EdgeKind.INVISIBLE_INSERT:
+                return shapes_of(edge.symbol) if distinct_trees else 1
+            if edge.kind is EdgeKind.VISIBLE_INSERT:
+                return inversions_of(edge.s_child)
+            if edge.kind.recurses:  # visible nop or rename
+                return count(edge.t_child)
+            return 1
+
+        result = count_paths(
+            optimal.source, optimal.targets, optimal.edges_from, multiplicity
+        )
+        memo[node] = result
+        return result
+
+    return count(collection.update.root)
+
+
+Builder = Callable[[Callable[[], NodeId]], EditScript]
+
+
+def _hidden_relabelled(tree: Tree, pinned: frozenset[NodeId], fresh) -> Tree:
+    """Copy *tree* renaming every non-pinned node with fresh identifiers."""
+    mapping = {node: fresh() for node in tree.nodes() if node not in pinned}
+    return tree.relabel_nodes(mapping)
+
+
+def enumerate_min_propagations(
+    collection: PropagationGraphs,
+    *,
+    all_min_trees: bool = True,
+    max_count: int | None = None,
+) -> Iterator[EditScript]:
+    """Yield the cost-minimal propagations (deterministic order).
+
+    With ``all_min_trees`` every minimal shape / minimal inversion is
+    emitted for insertions, realising ``Pmin`` exactly up to the naming
+    of freshly invented hidden nodes.
+    """
+    budget = max_count if max_count is not None else float("inf")
+    source_tree = collection.source
+
+    def ins_options(symbol: str) -> list[Builder]:
+        if all_min_trees:
+            return [
+                (
+                    lambda fresh, shape=shape: EditScript.insertion(
+                        shape_to_tree(shape, fresh)
+                    )
+                )
+                for shape in minimal_shapes(collection.dtd, symbol)
+            ]
+        return [
+            lambda fresh: EditScript.insertion(
+                collection.factory.build(symbol, fresh)
+            )
+        ]
+
+    def visible_ins_options(s_child: NodeId) -> list[Builder]:
+        inv = collection.insertions[s_child]
+        pinned = inv.view.node_set
+        trees = list(
+            enumerate_min_inversions(
+                inv,
+                all_min_trees=all_min_trees,
+                max_count=None if max_count is None else max_count,
+            )
+        )
+        return [
+            (
+                lambda fresh, tree=tree: EditScript.insertion(
+                    _hidden_relabelled(tree, pinned, fresh)
+                )
+            )
+            for tree in trees
+        ]
+
+    def builders_for(node: NodeId) -> list[Builder]:
+        optimal = collection.optimal(node)
+        label = collection.update.edit_label(node)  # Nop or Ren
+        result: list[Builder] = []
+        for path in enumerate_paths(
+            optimal.source, optimal.targets, optimal.edges_from
+        ):
+            options: list[list[Builder]] = []
+            for edge in path:
+                if edge.kind is EdgeKind.INVISIBLE_INSERT:
+                    options.append(ins_options(edge.symbol))
+                elif edge.kind in (EdgeKind.INVISIBLE_DELETE, EdgeKind.VISIBLE_DELETE):
+                    subtree = source_tree.subtree(edge.t_child)
+                    options.append(
+                        [lambda fresh, s=subtree: EditScript.deletion(s)]
+                    )
+                elif edge.kind is EdgeKind.INVISIBLE_NOP:
+                    subtree = source_tree.subtree(edge.t_child)
+                    options.append(
+                        [lambda fresh, s=subtree: EditScript.phantom(s)]
+                    )
+                elif edge.kind is EdgeKind.VISIBLE_INSERT:
+                    options.append(visible_ins_options(edge.s_child))
+                else:
+                    options.append(builders_for(edge.t_child))
+            for combo in itertools.product(*options):
+                def make(fresh, combo=combo, node=node, label=label) -> EditScript:
+                    return EditScript.assemble(
+                        label, node, [build(fresh) for build in combo]
+                    )
+
+                result.append(make)
+                if len(result) > budget:
+                    return result
+        return result
+
+    produced = 0
+    forbidden = list(source_tree.nodes()) + list(collection.update.nodes())
+    for builder in builders_for(collection.update.root):
+        if max_count is not None and produced >= max_count:
+            return
+        produced += 1
+        fresh = NodeIds.avoiding(forbidden, "f")
+        yield builder(fresh.fresh)
+
+
+def enumerate_propagations(
+    collection: PropagationGraphs,
+    *,
+    max_cost: int,
+    max_count: int | None = None,
+) -> Iterator[EditScript]:
+    """Yield propagations of cost ≤ *max_cost* from the **full** graphs.
+
+    Cyclic paths are included (bounded by the cost budget); insertions
+    use canonical elements — the factory tree per (i)-edge and a minimal
+    inversion per (iv)-edge — so the stream realises the subset of
+    ``P`` whose invented content is canonical. Used by the Theorem 3
+    cross-checks together with brute-force ground truth.
+    """
+    source_tree = collection.source
+
+    def builders_for(node: NodeId, budget: int) -> list[tuple[int, Builder]]:
+        graph = collection[node]
+        label = collection.update.edit_label(node)  # Nop or Ren
+        result: list[tuple[int, Builder]] = []
+        for path in enumerate_paths(
+            graph.source,
+            graph.targets,
+            graph.edges_from,
+            max_cost=budget,
+            allow_cycles=True,
+        ):
+            fixed = sum(
+                edge.weight for edge in path if not edge.kind.recurses
+            )
+            fixed += sum(1 for edge in path if edge.kind is EdgeKind.VISIBLE_RENAME)
+            if fixed > budget:
+                continue
+            options: list[list[tuple[int, Builder]]] = []
+            for edge in path:
+                if edge.kind is EdgeKind.INVISIBLE_INSERT:
+                    weight, symbol = edge.weight, edge.symbol
+                    options.append([(
+                        weight,
+                        lambda fresh, s=symbol: EditScript.insertion(
+                            collection.factory.build(s, fresh)
+                        ),
+                    )])
+                elif edge.kind in (EdgeKind.INVISIBLE_DELETE, EdgeKind.VISIBLE_DELETE):
+                    subtree = source_tree.subtree(edge.t_child)
+                    options.append([(
+                        edge.weight,
+                        lambda fresh, s=subtree: EditScript.deletion(s),
+                    )])
+                elif edge.kind is EdgeKind.INVISIBLE_NOP:
+                    subtree = source_tree.subtree(edge.t_child)
+                    options.append([(
+                        0,
+                        lambda fresh, s=subtree: EditScript.phantom(s),
+                    )])
+                elif edge.kind is EdgeKind.VISIBLE_INSERT:
+                    inv = collection.insertions[edge.s_child]
+                    pinned = inv.view.node_set
+                    first = next(iter(enumerate_min_inversions(inv, max_count=1)))
+                    options.append([(
+                        edge.weight,
+                        lambda fresh, t=first, p=pinned: EditScript.insertion(
+                            _hidden_relabelled(t, p, fresh)
+                        ),
+                    )])
+                elif edge.kind is EdgeKind.VISIBLE_RENAME:
+                    child_options = builders_for(edge.t_child, budget - fixed)
+                    options.append(
+                        [(1 + total, builder) for total, builder in child_options]
+                    )
+                else:  # VISIBLE_NOP
+                    options.append(builders_for(edge.t_child, budget - fixed))
+            for combo in itertools.product(*options):
+                total = sum(weight for weight, _ in combo)
+                if total > budget:
+                    continue
+                def make(fresh, combo=combo, node=node, label=label) -> EditScript:
+                    return EditScript.assemble(
+                        label, node, [build(fresh) for _, build in combo]
+                    )
+
+                result.append((total, make))
+        return result
+
+    produced = 0
+    forbidden = list(source_tree.nodes()) + list(collection.update.nodes())
+    for _, builder in sorted(
+        builders_for(collection.update.root, max_cost), key=lambda pair: pair[0]
+    ):
+        if max_count is not None and produced >= max_count:
+            return
+        produced += 1
+        fresh = NodeIds.avoiding(forbidden, "f")
+        yield builder(fresh.fresh)

@@ -1,0 +1,11 @@
+"""Insertlet packages (paper Section 5) — re-exported.
+
+The implementation lives in :mod:`repro.dtd.insertlets` (insertlets are
+a DTD-level concept: default fragments satisfying the schema); this
+module keeps the Section 5 vocabulary available where the propagation
+algorithm lives.
+"""
+
+from ..dtd.insertlets import InsertletPackage, MinimalTreeFactory, TreeFactory
+
+__all__ = ["TreeFactory", "MinimalTreeFactory", "InsertletPackage"]

@@ -1,0 +1,122 @@
+"""Optimal propagation graphs ``G*(D, A, t, S)`` (paper Theorem 4).
+
+``G*_n`` is the subgraph of ``G_n`` induced by its cheapest propagation
+paths; traversing it with minimal elements — minimal trees on (i)-edges,
+optimal inversions on (iv)-edges, optimal sub-propagations on (vi)-edges
+— yields exactly the cost-minimal propagations ``Pmin``. Like optimal
+inversion graphs, ``G*_n`` is a DAG: all zero-weight edges ((iii), and
+(v)/(vi) with empty subtrees never occur — deletions weigh ≥ 1 and Nops
+advance the position index), so exact counting is DAG dynamic
+programming.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import NoPropagationError
+from ..graphutil import optimal_edges
+from .propagation_graph import PEdge, PropagationGraph, PVertex
+
+__all__ = ["OptimalPropagationGraph"]
+
+
+class OptimalPropagationGraph:
+    """The cheapest-path-induced subgraph of a :class:`PropagationGraph`."""
+
+    def __init__(self, graph: PropagationGraph) -> None:
+        self.full = graph
+        cost, kept = optimal_edges(graph.source, graph.targets, graph.all_edges())
+        if cost is None:
+            raise NoPropagationError(
+                f"no propagation path in G_{graph.node!r} — the update is not "
+                "a valid view update for this source"
+            )
+        self.cost: int = cost
+        adjacency: dict[PVertex, list[PEdge]] = {}
+        for edge in kept:
+            adjacency.setdefault(edge.source, []).append(edge)
+        self._adjacency: dict[PVertex, tuple[PEdge, ...]] = {
+            vertex: tuple(edges) for vertex, edges in adjacency.items()
+        }
+        reachable = self._reachable()
+        self.targets = frozenset(t for t in graph.targets if t in reachable)
+
+    def _reachable(self) -> set[PVertex]:
+        seen = {self.full.source}
+        stack = [self.full.source]
+        while stack:
+            vertex = stack.pop()
+            for edge in self._adjacency.get(vertex, ()):
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return seen
+
+    # -- structural interface ----------------------------------------------
+
+    @property
+    def node(self):
+        return self.full.node
+
+    @property
+    def label(self) -> str:
+        return self.full.label
+
+    @property
+    def source(self) -> PVertex:
+        return self.full.source
+
+    @property
+    def t_children(self):
+        return self.full.t_children
+
+    @property
+    def s_children(self):
+        return self.full.s_children
+
+    def edges_from(self, vertex: PVertex) -> tuple[PEdge, ...]:
+        return self._adjacency.get(vertex, ())
+
+    def all_edges(self) -> Iterator[PEdge]:
+        for edges in self._adjacency.values():
+            yield from edges
+
+    def vertices(self) -> Iterator[PVertex]:
+        seen: set[PVertex] = set()
+        for vertex, edges in self._adjacency.items():
+            if vertex not in seen:
+                seen.add(vertex)
+                yield vertex
+            for edge in edges:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    yield edge.target
+
+    @property
+    def n_edges(self) -> int:
+        return sum(1 for _ in self.all_edges())
+
+    def is_target(self, vertex: PVertex) -> bool:
+        return vertex in self.targets
+
+    def to_dot(self) -> str:
+        """Render like the paper's Figure 10 (optimal graph ``G*_{n0}``)."""
+        clone = PropagationGraph(
+            self.full.node,
+            self.full.label,
+            self.full.t_children,
+            self.full.s_children,
+            self.full.source,
+            self.targets,
+            dict(self._adjacency),
+            self.full.seg_t,
+            self.full.seg_s,
+        )
+        return clone.to_dot()
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimalPropagationGraph(node={self.node!r}, cost={self.cost}, "
+            f"|E|={self.n_edges})"
+        )

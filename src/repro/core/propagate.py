@@ -1,0 +1,391 @@
+"""The propagation algorithm (paper Section 5) and its correctness checks.
+
+The algorithm:
+
+1. build the optimal propagation graphs for the source document and the
+   view update (bottom-up over ``N_Δ``);
+2. for every subtree inserted by the update, build the corresponding
+   optimal inversion graphs;
+3. choose exactly one propagation (inversion) path per graph — the
+   preference function Φ, a :class:`~repro.core.choosers.PathChooser`;
+4. recursively assemble the propagation script from the chosen paths.
+
+With a polynomial Φ and an insertlet package ``W``, the whole run is
+polynomial in ``|D| + |t| + |S| + |W|`` (Theorem 6).
+
+Validation and verification helpers live here too:
+
+* :func:`validate_view_update` — the Section 4 preconditions
+  (``In(S) = A(t)``, no reuse of hidden identifiers, ``Out(S)`` in the
+  view language);
+* :func:`is_schema_compliant`, :func:`is_side_effect_free`,
+  :func:`verify_propagation` — the two correctness criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from ..dtd import DTD, MinimalTreeFactory, TreeFactory, view_dtd
+from ..editing import EditScript, Op
+from ..errors import InvalidViewUpdateError
+from ..graphutil import min_distances
+from ..inversion import InversionGraphs, inversion_graphs
+from ..views import Annotation
+from ..xmltree import NodeId, NodeIds, Tree
+from .choosers import CheapestPathChooser, PathChooser, PreferenceChooser
+from .optimal import OptimalPropagationGraph
+from .propagation_graph import (
+    EdgeKind,
+    PropagationGraph,
+    build_propagation_graph,
+)
+
+__all__ = [
+    "PropagationGraphs",
+    "propagation_graphs",
+    "propagate",
+    "validate_view_update",
+    "is_schema_compliant",
+    "is_side_effect_free",
+    "verify_propagation",
+]
+
+
+def validate_view_update(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    update: EditScript,
+    *,
+    derived_view_dtd: DTD | None = None,
+) -> None:
+    """Raise :class:`InvalidViewUpdateError` unless *update* is a view update.
+
+    The Section 4 definition: ``In(S) = A(t)`` (identifier-exact), the
+    script must not reuse identifiers of nodes hidden by the view, and
+    ``Out(S)`` must belong to the view language ``A(L(D))`` (checked via
+    the derived view DTD).
+    """
+    view = annotation.view(source)
+    if update.input_tree != view:
+        raise InvalidViewUpdateError(
+            "In(S) differs from the view A(t) — the update was not built "
+            "against this source's view"
+        )
+    hidden = source.node_set - view.node_set
+    reused = update.node_set & hidden
+    if reused:
+        raise InvalidViewUpdateError(
+            f"update reuses identifiers hidden by the view: {sorted(map(repr, reused))[:5]}"
+        )
+    vdtd = derived_view_dtd if derived_view_dtd is not None else view_dtd(dtd, annotation)
+    output = update.output_tree
+    if output.is_empty or not vdtd.validates(output):
+        raise InvalidViewUpdateError(
+            "Out(S) is not in the view language A(L(D))"
+        )
+    _validate_renames(dtd, annotation, update)
+
+
+def _validate_renames(dtd: DTD, annotation: Annotation, update: EditScript) -> None:
+    """The renaming extension's precondition (Section 7 extension).
+
+    A rename ``y → y′`` must not change the visibility of any child
+    label (``A(y, c) = A(y′, c)`` for all ``c``): otherwise keeping a
+    hidden child would silently expose it in the view (or a visible one
+    would vanish), and no side-effect-free propagation could exist.
+    """
+    from ..editing import Op
+
+    for node in update.nodes():
+        if update.op(node) is not Op.REN:
+            continue
+        old = update.symbol(node)
+        new = update.output_symbol(node)
+        if new not in dtd.alphabet:
+            raise InvalidViewUpdateError(
+                f"rename target {new!r} of node {node!r} is not in the alphabet"
+            )
+        mismatch = [
+            child
+            for child in sorted(dtd.alphabet)
+            if annotation.visible(old, child) != annotation.visible(new, child)
+        ]
+        if mismatch:
+            raise InvalidViewUpdateError(
+                f"renaming {old!r} to {new!r} changes the visibility of child "
+                f"label(s) {mismatch}: such renames would expose or hide "
+                "content and cannot be side-effect free"
+            )
+
+
+class PropagationGraphs:
+    """The collection ``G(D,A,t,S) = (G_n)_{n ∈ N_Δ}`` plus the inversion
+    collections of all visibly inserted subtrees.
+
+    ``costs[n]`` is the cheapest propagation-path cost of ``G_n``;
+    ``costs[root]`` is the cost of an optimal propagation. Optimal
+    subgraphs are cached via :meth:`optimal`.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        annotation: Annotation,
+        source: Tree,
+        update: EditScript,
+        factory: TreeFactory,
+        graphs: Mapping[NodeId, PropagationGraph],
+        costs: Mapping[NodeId, int],
+        insertions: Mapping[NodeId, InversionGraphs],
+    ) -> None:
+        self.dtd = dtd
+        self.annotation = annotation
+        self.source = source
+        self.update = update
+        self.factory = factory
+        self._graphs = dict(graphs)
+        self.costs = dict(costs)
+        self.insertions = dict(insertions)
+        self._optimal: dict[NodeId, OptimalPropagationGraph] = {}
+
+    def __getitem__(self, node: NodeId) -> PropagationGraph:
+        return self._graphs[node]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._graphs)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def optimal(self, node: NodeId) -> OptimalPropagationGraph:
+        """``G*_node`` — cached cheapest-path-induced subgraph."""
+        if node not in self._optimal:
+            self._optimal[node] = OptimalPropagationGraph(self._graphs[node])
+        return self._optimal[node]
+
+    def min_cost(self) -> int:
+        """Cost of an optimal propagation (``Pmin`` cost)."""
+        return self.costs[self.update.root]
+
+    @property
+    def total_size(self) -> int:
+        """Total vertex+edge count over all graphs (for scaling studies)."""
+        return sum(g.n_vertices + g.n_edges for g in self._graphs.values())
+
+    # ------------------------------------------------------------------
+    # Script construction (steps 3-4 of the algorithm)
+    # ------------------------------------------------------------------
+
+    def build_script(
+        self,
+        chooser: PathChooser,
+        fresh: "Callable[[], NodeId] | None" = None,
+        *,
+        optimal_only: bool = True,
+    ) -> EditScript:
+        """Assemble a propagation from one chosen path per (used) graph."""
+        if fresh is None:
+            generator = NodeIds.avoiding(
+                list(self.source.nodes()) + list(self.update.nodes()), "f"
+            )
+            fresh = generator.fresh
+
+        def build(node: NodeId) -> EditScript:
+            graph = self.optimal(node) if optimal_only else self._graphs[node]
+            path = chooser.choose(graph)
+            children: list[EditScript] = []
+            for edge in path:
+                if edge.kind is EdgeKind.INVISIBLE_INSERT:
+                    tree = self.factory.build(edge.symbol, fresh)
+                    children.append(EditScript.insertion(tree))
+                elif edge.kind in (EdgeKind.INVISIBLE_DELETE, EdgeKind.VISIBLE_DELETE):
+                    children.append(
+                        EditScript.deletion(self.source.subtree(edge.t_child))
+                    )
+                elif edge.kind is EdgeKind.INVISIBLE_NOP:
+                    children.append(
+                        EditScript.phantom(self.source.subtree(edge.t_child))
+                    )
+                elif edge.kind is EdgeKind.VISIBLE_INSERT:
+                    inversion = self.insertions[edge.s_child]
+                    inverse = inversion.build_tree(
+                        lambda g: chooser.choose(g),
+                        fresh,
+                        optimal_only=optimal_only,
+                    )
+                    children.append(EditScript.insertion(inverse))
+                else:  # VISIBLE_NOP / VISIBLE_RENAME: recurse
+                    children.append(build(edge.t_child))
+            # the node's own operation comes from the update (Nop or Ren)
+            label = self.update.edit_label(node)
+            return EditScript.assemble(label, node, children)
+
+        return build(self.update.root)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationGraphs(|N_Δ|={len(self._graphs)}, "
+            f"total_size={self.total_size}, min_cost={self.min_cost()})"
+        )
+
+
+def propagation_graphs(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    update: EditScript,
+    factory: TreeFactory | None = None,
+    *,
+    validate: bool = True,
+) -> PropagationGraphs:
+    """Build ``G(D, A, t, S)`` with the paper's edge weights.
+
+    One bottom-up pass over the phantom nodes ``N_Δ`` of the update;
+    inversion-graph collections are built for every visibly inserted
+    subtree on the way (their minimal sizes weigh the (iv)-edges).
+    Polynomial in ``|D|``, ``|t|``, ``|S|``.
+    """
+    if factory is None:
+        factory = MinimalTreeFactory(dtd)
+    if validate:
+        validate_view_update(dtd, annotation, source, update)
+
+    subtree_sizes = _subtree_sizes(source)
+    insertions: dict[NodeId, InversionGraphs] = {}
+    insert_costs: dict[NodeId, int] = {}
+    graphs: dict[NodeId, PropagationGraph] = {}
+    costs: dict[NodeId, int] = {}
+
+    # visibly inserted children of kept nodes: inversion collections
+    for node in update.nodes():
+        if not update.is_kept(node):
+            continue
+        for child in update.children(node):
+            if update.op(child) is Op.INS:
+                fragment = update.subscript(child).output_tree
+                collection = inversion_graphs(dtd, annotation, fragment, factory)
+                insertions[child] = collection
+                insert_costs[child] = collection.min_inversion_size()
+
+    # kept nodes (phantom or renamed) bottom-up: children before parents
+    kept_postorder = [
+        node for node in update.tree.postorder() if update.is_kept(node)
+    ]
+    for node in kept_postorder:
+        effective = (
+            update.output_symbol(node)
+            if update.op(node) is Op.REN
+            else None
+        )
+        graph = build_propagation_graph(
+            dtd,
+            annotation,
+            source,
+            update,
+            node,
+            factory=factory,
+            subtree_sizes=subtree_sizes,
+            child_costs=costs,
+            insert_costs=insert_costs,
+            effective_label=effective,
+        )
+        dist = min_distances([graph.source], graph.edges_from)
+        best = min(
+            (dist[target] for target in graph.targets if target in dist),
+            default=None,
+        )
+        if best is None:
+            from ..errors import NoPropagationError
+
+            raise NoPropagationError(
+                f"no propagation path in G_{node!r} (label {graph.label!r}); "
+                "Theorem 5 guarantees one for valid view updates — was "
+                "validation skipped on an invalid update?"
+            )
+        graphs[node] = graph
+        costs[node] = best
+    return PropagationGraphs(
+        dtd, annotation, source, update, factory, graphs, costs, insertions
+    )
+
+
+def _subtree_sizes(tree: Tree) -> dict[NodeId, int]:
+    sizes: dict[NodeId, int] = {}
+    for node in tree.postorder():
+        sizes[node] = 1 + sum(sizes[kid] for kid in tree.children(node))
+    return sizes
+
+
+def propagate(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    update: EditScript,
+    *,
+    factory: TreeFactory | None = None,
+    chooser: PathChooser | None = None,
+    fresh: "Callable[[], NodeId] | None" = None,
+    optimal: bool = True,
+    validate: bool = True,
+) -> EditScript:
+    """Compute one schema-compliant, side-effect-free propagation of *update*.
+
+    Parameters
+    ----------
+    factory:
+        Tree supplier for invisible insertions — an
+        :class:`~repro.dtd.InsertletPackage` or the default minimal-tree
+        factory.
+    chooser:
+        The preference function Φ. Defaults to Nop-over-Del-over-Ins on
+        the optimal graphs (the paper's Figure 10 choice); pass a
+        :class:`~repro.core.choosers.CheapestPathChooser` together with
+        ``optimal=False`` to pick paths on the full graphs.
+    optimal:
+        Restrict path choice to the optimal subgraphs — the result is
+        then a member of ``Pmin`` (Theorem 4).
+    validate:
+        Verify the update is a valid view update first.
+
+    Returns the propagation ``S′`` with ``In(S′) = t``.
+    """
+    collection = propagation_graphs(
+        dtd, annotation, source, update, factory, validate=validate
+    )
+    if chooser is None:
+        chooser = PreferenceChooser() if optimal else CheapestPathChooser()
+    return collection.build_script(chooser, fresh, optimal_only=optimal)
+
+
+# ---------------------------------------------------------------------------
+# Correctness criteria
+# ---------------------------------------------------------------------------
+
+
+def is_schema_compliant(dtd: DTD, propagation: EditScript) -> bool:
+    """``Out(S′) ∈ L(D)``."""
+    return dtd.validates(propagation.output_tree)
+
+
+def is_side_effect_free(
+    annotation: Annotation, update: EditScript, propagation: EditScript
+) -> bool:
+    """``A(Out(S′)) = Out(S)`` — identifier-exact."""
+    return annotation.view(propagation.output_tree) == update.output_tree
+
+
+def verify_propagation(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    update: EditScript,
+    propagation: EditScript,
+) -> bool:
+    """All three conditions: ``In(S′) = t``, schema compliance, no side effects."""
+    return (
+        propagation.input_tree == source
+        and is_schema_compliant(dtd, propagation)
+        and is_side_effect_free(annotation, update, propagation)
+    )

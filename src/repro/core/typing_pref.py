@@ -1,0 +1,190 @@
+"""Typings Θ and type-preserving path selection (paper Section 5).
+
+"We propose to use typing of nodes to identify updates which do not
+change the types of nodes that are preserved by the update." A document
+typing maps a tree to a type per node; a propagation ``S′`` *preserves*
+the typing iff every node present in both ``In(S′)`` and ``Out(S′)``
+keeps its type. Two concrete typings, as suggested by the paper:
+
+* :class:`AutomatonStateTyping` — the type of a node is the state the
+  (deterministic) content-model automaton of its parent reaches after
+  consuming it. Requires deterministic automata, "a commonly enforced
+  requirement for DTDs".
+* :class:`EDTDTyping` — the unique type assigned by a single-type EDTD.
+
+:class:`TypePreservingChooser` turns the automaton-state typing into a
+preference function Φ: inside each propagation graph it restricts the
+(iii)/(vi)-edges (the ones that keep a source node) to those arriving at
+the node's *original* automaton state, picking the cheapest such path;
+when none survives the restriction it falls back to its base chooser
+(or raises with ``strict=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from ..dtd import DTD, EDTD
+from ..editing import EditScript
+from ..errors import NondeterministicAutomatonError, NoPropagationError
+from ..graphutil import cheapest_path
+from ..xmltree import NodeId, Tree
+from .choosers import PathChooser, PreferenceChooser, _edge_op
+from .propagation_graph import EdgeKind, PEdge, PropagationGraph
+
+__all__ = [
+    "DocumentTyping",
+    "AutomatonStateTyping",
+    "EDTDTyping",
+    "preserves_typing",
+    "TypePreservingChooser",
+]
+
+
+class DocumentTyping(Protocol):
+    """Θ: maps a tree to a type assignment ``N_t → Γ``."""
+
+    def types(self, tree: Tree) -> Mapping[NodeId, object]:
+        ...
+
+
+class AutomatonStateTyping:
+    """Type = automaton state after consuming the node in its parent's run.
+
+    The root, having no parent, gets the constant type ``("root", label)``.
+    Every content model of the DTD must be deterministic.
+    """
+
+    def __init__(self, dtd: DTD) -> None:
+        for symbol in sorted(dtd.alphabet):
+            if not dtd.automaton(symbol).is_deterministic():
+                raise NondeterministicAutomatonError(
+                    f"content model of {symbol!r} is not deterministic; "
+                    "automaton-state typing needs one-unambiguous DTDs"
+                )
+        self._dtd = dtd
+
+    def types(self, tree: Tree) -> dict[NodeId, object]:
+        if tree.is_empty:
+            return {}
+        result: dict[NodeId, object] = {
+            tree.root: ("root", tree.label(tree.root))
+        }
+        for node in tree.nodes():
+            model = self._dtd.automaton(tree.label(node))
+            state = model.initial
+            for child in tree.children(node):
+                successors = model.successors(state, tree.label(child))
+                if len(successors) != 1:
+                    # tree invalid w.r.t. the DTD: no typing
+                    raise NoPropagationError(
+                        f"children of {node!r} do not conform to the DTD; "
+                        "cannot type an invalid tree"
+                    )
+                (state,) = successors
+                result[child] = state
+        return result
+
+    def original_child_states(self, tree: Tree, node: NodeId) -> dict[NodeId, object]:
+        """States after each child of *node* in the original run."""
+        model = self._dtd.automaton(tree.label(node))
+        states: dict[NodeId, object] = {}
+        state = model.initial
+        for child in tree.children(node):
+            successors = model.successors(state, tree.label(child))
+            if len(successors) != 1:
+                raise NoPropagationError(
+                    f"children of {node!r} do not conform to the DTD"
+                )
+            (state,) = successors
+            states[child] = state
+        return states
+
+
+class EDTDTyping:
+    """Θ from a single-type EDTD (see :class:`repro.dtd.EDTD`)."""
+
+    def __init__(self, edtd: EDTD) -> None:
+        self._edtd = edtd
+
+    def types(self, tree: Tree) -> Mapping[NodeId, object]:
+        return self._edtd.typing(tree)
+
+
+def preserves_typing(typing: DocumentTyping, propagation: EditScript) -> bool:
+    """Whether ``Θ_{In(S′)}(n) = Θ_{Out(S′)}(n)`` for all shared nodes."""
+    before = typing.types(propagation.input_tree)
+    after = typing.types(propagation.output_tree)
+    shared = set(before) & set(after)
+    return all(before[node] == after[node] for node in shared)
+
+
+class TypePreservingChooser:
+    """Φ preferring paths that keep every preserved node's automaton state.
+
+    Operates on (optimal or full) propagation graphs; inversion graphs
+    (whose content is entirely new) are delegated to the base chooser.
+
+    Parameters
+    ----------
+    dtd:
+        Must have deterministic content models (checked).
+    source:
+        The source document — the original states are read off its
+        children runs.
+    base:
+        Fallback chooser, also used for tie-breaking semantics on
+        inversion graphs. Defaults to the Nop-preferring chooser.
+    strict:
+        Raise :class:`NoPropagationError` instead of falling back when a
+        graph admits no type-preserving path.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        source: Tree,
+        base: PathChooser | None = None,
+        *,
+        strict: bool = False,
+    ) -> None:
+        self._typing = AutomatonStateTyping(dtd)
+        self._source = source
+        self._base = base if base is not None else PreferenceChooser()
+        self._strict = strict
+        # metrics for the ablation benchmarks
+        self.preserved_graphs = 0
+        self.fallback_graphs = 0
+
+    def choose(self, graph):
+        if not isinstance(graph, PropagationGraph) and not hasattr(graph, "t_children"):
+            # inversion graph: nothing is preserved, delegate
+            return self._base.choose(graph)
+        node = graph.node
+        if node not in self._source:
+            return self._base.choose(graph)
+        original = self._typing.original_child_states(self._source, node)
+
+        def keeps_type(edge: PEdge) -> bool:
+            if edge.kind in (EdgeKind.INVISIBLE_NOP, EdgeKind.VISIBLE_NOP):
+                return edge.target.state == original[edge.t_child]
+            return True
+
+        def filtered(vertex):
+            return [edge for edge in graph.edges_from(vertex) if keeps_type(edge)]
+
+        path = cheapest_path(
+            graph.source,
+            graph.targets,
+            filtered,
+            tie_break=lambda edge: (repr(_edge_op(edge)), edge.symbol, repr(edge.target)),
+        )
+        if path is not None:
+            self.preserved_graphs += 1
+            return path
+        if self._strict:
+            raise NoPropagationError(
+                f"no type-preserving propagation path in G_{node!r}"
+            )
+        self.fallback_graphs += 1
+        return self._base.choose(graph)

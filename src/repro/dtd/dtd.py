@@ -1,0 +1,258 @@
+"""Document Type Definitions (paper Section 2).
+
+A DTD is a function ``D`` mapping every symbol ``a ∈ Σ`` to an automaton
+``D(a)`` describing the allowed children sequences of an ``a``-labelled
+node. Following the paper:
+
+* symbols without an explicit rule default to ``a → ε`` (childless);
+* ``L(D)`` is the set of *nonempty* trees whose every node's children
+  word is accepted — there is **no root-label requirement**, so tree
+  *fragments* can be checked against the same DTD (the paper drops the
+  root label deliberately; :meth:`DTD.with_root` adds it back for users
+  who want classic DTD semantics);
+* only *satisfiable* DTDs are allowed: every symbol must admit at least
+  one finite tree. The constructor verifies this (polynomial time) and
+  raises :class:`UnsatisfiableDTDError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..automata import NFA, Regex, glushkov, nfa_to_regex, parse_regex
+from ..errors import DTDError, UnknownLabelError, UnsatisfiableDTDError
+from ..xmltree import NodeId, Tree
+
+__all__ = ["DTD", "ValidationViolation"]
+
+
+class ValidationViolation:
+    """One node whose children word violates its content model."""
+
+    __slots__ = ("node", "label", "word")
+
+    def __init__(self, node: NodeId, label: str, word: tuple[str, ...]) -> None:
+        self.node = node
+        self.label = label
+        self.word = word
+
+    def __repr__(self) -> str:
+        word = " ".join(self.word) if self.word else "ε"
+        return f"<node {self.node!r} ({self.label}): children {word!r} rejected>"
+
+
+class DTD:
+    """A satisfiable DTD over an explicit alphabet.
+
+    Parameters
+    ----------
+    rules:
+        Mapping from symbol to content model. A model may be a regex
+        string (DTD syntax, e.g. ``"(a,(b|c),d)*"``), a parsed
+        :class:`Regex`, or an :class:`NFA` (used for derived DTDs such as
+        view DTDs). Symbols not mapped default to ``ε``.
+    alphabet:
+        Extra symbols beyond those appearing in the rules.
+    check:
+        Verify satisfiability (on by default; disable only when the DTD
+        is known-satisfiable, e.g. round-tripped).
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[str, "str | Regex | NFA"],
+        *,
+        alphabet: Iterable[str] = (),
+        check: bool = True,
+    ) -> None:
+        self._regexes: dict[str, Regex] = {}
+        models: dict[str, NFA] = {}
+        for symbol, rule in rules.items():
+            if isinstance(rule, str):
+                rule = parse_regex(rule)
+            if isinstance(rule, Regex):
+                self._regexes[symbol] = rule
+                models[symbol] = glushkov(rule)
+            elif isinstance(rule, NFA):
+                models[symbol] = rule
+            else:
+                raise DTDError(f"unsupported rule type for {symbol!r}: {type(rule)}")
+        symbols: set[str] = set(alphabet) | set(models)
+        for model in models.values():
+            symbols |= model.alphabet
+        self._alphabet = frozenset(symbols)
+        unknown = {
+            sym for model in models.values() for sym in model.alphabet
+        } - self._alphabet
+        if unknown:
+            raise DTDError(f"content models mention unknown symbols {unknown}")
+        epsilon = NFA.empty_word_automaton(self._alphabet)
+        self._models: dict[str, NFA] = {
+            symbol: models.get(symbol, epsilon).with_alphabet(self._alphabet)
+            for symbol in self._alphabet
+        }
+        if check:
+            self.assert_satisfiable()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """Σ — every known symbol."""
+        return self._alphabet
+
+    def automaton(self, symbol: str) -> NFA:
+        """``D(symbol)`` — the content-model automaton."""
+        try:
+            return self._models[symbol]
+        except KeyError:
+            raise UnknownLabelError(symbol) from None
+
+    def rule_regex(self, symbol: str) -> Regex:
+        """A regex for ``L(D(symbol))``.
+
+        Returns the original expression when the rule was given as one,
+        otherwise derives an expression by state elimination (derived
+        DTDs, e.g. view DTDs, are automaton-backed).
+        """
+        if symbol in self._regexes:
+            return self._regexes[symbol]
+        regex = nfa_to_regex(self.automaton(symbol))
+        self._regexes[symbol] = regex
+        return regex
+
+    def has_explicit_rule(self, symbol: str) -> bool:
+        """Whether *symbol* has a rule other than the implicit ``a → ε``."""
+        if symbol not in self._alphabet:
+            raise UnknownLabelError(symbol)
+        model = self._models[symbol]
+        return model.n_transitions > 0 or not model.accepts_epsilon()
+
+    @property
+    def size(self) -> int:
+        """Sum of the sizes of all automata (the paper's ``|D|``)."""
+        return sum(model.size for model in self._models.values())
+
+    def rules(self) -> Iterator[tuple[str, NFA]]:
+        """All ``(symbol, automaton)`` pairs, alphabetically."""
+        for symbol in sorted(self._alphabet):
+            yield (symbol, self._models[symbol])
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def allows(self, symbol: str, word: Iterable[str]) -> bool:
+        """Whether *word* is a legal children word for a *symbol* node."""
+        return self.automaton(symbol).accepts(tuple(word))
+
+    def violations(self, tree: Tree) -> Iterator[ValidationViolation]:
+        """Yield every node whose children word is rejected."""
+        for node in tree.nodes():
+            label = tree.label(node)
+            if label not in self._alphabet:
+                yield ValidationViolation(node, label, tree.child_labels(node))
+                continue
+            word = tree.child_labels(node)
+            if not self._models[label].accepts(word):
+                yield ValidationViolation(node, label, word)
+
+    def validates(self, tree: Tree) -> bool:
+        """``tree ∈ L(D)`` — nonempty and every node's children word accepted."""
+        if tree.is_empty:
+            return False
+        return next(self.violations(tree), None) is None
+
+    def assert_valid(self, tree: Tree) -> None:
+        """Raise :class:`DTDError` describing the first violation, if any."""
+        if tree.is_empty:
+            raise DTDError("the empty tree is not in L(D)")
+        violation = next(self.violations(tree), None)
+        if violation is not None:
+            raise DTDError(f"tree violates DTD: {violation!r}")
+
+    # ------------------------------------------------------------------
+    # Satisfiability
+    # ------------------------------------------------------------------
+
+    def satisfiable_symbols(self) -> frozenset[str]:
+        """Symbols ``a`` admitting some finite tree with root label ``a``.
+
+        Iterated fixpoint: a symbol is satisfiable once its content model
+        accepts some word of satisfiable symbols. Polynomial in ``|D|``
+        (the paper cites [14] for the analogous result).
+        """
+        good: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for symbol in self._alphabet - good:
+                model = self._models[symbol]
+                if model.accepts_epsilon() or self._accepts_over(model, good):
+                    good.add(symbol)
+                    changed = True
+        return frozenset(good)
+
+    @staticmethod
+    def _accepts_over(model: NFA, allowed: set[str]) -> bool:
+        """Whether the model accepts some word using only *allowed* symbols."""
+        seen = {model.initial}
+        stack = [model.initial]
+        while stack:
+            state = stack.pop()
+            if model.is_final(state):
+                return True
+            for symbol, target in model.moves_from(state):
+                if symbol in allowed and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return False
+
+    def assert_satisfiable(self) -> None:
+        bad = self._alphabet - self.satisfiable_symbols()
+        if bad:
+            raise UnsatisfiableDTDError(bad)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_root(self, root_label: str) -> "RootedDTD":
+        """Pair this DTD with a required root label (classic DTD semantics)."""
+        if root_label not in self._alphabet:
+            raise UnknownLabelError(root_label)
+        return RootedDTD(self, root_label)
+
+    def describe(self) -> str:
+        """Human-readable rule listing, e.g. for READMEs and examples."""
+        lines = []
+        for symbol in sorted(self._alphabet):
+            if self.has_explicit_rule(symbol):
+                lines.append(f"{symbol} -> {self.rule_regex(symbol).to_dtd()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        explicit = sum(1 for a in self._alphabet if self.has_explicit_rule(a))
+        return f"DTD(|Σ|={len(self._alphabet)}, rules={explicit}, size={self.size})"
+
+
+class RootedDTD:
+    """A DTD together with a required root label."""
+
+    __slots__ = ("dtd", "root_label")
+
+    def __init__(self, dtd: DTD, root_label: str) -> None:
+        self.dtd = dtd
+        self.root_label = root_label
+
+    def validates(self, tree: Tree) -> bool:
+        return (
+            not tree.is_empty
+            and tree.label(tree.root) == self.root_label
+            and self.dtd.validates(tree)
+        )
+
+    def __repr__(self) -> str:
+        return f"RootedDTD(root={self.root_label!r}, {self.dtd!r})"

@@ -1,0 +1,82 @@
+"""Parsing and serialising classic ``<!ELEMENT ...>`` DTD documents.
+
+Real XML DTDs declare content models per element::
+
+    <!ELEMENT hospital (patient*)>
+    <!ELEMENT patient  (name, ward, (treatment | diagnosis)*)>
+    <!ELEMENT name     (#PCDATA)>
+
+This module maps such documents onto the paper's DTD model:
+
+* ``(#PCDATA)`` and ``EMPTY`` become ``a → ε`` (the tree model is
+  element-only; text is out of scope);
+* ``ANY`` is rejected — the paper's model has no equivalent;
+* attribute declarations (``<!ATTLIST``), comments, parameter entities,
+  and processing instructions are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DTDSyntaxError
+from .dtd import DTD
+
+__all__ = ["parse_dtd", "serialize_dtd"]
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([^\s>]+)\s+(.*?)>", re.DOTALL)
+_SKIP_RE = re.compile(
+    r"<!ATTLIST\s.*?>|<!--.*?-->|<!ENTITY\s.*?>|<\?.*?\?>", re.DOTALL
+)
+
+
+def parse_dtd(text: str, *, check: bool = True) -> DTD:
+    """Parse a DTD document into a :class:`DTD`.
+
+    >>> dtd = parse_dtd('''
+    ...     <!ELEMENT r (a,(b|c),d)*>
+    ...     <!ELEMENT d ((a|b),c)*>
+    ... ''')
+    >>> sorted(dtd.alphabet)
+    ['a', 'b', 'c', 'd', 'r']
+    """
+    remaining = _SKIP_RE.sub("", text)
+    rules: dict[str, str] = {}
+    matched_spans: list[tuple[int, int]] = []
+    for match in _ELEMENT_RE.finditer(remaining):
+        name, model = match.group(1), " ".join(match.group(2).split())
+        matched_spans.append(match.span())
+        if name in rules:
+            raise DTDSyntaxError(f"duplicate <!ELEMENT {name}> declaration")
+        if model == "ANY":
+            raise DTDSyntaxError(
+                f"<!ELEMENT {name} ANY> is not expressible in the paper's DTD model"
+            )
+        if model in ("EMPTY", "(#PCDATA)", "#PCDATA"):
+            continue  # implicit a → ε
+        # mixed content (#PCDATA|x|y)* : keep the element structure only
+        model = re.sub(r"#PCDATA\s*\|?", "", model)
+        rules[name] = model
+    leftovers = _ELEMENT_RE.sub("", remaining).strip()
+    if leftovers:
+        snippet = leftovers.splitlines()[0][:60]
+        raise DTDSyntaxError(f"unrecognised DTD content: {snippet!r}")
+    return DTD(rules, check=check)
+
+
+def serialize_dtd(dtd: DTD) -> str:
+    """Render a :class:`DTD` as ``<!ELEMENT ...>`` declarations.
+
+    Childless symbols are emitted as ``(#PCDATA)`` so the output is a
+    well-formed classic DTD accepted back by :func:`parse_dtd`.
+    """
+    lines = []
+    for symbol in sorted(dtd.alphabet):
+        if dtd.has_explicit_rule(symbol):
+            model = dtd.rule_regex(symbol).to_dtd()
+            if not model.startswith("("):
+                model = f"({model})"
+            lines.append(f"<!ELEMENT {symbol} {model}>")
+        else:
+            lines.append(f"<!ELEMENT {symbol} (#PCDATA)>")
+    return "\n".join(lines)

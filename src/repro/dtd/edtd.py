@@ -1,0 +1,170 @@
+"""Extended DTDs (EDTDs) and tree typings.
+
+Section 5 of the paper proposes selecting propagations that *preserve
+node types* and names two candidate typings: one derived from rich
+schema formalisms "like EDTD [17, 18]", and one from automaton states.
+This module provides the EDTD side (the automaton-state typing lives in
+:mod:`repro.core.typing_pref`).
+
+An EDTD over Σ is a set of *types* Γ, a labelling ``μ : Γ → Σ``, and per
+type a content model over Γ; a tree conforms if its nodes can be
+assigned types consistently. We implement the **single-type** restriction
+(the class corresponding to XML Schema, [18]): within any content model,
+distinct types carry distinct labels. Single-typedness makes the typing
+of a conforming tree *unique* and computable top-down in linear time —
+exactly what a document typing ``Θ`` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..automata import NFA, Regex, glushkov, parse_regex
+from ..errors import EDTDError
+from ..xmltree import NodeId, Tree
+from .dtd import DTD
+
+__all__ = ["EDTD"]
+
+
+class EDTD:
+    """A single-type extended DTD.
+
+    Parameters
+    ----------
+    rules:
+        Mapping from *type name* to a pair ``(label, content model over
+        type names)``; the model may be a regex string or a
+        :class:`Regex`.
+    root_types:
+        Types allowed at the root. Multiple root types are allowed as
+        long as their labels differ (so the root type stays unique).
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[str, tuple[str, "str | Regex"]],
+        root_types: Iterable[str],
+    ) -> None:
+        self._label_of: dict[str, str] = {}
+        self._models: dict[str, NFA] = {}
+        self._regexes: dict[str, Regex] = {}
+        for type_name, (label, model) in rules.items():
+            if isinstance(model, str):
+                model = parse_regex(model)
+            self._label_of[type_name] = label
+            self._regexes[type_name] = model
+            self._models[type_name] = glushkov(model)
+        self._root_types = tuple(root_types)
+        unknown = [t for t in self._root_types if t not in self._label_of]
+        if unknown:
+            raise EDTDError(f"unknown root types {unknown}")
+        root_labels = [self._label_of[t] for t in self._root_types]
+        if len(set(root_labels)) != len(root_labels):
+            raise EDTDError("root types must have pairwise distinct labels")
+        for model in self._models.values():
+            missing = model.alphabet - set(self._label_of)
+            if missing:
+                raise EDTDError(f"content models mention unknown types {missing}")
+        self._assert_single_type()
+        # per type: label → unique child type with that label in its model
+        self._child_type: dict[str, dict[str, str]] = {
+            type_name: {
+                self._label_of[child_type]: child_type
+                for child_type in self._models[type_name].alphabet
+            }
+            for type_name in self._label_of
+        }
+
+    def _assert_single_type(self) -> None:
+        for type_name, model in self._models.items():
+            seen: dict[str, str] = {}
+            for child_type in model.alphabet:
+                label = self._label_of[child_type]
+                if label in seen and seen[label] != child_type:
+                    raise EDTDError(
+                        f"rule for {type_name!r} is not single-type: types "
+                        f"{seen[label]!r} and {child_type!r} share label {label!r}"
+                    )
+                seen[label] = child_type
+        return None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dtd(cls, dtd: DTD, root_label: str) -> "EDTD":
+        """The trivial EDTD whose types are exactly the labels of *dtd*."""
+        rules = {
+            label: (label, dtd.rule_regex(label))
+            for label in dtd.alphabet
+        }
+        return cls(rules, [root_label])
+
+    @property
+    def types(self) -> frozenset[str]:
+        return frozenset(self._label_of)
+
+    @property
+    def root_types(self) -> tuple[str, ...]:
+        return self._root_types
+
+    def label_of(self, type_name: str) -> str:
+        try:
+            return self._label_of[type_name]
+        except KeyError:
+            raise EDTDError(f"unknown type {type_name!r}") from None
+
+    def model(self, type_name: str) -> NFA:
+        return self._models[type_name]
+
+    # ------------------------------------------------------------------
+    # Typing
+    # ------------------------------------------------------------------
+
+    def typing(self, tree: Tree) -> dict[NodeId, str]:
+        """The unique typing of a conforming tree; raises otherwise.
+
+        Top-down: the root type is the root-allowed type with the root's
+        label; the type of each child is determined by its label and the
+        parent's content model (single-typedness makes it unique); the
+        children *type* word must be accepted by the parent's model.
+        """
+        if tree.is_empty:
+            raise EDTDError("the empty tree has no typing")
+        root_label = tree.label(tree.root)
+        candidates = [
+            t for t in self._root_types if self._label_of[t] == root_label
+        ]
+        if not candidates:
+            raise EDTDError(f"no root type with label {root_label!r}")
+        types: dict[NodeId, str] = {tree.root: candidates[0]}
+        for node in tree.nodes():
+            node_type = types[node]
+            lookup = self._child_type[node_type]
+            word: list[str] = []
+            for kid in tree.children(node):
+                kid_label = tree.label(kid)
+                kid_type = lookup.get(kid_label)
+                if kid_type is None:
+                    raise EDTDError(
+                        f"node {kid!r} ({kid_label}) has no admissible type "
+                        f"under parent type {node_type!r}"
+                    )
+                types[kid] = kid_type
+                word.append(kid_type)
+            if not self._models[node_type].accepts(word):
+                raise EDTDError(
+                    f"children types {word} of node {node!r} rejected by the "
+                    f"model of type {node_type!r}"
+                )
+        return types
+
+    def conforms(self, tree: Tree) -> bool:
+        try:
+            self.typing(tree)
+        except EDTDError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"EDTD(|Γ|={len(self._label_of)}, roots={self._root_types})"

@@ -1,0 +1,172 @@
+"""Insertlets and tree factories (paper Section 5).
+
+Constructing a propagation repeatedly needs "some tree satisfying D with
+root label y" — for the invisible insertions of (i)-edges. The paper
+observes that minimal such trees can be exponential in ``|D|`` and
+therefore lets the administrator provide *insertlets*: default document
+fragments used whenever an invisible subtree must be invented. "An
+insertlet package for D is a collection W = (W_a)_{a∈Σ} containing for
+every a ∈ Σ an insertlet W_a, i.e. a minimal tree satisfying D with root
+label a"; with insertlets, propagation is polynomial in
+``|D| + |t| + |S| + |W|`` (Theorem 6).
+
+Both strategies implement one protocol:
+
+* :class:`MinimalTreeFactory` — canonical minimal trees computed from
+  the DTD on demand;
+* :class:`InsertletPackage` — administrator-specified fragments
+  (validated against the DTD; minimality is checked by default and can
+  be waived with ``strict=False``, in which case optimal-propagation
+  weights simply account for the larger fragments).
+
+Factories also expose per-symbol *weights* — the size of the tree an
+insertion of ``y`` will cost — which parameterise the edge weights of
+inversion and propagation graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Protocol
+
+from ..errors import InsertletError, UnknownLabelError
+from ..xmltree import NodeId, Tree
+from .dtd import DTD
+from .minimal import minimal_shape, minimal_sizes, shape_to_tree
+
+__all__ = ["TreeFactory", "MinimalTreeFactory", "InsertletPackage"]
+
+
+class TreeFactory(Protocol):
+    """Supplier of trees satisfying the DTD with a requested root label."""
+
+    def weight(self, label: str) -> int:
+        """Size of the tree that :meth:`build` will produce for *label*."""
+        ...
+
+    def build(self, label: str, fresh: Callable[[], NodeId]) -> Tree:
+        """A tree satisfying the DTD with root label *label*, fresh ids."""
+        ...
+
+
+class MinimalTreeFactory:
+    """Canonical minimal trees straight from the DTD.
+
+    This is the parameter-free default. Beware the Section 5 exponential
+    family: ``weight`` stays cheap to *compute*, but ``build`` will
+    materialise every node.
+    """
+
+    def __init__(self, dtd: DTD) -> None:
+        self._dtd = dtd
+        self._sizes = minimal_sizes(dtd)
+        self._shapes: dict[str, tuple] = {}
+
+    @property
+    def dtd(self) -> DTD:
+        return self._dtd
+
+    def weight(self, label: str) -> int:
+        try:
+            return self._sizes[label]
+        except KeyError:
+            raise UnknownLabelError(label) from None
+
+    def build(self, label: str, fresh: Callable[[], NodeId]) -> Tree:
+        if label not in self._shapes:
+            self._shapes[label] = minimal_shape(self._dtd, label, self._sizes)
+        return shape_to_tree(self._shapes[label], fresh)
+
+
+class InsertletPackage:
+    """Administrator-specified default fragments ``W = (W_a)_{a∈Σ}``.
+
+    Parameters
+    ----------
+    dtd:
+        The schema every insertlet must satisfy.
+    insertlets:
+        Mapping from label to fragment. Labels without an entry fall back
+        to the canonical minimal tree ("in practice it will not be
+        necessary to specify an insertlet for every symbol" — Section 5).
+    strict:
+        When true (default), non-minimal fragments are rejected, matching
+        the paper's definition of an insertlet. With ``strict=False``
+        larger fragments are allowed; graph weights then use the actual
+        fragment sizes, so optimisation stays consistent (it minimises
+        *cost under the package*).
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        insertlets: Mapping[str, Tree],
+        *,
+        strict: bool = True,
+    ) -> None:
+        self._dtd = dtd
+        self._fallback = MinimalTreeFactory(dtd)
+        self._trees: dict[str, Tree] = {}
+        for label, tree in insertlets.items():
+            if label not in dtd.alphabet:
+                raise InsertletError(f"insertlet label {label!r} not in the alphabet")
+            if tree.is_empty:
+                raise InsertletError(f"insertlet for {label!r} is empty")
+            if tree.label(tree.root) != label:
+                raise InsertletError(
+                    f"insertlet for {label!r} has root label {tree.label(tree.root)!r}"
+                )
+            if not dtd.validates(tree):
+                raise InsertletError(f"insertlet for {label!r} violates the DTD")
+            if strict and tree.size != self._fallback.weight(label):
+                raise InsertletError(
+                    f"insertlet for {label!r} has size {tree.size}, but the "
+                    f"minimal tree has size {self._fallback.weight(label)} "
+                    "(pass strict=False to allow non-minimal fragments)"
+                )
+            self._trees[label] = tree
+
+    @property
+    def dtd(self) -> DTD:
+        return self._dtd
+
+    @property
+    def size(self) -> int:
+        """``|W|`` — total size of all explicit fragments."""
+        return sum(tree.size for tree in self._trees.values())
+
+    def labels(self) -> Iterator[str]:
+        """Labels with an explicit insertlet."""
+        yield from sorted(self._trees)
+
+    def weight(self, label: str) -> int:
+        if label in self._trees:
+            return self._trees[label].size
+        return self._fallback.weight(label)
+
+    def build(self, label: str, fresh: Callable[[], NodeId]) -> Tree:
+        if label in self._trees:
+            template = self._trees[label]
+            mapping = {node: fresh() for node in template.nodes()}
+            return template.relabel_nodes(mapping)
+        return self._fallback.build(label, fresh)
+
+    @classmethod
+    def minimal(cls, dtd: DTD) -> "InsertletPackage":
+        """The empty package: every symbol falls back to its minimal tree."""
+        return cls(dtd, {})
+
+    @classmethod
+    def from_terms(
+        cls, dtd: DTD, terms: Mapping[str, str], *, strict: bool = True
+    ) -> "InsertletPackage":
+        """Build a package from term-notation strings (fresh ``w``-ids)."""
+        from ..xmltree import parse_term
+
+        trees = {
+            label: parse_term(term, id_prefix=f"w_{label}_")
+            for label, term in terms.items()
+        }
+        return cls(dtd, trees, strict=strict)
+
+    def __repr__(self) -> str:
+        return f"InsertletPackage(|W|={self.size}, explicit={sorted(self._trees)})"

@@ -1,0 +1,229 @@
+"""Minimal trees satisfying a DTD.
+
+The weights of (i)-edges in inversion and propagation graphs are "the
+minimal size of a tree satisfying D with root label y" (Sections 3-4),
+and Section 5 observes that this value can be **exponential** in the size
+of the DTD (the ``a → aₙ·aₙ, aᵢ → aᵢ₋₁·aᵢ₋₁`` family), which is why the
+algorithm takes administrator-supplied *insertlets*. This module
+computes:
+
+* :func:`minimal_sizes` — ``size(a)`` for every symbol, by a Knuth-style
+  value iteration over weighted shortest words (arbitrary-precision, so
+  the exponential family is handled exactly);
+* :func:`minimal_shape` / :func:`minimal_tree` — a canonical cheapest
+  tree (deterministic: lexicographically smallest cheapest children
+  words), materialised with fresh identifiers on demand;
+* :func:`count_minimal_shapes` — how many distinct minimal trees exist
+  (up to identifiers), used by the enumeration/counting machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..automata import NFA, min_word, min_word_cost
+from ..errors import UnknownLabelError
+from ..xmltree import NodeId, NodeIds, Tree
+from .dtd import DTD
+
+__all__ = [
+    "minimal_sizes",
+    "minimal_size",
+    "minimal_shape",
+    "minimal_tree",
+    "count_minimal_shapes",
+    "shape_to_tree",
+]
+
+Shape = tuple  # (label, (child shapes...)) as produced by Tree.shape()
+
+
+def minimal_sizes(dtd: DTD) -> dict[str, int]:
+    """The minimal tree size for every symbol of the alphabet.
+
+    Fixpoint of ``size(a) = 1 + min_{w ∈ L(D(a))} Σ_y size(y)``. Values
+    only ever decrease from ∞ (``None``); each round recomputes the
+    cheapest word under current estimates, and at least one symbol
+    reaches its final value per round, so at most ``|Σ|`` rounds run.
+    Every symbol gets a finite value because DTDs are satisfiable.
+    """
+    sizes: dict[str, int | None] = {symbol: None for symbol in dtd.alphabet}
+    for _ in range(len(dtd.alphabet) + 1):
+        changed = False
+        for symbol in dtd.alphabet:
+            word_cost = min_word_cost(dtd.automaton(symbol), sizes)
+            if word_cost is None:
+                continue
+            candidate = 1 + word_cost
+            if sizes[symbol] is None or candidate < sizes[symbol]:
+                sizes[symbol] = candidate
+                changed = True
+        if not changed:
+            break
+    assert all(value is not None for value in sizes.values()), (
+        "satisfiable DTD must give finite minimal sizes"
+    )
+    return {symbol: value for symbol, value in sizes.items() if value is not None}
+
+
+def minimal_size(dtd: DTD, symbol: str, sizes: dict[str, int] | None = None) -> int:
+    """Minimal size of a tree satisfying *dtd* with root label *symbol*."""
+    if symbol not in dtd.alphabet:
+        raise UnknownLabelError(symbol)
+    if sizes is None:
+        sizes = minimal_sizes(dtd)
+    return sizes[symbol]
+
+
+def minimal_shape(
+    dtd: DTD,
+    symbol: str,
+    sizes: dict[str, int] | None = None,
+    _memo: dict[str, Shape] | None = None,
+) -> Shape:
+    """A canonical minimal tree as an identifier-free shape.
+
+    Deterministic: at every node the lexicographically smallest cheapest
+    children word is chosen. The recursion is well-founded because each
+    child's minimal size is strictly smaller than its parent's.
+    """
+    if symbol not in dtd.alphabet:
+        raise UnknownLabelError(symbol)
+    if sizes is None:
+        sizes = minimal_sizes(dtd)
+    if _memo is None:
+        _memo = {}
+    if symbol in _memo:
+        return _memo[symbol]
+    result = min_word(dtd.automaton(symbol), sizes)
+    assert result is not None, "satisfiable symbol must have a cheapest word"
+    _, word = result
+    shape = (
+        symbol,
+        tuple(minimal_shape(dtd, child, sizes, _memo) for child in word),
+    )
+    _memo[symbol] = shape
+    return shape
+
+
+def shape_to_tree(shape: Shape, fresh: Callable[[], NodeId]) -> Tree:
+    """Materialise a shape with fresh node identifiers (preorder)."""
+    label, children = shape
+    node = fresh()
+    return Tree.build(label, node, [shape_to_tree(kid, fresh) for kid in children])
+
+
+def minimal_tree(
+    dtd: DTD,
+    symbol: str,
+    fresh: "Callable[[], NodeId] | NodeIds | None" = None,
+    sizes: dict[str, int] | None = None,
+) -> Tree:
+    """A canonical minimal tree with root label *symbol*, fresh identifiers.
+
+    Beware the Section 5 example: the result can have exponentially many
+    nodes in ``|D|``; check :func:`minimal_size` first when the DTD is
+    untrusted.
+    """
+    if fresh is None:
+        fresh = NodeIds("w")
+    if isinstance(fresh, NodeIds):
+        fresh = fresh.fresh
+    return shape_to_tree(minimal_shape(dtd, symbol, sizes), fresh)
+
+
+def _count_min_words(model: NFA, sizes: dict[str, int]) -> list[tuple[str, ...]]:
+    """All cheapest accepted words (cost measured by symbol sizes).
+
+    Cheapest words are finitely many (every symbol has size ≥ 1, so a
+    word of cost C has at most C symbols). Uniform-cost search that keeps
+    *all* optimal predecessors per state; exact, deterministic output.
+    """
+    best = min_word_cost(model, sizes)
+    assert best is not None
+    # Dijkstra distances per state
+    dist: dict = {}
+    heap: list[tuple[int, int, object]] = [(0, 0, model.initial)]
+    counter = 0
+    while heap:
+        cost, _, state = heapq.heappop(heap)
+        if state in dist:
+            continue
+        dist[state] = cost
+        for symbol, target in model.moves_from(state):
+            if target not in dist and symbol in sizes:
+                counter += 1
+                heapq.heappush(heap, (cost + sizes[symbol], counter, target))
+    # enumerate all words realising cost `best` into a final state
+    words: list[tuple[str, ...]] = []
+    stack: list[tuple[object, int, tuple[str, ...]]] = [(model.initial, 0, ())]
+    while stack:
+        state, cost, word = stack.pop()
+        if cost == best and model.is_final(state):
+            words.append(word)
+        for symbol, target in sorted(model.moves_from(state), key=repr):
+            new_cost = cost + sizes.get(symbol, best + 1)
+            if new_cost <= best and dist.get(target, best + 1) <= new_cost:
+                stack.append((target, new_cost, word + (symbol,)))
+    return sorted(set(words))
+
+
+def minimal_shapes(
+    dtd: DTD,
+    symbol: str,
+    sizes: dict[str, int] | None = None,
+    _memo: dict[str, list[Shape]] | None = None,
+) -> list[Shape]:
+    """*All* minimal tree shapes rooted at *symbol* (sorted, deterministic).
+
+    The companion of :func:`count_minimal_shapes`; intended for
+    enumeration cross-checks — the list can be exponential, so guard
+    with the count first when the DTD is untrusted.
+    """
+    if symbol not in dtd.alphabet:
+        raise UnknownLabelError(symbol)
+    if sizes is None:
+        sizes = minimal_sizes(dtd)
+    if _memo is None:
+        _memo = {}
+    if symbol in _memo:
+        return _memo[symbol]
+    shapes: list[Shape] = []
+    for word in _count_min_words(dtd.automaton(symbol), sizes):
+        child_options = [minimal_shapes(dtd, child, sizes, _memo) for child in word]
+        combos: list[tuple[Shape, ...]] = [()]
+        for options in child_options:
+            combos = [prefix + (option,) for prefix in combos for option in options]
+        shapes.extend((symbol, combo) for combo in combos)
+    shapes = sorted(set(shapes))
+    _memo[symbol] = shapes
+    return shapes
+
+
+def count_minimal_shapes(
+    dtd: DTD,
+    symbol: str,
+    sizes: dict[str, int] | None = None,
+    _memo: dict[str, int] | None = None,
+) -> int:
+    """Number of distinct minimal trees (up to identifiers) rooted at *symbol*.
+
+    ``Σ_{w cheapest} Π_y count(y)`` — exact big-integer arithmetic.
+    """
+    if symbol not in dtd.alphabet:
+        raise UnknownLabelError(symbol)
+    if sizes is None:
+        sizes = minimal_sizes(dtd)
+    if _memo is None:
+        _memo = {}
+    if symbol in _memo:
+        return _memo[symbol]
+    total = 0
+    for word in _count_min_words(dtd.automaton(symbol), sizes):
+        product = 1
+        for child in word:
+            product *= count_minimal_shapes(dtd, child, sizes, _memo)
+        total += product
+    _memo[symbol] = total
+    return total

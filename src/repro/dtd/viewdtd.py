@@ -1,0 +1,75 @@
+"""Deriving the view DTD (paper Section 2).
+
+"We remark that a DTD capturing ``A(L(D))`` can be easily derived from
+``D`` and ``A``. For instance, the view DTD for D0 and A0 is
+``r → (a·d)*``, ``d → c*``."
+
+A node's children word in the view is the original children word with
+every hidden symbol erased (hidden subtrees disappear entirely because
+visibility is upward closed). Per symbol ``a``, the view content model is
+therefore the image of ``L(D(a))`` under the homomorphism that keeps
+``y`` when ``A(a, y) = 1`` and maps it to ε otherwise. On the automaton
+this is: turn hidden-symbol transitions into ε-moves, then eliminate
+them by forward closure.
+"""
+
+from __future__ import annotations
+
+from ..automata import NFA
+from ..views.annotation import Annotation
+from .dtd import DTD
+
+__all__ = ["view_dtd", "erase_hidden"]
+
+
+def erase_hidden(model: NFA, visible: "set[str] | frozenset[str]") -> NFA:
+    """The homomorphic image of ``L(model)`` keeping only *visible* symbols.
+
+    Transitions on non-visible symbols become ε-moves and are eliminated:
+    for every state ``p``, every state ``p′`` in the hidden-closure of
+    ``p``, and every visible transition ``p′ →y q``, the result has
+    ``p →y q``; a state accepts if its closure meets the final set. The
+    result keeps the original state set (restricted to what is used).
+    """
+    # hidden-closure per state (forward reachability over hidden moves)
+    closure: dict = {}
+    for state in model.states:
+        reached = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for symbol, target in model.moves_from(current):
+                if symbol not in visible and target not in reached:
+                    reached.add(target)
+                    stack.append(target)
+        closure[state] = reached
+
+    transitions = []
+    for state in model.states:
+        for mid in closure[state]:
+            for symbol, target in model.moves_from(mid):
+                if symbol in visible:
+                    transitions.append((state, symbol, target))
+    finals = [
+        state for state in model.states if closure[state] & model.finals
+    ]
+    visible_alphabet = model.alphabet & frozenset(visible)
+    return NFA(model.states, visible_alphabet, model.initial, transitions, finals).trim()
+
+
+def view_dtd(dtd: DTD, annotation: Annotation) -> DTD:
+    """The DTD recognising exactly the views ``A(L(D))``.
+
+    The result is automaton-backed; use :meth:`DTD.rule_regex` to display
+    its rules as regular expressions (for the running example this
+    prints ``r -> (a,d)*`` and ``d -> c*``).
+    """
+    rules: dict[str, NFA] = {}
+    for symbol in dtd.alphabet:
+        visible = {
+            child for child in dtd.alphabet if annotation.visible(symbol, child)
+        }
+        rules[symbol] = erase_hidden(dtd.automaton(symbol), visible)
+    # Satisfiability is inherited: every symbol's minimal source tree
+    # projects to a (possibly smaller) valid view tree.
+    return DTD(rules, alphabet=dtd.alphabet, check=False)

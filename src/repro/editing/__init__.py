@@ -1,0 +1,26 @@
+"""Editing scripts over ``E(Σ)`` (paper Section 2).
+
+Public surface:
+
+* :class:`EditScript` — scripts with ``In``/``Out`` trees and cost.
+* :class:`UpdateBuilder` — compose subtree insertions/deletions over a
+  view into a single script.
+* :class:`Op`, :class:`EditLabel`, :func:`ins`, :func:`dele`,
+  :func:`nop` — the operation alphabet.
+"""
+
+from .builder import UpdateBuilder
+from .ops import EditLabel, Op, dele, ins, nop, parse_edit_label, ren
+from .script import EditScript
+
+__all__ = [
+    "EditScript",
+    "UpdateBuilder",
+    "Op",
+    "EditLabel",
+    "ins",
+    "dele",
+    "nop",
+    "ren",
+    "parse_edit_label",
+]

@@ -1,0 +1,285 @@
+"""Editing scripts (paper Section 2).
+
+An editing script ``S`` is a tree over ``E(Σ)`` subject to
+well-formedness: all descendants of an inserting node are inserting, and
+all descendants of a deleting node are deleting (only whole subtrees are
+inserted/deleted). A script simultaneously encodes:
+
+* the input tree ``In(S)`` — nodes not labelled ``Ins``;
+* the output tree ``Out(S)`` — nodes not labelled ``Del``;
+* the correspondence between their nodes (shared identifiers);
+* the cost — the number of non-phantom nodes.
+
+The script's node identifiers are those of the trees it edits, which is
+what lets the view update problem demand *identifier-exact*
+side-effect-freeness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from ..errors import InvalidScriptError
+from ..xmltree import NodeId, Tree, parse_term
+from .ops import EditLabel, Op, dele, ins, nop, parse_edit_label, ren
+
+__all__ = ["EditScript"]
+
+
+class EditScript:
+    """An editing script: a well-formed tree over ``E(Σ)``.
+
+    Normally built through :class:`~repro.editing.builder.UpdateBuilder`,
+    the constructors :meth:`insertion` / :meth:`deletion` /
+    :meth:`phantom`, :meth:`assemble`, or :meth:`parse`.
+    """
+
+    __slots__ = ("_tree", "_input", "_output", "_cost")
+
+    def __init__(self, tree: Tree) -> None:
+        """Wrap a tree whose labels are :class:`EditLabel`; validates."""
+        self._tree = tree
+        self._input: Tree | None = None
+        self._output: Tree | None = None
+        self._cost: int | None = None
+        self._validate()
+
+    def _validate(self) -> None:
+        for node in self._tree.nodes():
+            label = self._tree.label(node)
+            if not isinstance(label, EditLabel):
+                raise InvalidScriptError(
+                    f"script node {node!r} has non-edit label {label!r}"
+                )
+            op = label.op
+            if op is Op.NOP:
+                continue
+            for kid in self._tree.children(node):
+                kid_op = self._tree.label(kid).op
+                if op is Op.INS and kid_op is not Op.INS:
+                    raise InvalidScriptError(
+                        f"descendant {kid!r} of inserting node {node!r} is {kid_op}"
+                    )
+                if op is Op.DEL and kid_op is not Op.DEL:
+                    raise InvalidScriptError(
+                        f"descendant {kid!r} of deleting node {node!r} is {kid_op}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _uniform(cls, tree: Tree, op: Op) -> "EditScript":
+        return cls(tree.map_labels(lambda symbol: EditLabel(op, symbol)))
+
+    @classmethod
+    def insertion(cls, tree: Tree) -> "EditScript":
+        """``Ins(t)`` — inserts *tree* wholesale: ``In`` empty, ``Out = t``."""
+        return cls._uniform(tree, Op.INS)
+
+    @classmethod
+    def deletion(cls, tree: Tree) -> "EditScript":
+        """``Del(t)`` — deletes *tree* wholesale: ``In = t``, ``Out`` empty."""
+        return cls._uniform(tree, Op.DEL)
+
+    @classmethod
+    def phantom(cls, tree: Tree) -> "EditScript":
+        """``Nop(t)`` — touches nothing: ``In = Out = t``."""
+        return cls._uniform(tree, Op.NOP)
+
+    @classmethod
+    def assemble(
+        cls,
+        label: EditLabel,
+        node: NodeId,
+        children: Sequence["EditScript"] = (),
+    ) -> "EditScript":
+        """Build a script from a root operation and child scripts."""
+        tree = Tree.build(label, node, [child._tree for child in children])
+        return cls(tree)
+
+    @classmethod
+    def parse(cls, text: str, id_prefix: str = "n") -> "EditScript":
+        """Parse compact term notation, e.g. ``Nop.r#n0(Del.a#n1, Ins.d#n11)``.
+
+        The operation prefix (``Ins.``/``Del.``/``Nop.``) is split off
+        each label; everything else follows
+        :func:`repro.xmltree.parse_term`.
+        """
+        raw = parse_term(text, id_prefix=id_prefix)
+        return cls(raw.map_labels(parse_edit_label))
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> Tree:
+        """The underlying tree over ``E(Σ)``."""
+        return self._tree
+
+    @property
+    def is_empty(self) -> bool:
+        return self._tree.is_empty
+
+    @property
+    def root(self) -> NodeId:
+        return self._tree.root
+
+    @property
+    def size(self) -> int:
+        """``|S|`` — total number of script nodes."""
+        return self._tree.size
+
+    @property
+    def node_set(self) -> frozenset[NodeId]:
+        """``N_S``."""
+        return self._tree.node_set
+
+    def nodes(self) -> Iterator[NodeId]:
+        return self._tree.nodes()
+
+    def children(self, node: NodeId) -> tuple[NodeId, ...]:
+        return self._tree.children(node)
+
+    def edit_label(self, node: NodeId) -> EditLabel:
+        """``λ_S(node) ∈ E(Σ)``."""
+        return self._tree.label(node)
+
+    def op(self, node: NodeId) -> Op:
+        return self.edit_label(node).op
+
+    def symbol(self, node: NodeId) -> str:
+        """The Σ-symbol the operation applies to (the ``In``-side label)."""
+        return self.edit_label(node).symbol
+
+    def output_symbol(self, node: NodeId) -> str:
+        """The label the node carries in ``Out(S)`` (differs for renames)."""
+        return self.edit_label(node).output_symbol
+
+    def is_kept(self, node: NodeId) -> bool:
+        """Whether the node is in both ``In(S)`` and ``Out(S)`` (Nop or Ren)."""
+        return self.edit_label(node).is_kept
+
+    def subscript(self, node: NodeId) -> "EditScript":
+        """``S|node`` — the script fragment rooted at *node*."""
+        return EditScript(self._tree.subtree(node))
+
+    def nop_nodes(self) -> Iterator[NodeId]:
+        """``N_Δ`` — nodes with phantom operations (document order)."""
+        for node in self._tree.nodes():
+            if self.op(node) is Op.NOP:
+                yield node
+
+    def kept_nodes(self) -> Iterator[NodeId]:
+        """``N_Δ`` of the renaming extension: phantom *and* renamed nodes."""
+        for node in self._tree.nodes():
+            if self.is_kept(node):
+                yield node
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def _project(self, drop: Op) -> Tree:
+        """The tree of nodes whose operation is not *drop*.
+
+        Labels come from the ``In`` side when insertions are dropped and
+        from the ``Out`` side when deletions are (renamed nodes change
+        label between the two).
+        """
+        if self._tree.is_empty:
+            return Tree.empty()
+        root_label: EditLabel = self._tree.label(self._tree.root)
+        if root_label.op is drop:
+            # well-formedness: the whole script is then uniformly `drop`
+            return Tree.empty()
+        output_side = drop is Op.DEL
+
+        def project(node: NodeId) -> Tree:
+            label: EditLabel = self._tree.label(node)
+            kept = [
+                project(kid)
+                for kid in self._tree.children(node)
+                if self._tree.label(kid).op is not drop
+            ]
+            symbol = label.output_symbol if output_side else label.symbol
+            return Tree.build(symbol, node, kept)
+
+        return project(self._tree.root)
+
+    @property
+    def input_tree(self) -> Tree:
+        """``In(S)`` — the tree the script applies to."""
+        if self._input is None:
+            self._input = self._project(Op.INS)
+        return self._input
+
+    @property
+    def output_tree(self) -> Tree:
+        """``Out(S)`` — the tree the script produces."""
+        if self._output is None:
+            self._output = self._project(Op.DEL)
+        return self._output
+
+    @property
+    def cost(self) -> int:
+        """Number of non-phantom nodes (the paper's script cost)."""
+        if self._cost is None:
+            self._cost = sum(
+                1 for node in self._tree.nodes()
+                if self._tree.label(node).op is not Op.NOP
+            )
+        return self._cost
+
+    def apply_to(self, tree: Tree) -> Tree:
+        """``S(tree)``: require ``In(S) = tree`` and return ``Out(S)``."""
+        if self.input_tree != tree:
+            raise InvalidScriptError(
+                "script input tree does not match the given tree"
+            )
+        return self.output_tree
+
+    def is_identity(self) -> bool:
+        """All operations phantom."""
+        return self.cost == 0
+
+    # ------------------------------------------------------------------
+    # Comparison / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EditScript):
+            return NotImplemented
+        return self._tree == other._tree
+
+    def __hash__(self) -> int:
+        return hash(self._tree)
+
+    def shape(self) -> tuple:
+        """Identifier-free canonical form (for isomorphism comparisons)."""
+        return self._tree.map_labels(str).shape()
+
+    def to_term(self, with_ids: bool = True) -> str:
+        """Compact term notation accepted back by :meth:`parse`."""
+        return self._tree.map_labels(lambda lab: lab.encode()).to_term(with_ids)
+
+    def pretty(self, with_ids: bool = True) -> str:
+        """Multi-line rendering with ``Ins(a)``-style labels."""
+        return self._tree.map_labels(str).pretty(with_ids)
+
+    def __repr__(self) -> str:
+        if self._tree.is_empty:
+            return "EditScript(empty)"
+        term = self.to_term()
+        if len(term) > 60:
+            term = term[:57] + "..."
+        return f"EditScript({term})"
+
+
+# re-exported for convenience when assembling scripts manually
+EditScript.ins = staticmethod(ins)  # type: ignore[attr-defined]
+EditScript.dele = staticmethod(dele)  # type: ignore[attr-defined]
+EditScript.nop = staticmethod(nop)  # type: ignore[attr-defined]
+EditScript.ren = staticmethod(ren)  # type: ignore[attr-defined]

@@ -1,0 +1,180 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TreeError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "TermSyntaxError",
+    "RegexSyntaxError",
+    "AutomatonError",
+    "NondeterministicAutomatonError",
+    "DTDError",
+    "UnsatisfiableDTDError",
+    "UnknownLabelError",
+    "DTDSyntaxError",
+    "EDTDError",
+    "AnnotationError",
+    "ScriptError",
+    "InvalidScriptError",
+    "InvalidViewUpdateError",
+    "NoInversionError",
+    "NoPropagationError",
+    "InsertletError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Trees
+# ---------------------------------------------------------------------------
+
+
+class TreeError(ReproError):
+    """A tree structure is malformed or an operation on it is invalid."""
+
+
+class NodeNotFoundError(TreeError, KeyError):
+    """A node identifier does not belong to the tree."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return f"node {self.node!r} is not part of the tree"
+
+
+class DuplicateNodeError(TreeError):
+    """A node identifier occurs more than once during construction."""
+
+
+class TermSyntaxError(TreeError, ValueError):
+    """The term notation for a tree (``r#n0(a#n1, ...)``) failed to parse."""
+
+
+# ---------------------------------------------------------------------------
+# Regular expressions and automata
+# ---------------------------------------------------------------------------
+
+
+class RegexSyntaxError(ReproError, ValueError):
+    """A content-model regular expression failed to parse."""
+
+
+class AutomatonError(ReproError):
+    """An automaton is malformed or an operation on it is invalid."""
+
+
+class NondeterministicAutomatonError(AutomatonError):
+    """A deterministic automaton was required (e.g. for state typings)."""
+
+
+# ---------------------------------------------------------------------------
+# DTDs
+# ---------------------------------------------------------------------------
+
+
+class DTDError(ReproError):
+    """A DTD is malformed or a DTD operation is invalid."""
+
+
+class UnsatisfiableDTDError(DTDError):
+    """The DTD admits no finite tree for at least one symbol.
+
+    The paper restricts attention to satisfiable DTDs (Section 2); the
+    constructor of :class:`repro.dtd.DTD` enforces this and raises this
+    error listing the offending symbols.
+    """
+
+    def __init__(self, symbols):
+        self.symbols = tuple(sorted(symbols))
+        super().__init__(
+            "DTD is unsatisfiable for symbol(s): " + ", ".join(self.symbols)
+        )
+
+
+class UnknownLabelError(DTDError, KeyError):
+    """A label outside the DTD alphabet was used."""
+
+    def __init__(self, label):
+        super().__init__(label)
+        self.label = label
+
+    def __str__(self) -> str:
+        return f"label {self.label!r} is not part of the DTD alphabet"
+
+
+class DTDSyntaxError(DTDError, ValueError):
+    """A ``<!ELEMENT ...>`` style DTD document failed to parse."""
+
+
+class EDTDError(DTDError):
+    """An extended DTD is malformed (e.g. not single-type) or typing failed."""
+
+
+# ---------------------------------------------------------------------------
+# Annotations / views
+# ---------------------------------------------------------------------------
+
+
+class AnnotationError(ReproError):
+    """An annotation is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Editing scripts
+# ---------------------------------------------------------------------------
+
+
+class ScriptError(ReproError):
+    """Base class for editing-script errors."""
+
+
+class InvalidScriptError(ScriptError):
+    """An editing script violates well-formedness.
+
+    Well-formedness (Section 2 of the paper): every descendant of an
+    inserting node is inserting, and every descendant of a deleting node
+    is deleting.
+    """
+
+
+class InvalidViewUpdateError(ScriptError):
+    """A script is not a valid view update for the given source and view.
+
+    A view update ``S`` must satisfy ``In(S) = A(t)``, must not reuse node
+    identifiers hidden by the view (``N_S ∩ (N_t \\ N_{A(t)}) = ∅``), and
+    ``Out(S)`` must belong to the view language ``A(L(D))``.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Inversion / propagation
+# ---------------------------------------------------------------------------
+
+
+class NoInversionError(ReproError):
+    """The view tree has no inverse, i.e. it is not in ``A(L(D))``."""
+
+
+class NoPropagationError(ReproError):
+    """No schema-compliant side-effect-free propagation exists.
+
+    By Theorem 5 this cannot happen for *valid* view updates; it is raised
+    when the caller bypasses validation with an out-of-language update.
+    """
+
+
+class InsertletError(ReproError):
+    """An insertlet package entry is missing or does not satisfy the DTD."""

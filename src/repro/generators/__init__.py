@@ -1,0 +1,45 @@
+"""Workload generation: exhaustive and random instances.
+
+Public surface (grows with :mod:`repro.generators.dtds`,
+:mod:`repro.generators.updates`, :mod:`repro.generators.workloads`):
+
+* :func:`enumerate_trees` / :func:`enumerate_shapes` — brute-force
+  ground truth for the capture theorems.
+* :func:`random_tree` — random members of ``L(D)``.
+"""
+
+from .dtds import random_annotation, random_dtd, random_regex
+from .trees import (
+    enumerate_shapes,
+    enumerate_trees,
+    enumerate_words_weighted,
+    random_tree,
+    random_word,
+)
+from .updates import random_view_update
+from .workloads import (
+    Workload,
+    catalog,
+    deep_document,
+    hospital,
+    positional,
+    running_example,
+)
+
+__all__ = [
+    "random_regex",
+    "random_dtd",
+    "random_annotation",
+    "random_view_update",
+    "Workload",
+    "running_example",
+    "hospital",
+    "catalog",
+    "positional",
+    "deep_document",
+    "enumerate_shapes",
+    "enumerate_trees",
+    "enumerate_words_weighted",
+    "random_tree",
+    "random_word",
+]

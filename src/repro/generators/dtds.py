@@ -1,0 +1,85 @@
+"""Random DTDs and annotations for fuzzing the whole pipeline.
+
+Random DTDs are generated over a label chain ``l0 < l1 < … < l_{n-1}``
+where the rule of ``l_i`` only mentions larger labels. The order makes
+every symbol trivially satisfiable (the chain bottoms out in leaves), so
+the generator never produces a DTD the library would reject, while the
+regex shapes (concatenation, union, ``* + ?`` nesting) still exercise
+every automaton path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..automata import EPSILON, Optional as OptRegex, Plus, Regex, Star, Symbol, concat, union
+from ..dtd import DTD
+from ..views import Annotation
+
+__all__ = ["random_regex", "random_dtd", "random_annotation"]
+
+
+def random_regex(
+    rng: random.Random,
+    symbols: list[str],
+    depth: int = 3,
+) -> Regex:
+    """A random content-model expression over *symbols* (never empty-language)."""
+    if not symbols or depth <= 0:
+        if not symbols:
+            return EPSILON
+        return Symbol(rng.choice(symbols))
+    roll = rng.random()
+    if roll < 0.30:
+        return Symbol(rng.choice(symbols))
+    if roll < 0.55:
+        parts = [
+            random_regex(rng, symbols, depth - 1)
+            for _ in range(rng.randint(2, 3))
+        ]
+        return concat(*parts)
+    if roll < 0.75:
+        left = random_regex(rng, symbols, depth - 1)
+        right = random_regex(rng, symbols, depth - 1)
+        return union(left, right) if left != right else left
+    inner = random_regex(rng, symbols, depth - 1)
+    wrapper = rng.choice([Star, Plus, OptRegex])
+    return wrapper(inner)
+
+
+def random_dtd(
+    rng: random.Random,
+    n_labels: int = 5,
+    *,
+    rule_probability: float = 0.8,
+    depth: int = 3,
+) -> DTD:
+    """A random satisfiable DTD with labels ``l0 … l{n-1}``.
+
+    ``l0`` always has a rule (it is the usual root); deeper labels may be
+    left implicit (``→ ε``).
+    """
+    labels = [f"l{i}" for i in range(n_labels)]
+    rules: dict[str, Regex] = {}
+    for index, label in enumerate(labels):
+        later = labels[index + 1:]
+        if not later:
+            break
+        if index == 0 or rng.random() < rule_probability:
+            rules[label] = random_regex(rng, later, depth)
+    return DTD(rules, alphabet=labels)
+
+
+def random_annotation(
+    rng: random.Random,
+    dtd: DTD,
+    hide_probability: float = 0.3,
+) -> Annotation:
+    """Hide each (parent, child) pair independently with the given probability."""
+    hidden = [
+        (parent, child)
+        for parent in sorted(dtd.alphabet)
+        for child in sorted(dtd.alphabet)
+        if rng.random() < hide_probability
+    ]
+    return Annotation.hiding(*hidden)

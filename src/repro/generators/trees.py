@@ -1,0 +1,190 @@
+"""Tree generation: exhaustive (for cross-checks) and random (for fuzzing).
+
+* :func:`enumerate_shapes` / :func:`enumerate_trees` — every tree
+  satisfying a DTD up to a size budget. This is the brute-force ground
+  truth against which the Theorem 1-4 capture tests compare the graph
+  constructions.
+* :func:`random_tree` — a random member of ``L(D)``, biased towards the
+  requested size by steering the content-model walk with minimal
+  completion costs (so generation always terminates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from ..automata import NFA, min_completion_costs
+from ..dtd import DTD, minimal_sizes
+from ..errors import UnknownLabelError
+from ..xmltree import NodeId, NodeIds, Tree
+from ..dtd.minimal import Shape, shape_to_tree
+
+__all__ = [
+    "enumerate_words_weighted",
+    "enumerate_shapes",
+    "enumerate_trees",
+    "random_word",
+    "random_tree",
+]
+
+
+def enumerate_words_weighted(
+    model: NFA, weights: dict[str, int], budget: int
+) -> Iterator[tuple[str, ...]]:
+    """All accepted words whose total symbol weight is ≤ *budget*.
+
+    Weights must be ≥ 1 (minimal tree sizes are), which bounds the word
+    length and makes the enumeration finite. Deterministic order
+    (by weight, then lexicographic).
+    """
+    results: list[tuple[int, tuple[str, ...]]] = []
+
+    def walk(state, word: tuple[str, ...], used: int) -> None:
+        if model.is_final(state):
+            results.append((used, word))
+        for symbol, target in sorted(model.moves_from(state), key=repr):
+            weight = weights.get(symbol)
+            if weight is None or used + weight > budget:
+                continue
+            walk(target, word + (symbol,), used + weight)
+
+    walk(model.initial, (), 0)
+    for _, word in sorted(results):
+        yield word
+
+
+def enumerate_shapes(dtd: DTD, root_label: str, max_size: int) -> Iterator[Shape]:
+    """All identifier-free shapes of trees in ``L(D)`` with the given root.
+
+    Ordered by size, then lexicographically. Budget-split recursion: a
+    node's children word is enumerated under the *minimal-size* weights
+    (a safe lower bound), then actual child trees are distributed over
+    the remaining budget.
+    """
+    if root_label not in dtd.alphabet:
+        raise UnknownLabelError(root_label)
+    sizes = minimal_sizes(dtd)
+    memo: dict[tuple[str, int], list[Shape]] = {}
+
+    def shapes(label: str, budget: int) -> list[Shape]:
+        key = (label, budget)
+        if key in memo:
+            return memo[key]
+        result: list[Shape] = []
+        if budget >= sizes[label]:
+            for word in enumerate_words_weighted(
+                dtd.automaton(label), sizes, budget - 1
+            ):
+                for combo in _combinations(word, budget - 1):
+                    result.append((label, combo))
+        result = sorted(set(result), key=lambda s: (_shape_size(s), repr(s)))
+        memo[key] = result
+        return result
+
+    def _combinations(
+        word: Sequence[str], budget: int
+    ) -> Iterator[tuple[Shape, ...]]:
+        if not word:
+            yield ()
+            return
+        head, tail = word[0], word[1:]
+        tail_min = sum(sizes[y] for y in tail)
+        for head_shape in shapes(head, budget - tail_min):
+            used = _shape_size(head_shape)
+            for rest in _combinations(tail, budget - used):
+                yield (head_shape,) + rest
+
+    yield from shapes(root_label, max_size)
+
+
+def _shape_size(shape: Shape) -> int:
+    label, children = shape
+    return 1 + sum(_shape_size(child) for child in children)
+
+
+def enumerate_trees(
+    dtd: DTD,
+    root_label: str,
+    max_size: int,
+    id_prefix: str = "b",
+) -> Iterator[Tree]:
+    """Materialised version of :func:`enumerate_shapes` (fresh ids per tree)."""
+    for shape in enumerate_shapes(dtd, root_label, max_size):
+        yield shape_to_tree(shape, NodeIds(id_prefix).fresh)
+
+
+def random_word(
+    model: NFA,
+    rng: random.Random,
+    weights: dict[str, int],
+    size_hint: int,
+) -> tuple[str, ...]:
+    """A random accepted word, steered towards total weight ≈ *size_hint*.
+
+    At each state the walk either stops (if accepting and the hint is
+    exhausted) or follows a random transition that can still complete;
+    completion costs guarantee termination even from greedy choices.
+    """
+    completion = min_completion_costs(model, weights)
+    word: list[str] = []
+    state = model.initial
+    used = 0
+    while True:
+        moves = [
+            (symbol, target)
+            for symbol, target in sorted(model.moves_from(state), key=repr)
+            if target in completion and symbol in weights
+        ]
+        can_stop = model.is_final(state)
+        if can_stop and (not moves or used >= size_hint):
+            return tuple(word)
+        if not moves:
+            # not accepting and nothing usable: impossible for satisfiable
+            # content models reached through `completion`-filtered moves
+            raise AssertionError("random walk stuck in a content model")
+        if can_stop and rng.random() < 0.25:
+            return tuple(word)
+        # prefer moves whose completion keeps us near the hint
+        remaining = size_hint - used
+        moves.sort(
+            key=lambda mv: abs(weights[mv[0]] + completion[mv[1]] - remaining)
+        )
+        cutoff = max(1, len(moves) // 2)
+        symbol, state = rng.choice(moves[:cutoff])
+        word.append(symbol)
+        used += weights[symbol]
+
+
+def random_tree(
+    dtd: DTD,
+    rng: random.Random,
+    *,
+    root_label: str | None = None,
+    size_hint: int = 20,
+    fresh: "NodeIds | None" = None,
+) -> Tree:
+    """A random tree of ``L(D)`` with roughly *size_hint* nodes.
+
+    The root label defaults to a random alphabet symbol; pass one for
+    rooted schemas. Node identifiers come from *fresh* (default
+    ``g0, g1, ...``).
+    """
+    if fresh is None:
+        fresh = NodeIds("g")
+    if root_label is None:
+        root_label = rng.choice(sorted(dtd.alphabet))
+    if root_label not in dtd.alphabet:
+        raise UnknownLabelError(root_label)
+    sizes = minimal_sizes(dtd)
+
+    def build(label: str, hint: int) -> Tree:
+        node = fresh.fresh()
+        word = random_word(dtd.automaton(label), rng, sizes, max(0, hint - 1))
+        if not word:
+            return Tree.leaf(label, node)
+        share = max(1, (hint - 1) // len(word))
+        children = [build(symbol, share) for symbol in word]
+        return Tree.build(label, node, children)
+
+    return build(root_label, size_hint)

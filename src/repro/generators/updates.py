@@ -1,0 +1,93 @@
+"""Random view updates: valid by construction.
+
+Given a source ``t ⊨ D`` and an annotation, a random update is composed
+against the view ``A(t)`` through :class:`~repro.editing.UpdateBuilder`:
+a sequence of random subtree deletions and random insertions of
+view-DTD-valid fragments. Each candidate operation is accepted only if
+the affected parent's children word stays valid for the *view DTD*
+(descendants of inserted fragments are valid by construction), so the
+result always satisfies the Section 4 preconditions — which is what the
+Theorem 5 existence experiment needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dtd import DTD, view_dtd
+from ..editing import EditScript, UpdateBuilder
+from ..views import Annotation
+from ..xmltree import NodeIds, Tree
+from .trees import random_tree
+
+__all__ = ["random_view_update"]
+
+
+def random_view_update(
+    rng: random.Random,
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    *,
+    n_ops: int = 3,
+    insert_size_hint: int = 4,
+    derived_view_dtd: DTD | None = None,
+) -> EditScript:
+    """A random valid view update of ``A(source)`` with ~*n_ops* operations.
+
+    Operations that would leave the view language are skipped (each op is
+    validated locally against the parent's view content model; the
+    descendants of inserted fragments are view-valid by construction), so
+    the realised number of operations may be smaller than requested — but
+    the script is always a valid view update, possibly the identity.
+    """
+    vdtd = derived_view_dtd if derived_view_dtd is not None else view_dtd(dtd, annotation)
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    fresh = NodeIds("u", forbidden=set(source.nodes()) | set(view.nodes()))
+
+    applied = 0
+    for _ in range(n_ops * 8):
+        if applied >= n_ops:
+            break
+        alive = builder.live_nodes()
+        if rng.random() < 0.45:
+            # deletion of a random non-root visible subtree
+            candidates = [node for node in alive if builder.parent(node) is not None]
+            if not candidates:
+                continue
+            victim = rng.choice(candidates)
+            parent = builder.parent(victim)
+            word = tuple(
+                builder.symbol(kid)
+                for kid in builder.output_children(parent)
+                if kid != victim
+            )
+            if not vdtd.allows(builder.symbol(parent), word):
+                continue
+            builder.delete(victim)
+            applied += 1
+        else:
+            # insertion of a random view fragment under a random parent
+            parent = rng.choice(alive)
+            parent_label = builder.symbol(parent)
+            visible_labels = [
+                y for y in sorted(dtd.alphabet)
+                if annotation.visible(parent_label, y)
+            ]
+            if not visible_labels:
+                continue
+            label = rng.choice(visible_labels)
+            current = [
+                builder.symbol(kid) for kid in builder.output_children(parent)
+            ]
+            index = rng.randint(0, len(current))
+            word = tuple(current[:index] + [label] + current[index:])
+            if not vdtd.allows(parent_label, word):
+                continue
+            fragment = random_tree(
+                vdtd, rng, root_label=label, size_hint=insert_size_hint, fresh=fresh
+            )
+            builder.insert(parent, fragment, index=index)
+            applied += 1
+    return builder.script()

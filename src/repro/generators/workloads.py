@@ -1,0 +1,260 @@
+"""Parametric workload families for benchmarks and examples.
+
+Each factory returns a :class:`Workload` — a coherent (DTD, annotation,
+source, view update) quadruple, sized by its parameter:
+
+* :func:`running_example` — the paper's D0/A0 scaled to ``groups``
+  repetitions of the ``a·(b+c)·d`` pattern, with an S0-like update;
+* :func:`hospital` — the security-view scenario the paper cites as the
+  prime application [9, 10]: a ward clerk sees patients but neither
+  diagnoses nor billing; the update admits and discharges patients;
+* :func:`catalog` — a product catalog whose internal margins/supplier
+  records are hidden from the storefront editor;
+* :func:`positional` — scaled Section 6.2 workload (append into a list
+  whose hidden separators make positions ambiguous);
+* :func:`deep_document` — a recursive DTD stressing recursion depth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..dtd import DTD
+from ..editing import EditScript, UpdateBuilder
+from ..views import Annotation
+from ..xmltree import NodeIds, Tree, parse_term
+
+__all__ = [
+    "Workload",
+    "running_example",
+    "hospital",
+    "catalog",
+    "positional",
+    "deep_document",
+]
+
+
+@dataclass
+class Workload:
+    """A complete propagation problem instance."""
+
+    name: str
+    dtd: DTD
+    annotation: Annotation
+    source: Tree
+    update: EditScript
+
+    @property
+    def view(self) -> Tree:
+        return self.annotation.view(self.source)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, |t|={self.source.size}, "
+            f"|S|={self.update.size})"
+        )
+
+
+def running_example(groups: int = 2) -> Workload:
+    """The paper's running example with *groups* ``a·(b+c)·d`` groups.
+
+    The update deletes the first group, inserts a fresh ``(a, d)`` pair
+    in the middle, and appends a ``c`` inside the last ``d`` — the same
+    operation mix as S0.
+    """
+    if groups < 2:
+        raise ValueError("need at least 2 groups")
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    parts = []
+    for index in range(groups):
+        hidden = "b" if index % 2 == 0 else "c"
+        parts.append(
+            f"a#a{index}, {hidden}#h{index}, d#d{index}(a#x{index}, c#c{index})"
+        )
+    source = parse_term(f"r#root({', '.join(parts)})")
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    builder.delete("a0")
+    builder.delete("d0")
+    builder.insert_after(f"a{groups // 2}", parse_term("d#newd(c#newc1, c#newc2)"))
+    builder.insert_after("newd", parse_term("a#newa"))
+    builder.insert(f"d{groups - 1}", parse_term("c#newc3"))
+    return Workload("running_example", dtd, annotation, source, builder.script())
+
+
+_HOSPITAL_DTD = """
+<!ELEMENT hospital (ward*)>
+<!ELEMENT ward     (name, patient*)>
+<!ELEMENT patient  (name, admission, (symptom | treatment | diagnosis)*, bill?)>
+<!ELEMENT name     (#PCDATA)>
+<!ELEMENT admission (#PCDATA)>
+<!ELEMENT symptom  (#PCDATA)>
+<!ELEMENT treatment (#PCDATA)>
+<!ELEMENT diagnosis (#PCDATA)>
+<!ELEMENT bill     (#PCDATA)>
+"""
+
+
+def hospital(n_patients: int = 10, seed: int = 7) -> Workload:
+    """Ward-clerk security view over hospital records.
+
+    Hidden from the clerk: diagnoses and bills. The update admits one
+    new patient per three existing ones and discharges every fourth —
+    all through the view; the propagation must keep (or coherently drop)
+    the hidden diagnoses and bills.
+    """
+    from ..dtd import parse_dtd
+
+    rng = random.Random(seed)
+    dtd = parse_dtd(_HOSPITAL_DTD)
+    annotation = (
+        Annotation.hiding(("patient", "diagnosis"), ("patient", "bill"))
+    )
+    patients = []
+    for index in range(n_patients):
+        extras = []
+        for position in range(rng.randint(0, 3)):
+            extras.append(
+                rng.choice(["symptom", "treatment", "diagnosis"])
+                + f"#e{index}_{position}"
+            )
+        bill = [f"bill#b{index}"] if rng.random() < 0.5 else []
+        fields = [f"name#pn{index}", f"admission#ad{index}", *extras, *bill]
+        patients.append(f"patient#p{index}({', '.join(fields)})")
+    source = parse_term(
+        f"hospital#h(ward#w(name#wn, {', '.join(patients)}))"
+    )
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    fresh = NodeIds("adm", forbidden=set(source.nodes()))
+    for index in range(0, n_patients, 3):
+        new_id = fresh.fresh()
+        builder.insert(
+            "w",
+            parse_term(
+                f"patient#{new_id}(name#{new_id}_n, admission#{new_id}_a, "
+                f"symptom#{new_id}_s)"
+            ),
+        )
+    for index in range(0, n_patients, 4):
+        builder.delete(f"p{index}")
+    return Workload("hospital", dtd, annotation, source, builder.script())
+
+
+_CATALOG_DTD = """
+<!ELEMENT catalog  (product*)>
+<!ELEMENT product  (title, price, (feature)*, margin, supplier?)>
+<!ELEMENT title    (#PCDATA)>
+<!ELEMENT price    (#PCDATA)>
+<!ELEMENT feature  (#PCDATA)>
+<!ELEMENT margin   (#PCDATA)>
+<!ELEMENT supplier (contact, contract)>
+<!ELEMENT contact  (#PCDATA)>
+<!ELEMENT contract (#PCDATA)>
+"""
+
+
+def catalog(n_products: int = 10, seed: int = 11) -> Workload:
+    """Storefront editor's view of a product catalog.
+
+    Hidden: per-product margins and the whole supplier record. Note that
+    ``margin`` is *mandatory* in the schema — every product the editor
+    creates forces the propagation to invent a hidden margin node
+    (insertlets shine here). The update adds products and prunes
+    features.
+    """
+    from ..dtd import parse_dtd
+
+    rng = random.Random(seed)
+    dtd = parse_dtd(_CATALOG_DTD)
+    annotation = Annotation.hiding(("product", "margin"), ("product", "supplier"))
+    products = []
+    for index in range(n_products):
+        features = ", ".join(
+            f"feature#f{index}_{position}" for position in range(rng.randint(0, 3))
+        )
+        supplier = (
+            f", supplier#s{index}(contact#sc{index}, contract#sk{index})"
+            if rng.random() < 0.6
+            else ""
+        )
+        body = f"title#t{index}, price#pr{index}"
+        if features:
+            body += f", {features}"
+        body += f", margin#m{index}{supplier}"
+        products.append(f"product#p{index}({body})")
+    source = parse_term(f"catalog#c({', '.join(products)})")
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    fresh = NodeIds("np", forbidden=set(source.nodes()))
+    for _ in range(max(1, n_products // 4)):
+        new_id = fresh.fresh()
+        builder.insert(
+            "c",
+            parse_term(
+                f"product#{new_id}(title#{new_id}_t, price#{new_id}_p, "
+                f"feature#{new_id}_f)"
+            ),
+        )
+    # prune the first feature of every other product
+    for index in range(0, n_products, 2):
+        if f"f{index}_0" in view.node_set:
+            builder.delete(f"f{index}_0")
+    return Workload("catalog", dtd, annotation, source, builder.script())
+
+
+def positional(n_entries: int = 4) -> Workload:
+    """Scaled Section 6.2 workload: append a ``c`` after existing ones.
+
+    ``r → b·(c+ε)·(a·c)*`` with hidden ``b``/``a``: every visible ``c``
+    is preceded by an invisible separator, so the identifier-blind
+    baseline has no way to know *which* gap the user meant.
+    """
+    dtd = DTD({"r": "b,(c|ε),(a,c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "a"))
+    groups = ", ".join(f"a#g{i}, c#h{i}" for i in range(n_entries))
+    suffix = f", {groups}" if groups else ""
+    source = parse_term(f"r#m0(b#m1, a#m2, c#m3{suffix})")
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    builder.insert("m0", parse_term("c#u0"), index=1)
+    return Workload("positional", dtd, annotation, source, builder.script())
+
+
+def deep_document(depth: int = 6, seed: int = 3) -> Workload:
+    """A recursive DTD (sections within sections) stressing recursion.
+
+    ``section → title, note?, section*`` with hidden notes; the update
+    inserts a subtree at the deepest level and deletes a mid-level
+    section.
+    """
+    dtd = DTD({"section": "title,note?,section*", "title": "", "note": ""})
+    annotation = Annotation.hiding(("section", "note"))
+    rng = random.Random(seed)
+    counter = [0]
+
+    def build(level: int) -> Tree:
+        index = counter[0]
+        counter[0] += 1
+        children = [Tree.leaf("title", f"t{index}")]
+        if rng.random() < 0.5:
+            children.append(Tree.leaf("note", f"n{index}"))
+        if level < depth:
+            for _ in range(1 if level > 1 else 2):
+                children.append(build(level + 1))
+        return Tree.build("section", f"s{index}", children)
+
+    source = build(0)
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    deepest = max(view.nodes(), key=lambda n: view.depth(n) if view.label(n) == "section" else -1)
+    builder.insert(deepest, parse_term("section#news(title#newt)"))
+    mid_sections = [
+        n for n in view.nodes()
+        if view.label(n) == "section" and view.depth(n) == 2
+    ]
+    if mid_sections:
+        builder.delete(mid_sections[0])
+    return Workload("deep_document", dtd, annotation, source, builder.script())

@@ -1,0 +1,320 @@
+"""Generic machinery for weighted edge-labelled digraphs.
+
+Inversion graphs (Section 3) and propagation graphs (Section 4) share
+the same algorithmic needs, implemented here once over a minimal
+structural interface — an edge is any object with ``source``, ``target``
+and ``weight`` attributes, and a graph is represented by its
+``edges_from`` adjacency callable:
+
+* cheapest path cost from a source to a set of targets (Dijkstra;
+  weights are non-negative, possibly huge Python ints);
+* the *optimal subgraph* induced by all cheapest paths — an edge ``e``
+  lies on a cheapest path iff
+  ``dist_src(e.source) + e.weight + dist_tgt(e.target) = OPT``;
+* exact path counting on DAGs with per-edge multiplicities (big ints);
+* bounded path enumeration;
+* deterministic greedy walks used by preference-function choosers.
+
+In both graph families every zero-weight edge strictly advances a
+position index, so optimal subgraphs are guaranteed acyclic — the fact
+behind the paper's remark that optimal paths are acyclic and behind the
+exponential *upper* bound on the number of optimal propagations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Hashable, Iterable, Iterator, Protocol, TypeVar
+
+from .errors import ReproError
+
+__all__ = [
+    "Edge",
+    "CycleError",
+    "min_distances",
+    "reverse_adjacency",
+    "optimal_edges",
+    "count_paths",
+    "enumerate_paths",
+    "greedy_path",
+    "cheapest_path",
+]
+
+Vertex = Hashable
+
+
+class Edge(Protocol):
+    """Structural interface required of graph edges."""
+
+    @property
+    def source(self) -> Vertex: ...
+
+    @property
+    def target(self) -> Vertex: ...
+
+    @property
+    def weight(self) -> int: ...
+
+
+E = TypeVar("E", bound=Edge)
+EdgesFrom = Callable[[Vertex], Iterable[E]]
+
+
+class CycleError(ReproError):
+    """A DAG-only algorithm met a cycle."""
+
+
+def min_distances(
+    sources: Iterable[Vertex],
+    edges_from: EdgesFrom,
+) -> dict[Vertex, int]:
+    """Cheapest distance from any of *sources* to every reachable vertex."""
+    dist: dict[Vertex, int] = {}
+    heap: list[tuple[int, int, Vertex]] = []
+    counter = 0
+    for source in sources:
+        heapq.heappush(heap, (0, counter, source))
+        counter += 1
+    while heap:
+        cost, _, vertex = heapq.heappop(heap)
+        if vertex in dist:
+            continue
+        dist[vertex] = cost
+        for edge in edges_from(vertex):
+            if edge.weight < 0:
+                raise ReproError(f"negative edge weight on {edge!r}")
+            if edge.target not in dist:
+                counter += 1
+                heapq.heappush(heap, (cost + edge.weight, counter, edge.target))
+    return dist
+
+
+def reverse_adjacency(edges: Iterable[E]) -> Callable[[Vertex], list[E]]:
+    """An ``edges_from`` over the reversed graph (edge objects unchanged).
+
+    The returned callable maps a vertex ``v`` to the edges *into* ``v``;
+    pair it with :func:`min_distances` by flipping source/target through
+    :class:`_Reversed`.
+    """
+    incoming: dict[Vertex, list[E]] = {}
+    for edge in edges:
+        incoming.setdefault(edge.target, []).append(edge)
+
+    def reversed_edges_from(vertex: Vertex) -> list["_Reversed"]:
+        return [_Reversed(edge) for edge in incoming.get(vertex, ())]
+
+    return reversed_edges_from
+
+
+class _Reversed:
+    """View of an edge with source and target swapped."""
+
+    __slots__ = ("edge",)
+
+    def __init__(self, edge: Edge) -> None:
+        self.edge = edge
+
+    @property
+    def source(self) -> Vertex:
+        return self.edge.target
+
+    @property
+    def target(self) -> Vertex:
+        return self.edge.source
+
+    @property
+    def weight(self) -> int:
+        return self.edge.weight
+
+    def __repr__(self) -> str:
+        return f"_Reversed({self.edge!r})"
+
+
+def optimal_edges(
+    source: Vertex,
+    targets: Iterable[Vertex],
+    all_edges: Iterable[E],
+) -> tuple[int | None, list[E]]:
+    """The cheapest source→targets cost and the edges on cheapest paths.
+
+    Returns ``(None, [])`` when no target is reachable. The returned
+    edge list induces the paper's *optimal* graphs ``H*`` and ``G*``.
+    """
+    edges = list(all_edges)
+    targets = set(targets)
+    forward: dict[Vertex, list[E]] = {}
+    for edge in edges:
+        forward.setdefault(edge.source, []).append(edge)
+    dist_src = min_distances([source], lambda v: forward.get(v, ()))
+    backward = reverse_adjacency(edges)
+    dist_tgt_rev = min_distances(targets, backward)
+    best: int | None = None
+    for target in targets:
+        if target in dist_src:
+            candidate = dist_src[target]
+            if best is None or candidate < best:
+                best = candidate
+    if best is None:
+        return (None, [])
+    kept = [
+        edge
+        for edge in edges
+        if edge.source in dist_src
+        and edge.target in dist_tgt_rev
+        and dist_src[edge.source] + edge.weight + dist_tgt_rev[edge.target] == best
+    ]
+    return (best, kept)
+
+
+def count_paths(
+    source: Vertex,
+    targets: Iterable[Vertex],
+    edges_from: EdgesFrom,
+    multiplicity: Callable[[Edge], int] = lambda edge: 1,
+) -> int:
+    """Number of source→target paths in a DAG, weighted per edge.
+
+    ``multiplicity(e)`` says how many distinct objects traversal of ``e``
+    stands for (e.g. how many optimal sub-propagations a (vi)-edge
+    carries); the result is ``Σ_paths Π_edges multiplicity``. Exact big
+    integers; raises :class:`CycleError` on cycles.
+    """
+    targets = set(targets)
+    memo: dict[Vertex, int] = {}
+    in_progress: set[Vertex] = set()
+
+    def count(vertex: Vertex) -> int:
+        if vertex in memo:
+            return memo[vertex]
+        if vertex in in_progress:
+            raise CycleError(f"cycle through {vertex!r}")
+        in_progress.add(vertex)
+        total = 1 if vertex in targets else 0
+        for edge in edges_from(vertex):
+            total += multiplicity(edge) * count(edge.target)
+        in_progress.discard(vertex)
+        memo[vertex] = total
+        return total
+
+    return count(source)
+
+
+def enumerate_paths(
+    source: Vertex,
+    targets: Iterable[Vertex],
+    edges_from: EdgesFrom,
+    *,
+    max_cost: int | None = None,
+    allow_cycles: bool = False,
+    max_paths: int | None = None,
+) -> Iterator[tuple[E, ...]]:
+    """Yield source→target paths as edge tuples (DFS, deterministic order).
+
+    By default only acyclic paths are produced; with ``allow_cycles``
+    a finite ``max_cost`` is required (cyclic paths are legal in the
+    paper's graphs — e.g. pumping extra invisible inserts — but are
+    infinitely many).
+    """
+    if allow_cycles and max_cost is None:
+        raise ReproError("cyclic enumeration requires max_cost")
+    targets = set(targets)
+    produced = 0
+
+    def walk(
+        vertex: Vertex, path: tuple[E, ...], cost: int, seen: frozenset[Vertex]
+    ) -> Iterator[tuple[E, ...]]:
+        nonlocal produced
+        if max_paths is not None and produced >= max_paths:
+            return
+        if vertex in targets:
+            produced += 1
+            yield path
+            if max_paths is not None and produced >= max_paths:
+                return
+        for edge in edges_from(vertex):
+            new_cost = cost + edge.weight
+            if max_cost is not None and new_cost > max_cost:
+                continue
+            if not allow_cycles and edge.target in seen:
+                continue
+            yield from walk(
+                edge.target,
+                path + (edge,),
+                new_cost,
+                seen if allow_cycles else seen | {edge.target},
+            )
+
+    yield from walk(source, (), 0, frozenset({source}))
+
+
+def cheapest_path(
+    source: Vertex,
+    targets: Iterable[Vertex],
+    edges_from: EdgesFrom,
+    tie_break: Callable[[Edge], object] = repr,
+) -> tuple[E, ...] | None:
+    """One cheapest path, deterministic under *tie_break* (Dijkstra).
+
+    Ties between equal-cost relaxations resolve towards the path whose
+    edge tie-break keys are smallest lexicographically along the path.
+    """
+    targets = set(targets)
+    # priority: (cost, key-path, counter) — key-path keeps ties deterministic,
+    # the counter prevents comparisons ever reaching the vertex objects
+    counter = 0
+    heap: list[tuple[int, tuple, int, Vertex, tuple]] = [(0, (), 0, source, ())]
+    settled: set[Vertex] = set()
+    while heap:
+        cost, keys, _, vertex, path = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex in targets:
+            return path
+        for edge in edges_from(vertex):
+            if edge.target in settled:
+                continue
+            counter += 1
+            heapq.heappush(
+                heap,
+                (
+                    cost + edge.weight,
+                    keys + (tie_break(edge),),
+                    counter,
+                    edge.target,
+                    path + (edge,),
+                ),
+            )
+    return None
+
+
+def greedy_path(
+    source: Vertex,
+    targets: Iterable[Vertex],
+    edges_from: EdgesFrom,
+    preference: Callable[[Edge], object],
+) -> tuple[E, ...]:
+    """Walk from *source* picking the best-preferred edge until a target.
+
+    Correct only on graphs where every maximal walk reaches a target —
+    which holds on optimal subgraphs: every optimal edge leads to a
+    vertex still on a cheapest path, and the subgraph is a DAG. This is
+    how preference functions Φ (Section 5) select the unique propagation.
+    """
+    targets = set(targets)
+    path: list[E] = []
+    vertex = source
+    seen = {source}
+    while vertex not in targets:
+        candidates = sorted(edges_from(vertex), key=preference)
+        if not candidates:
+            raise ReproError(
+                f"greedy walk stuck at {vertex!r}: not an optimal subgraph?"
+            )
+        edge = candidates[0]
+        if edge.target in seen:
+            raise CycleError(f"greedy walk revisits {edge.target!r}")
+        seen.add(edge.target)
+        path.append(edge)
+        vertex = edge.target
+    return tuple(path)

@@ -1,0 +1,197 @@
+"""Enumerating and counting inverses (Theorems 1 and 2).
+
+``Inv(L(D), A, t′)`` is infinite in general (cyclic inversion paths pump
+extra invisible content, and (i)-edges accept *any* tree of the right
+root label), so enumeration is necessarily parameterised:
+
+* :func:`count_min_inversions` — the exact number of *minimal* inverses,
+  by DAG dynamic programming over the optimal graphs; with
+  ``distinct_trees=True`` the count includes the choice among minimal
+  trees on (i)-edges, otherwise each (i)-edge counts once (canonical
+  insertion).
+* :func:`enumerate_min_inversions` — materialises minimal inverses (all
+  of them, or capped), used by the Theorem 2 cross-check tests.
+* :func:`enumerate_inversions` — non-optimal enumeration bounded by a
+  hidden-node budget, used by the Theorem 1 cross-check tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator
+
+from ..dtd import count_minimal_shapes, minimal_shapes, minimal_sizes, shape_to_tree
+from ..graphutil import count_paths, enumerate_paths
+from ..xmltree import NodeId, NodeIds, Tree
+from .invert import InversionGraphs
+
+__all__ = [
+    "count_min_inversions",
+    "enumerate_min_inversions",
+    "enumerate_inversions",
+]
+
+
+def count_min_inversions(
+    graphs: InversionGraphs, *, distinct_trees: bool = False
+) -> int:
+    """``|Invmin(L(D), A, t′)|`` (up to renaming of the fresh hidden nodes).
+
+    Exact big-int arithmetic. Without ``distinct_trees`` the count is the
+    number of optimal path combinations (each (i)-edge contributes its
+    canonical minimal tree); with it, every distinct minimal tree shape
+    per (i)-edge is counted separately.
+    """
+    sizes = minimal_sizes(graphs.dtd)
+    tree_counts: dict[str, int] = {}
+
+    def tree_count(symbol: str) -> int:
+        if symbol not in tree_counts:
+            tree_counts[symbol] = count_minimal_shapes(graphs.dtd, symbol, sizes)
+        return tree_counts[symbol]
+
+    memo: dict[NodeId, int] = {}
+
+    def count(node: NodeId) -> int:
+        if node in memo:
+            return memo[node]
+        optimal = graphs.optimal(node)
+
+        def multiplicity(edge) -> int:
+            if edge.is_insert:
+                return tree_count(edge.symbol) if distinct_trees else 1
+            return count(optimal.child_at(edge.child_index))
+
+        result = count_paths(
+            optimal.source, optimal.targets, optimal.edges_from, multiplicity
+        )
+        memo[node] = result
+        return result
+
+    return count(graphs.view.root)
+
+
+Builder = Callable[[Callable[[], NodeId]], Tree]
+
+
+def _edge_options(
+    graphs: InversionGraphs,
+    graph,
+    edge,
+    subtree_builders: Callable[[NodeId], list[Builder]],
+    all_min_trees: bool,
+) -> list[Builder]:
+    """All subtree choices a single path edge stands for."""
+    if edge.is_recurse:
+        return subtree_builders(graph.child_at(edge.child_index))
+    if all_min_trees:
+        shapes = minimal_shapes(graphs.dtd, edge.symbol)
+        return [
+            (lambda fresh, shape=shape: shape_to_tree(shape, fresh))
+            for shape in shapes
+        ]
+    return [lambda fresh: graphs.factory.build(edge.symbol, fresh)]
+
+
+def enumerate_min_inversions(
+    graphs: InversionGraphs,
+    *,
+    all_min_trees: bool = True,
+    max_count: int | None = None,
+) -> Iterator[Tree]:
+    """Yield the minimal inverses of the view (deterministic order).
+
+    With ``all_min_trees`` every minimal shape is used for (i)-edges, so
+    the stream realises ``Invmin`` exactly (up to hidden-node renaming);
+    hidden identifiers are freshly generated per produced tree.
+    """
+    budget = [max_count if max_count is not None else float("inf")]
+
+    def builders_for(node: NodeId) -> list[Builder]:
+        optimal = graphs.optimal(node)
+        label = optimal.label
+        result: list[Builder] = []
+        for path in enumerate_paths(optimal.source, optimal.targets, optimal.edges_from):
+            options = [
+                _edge_options(graphs, optimal, edge, builders_for, all_min_trees)
+                for edge in path
+            ]
+            for combo in itertools.product(*options):
+                def make(fresh: Callable[[], NodeId], combo=combo, node=node, label=label) -> Tree:
+                    return Tree.build(
+                        label, node, [build(fresh) for build in combo]
+                    )
+
+                result.append(make)
+                if len(result) > budget[0]:
+                    return result
+        return result
+
+    for builder in builders_for(graphs.view.root):
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        fresh = NodeIds.avoiding(graphs.view.nodes(), "h")
+        yield builder(fresh.fresh)
+
+
+def enumerate_inversions(
+    graphs: InversionGraphs,
+    *,
+    max_hidden: int,
+    max_count: int | None = None,
+) -> Iterator[Tree]:
+    """Yield inverses whose *added hidden weight* is at most ``max_hidden``.
+
+    Walks the **full** graphs (cyclic paths included, bounded by the
+    budget), with canonical factory trees on (i)-edges — the Theorem 1
+    cross-check against brute-force enumeration. Order is deterministic;
+    duplicates (same tree shape reached by different path combinations)
+    are not filtered.
+    """
+    produced = [0]
+
+    def builders_for(node: NodeId, budget: int) -> list[tuple[int, Builder]]:
+        graph = graphs[node]
+        label = graph.label
+        result: list[tuple[int, Builder]] = []
+        for path in enumerate_paths(
+            graph.source,
+            graph.targets,
+            graph.edges_from,
+            max_cost=budget,
+            allow_cycles=True,
+        ):
+            fixed_cost = sum(e.weight for e in path if e.is_insert)
+            if fixed_cost > budget:
+                continue
+            options: list[list[tuple[int, Builder]]] = []
+            for edge in path:
+                if edge.is_insert:
+                    weight, symbol = edge.weight, edge.symbol
+                    options.append(
+                        [(weight, lambda fresh, s=symbol: graphs.factory.build(s, fresh))]
+                    )
+                else:
+                    child = graph.child_at(edge.child_index)
+                    options.append(builders_for(child, budget - fixed_cost))
+            for combo in itertools.product(*options):
+                total = sum(weight for weight, _ in combo)
+                if total > budget:
+                    continue
+                def make(fresh, combo=combo, node=node, label=label) -> Tree:
+                    return Tree.build(
+                        label, node, [build(fresh) for _, build in combo]
+                    )
+
+                result.append((total, make))
+        return result
+
+    for _, builder in sorted(
+        builders_for(graphs.view.root, max_hidden), key=lambda pair: pair[0]
+    ):
+        if max_count is not None and produced[0] >= max_count:
+            return
+        produced[0] += 1
+        fresh = NodeIds.avoiding(graphs.view.nodes(), "h")
+        yield builder(fresh.fresh)

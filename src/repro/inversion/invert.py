@@ -1,0 +1,196 @@
+"""Building inversion-graph collections and constructing inverses.
+
+Entry points:
+
+* :func:`inversion_graphs` — the collection ``H(D,A,t′)`` with paper
+  weights (one bottom-up pass; polynomial in ``|D|`` and ``|t′|``);
+* :meth:`InversionGraphs.min_inversion_size` — size of the smallest
+  inverse (``|t′|`` plus the cheapest-path cost at the root);
+* :func:`invert` — one concrete inverse of ``t′`` (cheapest by default),
+  the Theorem 1/2 construction: pick an inversion path per graph, emit a
+  factory tree per (i)-edge, recurse per (ii)-edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from ..dtd import DTD, MinimalTreeFactory, TreeFactory
+from ..errors import NoInversionError
+from ..graphutil import cheapest_path, min_distances
+from ..views import Annotation
+from ..xmltree import NodeId, NodeIds, Tree
+from .graph import InversionGraph, InversionPath, build_inversion_graph
+from .optimal import OptimalInversionGraph
+
+__all__ = ["InversionGraphs", "inversion_graphs", "invert", "verify_inverse"]
+
+
+class InversionGraphs:
+    """The collection ``H(D,A,t′) = (H_n)_{n ∈ N_t′}``.
+
+    ``costs[n]`` is the cheapest inversion-path cost of ``H_n`` — the
+    number of invisible nodes a minimal inverse adds strictly below
+    ``n``. Optimal subgraphs ``H*_n`` are built lazily via
+    :meth:`optimal`.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        annotation: Annotation,
+        view: Tree,
+        factory: TreeFactory,
+        graphs: Mapping[NodeId, InversionGraph],
+        costs: Mapping[NodeId, int],
+    ) -> None:
+        self.dtd = dtd
+        self.annotation = annotation
+        self.view = view
+        self.factory = factory
+        self._graphs = dict(graphs)
+        self.costs = dict(costs)
+        self._optimal: dict[NodeId, OptimalInversionGraph] = {}
+
+    def __getitem__(self, node: NodeId) -> InversionGraph:
+        return self._graphs[node]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._graphs)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def optimal(self, node: NodeId) -> OptimalInversionGraph:
+        """``H*_node`` — cached cheapest-path-induced subgraph."""
+        if node not in self._optimal:
+            self._optimal[node] = OptimalInversionGraph(self._graphs[node])
+        return self._optimal[node]
+
+    def min_inversion_size(self) -> int:
+        """Size of the smallest tree in ``Inv(L(D), A, t′)``."""
+        return self.view.size + self.costs[self.view.root]
+
+    @property
+    def total_size(self) -> int:
+        """Total vertex+edge count over all graphs (for scaling studies)."""
+        return sum(
+            graph.n_vertices + graph.n_edges for graph in self._graphs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Tree construction (the Theorem 1/2 recipe)
+    # ------------------------------------------------------------------
+
+    def build_tree(
+        self,
+        choose: Callable[[InversionGraph], InversionPath],
+        fresh: "Callable[[], NodeId] | None" = None,
+        *,
+        optimal_only: bool = False,
+    ) -> Tree:
+        """Construct an inverse from one chosen path per (used) graph.
+
+        *choose* receives ``H_n`` (or ``H*_n`` with ``optimal_only``) and
+        returns an inversion path in it; (i)-edges materialise
+        ``factory`` trees with *fresh* identifiers.
+        """
+        if fresh is None:
+            generator = NodeIds.avoiding(self.view.nodes(), "h")
+            fresh = generator.fresh
+
+        def build(node: NodeId) -> Tree:
+            graph = self.optimal(node) if optimal_only else self._graphs[node]
+            path = choose(graph)  # type: ignore[arg-type]
+            children: list[Tree] = []
+            for edge in path:
+                if edge.is_insert:
+                    children.append(self.factory.build(edge.symbol, fresh))
+                else:
+                    children.append(build(graph.child_at(edge.child_index)))
+            return Tree.build(self.view.label(node), node, children)
+
+        return build(self.view.root)
+
+    def __repr__(self) -> str:
+        return (
+            f"InversionGraphs(|t'|={self.view.size}, total_size={self.total_size}, "
+            f"min_inverse={self.min_inversion_size()})"
+        )
+
+
+def inversion_graphs(
+    dtd: DTD,
+    annotation: Annotation,
+    view: Tree,
+    factory: TreeFactory | None = None,
+) -> InversionGraphs:
+    """Build ``H(D, A, view)`` with the paper's edge weights.
+
+    One bottom-up pass: children costs feed the parents' (ii)-edge
+    weights. Raises :class:`NoInversionError` if ``view ∉ A(L(D))``.
+    """
+    if view.is_empty:
+        raise NoInversionError("the empty tree is not a view of any document")
+    unknown = {view.label(node) for node in view.nodes()} - dtd.alphabet
+    if unknown:
+        raise NoInversionError(
+            f"view uses labels outside the DTD alphabet: {sorted(unknown)}"
+        )
+    if factory is None:
+        factory = MinimalTreeFactory(dtd)
+    graphs: dict[NodeId, InversionGraph] = {}
+    costs: dict[NodeId, int] = {}
+    for node in view.postorder():
+        graph = build_inversion_graph(dtd, annotation, view, node, costs, factory)
+        dist = min_distances([graph.source], graph.edges_from)
+        best = min(
+            (dist[target] for target in graph.targets if target in dist),
+            default=None,
+        )
+        if best is None:
+            raise NoInversionError(
+                f"no inversion path in H_{node!r} (label {graph.label!r}): "
+                "the view is not in A(L(D))"
+            )
+        graphs[node] = graph
+        costs[node] = best
+    return InversionGraphs(dtd, annotation, view, factory, graphs, costs)
+
+
+def invert(
+    dtd: DTD,
+    annotation: Annotation,
+    view: Tree,
+    *,
+    factory: TreeFactory | None = None,
+    fresh: "Callable[[], NodeId] | None" = None,
+    minimal: bool = True,
+) -> Tree:
+    """One inverse of *view*: a source tree ``t ∈ L(D)`` with ``A(t) = view``.
+
+    With ``minimal=True`` (default) the result is a size-minimal inverse
+    (Theorem 2); otherwise any cheapest path of the full graph is used —
+    currently the same choice, but kept separate so callers can read the
+    intent. Deterministic.
+    """
+    graphs = inversion_graphs(dtd, annotation, view, factory)
+
+    def choose(graph: InversionGraph) -> InversionPath:
+        path = cheapest_path(
+            graph.source,
+            graph.targets,
+            graph.edges_from,
+            tie_break=lambda edge: (edge.kind, edge.symbol),
+        )
+        assert path is not None, "collection builder verified reachability"
+        return path
+
+    return graphs.build_tree(choose, fresh, optimal_only=minimal)
+
+
+def verify_inverse(
+    dtd: DTD, annotation: Annotation, view: Tree, candidate: Tree
+) -> bool:
+    """Check the defining property: ``candidate ∈ L(D)`` and ``A(candidate) = view``."""
+    return dtd.validates(candidate) and annotation.view(candidate) == view

@@ -1,0 +1,114 @@
+"""Optimal inversion graphs ``H*(D, A, t′)`` (paper Theorem 2).
+
+``H*_n`` is the subgraph of ``H_n`` induced by its cheapest inversion
+paths. Traversing it with minimal trees on (i)-edges produces exactly
+the *size-minimal* inverses ``Invmin(L(D), A, t′)``. Optimal graphs are
+acyclic ((i)-edges cost ≥ 1 and (ii)-edges strictly advance the
+position), which enables exact counting by DAG dynamic programming.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..graphutil import optimal_edges
+from .graph import IEdge, InversionGraph, IVertex
+
+__all__ = ["OptimalInversionGraph"]
+
+
+class OptimalInversionGraph:
+    """The cheapest-path-induced subgraph of an :class:`InversionGraph`.
+
+    Exposes the same structural interface (``edges_from`` /
+    ``all_edges`` / ``source`` / ``targets``) so path machinery works on
+    both; :attr:`cost` is the cheapest inversion-path cost.
+    """
+
+    def __init__(self, graph: InversionGraph) -> None:
+        self.full = graph
+        cost, kept = optimal_edges(graph.source, graph.targets, graph.all_edges())
+        if cost is None:
+            # Callers construct optimal graphs only after the collection
+            # builder has verified a path exists; guard anyway.
+            from ..errors import NoInversionError
+
+            raise NoInversionError(
+                f"view node {graph.node!r} admits no inversion path"
+            )
+        self.cost: int = cost
+        adjacency: dict[IVertex, list[IEdge]] = {}
+        for edge in kept:
+            adjacency.setdefault(edge.source, []).append(edge)
+        self._adjacency: dict[IVertex, tuple[IEdge, ...]] = {
+            vertex: tuple(edges) for vertex, edges in adjacency.items()
+        }
+        # reachable targets (cheapest-cost ones only)
+        self.targets = frozenset(
+            target
+            for target in graph.targets
+            if target in self._target_reachable_set()
+        )
+
+    def _target_reachable_set(self) -> set[IVertex]:
+        seen = {self.source}
+        stack = [self.source]
+        while stack:
+            vertex = stack.pop()
+            for edge in self._adjacency.get(vertex, ()):
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return seen
+
+    # -- structural interface ------------------------------------------------
+
+    @property
+    def node(self):
+        return self.full.node
+
+    @property
+    def label(self) -> str:
+        return self.full.label
+
+    @property
+    def children(self):
+        return self.full.children
+
+    @property
+    def source(self) -> IVertex:
+        return self.full.source
+
+    def child_at(self, index: int):
+        return self.full.child_at(index)
+
+    def edges_from(self, vertex: IVertex) -> tuple[IEdge, ...]:
+        return self._adjacency.get(vertex, ())
+
+    def all_edges(self) -> Iterator[IEdge]:
+        for edges in self._adjacency.values():
+            yield from edges
+
+    def vertices(self) -> Iterator[IVertex]:
+        seen: set[IVertex] = set()
+        for vertex, edges in self._adjacency.items():
+            if vertex not in seen:
+                seen.add(vertex)
+                yield vertex
+            for edge in edges:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    yield edge.target
+
+    @property
+    def n_edges(self) -> int:
+        return sum(1 for _ in self.all_edges())
+
+    def is_target(self, vertex: IVertex) -> bool:
+        return vertex in self.targets
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimalInversionGraph(node={self.node!r}, cost={self.cost}, "
+            f"|E|={self.n_edges})"
+        )

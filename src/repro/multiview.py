@@ -1,0 +1,235 @@
+"""Multiple user views (paper Section 7 future work).
+
+"We also plan to study variants of the notion of side-effect free
+propagation in the setting where several user views are given."
+
+A propagation computed against one view is side-effect free *for that
+view* by construction — but other user classes, looking through their
+own annotations, may see collateral changes (new nodes appearing, kept
+nodes vanishing behind a deleted ancestor, subtrees shifting). This
+module quantifies and minimises that disturbance:
+
+* :func:`view_disturbance` — what a given observer sees change between
+  the old and new source: nodes that appeared, vanished, moved (new
+  parent or new sibling position among surviving nodes), or were
+  relabelled;
+* :func:`cross_view_report` — one disturbance record per named view;
+* :func:`propagate_min_disturbance` — among the cost-optimal
+  propagations (enumerated up to a cap), pick one minimising the total
+  disturbance of the *secondary* views; the primary view stays exactly
+  side-effect free (all candidates are), so this refines — never
+  relaxes — the paper's criterion.
+
+Disturbance of hidden machinery is invisible by definition: two
+propagations differing only in content hidden from *every* view are
+indistinguishable to all observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .core import (
+    PreferenceChooser,
+    enumerate_min_propagations,
+    propagation_graphs,
+)
+from .dtd import DTD, TreeFactory
+from .editing import EditScript
+from .errors import ReproError
+from .views import Annotation
+from .xmltree import NodeId, Tree
+
+__all__ = [
+    "ViewDisturbance",
+    "view_disturbance",
+    "cross_view_report",
+    "MultiViewResult",
+    "propagate_min_disturbance",
+]
+
+
+@dataclass
+class ViewDisturbance:
+    """What one observer sees change between two sources."""
+
+    appeared: frozenset[NodeId]
+    """Nodes visible now that were not visible before."""
+
+    vanished: frozenset[NodeId]
+    """Nodes visible before that are not visible now."""
+
+    moved: frozenset[NodeId]
+    """Surviving visible nodes whose visible parent or visible-sibling
+    position changed."""
+
+    relabelled: frozenset[NodeId]
+    """Surviving visible nodes whose label changed (renaming extension)."""
+
+    @property
+    def total(self) -> int:
+        """The disturbance score: one point per affected node."""
+        return (
+            len(self.appeared)
+            + len(self.vanished)
+            + len(self.moved)
+            + len(self.relabelled)
+        )
+
+    @property
+    def is_silent(self) -> bool:
+        """The observer sees no change at all."""
+        return self.total == 0
+
+    def summary(self) -> str:
+        if self.is_silent:
+            return "no visible change"
+        parts = []
+        if self.appeared:
+            parts.append(f"+{len(self.appeared)} appeared")
+        if self.vanished:
+            parts.append(f"-{len(self.vanished)} vanished")
+        if self.moved:
+            parts.append(f"~{len(self.moved)} moved")
+        if self.relabelled:
+            parts.append(f"±{len(self.relabelled)} relabelled")
+        return ", ".join(parts)
+
+
+def view_disturbance(
+    annotation: Annotation, before: Tree, after: Tree
+) -> ViewDisturbance:
+    """The disturbance an *annotation*-observer sees going before → after."""
+    old_view = annotation.view(before) if not before.is_empty else Tree.empty()
+    new_view = annotation.view(after) if not after.is_empty else Tree.empty()
+    old_nodes = old_view.node_set
+    new_nodes = new_view.node_set
+    surviving = old_nodes & new_nodes
+    moved: set[NodeId] = set()
+    relabelled: set[NodeId] = set()
+    for node in surviving:
+        if old_view.label(node) != new_view.label(node):
+            relabelled.add(node)
+        old_parent = old_view.parent(node)
+        new_parent = new_view.parent(node)
+        if old_parent != new_parent:
+            moved.add(node)
+            continue
+        if old_parent is not None:
+            old_rank = _surviving_rank(old_view, node, surviving)
+            new_rank = _surviving_rank(new_view, node, surviving)
+            if old_rank != new_rank:
+                moved.add(node)
+    return ViewDisturbance(
+        appeared=frozenset(new_nodes - old_nodes),
+        vanished=frozenset(old_nodes - new_nodes),
+        moved=frozenset(moved),
+        relabelled=frozenset(relabelled),
+    )
+
+
+def _surviving_rank(view: Tree, node: NodeId, surviving: frozenset[NodeId]) -> int:
+    """Position of *node* among its surviving siblings."""
+    parent = view.parent(node)
+    siblings = [kid for kid in view.children(parent) if kid in surviving]
+    return siblings.index(node)
+
+
+def cross_view_report(
+    annotations: Mapping[str, Annotation],
+    before: Tree,
+    after: Tree,
+) -> dict[str, ViewDisturbance]:
+    """One :class:`ViewDisturbance` per named view."""
+    return {
+        name: view_disturbance(annotation, before, after)
+        for name, annotation in annotations.items()
+    }
+
+
+@dataclass
+class MultiViewResult:
+    """Outcome of :func:`propagate_min_disturbance`."""
+
+    script: EditScript
+    """The selected cost-optimal propagation."""
+
+    disturbances: dict[str, ViewDisturbance]
+    """Per secondary view, what its users will see change."""
+
+    candidates_considered: int
+    """How many optimal propagations were scored."""
+
+    truncated: bool
+    """Whether the candidate cap was hit (the result is then best-of-cap)."""
+
+    @property
+    def total_disturbance(self) -> int:
+        return sum(d.total for d in self.disturbances.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"cost={self.script.cost}, candidates={self.candidates_considered}"
+            + (" (capped)" if self.truncated else "")
+        ]
+        for name, disturbance in sorted(self.disturbances.items()):
+            lines.append(f"  view {name!r}: {disturbance.summary()}")
+        return "\n".join(lines)
+
+
+def propagate_min_disturbance(
+    dtd: DTD,
+    primary: Annotation,
+    secondary: Mapping[str, Annotation],
+    source: Tree,
+    update: EditScript,
+    *,
+    factory: TreeFactory | None = None,
+    max_candidates: int = 64,
+) -> MultiViewResult:
+    """A cost-optimal propagation minimising secondary-view disturbance.
+
+    All candidates come from ``Pmin`` (so the *primary* view is exactly
+    side-effect free and the cost is optimal); among them, up to
+    *max_candidates* are scored by the summed disturbance over the
+    *secondary* views, with the default preference-chooser result as the
+    deterministic tie-break baseline.
+    """
+    if max_candidates < 1:
+        raise ReproError("max_candidates must be at least 1")
+    collection = propagation_graphs(
+        dtd, primary, source, update, factory, validate=True
+    )
+    baseline = collection.build_script(PreferenceChooser())
+    best_script = baseline
+    best_key: tuple[int, int] | None = None
+    considered = 0
+    truncated = False
+    for index, candidate in enumerate(
+        enumerate_min_propagations(
+            collection, all_min_trees=False, max_count=max_candidates + 1
+        )
+    ):
+        if index >= max_candidates:
+            truncated = True
+            break
+        considered += 1
+        output = candidate.output_tree
+        score = sum(
+            view_disturbance(annotation, source, output).total
+            for annotation in secondary.values()
+        )
+        key = (score, 0 if candidate == baseline else 1)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_script = candidate
+    disturbances = cross_view_report(
+        secondary, source, best_script.output_tree
+    )
+    return MultiViewResult(
+        script=best_script,
+        disturbances=disturbances,
+        candidates_considered=considered,
+        truncated=truncated,
+    )

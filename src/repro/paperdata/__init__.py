@@ -1,0 +1,57 @@
+"""The paper's figures and examples as constructable objects.
+
+Everything the paper draws or names — ``t0``, ``D0``, ``A0``, ``S0``,
+``D1``-``D3`` with their annotations, the exponential DTD family — is a
+function here, with node identifiers matching the paper exactly. The
+reproduction tests (``tests/paper``) and the benchmarks import from this
+module only, so the correspondence paper ↔ code is auditable in one
+place.
+"""
+
+from .figures import (
+    a0,
+    a1,
+    a2,
+    a3,
+    d0,
+    d0_fig2_automata,
+    d1,
+    d2,
+    d2_update_insert_k,
+    d3,
+    d3_source,
+    d3_updated_view,
+    exponential_dtd,
+    fig6_inverse,
+    fig6_view_fragment,
+    fig7_propagation,
+    fig9_fragment,
+    out_s0,
+    s0,
+    t0,
+    view0,
+)
+
+__all__ = [
+    "t0",
+    "d0",
+    "d0_fig2_automata",
+    "a0",
+    "view0",
+    "s0",
+    "out_s0",
+    "fig6_view_fragment",
+    "fig6_inverse",
+    "fig7_propagation",
+    "fig9_fragment",
+    "d1",
+    "a1",
+    "d2",
+    "a2",
+    "d2_update_insert_k",
+    "exponential_dtd",
+    "d3",
+    "a3",
+    "d3_source",
+    "d3_updated_view",
+]

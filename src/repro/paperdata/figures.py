@@ -1,0 +1,240 @@
+"""Every figure and example of the paper as constructable objects.
+
+Single source of truth for the reproduction tests and benchmarks:
+
+* Figure 1 — the tree ``t0``;
+* Figure 2 — the DTD ``D0`` (as regexes, and as the figure's exact
+  two automata via :func:`d0_fig2_automata`);
+* Figure 3 — the annotation ``A0`` and the view ``A0(t0)``;
+* Figure 4 — the view update ``S0``;
+* Figure 5 — ``Out(S0)``;
+* Figure 6 — the view fragment ``d#n11(c, c)`` whose inversion graph the
+  paper draws, the selected inverse ``d(a, c, b, c)``;
+* Figure 7 — the optimal side-effect-free propagation of ``S0``;
+* Figure 9 — the update fragment obtained from ``G_{n6}``;
+* Section 4's ``D1``/``A1`` (infinitely many propagations) and
+  ``D2``/``A2`` (the ``2^k`` tight bound);
+* Section 5's exponential-minimal-tree DTD family;
+* Section 6.2's ``D3``/``A3`` repair counter-example.
+
+Node identifiers match the paper exactly (``n0 … n19``).
+"""
+
+from __future__ import annotations
+
+from ..automata import NFA
+from ..dtd import DTD
+from ..editing import EditScript
+from ..views import Annotation
+from ..xmltree import Tree, parse_term
+
+__all__ = [
+    "t0",
+    "d0",
+    "d0_fig2_automata",
+    "a0",
+    "view0",
+    "s0",
+    "out_s0",
+    "fig6_view_fragment",
+    "fig6_inverse",
+    "fig7_propagation",
+    "fig9_fragment",
+    "d1",
+    "a1",
+    "d2",
+    "a2",
+    "d2_update_insert_k",
+    "exponential_dtd",
+    "d3",
+    "a3",
+    "d3_source",
+    "d3_updated_view",
+]
+
+
+def t0() -> Tree:
+    """Figure 1: the running-example source document."""
+    return parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+
+
+def d0(*, fig2_automata: bool = False) -> DTD:
+    """Figure 2: ``r → (a·(b+c)·d)*``, ``d → ((a+b)·c)*``.
+
+    With ``fig2_automata=True`` the content models are the figure's
+    exact automata (states ``q0,q1,q2`` and ``p0,p1``) instead of the
+    Glushkov automata of the regexes — the languages coincide, but
+    figure-exact tests (e.g. the 6-vertex inversion graph of Figure 6)
+    need the drawn state sets.
+    """
+    if not fig2_automata:
+        return DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    r_model, d_model = d0_fig2_automata()
+    return DTD({"r": r_model, "d": d_model})
+
+
+def d0_fig2_automata() -> tuple[NFA, NFA]:
+    """The two automata exactly as drawn in Figure 2."""
+    r_model = NFA(
+        ["q0", "q1", "q2"],
+        ["a", "b", "c", "d"],
+        "q0",
+        [
+            ("q0", "a", "q1"),
+            ("q1", "b", "q2"),
+            ("q1", "c", "q2"),
+            ("q2", "d", "q0"),
+        ],
+        ["q0"],
+    )
+    d_model = NFA(
+        ["p0", "p1"],
+        ["a", "b", "c"],
+        "p0",
+        [("p0", "a", "p1"), ("p0", "b", "p1"), ("p1", "c", "p0")],
+        ["p0"],
+    )
+    return (r_model, d_model)
+
+
+def a0() -> Annotation:
+    """Figure 3: hides b,c under r and a,b under d."""
+    return Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+
+
+def view0() -> Tree:
+    """Figure 3: the view ``A0(t0)``."""
+    return parse_term("r#n0(a#n1, d#n3(c#n8), a#n4, d#n6(c#n10))")
+
+
+def s0() -> EditScript:
+    """Figure 4: the view update ``S0`` of ``A0(t0)``."""
+    return EditScript.parse(
+        "Nop.r#n0("
+        "Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, "
+        "Ins.d#n11(Ins.c#n13, Ins.c#n14), Ins.a#n12, "
+        "Nop.d#n6(Nop.c#n10, Ins.c#n15))"
+    )
+
+
+def out_s0() -> Tree:
+    """Figure 5: ``Out(S0)``."""
+    return parse_term("r#n0(a#n4, d#n11(c#n13, c#n14), a#n12, d#n6(c#n10, c#n15))")
+
+
+def fig6_view_fragment() -> Tree:
+    """Figure 6 (left): the subtree of ``Out(S0)`` at ``n11``."""
+    return parse_term("d#n11(c#n13, c#n14)")
+
+
+def fig6_inverse() -> Tree:
+    """Figure 6 (right): the inverse built from the selected path.
+
+    The paper labels the invented hidden nodes ``n16`` and ``n17``.
+    """
+    return parse_term("d#n11(a#n16, c#n13, b#n17, c#n14)")
+
+
+def fig7_propagation() -> EditScript:
+    """Figure 7: an optimal side-effect-free propagation of ``S0``."""
+    return EditScript.parse(
+        "Nop.r#n0("
+        "Del.a#n1, Del.b#n2, Del.d#n3(Del.a#n7, Del.c#n8), "
+        "Nop.a#n4, Nop.c#n5, "
+        "Ins.d#n11(Ins.a#n16, Ins.c#n13, Ins.b#n17, Ins.c#n14), "
+        "Ins.a#n12, Ins.b#n19, "
+        "Nop.d#n6(Nop.b#n9, Nop.c#n10, Ins.a#n18, Ins.c#n15))"
+    )
+
+
+def fig9_fragment() -> EditScript:
+    """Figure 9: the update fragment obtained from ``G_{n6}``."""
+    return EditScript.parse("Nop.d#n6(Nop.b#n9, Nop.c#n10, Ins.a#n18, Ins.c#n15)")
+
+
+# ---------------------------------------------------------------------------
+# Section 4 examples
+# ---------------------------------------------------------------------------
+
+
+def d1() -> DTD:
+    """Section 4: ``D1 : r → (a·b*)*`` — infinitely many propagations."""
+    return DTD({"r": "(a,b*)*"})
+
+
+def a1() -> Annotation:
+    """``A1(r,a) = 1``, ``A1(r,b) = 0``."""
+    return Annotation.hiding(("r", "b"))
+
+
+def d2() -> DTD:
+    """Section 4 ("Further results"): ``D2 : r → (a·(b+c))*``."""
+    return DTD({"r": "(a,(b|c))*"})
+
+
+def a2() -> Annotation:
+    """``A2(r,a) = 1``, ``A2(r,b) = A2(r,c) = 0``."""
+    return Annotation.hiding(("r", "b"), ("r", "c"))
+
+
+def d2_update_insert_k(k: int) -> tuple[Tree, EditScript]:
+    """The ``2^k`` example: an empty-ish source and k inserted ``a``-nodes.
+
+    Returns the source ``r#n0`` and the view update inserting ``k``
+    visible ``a`` children; each insertion independently requires one
+    invisible ``b`` or ``c``, so there are exactly ``2^k`` optimal
+    propagations (Theorem 4 discussion).
+    """
+    source = parse_term("r#n0")
+    inserts = ", ".join(f"Ins.a#u{i}" for i in range(k))
+    script = EditScript.parse(f"Nop.r#n0({inserts})" if k else "Nop.r#n0")
+    return (source, script)
+
+
+# ---------------------------------------------------------------------------
+# Section 5 example
+# ---------------------------------------------------------------------------
+
+
+def exponential_dtd(n: int) -> DTD:
+    """Section 5: ``a → aₙ·aₙ``, ``aᵢ → aᵢ₋₁·aᵢ₋₁``, ``a₀ → ε``.
+
+    The minimal tree with root ``a`` has ``2^(n+2) − 1`` nodes — the
+    reason insertlets exist.
+    """
+    rules = {"a": f"a{n},a{n}"}
+    for i in range(n, 0, -1):
+        rules[f"a{i}"] = f"a{i-1},a{i-1}"
+    return DTD(rules)
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2 example (repair inadequacy)
+# ---------------------------------------------------------------------------
+
+
+def d3() -> DTD:
+    """Section 6.2: ``D3 : r → b·(c+ε)·(a·c)*``."""
+    return DTD({"r": "b,(c|ε),(a,c)*"})
+
+
+def a3() -> Annotation:
+    """``A3(r,b) = A3(r,a) = 0``, ``A3(r,c) = 1`` — view DTD ``r → c*``."""
+    return Annotation.hiding(("r", "b"), ("r", "a"))
+
+
+def d3_source() -> Tree:
+    """``t = r(b, a, c)``."""
+    return parse_term("r#m0(b#m1, a#m2, c#m3)")
+
+
+def d3_updated_view() -> EditScript:
+    """The user inserts a second ``c`` *after* the existing one.
+
+    ``In = r(c#m3)``, ``Out = r(c#m3, c#u0)`` — the new node follows the
+    existing one, which is exactly the positional information the repair
+    baseline loses.
+    """
+    return EditScript.parse("Nop.r#m0(Nop.c#m3, Ins.c#u0)")

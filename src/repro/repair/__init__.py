@@ -1,0 +1,28 @@
+"""The repair-based baseline of Section 6.2.
+
+Public surface:
+
+* :func:`repair_update` — closest-tree repair given only the updated
+  view (identifier-blind).
+* :func:`repair_distance` / :class:`RepairDP` — the alignment distance
+  between a source and the inverse language of a view.
+* :func:`compare_with_propagation` — baseline vs the paper's algorithm,
+  with side-effect-freeness verdicts (experiment E7).
+"""
+
+from .distance import RepairDP, repair_distance
+from .repair import (
+    ComparisonReport,
+    RepairResult,
+    compare_with_propagation,
+    repair_update,
+)
+
+__all__ = [
+    "RepairDP",
+    "repair_distance",
+    "RepairResult",
+    "repair_update",
+    "ComparisonReport",
+    "compare_with_propagation",
+]

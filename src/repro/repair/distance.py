@@ -1,0 +1,273 @@
+"""Identifier-blind alignment distance: source tree vs inverse language.
+
+The Section 6.2 baseline solves view update by *XML repairing* [26]:
+take ``L′ = Inv(L(D), A, t′)`` **closed under isomorphism** and pick the
+member closest to the old source ``t`` under subtree-insert/delete
+editing. This module implements that distance exactly:
+
+``repair_distance(D, A, t, t′) = min_{t̂ ∈ L′/≅} align(t, t̂)``
+
+by a polynomial dynamic program over pairs (source node, view node). At
+a matched pair the children sequences are aligned through the content
+model with five moves:
+
+* *insert hidden* — invent an invisible subtree (cost = its size);
+* *delete* — drop a source child subtree, hidden or visible (cost =
+  its size) — identifier-blind, so even a visible child that "looks
+  like" a view child may be deleted;
+* *keep hidden* — carry an invisible source subtree over (cost 0);
+* *match visible* — pair a visible source child with the next view
+  child of the same label (cost = recursive distance);
+* *insert visible* — realise the next view child as a fresh minimal
+  inverse (cost = its minimal inversion size).
+
+Crucially there is **no identifier information**: matching is by label
+and order only, which is precisely why the baseline mis-places nodes on
+the paper's ``D3`` example (see :mod:`repro.repair.repair`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd import DTD, MinimalTreeFactory, TreeFactory
+from ..errors import NoInversionError, ReproError
+from ..graphutil import cheapest_path
+from ..inversion import InversionGraphs, inversion_graphs
+from ..views import Annotation
+from ..xmltree import NodeId, Tree
+
+__all__ = ["RepairDP", "repair_distance"]
+
+
+@dataclass(frozen=True)
+class _RVertex:
+    i: int
+    state: object
+    j: int
+
+
+@dataclass(frozen=True)
+class _REdge:
+    source: _RVertex
+    target: _RVertex
+    move: str  # ins_hidden | delete | keep_hidden | match | ins_visible
+    symbol: str
+    weight: int
+    s_child: NodeId | None = None
+    v_child: NodeId | None = None
+
+
+class RepairDP:
+    """The alignment dynamic program for one (source, target-view) pair.
+
+    ``distance()`` gives the minimal identifier-blind edit cost;
+    ``repaired_tree()`` materialises one closest repair (deterministic),
+    keeping identifiers of every source node it decides to keep and
+    inventing fresh ones for inserted content.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        annotation: Annotation,
+        source: Tree,
+        target_view: Tree,
+        factory: TreeFactory | None = None,
+    ) -> None:
+        if source.is_empty or target_view.is_empty:
+            raise ReproError("repair needs nonempty source and target view")
+        if source.label(source.root) != target_view.label(target_view.root):
+            raise NoInversionError(
+                "the target view's root label differs from the source's; "
+                "annotation views never change the root"
+            )
+        self.dtd = dtd
+        self.annotation = annotation
+        self.source = source
+        self.view = target_view
+        self.factory = factory if factory is not None else MinimalTreeFactory(dtd)
+        # minimal inversion sizes of every view fragment (insert-visible costs)
+        self._inv: InversionGraphs = inversion_graphs(
+            dtd, annotation, target_view, self.factory
+        )
+        self._subtree_size: dict[NodeId, int] = {}
+        for node in source.postorder():
+            self._subtree_size[node] = 1 + sum(
+                self._subtree_size[kid] for kid in source.children(node)
+            )
+        self._view_size: dict[NodeId, int] = {}
+        for node in target_view.postorder():
+            self._view_size[node] = 1 + sum(
+                self._view_size[kid] for kid in target_view.children(node)
+            )
+        self._dist: dict[tuple[NodeId, NodeId], int | None] = {}
+
+    # ------------------------------------------------------------------
+
+    def _insert_visible_cost(self, v_node: NodeId) -> int:
+        return self._view_size[v_node] + self._inv.costs[v_node]
+
+    def _edges_from_factory(self, s_node: NodeId, v_node: NodeId):
+        """The per-pair alignment graph as an ``edges_from`` callable."""
+        label = self.source.label(s_node)
+        model = self.dtd.automaton(label)
+        s_kids = self.source.children(s_node)
+        v_kids = self.view.children(v_node)
+
+        def edges_from(vertex: _RVertex):
+            result = []
+            i, state, j = vertex.i, vertex.state, vertex.j
+            # insert hidden
+            for symbol in sorted(self.dtd.alphabet):
+                if self.annotation.visible(label, symbol):
+                    continue
+                for q2 in sorted(model.successors(state, symbol), key=repr):
+                    result.append(_REdge(
+                        vertex, _RVertex(i, q2, j), "ins_hidden", symbol,
+                        self.factory.weight(symbol),
+                    ))
+            if i < len(s_kids):
+                s_kid = s_kids[i]
+                s_label = self.source.label(s_kid)
+                # delete (any child)
+                result.append(_REdge(
+                    vertex, _RVertex(i + 1, state, j), "delete", s_label,
+                    self._subtree_size[s_kid], s_child=s_kid,
+                ))
+                if self.annotation.hides(label, s_label):
+                    # keep hidden
+                    for q2 in sorted(model.successors(state, s_label), key=repr):
+                        result.append(_REdge(
+                            vertex, _RVertex(i + 1, q2, j), "keep_hidden",
+                            s_label, 0, s_child=s_kid,
+                        ))
+                elif j < len(v_kids):
+                    v_kid = v_kids[j]
+                    if self.view.label(v_kid) == s_label:
+                        # match visible (same label, id-blind)
+                        child_dist = self.distance_between(s_kid, v_kid)
+                        if child_dist is not None:
+                            for q2 in sorted(
+                                model.successors(state, s_label), key=repr
+                            ):
+                                result.append(_REdge(
+                                    vertex, _RVertex(i + 1, q2, j + 1),
+                                    "match", s_label, child_dist,
+                                    s_child=s_kid, v_child=v_kid,
+                                ))
+            if j < len(v_kids):
+                v_kid = v_kids[j]
+                v_label = self.view.label(v_kid)
+                if self.annotation.visible(label, v_label):
+                    # insert visible (a fresh minimal inverse of the fragment)
+                    for q2 in sorted(model.successors(state, v_label), key=repr):
+                        result.append(_REdge(
+                            vertex, _RVertex(i, q2, j + 1), "ins_visible",
+                            v_label, self._insert_visible_cost(v_kid),
+                            v_child=v_kid,
+                        ))
+            return result
+
+        start = _RVertex(0, model.initial, 0)
+        targets = frozenset(
+            _RVertex(len(s_kids), q, len(v_kids)) for q in model.finals
+        )
+        return edges_from, start, targets
+
+    # ------------------------------------------------------------------
+
+    def distance_between(self, s_node: NodeId, v_node: NodeId) -> int | None:
+        """Minimal alignment cost of ``t|s_node`` against ``t′|v_node``.
+
+        ``None`` when the labels differ or no alignment exists.
+        """
+        key = (s_node, v_node)
+        if key in self._dist:
+            return self._dist[key]
+        if self.source.label(s_node) != self.view.label(v_node):
+            self._dist[key] = None
+            return None
+        self._dist[key] = None  # guard (pairs strictly descend, but be safe)
+        edges_from, start, targets = self._edges_from_factory(s_node, v_node)
+        path = cheapest_path(
+            start, targets, edges_from, tie_break=lambda e: (e.move, e.symbol)
+        )
+        result = None if path is None else sum(edge.weight for edge in path)
+        self._dist[key] = result
+        return result
+
+    def distance(self) -> int:
+        """``min_{t̂} align(t, t̂)`` for the whole documents."""
+        result = self.distance_between(self.source.root, self.view.root)
+        if result is None:
+            raise NoInversionError("the target view is not in A(L(D))")
+        return result
+
+    # ------------------------------------------------------------------
+
+    def repaired_tree(self, fresh=None) -> Tree:
+        """One closest repair (deterministic tie-breaks).
+
+        Kept source nodes keep their identifiers; inserted content gets
+        fresh ones — which is what lets callers *observe* the baseline's
+        side effects by comparing identifiers afterwards.
+        """
+        from ..xmltree import NodeIds
+
+        if fresh is None:
+            generator = NodeIds.avoiding(
+                list(self.source.nodes()) + list(self.view.nodes()), "rin"
+            )
+            fresh = generator.fresh
+        self.distance()  # ensure feasibility
+
+        def build(s_node: NodeId, v_node: NodeId) -> Tree:
+            edges_from, start, targets = self._edges_from_factory(s_node, v_node)
+            path = cheapest_path(
+                start, targets, edges_from, tie_break=lambda e: (e.move, e.symbol)
+            )
+            assert path is not None
+            children: list[Tree] = []
+            for edge in path:
+                if edge.move == "ins_hidden":
+                    children.append(self.factory.build(edge.symbol, fresh))
+                elif edge.move == "keep_hidden":
+                    children.append(self.source.subtree(edge.s_child))
+                elif edge.move == "match":
+                    children.append(build(edge.s_child, edge.v_child))
+                elif edge.move == "ins_visible":
+                    fragment = self.view.subtree(edge.v_child)
+                    sub = inversion_graphs(
+                        self.dtd, self.annotation, fragment, self.factory
+                    )
+                    inverse = sub.build_tree(
+                        lambda graph: cheapest_path(
+                            graph.source,
+                            graph.targets,
+                            graph.edges_from,
+                            tie_break=lambda e: (e.kind, e.symbol),
+                        ),
+                        fresh,
+                        optimal_only=True,
+                    )
+                    pinned = fragment.node_set
+                    mapping = {
+                        node: fresh() for node in inverse.nodes() if node in pinned
+                    }
+                    children.append(inverse.relabel_nodes(mapping))
+                # "delete": contributes nothing
+            return Tree.build(self.source.label(s_node), s_node, children)
+
+        return build(self.source.root, self.view.root)
+
+
+def repair_distance(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    target_view: Tree,
+    factory: TreeFactory | None = None,
+) -> int:
+    """Convenience wrapper: just the minimal identifier-blind edit cost."""
+    return RepairDP(dtd, annotation, source, target_view, factory).distance()

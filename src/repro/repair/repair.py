@@ -1,0 +1,108 @@
+"""The repair-based view-update baseline and its failure mode (Section 6.2).
+
+Given a source ``t`` and the *updated view* ``t′ = Out(S)``, the
+baseline ignores the update script (and all node identifiers) and simply
+returns the tree of ``Inv(L(D), A, t′)/≅`` closest to ``t``:
+
+    "a way of propagating the update to the source document is choosing
+    from L′ the tree closest to the original tree t […] We argue that by
+    dropping the node identifiers this approach inadvertently looses
+    information allowing it to correlate the relative positions of
+    existing and new nodes."
+
+:func:`repair_update` implements the baseline; :func:`compare_with_propagation`
+runs baseline and true propagation side by side and reports whether the
+baseline's result is side-effect free — on the paper's ``D3`` example it
+is not, despite being strictly closer to ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import propagate
+from ..dtd import DTD, TreeFactory
+from ..editing import EditScript
+from ..views import Annotation
+from ..xmltree import Tree
+from .distance import RepairDP
+
+__all__ = ["RepairResult", "repair_update", "ComparisonReport", "compare_with_propagation"]
+
+
+@dataclass
+class RepairResult:
+    """Outcome of the repair baseline."""
+
+    tree: Tree
+    """The repaired source document (closest member of the inverse language)."""
+
+    distance: int
+    """Its identifier-blind edit distance from the original source."""
+
+    def __repr__(self) -> str:
+        return f"RepairResult(distance={self.distance}, |tree|={self.tree.size})"
+
+
+def repair_update(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    updated_view: Tree,
+    factory: TreeFactory | None = None,
+) -> RepairResult:
+    """Apply the Section 6.2 baseline.
+
+    Note the signature: the baseline receives only the *resulting* view
+    tree, never the editing script — exactly the information loss the
+    paper criticises.
+    """
+    dp = RepairDP(dtd, annotation, source, updated_view, factory)
+    return RepairResult(tree=dp.repaired_tree(), distance=dp.distance())
+
+
+@dataclass
+class ComparisonReport:
+    """Side-by-side outcome of baseline vs true propagation."""
+
+    repair: RepairResult
+    propagation: EditScript
+    propagation_cost: int
+    repair_side_effect_free: bool
+    repair_view_isomorphic: bool
+
+    def summary(self) -> str:
+        lines = [
+            f"repair:      distance={self.repair.distance}, "
+            f"side-effect free={self.repair_side_effect_free}, "
+            f"view isomorphic={self.repair_view_isomorphic}",
+            f"propagation: cost={self.propagation_cost}, side-effect free=True",
+        ]
+        return "\n".join(lines)
+
+
+def compare_with_propagation(
+    dtd: DTD,
+    annotation: Annotation,
+    source: Tree,
+    update: EditScript,
+    factory: TreeFactory | None = None,
+) -> ComparisonReport:
+    """Run the baseline and the paper's propagation on the same update.
+
+    The baseline sees only ``Out(update)``; side-effect-freeness is then
+    judged identifier-exactly, the way the view update problem demands:
+    the view of the repaired source must *be* ``Out(update)``, not merely
+    look like it.
+    """
+    out_view = update.output_tree
+    repair = repair_update(dtd, annotation, source, out_view, factory)
+    script = propagate(dtd, annotation, source, update, factory=factory)
+    repaired_view = annotation.view(repair.tree)
+    return ComparisonReport(
+        repair=repair,
+        propagation=script,
+        propagation_cost=script.cost,
+        repair_side_effect_free=(repaired_view == out_view),
+        repair_view_isomorphic=repaired_view.isomorphic(out_view),
+    )

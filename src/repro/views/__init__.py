@@ -1,0 +1,14 @@
+"""Annotations, views, and security policies (paper Section 2).
+
+Public surface:
+
+* :class:`Annotation` — ``A : Σ×Σ → {0,1}``; visibility computation and
+  id-preserving view extraction (``A(t)``).
+* :class:`SecurityPolicy` — rule layer compiling to annotations.
+* ``VISIBLE`` / ``HIDDEN`` constants.
+"""
+
+from .annotation import HIDDEN, VISIBLE, Annotation
+from .security import SecurityPolicy
+
+__all__ = ["Annotation", "SecurityPolicy", "VISIBLE", "HIDDEN"]

@@ -1,0 +1,105 @@
+"""Security-view helpers.
+
+The paper motivates annotation-defined views by *secure access to XML
+databases* [9, 10]: an administrator marks which element types a class
+of users may see, and each user works against the induced view. This
+module provides a small policy layer that compiles to an
+:class:`~repro.views.annotation.Annotation`:
+
+* rules are written per (parent, child) pair or per child label across
+  all parents;
+* the policy records *why* a pair is hidden (free-text reason), which is
+  convenient for audit trails in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import AnnotationError
+from .annotation import HIDDEN, VISIBLE, Annotation
+
+__all__ = ["SecurityPolicy"]
+
+
+class SecurityPolicy:
+    """An orderless collection of allow/deny visibility rules.
+
+    Later rules win over earlier ones only when strictly more specific:
+    a pair rule ``(parent, child)`` overrides a label rule ``child``.
+    Conflicting rules at the same specificity raise.
+    """
+
+    def __init__(self, default: int = VISIBLE) -> None:
+        self._default = default
+        self._label_rules: dict[str, tuple[int, str]] = {}
+        self._pair_rules: dict[tuple[str, str], tuple[int, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Rule declaration
+    # ------------------------------------------------------------------
+
+    def _set_label(self, label: str, value: int, reason: str) -> "SecurityPolicy":
+        existing = self._label_rules.get(label)
+        if existing is not None and existing[0] != value:
+            raise AnnotationError(f"conflicting rules for label {label!r}")
+        self._label_rules[label] = (value, reason)
+        return self
+
+    def _set_pair(
+        self, parent: str, child: str, value: int, reason: str
+    ) -> "SecurityPolicy":
+        existing = self._pair_rules.get((parent, child))
+        if existing is not None and existing[0] != value:
+            raise AnnotationError(f"conflicting rules for pair ({parent!r}, {child!r})")
+        self._pair_rules[(parent, child)] = (value, reason)
+        return self
+
+    def deny_label(self, label: str, reason: str = "") -> "SecurityPolicy":
+        """Hide *label* under every parent."""
+        return self._set_label(label, HIDDEN, reason)
+
+    def allow_label(self, label: str, reason: str = "") -> "SecurityPolicy":
+        return self._set_label(label, VISIBLE, reason)
+
+    def deny(self, parent: str, child: str, reason: str = "") -> "SecurityPolicy":
+        """Hide *child* elements under *parent* elements."""
+        return self._set_pair(parent, child, HIDDEN, reason)
+
+    def allow(self, parent: str, child: str, reason: str = "") -> "SecurityPolicy":
+        return self._set_pair(parent, child, VISIBLE, reason)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def annotation(self, alphabet: "frozenset[str] | set[str]") -> Annotation:
+        """Compile to an annotation over *alphabet*.
+
+        Label rules expand to all (parent, label) pairs; pair rules then
+        override. Pairs without any rule keep the policy default.
+        """
+        entries: dict[tuple[str, str], int] = {}
+        for label, (value, _) in self._label_rules.items():
+            for parent in alphabet:
+                entries[(parent, label)] = value
+        for pair, (value, _) in self._pair_rules.items():
+            entries[pair] = value
+        return Annotation(entries, self._default)
+
+    def audit(self) -> Iterator[str]:
+        """One human-readable line per rule (stable order)."""
+        for label, (value, reason) in sorted(self._label_rules.items()):
+            verb = "allow" if value == VISIBLE else "deny"
+            suffix = f" — {reason}" if reason else ""
+            yield f"{verb} label {label}{suffix}"
+        for (parent, child), (value, reason) in sorted(self._pair_rules.items()):
+            verb = "allow" if value == VISIBLE else "deny"
+            suffix = f" — {reason}" if reason else ""
+            yield f"{verb} {child} under {parent}{suffix}"
+
+    def __repr__(self) -> str:
+        return (
+            f"SecurityPolicy(default={self._default}, "
+            f"label_rules={len(self._label_rules)}, pair_rules={len(self._pair_rules)})"
+        )

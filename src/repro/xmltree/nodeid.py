@@ -1,0 +1,93 @@
+"""Fresh node-identifier generation.
+
+The paper's constructions repeatedly require "fresh nodes": inserted
+subtrees must not reuse identifiers of existing nodes (visible or hidden).
+:class:`NodeIds` hands out identifiers of the form ``<prefix><counter>``
+while avoiding a caller-supplied forbidden set and everything it has
+already produced.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["NodeIds", "max_numeric_suffix"]
+
+
+def max_numeric_suffix(ids: Iterable[Hashable], prefix: str) -> int:
+    """Return the largest integer ``k`` such that ``f"{prefix}{k}"`` is in *ids*.
+
+    Returns ``-1`` when no identifier matches. Useful to continue a
+    numbering scheme such as ``n0, n1, ...`` without collisions::
+
+        >>> max_numeric_suffix(["n0", "n12", "x3"], "n")
+        12
+    """
+    best = -1
+    for nid in ids:
+        if not isinstance(nid, str) or not nid.startswith(prefix):
+            continue
+        suffix = nid[len(prefix):]
+        if suffix.isdigit():
+            best = max(best, int(suffix))
+    return best
+
+
+class NodeIds:
+    """A generator of fresh string node identifiers.
+
+    Parameters
+    ----------
+    prefix:
+        Prepended to every generated identifier.
+    start:
+        First counter value to try.
+    forbidden:
+        Identifiers that must never be produced (e.g. all node ids of the
+        source document). The set is copied; later external changes are
+        not observed.
+    """
+
+    def __init__(
+        self,
+        prefix: str = "x",
+        start: int = 0,
+        forbidden: Iterable[Hashable] = (),
+    ) -> None:
+        self._prefix = prefix
+        self._next = start
+        self._forbidden = set(forbidden)
+
+    @classmethod
+    def avoiding(cls, ids: Iterable[Hashable], prefix: str = "n") -> "NodeIds":
+        """A generator continuing the ``<prefix><int>`` numbering found in *ids*."""
+        ids = list(ids)
+        return cls(prefix, max_numeric_suffix(ids, prefix) + 1, forbidden=ids)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def forbid(self, ids: Iterable[Hashable]) -> None:
+        """Add *ids* to the forbidden set."""
+        self._forbidden.update(ids)
+
+    def fresh(self) -> str:
+        """Return a new identifier, never seen before and never forbidden."""
+        while True:
+            candidate = f"{self._prefix}{self._next}"
+            self._next += 1
+            if candidate not in self._forbidden:
+                self._forbidden.add(candidate)
+                return candidate
+
+    def take(self, count: int) -> list[str]:
+        """Return *count* fresh identifiers."""
+        return [self.fresh() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.fresh()
+
+    def __repr__(self) -> str:
+        return f"NodeIds(prefix={self._prefix!r}, next={self._next})"

@@ -1,0 +1,145 @@
+"""Term notation for trees.
+
+The paper denotes trees as terms over Σ when node identifiers do not
+matter (e.g. ``r(b, a, c)``) and draws them with explicit identifiers
+otherwise. This module supports both:
+
+* ``parse_term("r(a, b(c))")`` assigns fresh identifiers ``n0, n1, ...``
+  in document order;
+* ``parse_term("r#n0(a#n1, d#n3(c#n8))")`` uses the explicit identifiers
+  after ``#``.
+
+Mixing the two styles is allowed; nodes without ``#id`` receive fresh
+identifiers that avoid all explicit ones.
+"""
+
+from __future__ import annotations
+
+from ..errors import TermSyntaxError
+from .nodeid import NodeIds
+from .tree import Tree
+
+__all__ = ["parse_term", "parse_forest"]
+
+def _is_word_char(char: str) -> bool:
+    """Label/identifier characters: Unicode alphanumerics, ``_``, ``-``, ``.``."""
+    return char.isalnum() or char in "_-."
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers ------------------------------------------------
+
+    def error(self, message: str) -> TermSyntaxError:
+        return TermSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def word(self, what: str) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and _is_word_char(self.text[self.pos]):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error(f"expected {what}")
+        return self.text[start:self.pos]
+
+    # -- grammar -----------------------------------------------------------
+
+    def node(self) -> tuple[str, str | None, list]:
+        """Returns (label, explicit id or None, children)."""
+        self.skip_ws()
+        label = self.word("a label")
+        nid: str | None = None
+        if self.peek() == "#":
+            self.pos += 1
+            nid = self.word("a node identifier")
+        children: list = []
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            self.skip_ws()
+            if self.peek() == ")":
+                self.pos += 1
+            else:
+                while True:
+                    children.append(self.node())
+                    self.skip_ws()
+                    if self.peek() == ",":
+                        self.pos += 1
+                        continue
+                    self.expect(")")
+                    break
+        return (label, nid, children)
+
+    def parse(self) -> tuple[str, str | None, list]:
+        self.skip_ws()
+        result = self.node()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing input")
+        return result
+
+
+def _collect_explicit_ids(node: tuple, out: set[str]) -> None:
+    _, nid, children = node
+    if nid is not None:
+        if nid in out:
+            raise TermSyntaxError(f"duplicate node identifier {nid!r}")
+        out.add(nid)
+    for child in children:
+        _collect_explicit_ids(child, out)
+
+
+def _to_tree(node: tuple, fresh: NodeIds) -> Tree:
+    label, nid, children = node
+    identifier = nid if nid is not None else fresh.fresh()
+    return Tree.build(label, identifier, [_to_tree(kid, fresh) for kid in children])
+
+
+def parse_term(text: str, id_prefix: str = "n") -> Tree:
+    """Parse term notation into a :class:`Tree`.
+
+    Nodes without an explicit ``#id`` receive identifiers
+    ``<id_prefix>0, <id_prefix>1, ...`` in document order, skipping any
+    identifiers used explicitly elsewhere in the term.
+    """
+    parsed = _Parser(text).parse()
+    explicit: set[str] = set()
+    _collect_explicit_ids(parsed, explicit)
+    fresh = NodeIds(id_prefix, forbidden=explicit)
+    return _to_tree(parsed, fresh)
+
+
+def parse_forest(text: str, id_prefix: str = "n") -> list[Tree]:
+    """Parse a comma-separated sequence of terms sharing one id namespace."""
+    parser = _Parser(text)
+    parser.skip_ws()
+    parsed_nodes: list[tuple] = []
+    if parser.pos < len(parser.text):
+        while True:
+            parsed_nodes.append(parser.node())
+            parser.skip_ws()
+            if parser.peek() == ",":
+                parser.pos += 1
+                continue
+            break
+        if parser.pos != len(parser.text):
+            raise parser.error("trailing input")
+    explicit: set[str] = set()
+    for node in parsed_nodes:
+        _collect_explicit_ids(node, explicit)
+    fresh = NodeIds(id_prefix, forbidden=explicit)
+    return [_to_tree(node, fresh) for node in parsed_nodes]

@@ -1,0 +1,524 @@
+"""Ordered labelled trees with explicit node identifiers.
+
+This module implements the tree model of Section 2 of the paper: a tree
+``t = (Σ, N_t, ⊑_t, <_t, λ_t)`` with a finite node set, a descendant
+relation, a following-sibling relation, and a labelling function.
+
+Two modelling points from the paper are load-bearing and deliberately
+preserved here:
+
+* **Node identifiers matter.** Equality of trees is equality of the
+  underlying structures *including the node set* — two isomorphic trees
+  with different identifiers are *not* equal (``==`` is identity-aware;
+  use :meth:`Tree.isomorphic` for shape equality). The side-effect-free
+  criterion of the view update problem relies on this.
+* **Identifier sets are arbitrary.** Node identifiers are not assumed to
+  be paths in ``ℕ*``; any hashable values work, because updates insert
+  and delete nodes while the surviving nodes keep their identifiers.
+
+Trees are immutable: all "modification" helpers return new trees that
+share nothing mutable with the original.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator, Mapping, Sequence
+
+from ..errors import DuplicateNodeError, NodeNotFoundError, TreeError
+
+__all__ = ["NodeId", "Tree"]
+
+NodeId = Hashable
+
+
+class Tree:
+    """An ordered, labelled, rooted tree (possibly empty).
+
+    Construction normally goes through :meth:`Tree.build`,
+    :meth:`Tree.leaf`, :meth:`Tree.empty`, or the term-notation parser in
+    :mod:`repro.xmltree.term`. The raw constructor accepts the internal
+    representation and validates it.
+
+    Parameters
+    ----------
+    root:
+        The root node identifier, or ``None`` for the empty tree.
+    labels:
+        Mapping from node identifier to label.
+    children:
+        Mapping from node identifier to its sequence of children. Nodes
+        without an entry are leaves.
+    """
+
+    __slots__ = ("_root", "_labels", "_children", "_parents")
+
+    def __init__(
+        self,
+        root: NodeId | None,
+        labels: Mapping[NodeId, str],
+        children: Mapping[NodeId, Sequence[NodeId]],
+        *,
+        _validate: bool = True,
+    ) -> None:
+        self._root = root
+        self._labels: dict[NodeId, str] = dict(labels)
+        self._children: dict[NodeId, tuple[NodeId, ...]] = {
+            node: tuple(kids) for node, kids in children.items() if kids
+        }
+        self._parents: dict[NodeId, NodeId] = {
+            kid: node for node, kids in self._children.items() for kid in kids
+        }
+        if _validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Tree":
+        """The empty tree (no nodes). ``In(Ins(t))`` is empty, for instance."""
+        return cls(None, {}, {}, _validate=False)
+
+    @classmethod
+    def leaf(cls, label: str, node: NodeId) -> "Tree":
+        """A single-node tree."""
+        return cls(node, {node: label}, {}, _validate=False)
+
+    @classmethod
+    def build(cls, label: str, node: NodeId, children: Sequence["Tree"] = ()) -> "Tree":
+        """Assemble a tree from a root and already-built child trees.
+
+        Child trees must be nonempty and all node sets must be disjoint.
+        """
+        labels: dict[NodeId, str] = {node: label}
+        child_map: dict[NodeId, tuple[NodeId, ...]] = {}
+        roots: list[NodeId] = []
+        for child in children:
+            if child.is_empty:
+                raise TreeError("cannot attach an empty tree as a child")
+            for nid, lab in child._labels.items():
+                if nid in labels:
+                    raise DuplicateNodeError(
+                        f"node {nid!r} occurs in more than one subtree"
+                    )
+                labels[nid] = lab
+            child_map.update(child._children)
+            roots.append(child.root)
+        if roots:
+            child_map[node] = tuple(roots)
+        return cls(node, labels, child_map, _validate=False)
+
+    def _validate(self) -> None:
+        if self._root is None:
+            if self._labels or self._children:
+                raise TreeError("empty tree must have no labels or children")
+            return
+        if self._root not in self._labels:
+            raise TreeError(f"root {self._root!r} has no label")
+        if self._root in self._parents:
+            raise TreeError(f"root {self._root!r} occurs as a child")
+        seen: set[NodeId] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise DuplicateNodeError(f"node {node!r} reachable twice")
+            seen.add(node)
+            for kid in self._children.get(node, ()):
+                if kid not in self._labels:
+                    raise TreeError(f"child {kid!r} has no label")
+                stack.append(kid)
+        if seen != set(self._labels):
+            unreachable = set(self._labels) - seen
+            raise TreeError(f"unreachable nodes: {sorted(map(repr, unreachable))}")
+        for node, kids in self._children.items():
+            if len(set(kids)) != len(kids):
+                raise DuplicateNodeError(f"node {node!r} repeats a child")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    @property
+    def root(self) -> NodeId:
+        """The root node identifier. Raises on the empty tree."""
+        if self._root is None:
+            raise TreeError("the empty tree has no root")
+        return self._root
+
+    @property
+    def size(self) -> int:
+        """Number of nodes, ``|t|`` in the paper."""
+        return len(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    @property
+    def node_set(self) -> frozenset[NodeId]:
+        """The node set ``N_t``."""
+        return frozenset(self._labels)
+
+    def label(self, node: NodeId) -> str:
+        """``λ_t(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def children(self, node: NodeId) -> tuple[NodeId, ...]:
+        """The node's children, in sibling order."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return self._children.get(node, ())
+
+    def child_labels(self, node: NodeId) -> tuple[str, ...]:
+        """The word of consecutive labels of the node's children.
+
+        This is the word that must belong to ``L(D(λ(node)))`` for DTD
+        satisfaction.
+        """
+        return tuple(self._labels[kid] for kid in self.children(node))
+
+    def parent(self, node: NodeId) -> NodeId | None:
+        """The parent identifier, or ``None`` for the root."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return self._parents.get(node)
+
+    def is_leaf(self, node: NodeId) -> bool:
+        return not self.children(node)
+
+    def index_in_parent(self, node: NodeId) -> int:
+        """Zero-based position of *node* among its siblings. Root raises."""
+        parent = self.parent(node)
+        if parent is None:
+            raise TreeError(f"root {node!r} has no siblings")
+        return self._children[parent].index(node)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Document-order (preorder) traversal of all node identifiers."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children.get(node, ())))
+
+    def postorder(self) -> Iterator[NodeId]:
+        """Postorder traversal (children before parents)."""
+        if self._root is None:
+            return
+        stack: list[tuple[NodeId, bool]] = [(self._root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            for kid in reversed(self._children.get(node, ())):
+                stack.append((kid, False))
+
+    def descendants(self, node: NodeId) -> Iterator[NodeId]:
+        """Proper descendants of *node* (``⊑``-below, excluding itself)."""
+        stack = list(self.children(node))
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(self._children.get(current, ()))
+
+    def descendants_or_self(self, node: NodeId) -> Iterator[NodeId]:
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        yield node
+        yield from self.descendants(node)
+
+    def is_descendant(self, node: NodeId, ancestor: NodeId) -> bool:
+        """Whether ``ancestor ⊑ node`` holds (proper descendant)."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        if ancestor not in self._labels:
+            raise NodeNotFoundError(ancestor)
+        current = self._parents.get(node)
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._parents.get(current)
+        return False
+
+    def following_siblings(self, node: NodeId) -> tuple[NodeId, ...]:
+        """All siblings after *node* (``<_t``-greater siblings)."""
+        parent = self.parent(node)
+        if parent is None:
+            return ()
+        kids = self._children[parent]
+        return kids[kids.index(node) + 1:]
+
+    def depth(self, node: NodeId) -> int:
+        """Root has depth 0."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        depth = 0
+        current = self._parents.get(node)
+        while current is not None:
+            depth += 1
+            current = self._parents.get(current)
+        return depth
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (single node: 0)."""
+        if self._root is None:
+            return -1
+        best = 0
+        stack: list[tuple[NodeId, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            for kid in self._children.get(node, ()):
+                stack.append((kid, depth + 1))
+        return best
+
+    # ------------------------------------------------------------------
+    # Derived trees
+    # ------------------------------------------------------------------
+
+    def subtree(self, node: NodeId) -> "Tree":
+        """``t|node`` — the subtree of ``t`` rooted at *node* (ids preserved)."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        labels: dict[NodeId, str] = {}
+        child_map: dict[NodeId, tuple[NodeId, ...]] = {}
+        for current in self.descendants_or_self(node):
+            labels[current] = self._labels[current]
+            kids = self._children.get(current)
+            if kids:
+                child_map[current] = kids
+        return Tree(node, labels, child_map, _validate=False)
+
+    def relabel_nodes(self, mapping: Mapping[NodeId, NodeId]) -> "Tree":
+        """Rename node identifiers through *mapping* (identity if missing)."""
+        if self._root is None:
+            return self
+
+        def rename(node: NodeId) -> NodeId:
+            return mapping.get(node, node)
+
+        labels = {rename(node): label for node, label in self._labels.items()}
+        if len(labels) != len(self._labels):
+            raise DuplicateNodeError("relabelling collapses distinct nodes")
+        children = {
+            rename(node): tuple(rename(kid) for kid in kids)
+            for node, kids in self._children.items()
+        }
+        return Tree(rename(self._root), labels, children, _validate=False)
+
+    def with_fresh_ids(self, fresh: "Callable[[], NodeId] | None" = None) -> "Tree":
+        """An isomorphic copy whose every node gets a fresh identifier.
+
+        *fresh* is a zero-argument callable producing identifiers (e.g.
+        ``NodeIds(...).fresh``); by default a private counter is used.
+        """
+        if fresh is None:
+            counter = iter(range(self.size))
+            mapping = {node: f"f{next(counter)}" for node in self.nodes()}
+        else:
+            mapping = {node: fresh() for node in self.nodes()}
+        return self.relabel_nodes(mapping)
+
+    def replace_subtree(self, node: NodeId, replacement: "Tree") -> "Tree":
+        """Replace ``t|node`` by *replacement* (which must reuse no id of the rest)."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        if node == self._root:
+            return replacement
+        if replacement.is_empty:
+            return self.delete_subtree(node)
+        removed = set(self.descendants_or_self(node))
+        labels = {
+            n: lab for n, lab in self._labels.items() if n not in removed
+        }
+        children = {
+            n: kids
+            for n, kids in self._children.items()
+            if n not in removed
+        }
+        for nid, lab in replacement._labels.items():
+            if nid in labels:
+                raise DuplicateNodeError(f"node {nid!r} already present")
+            labels[nid] = lab
+        children.update(replacement._children)
+        parent = self._parents[node]
+        children[parent] = tuple(
+            replacement.root if kid == node else kid
+            for kid in self._children[parent]
+        )
+        return Tree(self._root, labels, children, _validate=False)
+
+    def delete_subtree(self, node: NodeId) -> "Tree":
+        """Remove ``t|node`` entirely. Deleting the root yields the empty tree."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        if node == self._root:
+            return Tree.empty()
+        removed = set(self.descendants_or_self(node))
+        labels = {n: lab for n, lab in self._labels.items() if n not in removed}
+        children = {
+            n: kids for n, kids in self._children.items() if n not in removed
+        }
+        parent = self._parents[node]
+        remaining = tuple(kid for kid in self._children[parent] if kid != node)
+        if remaining:
+            children[parent] = remaining
+        else:
+            children.pop(parent, None)
+        return Tree(self._root, labels, children, _validate=False)
+
+    def insert_subtree(self, parent: NodeId, index: int, subtree: "Tree") -> "Tree":
+        """Insert *subtree* as the ``index``-th child of *parent*."""
+        if parent not in self._labels:
+            raise NodeNotFoundError(parent)
+        if subtree.is_empty:
+            return self
+        kids = list(self._children.get(parent, ()))
+        if not 0 <= index <= len(kids):
+            raise TreeError(
+                f"index {index} out of range for {len(kids)} children of {parent!r}"
+            )
+        labels = dict(self._labels)
+        for nid, lab in subtree._labels.items():
+            if nid in labels:
+                raise DuplicateNodeError(f"node {nid!r} already present")
+            labels[nid] = lab
+        children = dict(self._children)
+        children.update(subtree._children)
+        kids.insert(index, subtree.root)
+        children[parent] = tuple(kids)
+        return Tree(self._root, labels, children, _validate=False)
+
+    def map_labels(self, fn: Callable[[str], str]) -> "Tree":
+        """Apply *fn* to every label, keeping identifiers and shape."""
+        labels = {node: fn(label) for node, label in self._labels.items()}
+        return Tree(self._root, labels, self._children, _validate=False)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Identity-aware equality: same node set, labels, and relations."""
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self._root == other._root
+            and self._labels == other._labels
+            and self._children == other._children
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._root,
+                frozenset(self._labels.items()),
+                frozenset(self._children.items()),
+            )
+        )
+
+    def shape(self) -> tuple:
+        """A canonical identifier-free representation (label, child shapes)."""
+        if self._root is None:
+            return ()
+
+        out: dict[NodeId, tuple] = {}
+        for node in self.postorder():
+            kids = self._children.get(node, ())
+            out[node] = (self._labels[node], tuple(out[kid] for kid in kids))
+        return out[self._root]
+
+    def isomorphic(self, other: "Tree") -> bool:
+        """Shape equality, ignoring node identifiers.
+
+        For ordered labelled trees the isomorphism, when it exists, is
+        unique; see :meth:`isomorphism`.
+        """
+        if self.size != other.size:
+            return False
+        return self.shape() == other.shape()
+
+    def isomorphism(self, other: "Tree") -> dict[NodeId, NodeId] | None:
+        """The unique order-preserving isomorphism onto *other*, if any.
+
+        Returns a mapping from this tree's identifiers to *other*'s, or
+        ``None`` when the trees differ in shape.
+        """
+        if self.is_empty and other.is_empty:
+            return {}
+        if self.is_empty or other.is_empty:
+            return None
+        mapping: dict[NodeId, NodeId] = {}
+        stack = [(self._root, other._root)]
+        while stack:
+            mine, theirs = stack.pop()
+            if self._labels[mine] != other._labels[theirs]:
+                return None
+            my_kids = self._children.get(mine, ())
+            their_kids = other._children.get(theirs, ())
+            if len(my_kids) != len(their_kids):
+                return None
+            mapping[mine] = theirs
+            stack.extend(zip(my_kids, their_kids))
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_term(self, with_ids: bool = True) -> str:
+        """Term notation, e.g. ``r#n0(a#n1, b#n2)`` (or ``r(a, b)``)."""
+        if self._root is None:
+            return "()"
+
+        def render(node: NodeId) -> str:
+            label = self._labels[node]
+            head = f"{label}#{node}" if with_ids else label
+            kids = self._children.get(node, ())
+            if not kids:
+                return head
+            return head + "(" + ", ".join(render(kid) for kid in kids) + ")"
+
+        return render(self._root)
+
+    def pretty(self, with_ids: bool = True, indent: str = "  ") -> str:
+        """A multi-line ASCII rendering, one node per line."""
+        if self._root is None:
+            return "(empty tree)"
+        lines: list[str] = []
+        stack: list[tuple[NodeId, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            label = self._labels[node]
+            text = f"{label}#{node}" if with_ids else label
+            lines.append(indent * depth + text)
+            for kid in reversed(self._children.get(node, ())):
+                stack.append((kid, depth + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        if self._root is None:
+            return "Tree.empty()"
+        term = self.to_term()
+        if len(term) > 60:
+            term = term[:57] + "..."
+        return f"Tree({term})"

@@ -1,0 +1,122 @@
+"""Bridging :class:`~repro.xmltree.tree.Tree` and real XML documents.
+
+The paper's data model is element-labelled ordered trees; attributes,
+text, comments, and processing instructions are outside the model. This
+module converts between that model and ``xml.etree.ElementTree``:
+
+* parsing keeps element structure and tag names, and drops everything
+  else (a strict mode rejects documents with non-whitespace text);
+* node identifiers can be carried in a designated attribute (default
+  ``id``) so that documents round-trip with stable identifiers, or be
+  generated fresh in document order.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import IO
+
+from ..errors import TreeError
+from .nodeid import NodeIds
+from .tree import NodeId, Tree
+
+__all__ = ["tree_from_xml", "tree_to_xml", "tree_from_element", "tree_to_element"]
+
+
+def tree_from_element(
+    element: ET.Element,
+    *,
+    id_attribute: str | None = "id",
+    id_prefix: str = "n",
+    strict: bool = False,
+) -> Tree:
+    """Convert an ElementTree element into a :class:`Tree`.
+
+    Parameters
+    ----------
+    element:
+        Root element to convert.
+    id_attribute:
+        Attribute holding the node identifier. Elements without the
+        attribute (or all elements if ``None``) get fresh identifiers in
+        document order.
+    id_prefix:
+        Prefix for generated identifiers.
+    strict:
+        When true, raise :class:`TreeError` if the document contains
+        non-whitespace text content (which the tree model cannot carry).
+    """
+    explicit: list[str] = []
+    if id_attribute is not None:
+        stack = [element]
+        while stack:
+            current = stack.pop()
+            value = current.get(id_attribute)
+            if value is not None:
+                explicit.append(value)
+            stack.extend(current)
+    if len(explicit) != len(set(explicit)):
+        raise TreeError(f"duplicate {id_attribute!r} attributes in document")
+    fresh = NodeIds(id_prefix, forbidden=explicit)
+
+    def convert(elem: ET.Element) -> Tree:
+        if strict and elem.text and elem.text.strip():
+            raise TreeError(
+                f"element <{elem.tag}> has text content {elem.text.strip()!r}; "
+                "the tree model is element-only"
+            )
+        if strict and elem.tail and elem.tail.strip():
+            raise TreeError(f"element <{elem.tag}> has tail text")
+        nid: NodeId | None = None
+        if id_attribute is not None:
+            nid = elem.get(id_attribute)
+        if nid is None:
+            nid = fresh.fresh()
+        return Tree.build(elem.tag, nid, [convert(kid) for kid in elem])
+
+    return convert(element)
+
+
+def tree_from_xml(
+    source: str | IO[str],
+    *,
+    id_attribute: str | None = "id",
+    id_prefix: str = "n",
+    strict: bool = False,
+) -> Tree:
+    """Parse an XML string (or file-like object) into a :class:`Tree`."""
+    if isinstance(source, str):
+        element = ET.fromstring(source)
+    else:
+        element = ET.parse(source).getroot()
+    return tree_from_element(
+        element, id_attribute=id_attribute, id_prefix=id_prefix, strict=strict
+    )
+
+
+def tree_to_element(tree: Tree, *, id_attribute: str | None = "id") -> ET.Element:
+    """Convert a :class:`Tree` into an ElementTree element."""
+    if tree.is_empty:
+        raise TreeError("cannot serialise the empty tree to XML")
+
+    def convert(node: NodeId) -> ET.Element:
+        element = ET.Element(tree.label(node))
+        if id_attribute is not None:
+            element.set(id_attribute, str(node))
+        element.extend(convert(kid) for kid in tree.children(node))
+        return element
+
+    return convert(tree.root)
+
+
+def tree_to_xml(
+    tree: Tree,
+    *,
+    id_attribute: str | None = "id",
+    indent: bool = True,
+) -> str:
+    """Serialise a :class:`Tree` to an XML string."""
+    element = tree_to_element(tree, id_attribute=id_attribute)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")

@@ -1,0 +1,142 @@
+"""Tests for determinisation, shortest words, and state elimination."""
+
+import pytest
+
+from repro.automata import (
+    determinize,
+    glushkov,
+    min_completion_costs,
+    min_word,
+    min_word_cost,
+    minimize,
+    nfa_to_regex,
+    parse_regex,
+    run_deterministic,
+)
+from repro.errors import NondeterministicAutomatonError
+
+
+def A(text: str):
+    return glushkov(parse_regex(text))
+
+
+class TestDeterminize:
+    def test_result_is_deterministic(self):
+        nfa = A("(a|b)*,a")
+        assert not nfa.is_deterministic()
+        dfa = determinize(nfa)
+        assert dfa.is_deterministic()
+        assert dfa.equivalent(nfa)
+
+    def test_preserves_language_samples(self):
+        nfa = A("(a,b)|(a,c)")
+        dfa = determinize(nfa)
+        for word in [["a", "b"], ["a", "c"]]:
+            assert dfa.accepts(word)
+        assert not dfa.accepts(["a"])
+
+
+class TestRunDeterministic:
+    def test_visited_states(self):
+        dfa = A("(a,b)*")
+        visited = run_deterministic(dfa, ["a", "b"])
+        assert visited is not None
+        assert len(visited) == 3
+        assert visited[0] == dfa.initial
+
+    def test_stuck_returns_none(self):
+        assert run_deterministic(A("a"), ["b"]) is None
+
+    def test_nondeterministic_raises(self):
+        with pytest.raises(NondeterministicAutomatonError):
+            run_deterministic(A("(a|b)*,a"), ["a"])
+
+
+class TestMinimize:
+    def test_canonical_for_equal_languages(self):
+        left = minimize(A("a,a*"))
+        right = minimize(A("a+"))
+        assert left.states == right.states
+        assert sorted(left.transitions()) == sorted(right.transitions())
+        assert left.finals == right.finals
+
+    def test_minimal_state_count(self):
+        # (a,b)* needs exactly 2 live states
+        assert len(minimize(A("(a,b)*")).states) == 2
+
+    def test_distinguishes_languages(self):
+        assert not minimize(A("a*")).equivalent(minimize(A("a+")))
+
+
+class TestMinWord:
+    def test_unit_costs(self):
+        cost, word = min_word(A("(a,(b|c),d)*"), {"a": 1, "b": 1, "c": 1, "d": 1})
+        assert cost == 0 and word == ()
+
+    def test_nonnullable(self):
+        cost, word = min_word(A("a,(b|c),d"), {"a": 1, "b": 1, "c": 1, "d": 1})
+        assert cost == 3
+        assert word == ("a", "b", "d")  # lexicographically smallest tie
+
+    def test_weighted_choice(self):
+        cost, word = min_word(A("a|b"), {"a": 10, "b": 2})
+        assert (cost, word) == (2, ("b",))
+
+    def test_unusable_symbol_excluded(self):
+        cost, word = min_word(A("a|b"), {"a": None, "b": 5})
+        assert (cost, word) == (5, ("b",))
+
+    def test_no_usable_word(self):
+        assert min_word(A("a"), {"a": None}) is None
+        assert min_word_cost(A("a"), {}) is None
+
+    def test_callable_weights(self):
+        cost, word = min_word(A("(a,b)+"), lambda s: 1)
+        assert cost == 2
+
+    def test_big_integer_costs(self):
+        huge = 2**80
+        cost, _ = min_word(A("a,a"), {"a": huge})
+        assert cost == 2 * huge
+
+    def test_deterministic_tie_break(self):
+        for _ in range(5):
+            _, word = min_word(A("(x|m|b),z"), {"x": 1, "m": 1, "b": 1, "z": 0})
+            assert word == ("b", "z")
+
+
+class TestMinCompletionCosts:
+    def test_matches_min_word_cost_at_initial(self):
+        nfa = A("a,(b|c),d")
+        weights = {"a": 2, "b": 7, "c": 3, "d": 1}
+        costs = min_completion_costs(nfa, weights)
+        assert costs[nfa.initial] == min_word_cost(nfa, weights) == 6
+
+    def test_final_states_zero(self):
+        nfa = A("(a,b)*")
+        costs = min_completion_costs(nfa, {"a": 1, "b": 1})
+        for final in nfa.finals:
+            assert costs[final] == 0
+
+    def test_unreachable_completion_absent(self):
+        nfa = A("a,b")
+        costs = min_completion_costs(nfa, {"a": 1, "b": None})
+        assert nfa.initial not in costs
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize(
+        "text",
+        ["a", "a*", "(a,b)*", "(a,(b|c),d)*", "a|b|c", "(a,b)+", "a?,b", "((a|b),c)*"],
+    )
+    def test_round_trip_language(self, text: str):
+        nfa = A(text)
+        back = glushkov(nfa_to_regex(nfa), alphabet=nfa.alphabet)
+        assert back.equivalent(nfa)
+
+    def test_empty_language_rejected(self):
+        from repro.automata import NFA
+
+        dead = NFA(["q"], ["a"], "q", [], [])
+        with pytest.raises(ValueError):
+            nfa_to_regex(dead)

@@ -1,0 +1,185 @@
+"""Tests for the generic weighted-digraph machinery."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphutil import (
+    CycleError,
+    cheapest_path,
+    count_paths,
+    enumerate_paths,
+    greedy_path,
+    min_distances,
+    optimal_edges,
+    reverse_adjacency,
+)
+
+
+@dataclass(frozen=True)
+class E:
+    source: str
+    target: str
+    weight: int
+    name: str = ""
+
+
+def adjacency(edges):
+    table = {}
+    for edge in edges:
+        table.setdefault(edge.source, []).append(edge)
+    return lambda v: table.get(v, ())
+
+
+DIAMOND = [
+    E("s", "a", 1, "sa"),
+    E("s", "b", 2, "sb"),
+    E("a", "t", 2, "at"),
+    E("b", "t", 1, "bt"),
+    E("a", "b", 0, "ab"),
+]
+
+
+class TestMinDistances:
+    def test_exact_values(self):
+        dist = min_distances(["s"], adjacency(DIAMOND))
+        assert dist["b"] == 1  # s->a->b with the 0-weight edge
+        assert dist["t"] == 2  # s->a->b->t
+
+    def test_multiple_sources(self):
+        dist = min_distances(["a", "b"], adjacency(DIAMOND))
+        assert dist["t"] == 1
+
+    def test_unreachable_absent(self):
+        dist = min_distances(["t"], adjacency(DIAMOND))
+        assert dist == {"t": 0}
+
+    def test_negative_weight_rejected(self):
+        bad = [E("s", "t", -1)]
+        with pytest.raises(ReproError):
+            min_distances(["s"], adjacency(bad))
+
+    def test_big_weights(self):
+        huge = [E("s", "t", 2**100)]
+        assert min_distances(["s"], adjacency(huge))["t"] == 2**100
+
+
+class TestReverseAdjacency:
+    def test_reversed_edges(self):
+        rev = reverse_adjacency(DIAMOND)
+        into_t = rev("t")
+        assert {edge.source for edge in into_t} == {"t"}
+        assert {edge.target for edge in into_t} == {"a", "b"}
+
+    def test_backward_distances(self):
+        rev = reverse_adjacency(DIAMOND)
+        dist = min_distances(["t"], rev)
+        assert dist["s"] == 2
+        assert dist["a"] == 1  # a->b->t
+
+
+class TestOptimalEdges:
+    def test_keeps_only_cheapest(self):
+        cost, kept = optimal_edges("s", ["t"], DIAMOND)
+        assert cost == 2
+        names = {edge.name for edge in kept}
+        assert names == {"sa", "ab", "bt"}
+
+    def test_multiple_optimal_paths(self):
+        edges = [E("s", "a", 1, "sa"), E("s", "b", 1, "sb"),
+                 E("a", "t", 1, "at"), E("b", "t", 1, "bt")]
+        cost, kept = optimal_edges("s", ["t"], edges)
+        assert cost == 2
+        assert len(kept) == 4
+
+    def test_unreachable(self):
+        cost, kept = optimal_edges("s", ["ghost"], DIAMOND)
+        assert cost is None and kept == []
+
+    def test_source_is_target(self):
+        cost, kept = optimal_edges("s", ["s"], DIAMOND)
+        assert cost == 0 and kept == []
+
+
+class TestCountPaths:
+    def test_diamond(self):
+        dag = [E("s", "a", 1), E("s", "b", 1), E("a", "t", 1), E("b", "t", 1)]
+        assert count_paths("s", ["t"], adjacency(dag)) == 2
+
+    def test_multiplicity(self):
+        dag = [E("s", "a", 1, "x"), E("a", "t", 1, "y")]
+
+        def mult(edge):
+            return 3 if edge.name == "x" else 2
+
+        assert count_paths("s", ["t"], adjacency(dag), mult) == 6
+
+    def test_exponential_layers(self):
+        edges = []
+        for layer in range(10):
+            for branch in "ab":
+                edges.append(E(f"v{layer}", f"v{layer+1}", 1, branch))
+        assert count_paths("v0", ["v10"], adjacency(edges)) == 2**10
+
+    def test_cycle_detected(self):
+        loop = [E("s", "a", 1), E("a", "s", 1), E("a", "t", 1)]
+        with pytest.raises(CycleError):
+            count_paths("s", ["t"], adjacency(loop))
+
+    def test_source_equals_target(self):
+        assert count_paths("s", ["s"], adjacency([])) == 1
+
+
+class TestEnumeratePaths:
+    def test_acyclic_enumeration(self):
+        paths = list(enumerate_paths("s", ["t"], adjacency(DIAMOND)))
+        assert len(paths) == 3  # sa-at, sa-ab-bt, sb-bt
+        assert all(path[-1].target == "t" for path in paths)
+
+    def test_max_cost_prunes(self):
+        paths = list(enumerate_paths("s", ["t"], adjacency(DIAMOND), max_cost=2))
+        assert len(paths) == 1
+        assert [edge.name for edge in paths[0]] == ["sa", "ab", "bt"]
+
+    def test_cyclic_requires_budget(self):
+        with pytest.raises(ReproError):
+            list(enumerate_paths("s", ["t"], adjacency(DIAMOND), allow_cycles=True))
+
+    def test_cyclic_enumeration_bounded(self):
+        loop = [E("s", "s", 1, "pump"), E("s", "t", 0, "go")]
+        paths = list(
+            enumerate_paths("s", ["t"], adjacency(loop), allow_cycles=True, max_cost=2)
+        )
+        # pump 0, 1, or 2 times
+        assert len(paths) == 3
+
+    def test_max_paths_cap(self):
+        paths = list(enumerate_paths("s", ["t"], adjacency(DIAMOND), max_paths=2))
+        assert len(paths) == 2
+
+
+class TestCheapestPath:
+    def test_finds_cheapest(self):
+        path = cheapest_path("s", ["t"], adjacency(DIAMOND))
+        assert sum(edge.weight for edge in path) == 2
+
+    def test_none_when_unreachable(self):
+        assert cheapest_path("t", ["s"], adjacency(DIAMOND)) is None
+
+    def test_tie_break_deterministic(self):
+        edges = [E("s", "a", 1, "zz"), E("s", "b", 1, "aa"),
+                 E("a", "t", 0, "m"), E("b", "t", 0, "m")]
+        path = cheapest_path("s", ["t"], adjacency(edges), tie_break=lambda e: e.name)
+        assert path[0].name == "aa"
+
+
+class TestGreedyPath:
+    def test_follows_preference(self):
+        _, kept = optimal_edges("s", ["t"], DIAMOND)
+        path = greedy_path("s", ["t"], adjacency(kept), preference=lambda e: e.name)
+        assert [edge.name for edge in path] == ["sa", "ab", "bt"]
+
+    def test_stuck_raises(self):
+        with pytest.raises(ReproError):
+            greedy_path("s", ["ghost"], adjacency(DIAMOND), preference=repr)

@@ -1,0 +1,170 @@
+"""Tests for the NFA model and the Glushkov construction."""
+
+import pytest
+
+from repro.automata import NFA, glushkov, is_one_unambiguous, parse_regex
+from repro.errors import AutomatonError
+
+
+def A(text: str) -> NFA:
+    return glushkov(parse_regex(text))
+
+
+class TestNFABasics:
+    def test_paper_size_measure(self):
+        nfa = NFA(["p", "q"], ["a"], "p", [("p", "a", "q")], ["q"])
+        assert nfa.size == 2 + 1 + 1
+
+    def test_duplicate_transitions_collapse(self):
+        nfa = NFA(["p"], ["a"], "p", [("p", "a", "p"), ("p", "a", "p")], ["p"])
+        assert nfa.n_transitions == 1
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            NFA(["p"], ["a"], "missing", [], [])
+        with pytest.raises(AutomatonError):
+            NFA(["p"], ["a"], "p", [("p", "a", "ghost")], [])
+        with pytest.raises(AutomatonError):
+            NFA(["p"], ["a"], "p", [("p", "z", "p")], [])
+        with pytest.raises(AutomatonError):
+            NFA(["p"], ["a"], "p", [], ["ghost"])
+
+    def test_empty_word_automaton(self):
+        nfa = NFA.empty_word_automaton(["a"])
+        assert nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+    def test_from_triples_infers(self):
+        nfa = NFA.from_triples("s", [("s", "a", "t")], ["t"])
+        assert nfa.states == {"s", "t"}
+        assert nfa.alphabet == {"a"}
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "regex,word,expected",
+        [
+            ("(a,(b|c),d)*", [], True),
+            ("(a,(b|c),d)*", ["a", "b", "d"], True),
+            ("(a,(b|c),d)*", ["a", "b", "d", "a", "c", "d"], True),
+            ("(a,(b|c),d)*", ["a", "b"], False),
+            ("(a,(b|c),d)*", ["a", "d"], False),
+            ("((a|b),c)*", ["a", "c"], True),
+            ("((a|b),c)*", ["b", "c"], True),
+            ("((a|b),c)*", ["a", "c", "b", "c"], True),
+            ("((a|b),c)*", ["c"], False),
+            ("a+", [], False),
+            ("a+", ["a", "a", "a"], True),
+            ("a?", [], True),
+            ("a?", ["a", "a"], False),
+            ("b,(c|ε),(a,c)*", ["b", "a", "c"], True),
+            ("b,(c|ε),(a,c)*", ["b", "c", "a", "c"], True),
+            ("b,(c|ε),(a,c)*", ["b", "a", "c", "a", "c"], True),
+            ("b,(c|ε),(a,c)*", ["a", "c"], False),
+        ],
+    )
+    def test_accepts(self, regex, word, expected):
+        assert A(regex).accepts(word) is expected
+
+    def test_accepts_epsilon(self):
+        assert A("a*").accepts_epsilon()
+        assert not A("a").accepts_epsilon()
+
+
+class TestGlushkovStructure:
+    def test_paper_figure2_r_automaton(self):
+        """D0's rule r → (a·(b+c)·d)* yields the 3-state automaton of Fig. 2."""
+        nfa = A("(a,(b|c),d)*")
+        # positions: a=1, b=2, c=3, d=4 but b,c behave identically;
+        # the *language* matches the figure's 3-state automaton.
+        fig2 = NFA.from_triples(
+            "q0",
+            [
+                ("q0", "a", "q1"),
+                ("q1", "b", "q2"),
+                ("q1", "c", "q2"),
+                ("q2", "d", "q0"),
+            ],
+            ["q0"],
+        )
+        assert nfa.equivalent(fig2)
+
+    def test_paper_figure2_d_automaton(self):
+        nfa = A("((a|b),c)*")
+        fig2 = NFA.from_triples(
+            "p0",
+            [("p0", "a", "p1"), ("p0", "b", "p1"), ("p1", "c", "p0")],
+            ["p0"],
+        )
+        assert nfa.equivalent(fig2)
+
+    def test_state_count_is_positions_plus_one(self):
+        assert len(A("(a,(b|c),d)*").states) == 5
+        assert len(A("a").states) == 2
+
+    def test_no_transitions_into_initial(self):
+        nfa = A("(a,b)*")
+        assert all(target != 0 for _, _, target in nfa.transitions())
+
+    def test_alphabet_extension(self):
+        nfa = glushkov(parse_regex("a"), alphabet=frozenset({"a", "z"}))
+        assert nfa.alphabet == {"a", "z"}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "regex,expected",
+        [
+            ("(a,(b|c),d)*", True),
+            ("((a|b),c)*", True),
+            ("b,(c|ε),(a,c)*", True),
+            ("(a,b*)*", True),
+            ("(a|b)*,a", False),  # classic one-ambiguous expression
+            ("(a,b)|(a,c)", False),
+        ],
+    )
+    def test_one_unambiguous(self, regex, expected):
+        assert is_one_unambiguous(parse_regex(regex)) is expected
+        assert A(regex).is_deterministic() is expected
+
+
+class TestLanguageQueries:
+    def test_language_nonempty(self):
+        assert A("a*").language_nonempty()
+        assert A("a,b").language_nonempty()
+
+    def test_reachable_and_coreachable(self):
+        nfa = NFA.from_triples(
+            "s", [("s", "a", "t"), ("t", "b", "u"), ("x", "a", "t")], ["u"],
+            extra_states=["dead"],
+        )
+        assert "x" not in nfa.reachable_states()
+        assert "dead" not in nfa.coreachable_states()
+        trimmed = nfa.trim()
+        assert trimmed.states == {"s", "t", "u"}
+
+    def test_enumerate_words(self):
+        words = list(A("(a,b)*").enumerate_words(4))
+        assert words == [(), ("a", "b"), ("a", "b", "a", "b")]
+
+    def test_enumerate_words_sorted_shortest_first(self):
+        words = list(A("a|b|(a,a)").enumerate_words(2))
+        assert words == [("a",), ("b",), ("a", "a")]
+
+
+class TestEquivalence:
+    def test_same_language_different_regex(self):
+        assert A("a,a*").equivalent(A("a+"))
+        assert A("(a|ε)").equivalent(A("a?"))
+
+    def test_different_languages(self):
+        assert not A("a*").equivalent(A("a+"))
+
+    def test_renamed_preserves_language(self):
+        nfa = A("(a,b)*")
+        renamed = nfa.renamed(lambda q: f"s{q}")
+        assert nfa.equivalent(renamed)
+
+    def test_to_dot_output(self):
+        dot = A("a").to_dot()
+        assert "digraph" in dot and "doublecircle" in dot

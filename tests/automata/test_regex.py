@@ -1,0 +1,142 @@
+"""Tests for the content-model regex AST and parser."""
+
+import pytest
+
+from repro.automata import (
+    EPSILON,
+    Concat,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    parse_regex,
+    union,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestParser:
+    def test_single_symbol(self):
+        assert parse_regex("a") == Symbol("a")
+
+    def test_multichar_symbol(self):
+        assert parse_regex("patient") == Symbol("patient")
+
+    def test_concat_with_comma(self):
+        assert parse_regex("a,b") == Concat((Symbol("a"), Symbol("b")))
+
+    def test_concat_with_dot_and_middot(self):
+        assert parse_regex("a.b") == parse_regex("a,b")
+        assert parse_regex("a·b") == parse_regex("a,b")
+
+    def test_union(self):
+        assert parse_regex("a|b") == Union((Symbol("a"), Symbol("b")))
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+        assert parse_regex("a+") == Plus(Symbol("a"))
+        assert parse_regex("a?") == Optional(Symbol("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_regex("a*?") == Optional(Star(Symbol("a")))
+
+    def test_precedence_union_lowest(self):
+        # a,b|c  parses as  (a,b) | c
+        expr = parse_regex("a,b|c")
+        assert isinstance(expr, Union)
+        assert expr.parts[0] == Concat((Symbol("a"), Symbol("b")))
+
+    def test_parens(self):
+        expr = parse_regex("(a,(b|c),d)*")
+        assert isinstance(expr, Star)
+        inner = expr.child
+        assert isinstance(inner, Concat)
+        assert inner.parts[1] == Union((Symbol("b"), Symbol("c")))
+
+    @pytest.mark.parametrize("token", ["ε", "eps", "epsilon", "EMPTY", "#EMPTY"])
+    def test_epsilon_tokens(self, token: str):
+        assert parse_regex(token).nullable()
+
+    def test_epsilon_in_union(self):
+        # the paper's D3 uses (c + ε)
+        expr = parse_regex("(c|ε)")
+        assert expr.nullable()
+        assert expr.symbols() == {"c"}
+
+    def test_whitespace(self):
+        assert parse_regex(" ( a , b ) * ") == parse_regex("(a,b)*")
+
+    @pytest.mark.parametrize("bad", ["(", "a,", "a|", "|a", "a)", "*", "(a", "a b"])
+    def test_syntax_errors(self, bad: str):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_empty_string_is_epsilon(self):
+        assert parse_regex("") == EPSILON
+        assert parse_regex("   ") == EPSILON
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a", False),
+            ("a*", True),
+            ("a?", True),
+            ("a+", False),
+            ("a,b", False),
+            ("a*,b*", True),
+            ("a|b*", True),
+            ("(a,b)+", False),
+            ("(a?,b?)+", True),
+            ("ε", True),
+        ],
+    )
+    def test_nullable(self, text: str, expected: bool):
+        assert parse_regex(text).nullable() is expected
+
+
+class TestSymbols:
+    def test_symbols_collected(self):
+        assert parse_regex("(a,(b|c),d)*").symbols() == {"a", "b", "c", "d"}
+
+    def test_epsilon_has_no_symbols(self):
+        assert EPSILON.symbols() == frozenset()
+
+
+class TestRendering:
+    def test_dtd_rendering_round_trips(self):
+        for text in ["(a,(b|c),d)*", "a|b|c", "(a,b)+", "a?", "((a|b),c)*"]:
+            expr = parse_regex(text)
+            assert parse_regex(expr.to_dtd()) == expr
+
+    def test_paper_rendering(self):
+        assert parse_regex("(a,(b|c),d)*").to_paper() == "(a·(b+c)·d)*"
+        assert parse_regex("((a|b),c)*").to_paper() == "((a+b)·c)*"
+
+    def test_epsilon_renders(self):
+        assert parse_regex("a|ε").to_dtd() == "a|ε"
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        expr = concat(Symbol("a"), concat(Symbol("b"), Symbol("c")))
+        assert expr == Concat((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_concat_drops_epsilon(self):
+        assert concat(EPSILON, Symbol("a"), EPSILON) == Symbol("a")
+        assert concat(EPSILON) == EPSILON
+        assert concat() == EPSILON
+
+    def test_union_deduplicates(self):
+        assert union(Symbol("a"), Symbol("a")) == Symbol("a")
+
+    def test_union_flattens(self):
+        expr = union(Symbol("a"), union(Symbol("b"), Symbol("c")))
+        assert expr == Union((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            union()

@@ -1,0 +1,283 @@
+"""Theorems 3 and 4: propagation graphs capture P and Pmin.
+
+Ground truth comes from a brute-force search that is independent of the
+graph machinery: candidate *outputs* are all trees ⊨ D (bounded size)
+whose view equals Out(S) identifier-exactly on visible nodes, and the
+cost of realising an output is computed by a direct sequence-alignment
+recursion (delete / keep / insert whole subtrees) over the source.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.core import (
+    count_min_propagations,
+    enumerate_min_propagations,
+    enumerate_propagations,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.dtd import DTD
+from repro.editing import EditScript
+from repro.generators import enumerate_trees
+from repro.views import Annotation
+from repro.xmltree import Tree, parse_term
+
+
+# ---------------------------------------------------------------------------
+# Brute-force ground truth
+# ---------------------------------------------------------------------------
+
+
+def candidate_outputs(dtd, annotation, out_view, max_size):
+    """All τ ⊨ D (≤ max_size) with A(τ) ≅ Out(S), visible ids pinned."""
+    results = []
+    for candidate in enumerate_trees(dtd, out_view.label(out_view.root), max_size):
+        candidate_view = annotation.view(candidate)
+        mapping = candidate_view.isomorphism(out_view)
+        if mapping is None:
+            continue
+        results.append(candidate.relabel_nodes(mapping))
+    return results
+
+
+def realisation_cost(source, annotation, output):
+    """Minimal script cost turning *source* into something hidden-isomorphic
+    to *output* by whole-subtree deletes/inserts, visible ids pinned.
+
+    Recursive alignment of children sequences; hidden source subtrees may
+    be deleted or matched (kept) against shape-identical hidden output
+    subtrees; everything unmatched in the output is inserted.
+    """
+    INF = float("inf")
+
+    def node_cost(s_node, o_node):
+        # both visible, same identifier (pinned): align the children
+        s_kids = source.children(s_node)
+        o_kids = output.children(o_node)
+        s_label = source.label(s_node)
+
+        from functools import lru_cache
+
+        def hidden(label):
+            return annotation.hides(s_label, label)
+
+        def subtree_size(tree, node):
+            return sum(1 for _ in tree.descendants_or_self(node))
+
+        @lru_cache(maxsize=None)
+        def align(i, j):
+            if i == len(s_kids) and j == len(o_kids):
+                return 0
+            best = INF
+            if i < len(s_kids):
+                # delete the source child (visible deleted, or hidden dropped)
+                best = min(
+                    best, subtree_size(source, s_kids[i]) + align(i + 1, j)
+                )
+            if j < len(o_kids):
+                o_kid = o_kids[j]
+                if o_kid not in source:
+                    # inserted subtree (fresh visible or fresh hidden)
+                    best = min(
+                        best, subtree_size(output, o_kid) + align(i, j + 1)
+                    )
+            if i < len(s_kids) and j < len(o_kids):
+                s_kid, o_kid = s_kids[i], o_kids[j]
+                if s_kid == o_kid:
+                    # the same (visible) node: recurse
+                    best = min(best, node_cost(s_kid, o_kid) + align(i + 1, j + 1))
+                elif (
+                    hidden(source.label(s_kid))
+                    and o_kid not in source
+                    and hidden(output.label(o_kid))
+                    and source.subtree(s_kid).shape() == output.subtree(o_kid).shape()
+                ):
+                    # keep the hidden subtree unchanged (costs nothing)
+                    best = min(best, align(i + 1, j + 1))
+            return best
+
+        return align(0, 0)
+
+    if source.root != output.root:
+        return INF
+    return node_cost(source.root, output.root)
+
+
+def brute_force_min(dtd, annotation, source, update, slack=3):
+    """(min cost, set of minimal output shapes) by exhaustive search."""
+    out_view = update.output_tree
+    collection = propagation_graphs(dtd, annotation, source, update)
+    bound = _output_size_bound(collection) + slack
+    best = None
+    shapes_by_cost = {}
+    for output in candidate_outputs(dtd, annotation, out_view, bound):
+        cost = realisation_cost(source, annotation, output)
+        if cost == float("inf"):
+            continue
+        shapes_by_cost.setdefault(cost, set()).add(output.shape())
+        if best is None or cost < best:
+            best = cost
+    return best, shapes_by_cost
+
+
+def _output_size_bound(collection) -> int:
+    """Any optimal output is at most |t| + min_cost nodes."""
+    return collection.source.size + collection.min_cost()
+
+
+# ---------------------------------------------------------------------------
+# Cases
+# ---------------------------------------------------------------------------
+
+
+def case_d0_small():
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    source = parse_term("r#n0(a#n1, b#n2, d#n3(a#n7, c#n8))")
+    # delete nothing; insert one (a, d) group in the view
+    update = EditScript.parse(
+        "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Ins.a#u0, Ins.d#u1)"
+    )
+    return dtd, annotation, source, update
+
+
+def case_delete_group():
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    source = parse_term("r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6)")
+    update = EditScript.parse(
+        "Nop.r#n0(Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, Nop.d#n6)"
+    )
+    return dtd, annotation, source, update
+
+
+def case_d3_positional():
+    dtd = paperdata.d3()
+    annotation = paperdata.a3()
+    source = paperdata.d3_source()
+    update = paperdata.d3_updated_view()
+    return dtd, annotation, source, update
+
+
+def case_finite_p():
+    """No hidden symbols at all: P is finite and tiny."""
+    dtd = DTD({"r": "a,b?"})
+    annotation = Annotation.identity()
+    source = parse_term("r#n0(a#n1)")
+    update = EditScript.parse("Nop.r#n0(Nop.a#n1, Ins.b#u0)")
+    return dtd, annotation, source, update
+
+
+CASES = [case_d0_small, case_delete_group, case_d3_positional, case_finite_p]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4
+# ---------------------------------------------------------------------------
+
+
+class TestTheorem4MinimalCapture:
+    @pytest.mark.parametrize("case", CASES)
+    def test_min_cost_matches_brute_force(self, case):
+        dtd, annotation, source, update = case()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        brute_cost, _ = brute_force_min(dtd, annotation, source, update)
+        assert brute_cost == collection.min_cost()
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_minimal_outputs_match_brute_force(self, case):
+        dtd, annotation, source, update = case()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        brute_cost, shapes_by_cost = brute_force_min(dtd, annotation, source, update)
+        expected = shapes_by_cost[brute_cost]
+        produced = {
+            script.output_tree.shape()
+            for script in enumerate_min_propagations(collection)
+        }
+        assert produced == expected
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_every_minimal_propagation_verifies(self, case):
+        dtd, annotation, source, update = case()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        scripts = list(enumerate_min_propagations(collection, max_count=100))
+        assert scripts
+        for script in scripts:
+            assert verify_propagation(dtd, annotation, source, update, script)
+            assert script.cost == collection.min_cost()
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_count_matches_enumeration(self, case):
+        dtd, annotation, source, update = case()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        produced = list(enumerate_min_propagations(collection))
+        assert count_min_propagations(collection, distinct_trees=True) == len(produced)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3
+# ---------------------------------------------------------------------------
+
+
+class TestTheorem3Capture:
+    @pytest.mark.parametrize("case", CASES)
+    def test_bounded_enumeration_sound(self, case):
+        dtd, annotation, source, update = case()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        budget = collection.min_cost() + 3
+        scripts = list(
+            enumerate_propagations(collection, max_cost=budget, max_count=150)
+        )
+        assert scripts
+        for script in scripts:
+            assert verify_propagation(dtd, annotation, source, update, script)
+            assert script.cost <= budget
+
+    def test_non_optimal_propagations_produced(self):
+        """D1-style pumping: extra hidden b-insertions beyond the optimum."""
+        dtd, annotation = paperdata.d1(), paperdata.a1()
+        source = parse_term("r#n0(a#n1)")
+        update = EditScript.parse("Nop.r#n0(Nop.a#n1, Ins.a#u0)")
+        collection = propagation_graphs(dtd, annotation, source, update)
+        assert collection.min_cost() == 1
+        costs = sorted(
+            {
+                script.cost
+                for script in enumerate_propagations(
+                    collection, max_cost=3, max_count=200
+                )
+            }
+        )
+        assert costs == [1, 2, 3]  # the optimum plus pumped variants
+
+    def test_finite_p_fully_enumerated(self):
+        """With nothing hidden, P is exactly {the update itself}."""
+        dtd, annotation, source, update = case_finite_p()
+        collection = propagation_graphs(dtd, annotation, source, update)
+        scripts = list(enumerate_propagations(collection, max_cost=10))
+        assert len(scripts) == 1
+        assert scripts[0].output_tree == update.output_tree
+        assert scripts[0].input_tree == source
+
+    def test_interleavings_counted_separately(self):
+        """Del and Ins runs between common nodes shuffle: distinct scripts."""
+        dtd = DTD({"r": "(a|b)*"})
+        annotation = Annotation.hiding(("r", "b"))
+        source = parse_term("r#n0(b#n1)")
+        # the user inserts a visible a; the hidden b can stay or go, and
+        # with a deletion the Del/Ins order gives two distinct scripts
+        update = EditScript.parse("Nop.r#n0(Ins.a#u0)")
+        collection = propagation_graphs(dtd, annotation, source, update)
+        scripts = {
+            script.to_term()
+            for script in enumerate_propagations(collection, max_cost=2)
+        }
+        # keep-b before a, keep-b after a is impossible (b precedes in t);
+        # expected: Nop(b),Ins(a) / Del(b),Ins(a) / Ins(a) ... with the
+        # Del and Ins in both orders
+        assert len(scripts) >= 3
+        shapes = {EditScript.parse(term).shape() for term in scripts}
+        assert parse_term("x").shape() is not None  # sanity of helper use
+        assert any("Del.b" in term and "Ins.a" in term for term in scripts)
+        assert any("Nop.b" in term for term in scripts)

@@ -1,0 +1,153 @@
+"""The paper's quantitative bounds: 2^k optimal propagations, infinite P,
+exponential minimal trees, and the insertlet workaround."""
+
+import pytest
+
+from repro import paperdata
+from repro.core import (
+    InsertletPackage,
+    count_min_propagations,
+    enumerate_min_propagations,
+    propagate,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.dtd import minimal_size
+from repro.graphutil import CycleError, count_paths
+
+
+class TestTwoToTheKBound:
+    """Section 4, 'Further results': D2 with k inserted a-nodes has
+    exactly 2^k optimal propagations — the tight exponential bound."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 8])
+    def test_count_is_two_to_the_k(self, k):
+        source, update = paperdata.d2_update_insert_k(k)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        assert count_min_propagations(collection) == 2**k
+
+    def test_large_k_counts_stay_exact(self):
+        """Counting is DP, not enumeration: k=40 is instant and exact."""
+        source, update = paperdata.d2_update_insert_k(40)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        assert count_min_propagations(collection) == 2**40
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_enumeration_realises_all_choices(self, k):
+        source, update = paperdata.d2_update_insert_k(k)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        scripts = list(enumerate_min_propagations(collection))
+        assert len(scripts) == 2**k
+        shapes = {script.shape() for script in scripts}
+        assert len(shapes) == 2**k  # all genuinely distinct
+        for script in scripts:
+            assert verify_propagation(
+                paperdata.d2(), paperdata.a2(), source, update, script
+            )
+            assert script.cost == 2 * k  # each insert brings one hidden node
+
+    def test_choices_are_independent_b_or_c(self):
+        source, update = paperdata.d2_update_insert_k(2)
+        collection = propagation_graphs(
+            paperdata.d2(), paperdata.a2(), source, update
+        )
+        hidden_labels = set()
+        for script in enumerate_min_propagations(collection):
+            invented = [
+                script.symbol(node)
+                for node in script.nodes()
+                if node not in source.node_set and node not in update.node_set
+            ]
+            hidden_labels.add(tuple(sorted(invented)))
+        assert hidden_labels == {("b", "b"), ("b", "c"), ("c", "c")}
+
+
+class TestInfinitelyManyPropagations:
+    """Section 4: D1 = r → (a·b*)* with hidden b admits infinitely many
+    side-effect-free propagations of a single a-insertion."""
+
+    def test_full_graph_has_cycles(self):
+        from repro.editing import EditScript
+        from repro.xmltree import parse_term
+
+        source = parse_term("r#n0")
+        update = EditScript.parse("Nop.r#n0(Ins.a#u0)")
+        collection = propagation_graphs(
+            paperdata.d1(), paperdata.a1(), source, update
+        )
+        graph = collection["n0"]
+        with pytest.raises(CycleError):
+            count_paths(graph.source, graph.targets, graph.edges_from)
+
+    def test_optimal_graph_is_finite_and_minimal(self):
+        from repro.editing import EditScript
+        from repro.xmltree import parse_term
+
+        source = parse_term("r#n0")
+        update = EditScript.parse("Nop.r#n0(Ins.a#u0)")
+        collection = propagation_graphs(
+            paperdata.d1(), paperdata.a1(), source, update
+        )
+        # the paper: "an update inserting a node a is propagated to an
+        # update that inserts this node only"
+        assert collection.min_cost() == 1
+        assert count_min_propagations(collection) == 1
+        script = propagate(paperdata.d1(), paperdata.a1(), source, update)
+        assert script.cost == 1
+        assert script.output_tree.shape() == parse_term("r(a)").shape()
+
+
+class TestExponentialMinimalTrees:
+    """Section 5: propagation may require exponentially large insertions;
+    insertlet packages make the complexity polynomial in |W| instead."""
+
+    def test_minimal_size_exponential_in_dtd(self):
+        for n in [2, 8, 32]:
+            dtd = paperdata.exponential_dtd(n)
+            assert minimal_size(dtd, "a") == 2 ** (n + 2) - 1
+            # the DTD itself stays small while the minimal tree explodes
+            assert dtd.size < 40 * (n + 2)
+
+    def test_propagation_materialises_exponential_insert(self):
+        """Small n: the forced invisible insertion really is the full tree."""
+        from repro.dtd import DTD
+        from repro.editing import EditScript
+        from repro.views import Annotation
+        from repro.xmltree import parse_term
+
+        n = 2
+        base = paperdata.exponential_dtd(n)
+        rules = {sym: base.rule_regex(sym) for sym in base.alphabet
+                 if base.has_explicit_rule(sym)}
+        rules["r"] = "(v,a)*"  # a visible node forces one hidden 'a' sibling
+        dtd = DTD(rules)
+        annotation = Annotation.hiding(("r", "a"))
+        source = parse_term("r#n0")
+        update = EditScript.parse("Nop.r#n0(Ins.v#u0)")
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        assert script.cost == 1 + (2 ** (n + 2) - 1)
+
+    def test_insertlets_bound_the_work(self):
+        """With an insertlet for the hidden label, the propagation reuses
+        the administrator's fragment (and its size enters the cost)."""
+        from repro.dtd import DTD
+        from repro.editing import EditScript
+        from repro.views import Annotation
+        from repro.xmltree import parse_term
+
+        dtd = DTD({"r": "(v,h)*", "h": "x|(y,y)"})
+        annotation = Annotation.hiding(("r", "h"))
+        source = parse_term("r#n0")
+        update = EditScript.parse("Nop.r#n0(Ins.v#u0)")
+        package = InsertletPackage.from_terms(dtd, {"h": "h(x)"})
+        script = propagate(dtd, annotation, source, update, factory=package)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        # insertlet h(x) used: cost = v + |W_h| = 1 + 2
+        assert script.cost == 3

@@ -1,0 +1,173 @@
+"""Tests for the multi-view extension (Section 7 future work)."""
+
+import pytest
+
+from repro.core import propagate, verify_propagation
+from repro.dtd import DTD
+from repro.editing import EditScript, UpdateBuilder
+from repro.errors import ReproError
+from repro.multiview import (
+    ViewDisturbance,
+    cross_view_report,
+    propagate_min_disturbance,
+    view_disturbance,
+)
+from repro.views import Annotation
+from repro.xmltree import Tree, parse_term
+
+
+@pytest.fixture
+def two_views():
+    """A schema with two observer classes.
+
+    ``r → (pub, sec?)*``: editors see everything except ``sec``;
+    auditors see ``sec`` but not ``pub``.
+    """
+    dtd = DTD({"r": "(pub,sec?)*", "pub": "", "sec": ""})
+    editors = Annotation.hiding(("r", "sec"))
+    auditors = Annotation.hiding(("r", "pub"))
+    source = parse_term("r#n0(pub#p1, sec#s1, pub#p2)")
+    return dtd, editors, auditors, source
+
+
+class TestViewDisturbance:
+    def test_identity_is_silent(self, two_views):
+        _, editors, _, source = two_views
+        disturbance = view_disturbance(editors, source, source)
+        assert disturbance.is_silent
+        assert disturbance.total == 0
+        assert disturbance.summary() == "no visible change"
+
+    def test_appeared_and_vanished(self, two_views):
+        _, editors, _, source = two_views
+        after = source.delete_subtree("p2").insert_subtree(
+            "n0", 0, Tree.leaf("pub", "p9")
+        )
+        disturbance = view_disturbance(editors, source, after)
+        assert disturbance.appeared == {"p9"}
+        assert disturbance.vanished == {"p2"}
+        assert disturbance.total == 2
+
+    def test_hidden_changes_invisible(self, two_views):
+        """Editors do not notice changes to sec-nodes."""
+        _, editors, _, source = two_views
+        after = source.delete_subtree("s1")
+        assert view_disturbance(editors, source, after).is_silent
+
+    def test_moved_nodes_detected(self):
+        annotation = Annotation.identity()
+        before = parse_term("r#x(a#1, b#2)")
+        after = parse_term("r#x(b#2, a#1)")
+        disturbance = view_disturbance(annotation, before, after)
+        assert disturbance.moved == {"1", "2"}
+
+    def test_relabelled_nodes_detected(self):
+        annotation = Annotation.identity()
+        before = parse_term("r#x(a#1)")
+        after = parse_term("r#x(b#1)")
+        disturbance = view_disturbance(annotation, before, after)
+        assert disturbance.relabelled == {"1"}
+        assert "relabelled" in disturbance.summary()
+
+    def test_reparented_node_is_moved(self):
+        annotation = Annotation.identity()
+        before = parse_term("r#x(a#1(c#3), a#2)")
+        after = parse_term("r#x(a#1, a#2(c#3))")
+        disturbance = view_disturbance(annotation, before, after)
+        assert "3" in disturbance.moved
+
+
+class TestCrossViewReport:
+    def test_report_keys(self, two_views):
+        dtd, editors, auditors, source = two_views
+        report = cross_view_report(
+            {"editors": editors, "auditors": auditors}, source, source
+        )
+        assert set(report) == {"editors", "auditors"}
+        assert all(d.is_silent for d in report.values())
+
+    def test_collateral_visibility(self, two_views):
+        """Deleting pub#p2 through the editor view: auditors see nothing
+        (p2 was invisible to them anyway)."""
+        dtd, editors, auditors, source = two_views
+        view = editors.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.delete("p2")
+        update = builder.script()
+        script = propagate(dtd, editors, source, update)
+        report = cross_view_report(
+            {"auditors": auditors}, source, script.output_tree
+        )
+        assert report["auditors"].is_silent
+
+
+class TestPropagateMinDisturbance:
+    def test_picks_quieter_optimal_candidate(self):
+        """Deleting a visible node forces dropping one hidden neighbour;
+        two optimal ways exist, disturbing the auditor differently."""
+        dtd = DTD({"r": "(v,(h1|h2))*", "v": "", "h1": "", "h2": ""})
+        primary = Annotation.hiding(("r", "h1"), ("r", "h2"))
+        # the auditor sees h1 but not h2 (nor v)
+        auditor = Annotation.hiding(("r", "v"), ("r", "h2"))
+        source = parse_term("r#n0(v#v1, h1#x1)")
+        view = primary.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("n0", parse_term("v#u0"))
+        update = builder.script()
+        result = propagate_min_disturbance(
+            dtd, primary, {"auditor": auditor}, source, update
+        )
+        assert verify_propagation(dtd, primary, source, update, result.script)
+        # the chosen propagation inserts h2 (invisible to the auditor),
+        # not h1 (visible to them): zero disturbance
+        assert result.disturbances["auditor"].is_silent
+        assert result.total_disturbance == 0
+        assert result.candidates_considered >= 2
+
+    def test_baseline_when_single_candidate(self, two_views):
+        dtd, editors, auditors, source = two_views
+        identity = EditScript.phantom(editors.view(source))
+        result = propagate_min_disturbance(
+            dtd, editors, {"auditors": auditors}, source, identity
+        )
+        assert result.script.is_identity()
+        assert result.candidates_considered == 1
+        assert not result.truncated
+        assert "auditors" in result.summary()
+
+    def test_cap_respected(self):
+        source, k = parse_term("r#n0"), 6
+        from repro import paperdata
+
+        src, update = paperdata.d2_update_insert_k(k)
+        result = propagate_min_disturbance(
+            paperdata.d2(),
+            paperdata.a2(),
+            {},
+            src,
+            update,
+            max_candidates=8,
+        )
+        assert result.truncated  # 2^6 = 64 optimal candidates > 8
+        assert result.candidates_considered == 8
+
+    def test_bad_cap_rejected(self, two_views):
+        dtd, editors, auditors, source = two_views
+        identity = EditScript.phantom(editors.view(source))
+        with pytest.raises(ReproError):
+            propagate_min_disturbance(
+                dtd, editors, {}, source, identity, max_candidates=0
+            )
+
+    def test_primary_view_always_exact(self, two_views):
+        """Minimising secondary disturbance never compromises the primary."""
+        dtd, editors, auditors, source = two_views
+        view = editors.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.delete("p2")
+        builder.insert("n0", parse_term("pub#u0"))
+        update = builder.script()
+        result = propagate_min_disturbance(
+            dtd, editors, {"auditors": auditors}, source, update
+        )
+        assert editors.view(result.script.output_tree) == update.output_tree

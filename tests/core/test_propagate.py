@@ -1,0 +1,233 @@
+"""End-to-end propagation tests: Figures 7, 9, 10 and the algorithm."""
+
+import pytest
+
+from repro import paperdata
+from repro.core import (
+    CheapestPathChooser,
+    InsertletPackage,
+    PreferenceChooser,
+    count_min_propagations,
+    is_schema_compliant,
+    is_side_effect_free,
+    propagate,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.editing import EditScript, Op, UpdateBuilder
+from repro.xmltree import NodeIds, parse_term
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        paperdata.d0(fig2_automata=True),
+        paperdata.a0(),
+        paperdata.t0(),
+        paperdata.s0(),
+    )
+
+
+class TestPaperRunningExample:
+    def test_propagation_is_valid(self, setup):
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, result)
+
+    def test_propagation_is_optimal_cost(self, setup):
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        assert result.cost == 14  # Figure 7's cost
+
+    def test_figure7_shape_reproduced(self, setup):
+        """The Nop-preferring chooser reproduces Figure 7 up to fresh ids
+        and up to the free a-vs-b choices of invisible insertions (the
+        paper's figure picks ``b`` at n17/n19; both are optimal — Figure
+        10 draws both alternatives)."""
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        expected = paperdata.fig7_propagation()
+
+        def normalise(shape):
+            label, children = shape
+            if label == "Ins(b)" and not children:
+                label = "Ins(a)"  # a and b are interchangeable hidden leaves
+            return (label, tuple(normalise(child) for child in children))
+
+        assert normalise(result.shape()) == normalise(expected.shape())
+
+    def test_figure7_is_itself_a_valid_propagation(self, setup):
+        dtd, annotation, source, update = setup
+        fig7 = paperdata.fig7_propagation()
+        assert verify_propagation(dtd, annotation, source, update, fig7)
+
+    def test_figure9_fragment_appears(self, setup):
+        """The n6 fragment of the result matches Figure 9 up to fresh ids."""
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        fragment = result.subscript("n6")
+        assert fragment.shape() == paperdata.fig9_fragment().shape()
+        # the kept nodes keep their identifiers exactly
+        assert fragment.op("n9") is Op.NOP
+        assert fragment.op("n10") is Op.NOP
+        assert fragment.op("n15") is Op.INS
+
+    def test_inserted_visible_ids_preserved(self, setup):
+        """Side-effect-freeness pins n11..n15 in the propagation output."""
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        for node in ("n11", "n12", "n13", "n14", "n15"):
+            assert node in result.node_set
+            assert result.op(node) is Op.INS
+
+    def test_with_glushkov_automata_same_cost(self):
+        """The state set does not matter, only the language: cost stays 14."""
+        result = propagate(
+            paperdata.d0(), paperdata.a0(), paperdata.t0(), paperdata.s0()
+        )
+        assert result.cost == 14
+        assert verify_propagation(
+            paperdata.d0(), paperdata.a0(), paperdata.t0(), paperdata.s0(), result
+        )
+
+
+class TestFigure10OptimalGraph:
+    def test_optimal_root_graph_path_edges(self, setup):
+        """The selected path in G*_{n0} is Del,Del,Del,Nop,Nop,Ins,Ins,Ins,Nop."""
+        dtd, annotation, source, update = setup
+        collection = propagation_graphs(dtd, annotation, source, update)
+        chooser = PreferenceChooser()
+        path = chooser.choose(collection.optimal("n0"))
+        assert [edge.display() for edge in path] == [
+            "Del(a)", "Del(b)", "Del(d)", "Nop(a)", "Nop(c)",
+            "Ins(d)", "Ins(a)", "Ins(b)", "Nop(d)",
+        ]
+
+    def test_optimal_graph_is_dag_and_smaller(self, setup):
+        dtd, annotation, source, update = setup
+        collection = propagation_graphs(dtd, annotation, source, update)
+        full = collection["n0"]
+        optimal = collection.optimal("n0")
+        assert optimal.n_edges < full.n_edges
+        assert optimal.cost == 14
+        # DAG check: counting paths must terminate without CycleError
+        count_min_propagations(collection)
+
+    def test_alternative_optimal_choices_exist(self, setup):
+        """Figure 10 shows Ins(b)/Ins(c) alternatives: count > 1."""
+        dtd, annotation, source, update = setup
+        collection = propagation_graphs(dtd, annotation, source, update)
+        assert count_min_propagations(collection) > 1
+
+
+class TestChoosers:
+    def test_cheapest_chooser_on_full_graphs(self, setup):
+        dtd, annotation, source, update = setup
+        result = propagate(
+            dtd, annotation, source, update,
+            chooser=CheapestPathChooser(), optimal=False,
+        )
+        assert verify_propagation(dtd, annotation, source, update, result)
+        assert result.cost == 14  # cheapest on the full graph is optimal too
+
+    def test_choosers_are_deterministic(self, setup):
+        dtd, annotation, source, update = setup
+        first = propagate(dtd, annotation, source, update,
+                          fresh=NodeIds("z").fresh)
+        second = propagate(dtd, annotation, source, update,
+                           fresh=NodeIds("z").fresh)
+        assert first == second
+
+    def test_preference_order_changes_script(self):
+        """Del-preferring vs Nop-preferring differ on kept hidden nodes."""
+        from repro.core import DEL_OVER_NOP_OVER_INS
+
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        source = paperdata.t0()
+        update = paperdata.s0()
+        nop_pref = propagate(dtd, annotation, source, update)
+        del_pref = propagate(
+            dtd, annotation, source, update,
+            chooser=PreferenceChooser(DEL_OVER_NOP_OVER_INS),
+        )
+        assert verify_propagation(dtd, annotation, source, update, del_pref)
+        # both optimal (same cost), but the scripts may differ in which
+        # equal-cost alternative they pick
+        assert del_pref.cost == nop_pref.cost == 14
+
+
+class TestInsertlets:
+    def test_insertlets_used_for_invisible_inserts(self):
+        from repro.dtd import DTD
+        from repro.views import Annotation
+
+        dtd = DTD({"r": "(a,h)*", "h": "x*"})
+        annotation = Annotation.hiding(("r", "h"))
+        source = parse_term("r#n0(a#n1, h#n2)")
+        view = annotation.view(source)
+        builder = UpdateBuilder(view)
+        builder.insert("n0", parse_term("a#u0"))
+        update = builder.script()
+        package = InsertletPackage.from_terms(dtd, {"h": "h(x, x)"}, strict=False)
+        result = propagate(dtd, annotation, source, update, factory=package)
+        assert verify_propagation(dtd, annotation, source, update, result)
+        # the inserted hidden h-subtree is the insertlet (h with two x)
+        new_h = [
+            n for n in result.output_tree.nodes()
+            if result.output_tree.label(n) == "h" and n != "n2"
+        ]
+        assert len(new_h) == 1
+        assert result.output_tree.child_labels(new_h[0]) == ("x", "x")
+
+    def test_fig7_example_with_minimal_package(self, setup):
+        dtd, annotation, source, update = setup
+        package = InsertletPackage.minimal(dtd)
+        result = propagate(dtd, annotation, source, update, factory=package)
+        assert result.cost == 14
+
+
+class TestBuilderIntegration:
+    def test_builder_to_propagation_pipeline(self):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        source = paperdata.t0()
+        view = annotation.view(source)
+        builder = UpdateBuilder(view)
+        builder.delete("n1")
+        builder.delete("n3")
+        builder.insert_after("n4", parse_term("d#n11(c#n13, c#n14)"))
+        builder.insert_after("n11", parse_term("a#n12"))
+        builder.insert("n6", parse_term("c#n15"))
+        update = builder.script()
+        result = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, result)
+        assert result.cost == 14
+
+
+class TestFreshIdentifiers:
+    def test_invented_ids_avoid_source_and_update(self, setup):
+        dtd, annotation, source, update = setup
+        result = propagate(dtd, annotation, source, update)
+        invented = result.node_set - source.node_set - update.node_set
+        assert invented, "the example requires invented hidden nodes"
+        for node in invented:
+            assert result.op(node) is Op.INS
+
+    def test_custom_fresh_generator(self, setup):
+        dtd, annotation, source, update = setup
+        result = propagate(
+            dtd, annotation, source, update, fresh=NodeIds("fresh_").fresh
+        )
+        invented = result.node_set - source.node_set - update.node_set
+        assert invented
+        assert all(str(node).startswith("fresh_") for node in invented)
+
+
+class TestCorrectnessHelpers:
+    def test_side_effect_free_detects_violation(self, setup):
+        dtd, annotation, source, update = setup
+        # a propagation for the *identity* update is not one for S0
+        identity = EditScript.phantom(annotation.view(source))
+        wrong = propagate(dtd, annotation, source, identity)
+        assert is_schema_compliant(dtd, wrong)
+        assert not is_side_effect_free(annotation, update, wrong)
+        assert not verify_propagation(dtd, annotation, source, update, wrong)

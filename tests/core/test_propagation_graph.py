@@ -1,0 +1,165 @@
+"""Tests for propagation-graph construction, incl. the Figure 8 reproduction."""
+
+import pytest
+
+from repro import paperdata
+from repro.core import EdgeKind, PVertex, propagation_graphs
+from repro.editing import EditScript
+from repro.errors import InvalidViewUpdateError
+from repro.xmltree import parse_term
+
+
+@pytest.fixture(scope="module")
+def collection():
+    """G(D0, A0, t0, S0) with the figure-exact automata."""
+    return propagation_graphs(
+        paperdata.d0(fig2_automata=True),
+        paperdata.a0(),
+        paperdata.t0(),
+        paperdata.s0(),
+    )
+
+
+class TestCollection:
+    def test_one_graph_per_phantom_node(self, collection):
+        assert set(collection) == {"n0", "n4", "n6", "n10"}
+
+    def test_inversion_collections_for_inserted_subtrees(self, collection):
+        # S0 visibly inserts d#n11 and a#n12 under n0, and c#n15 under n6
+        assert set(collection.insertions) == {"n11", "n12", "n15"}
+
+    def test_insert_costs_are_min_inversion_sizes(self, collection):
+        assert collection.insertions["n11"].min_inversion_size() == 5
+        assert collection.insertions["n12"].min_inversion_size() == 1
+        assert collection.insertions["n15"].min_inversion_size() == 1
+
+
+class TestFigure8:
+    """G_{n6}: t-children (b#n9, c#n10), S-children (Nop c#n10, Ins c#n15)."""
+
+    def test_segments(self, collection):
+        graph = collection["n6"]
+        assert graph.t_children == ("n9", "n10")
+        assert graph.s_children == ("n10", "n15")
+        # common nodes: {c0, n10}; n9 is hidden, n15 is inserted
+        assert graph.seg_t == (0, 0, 1)
+        assert graph.seg_s == (0, 1, 1)
+
+    def test_vertex_count_matches_figure(self, collection):
+        # {c0,n9}×{p0,p1}×{c0} ∪ {n10}×{p0,p1}×{n10,n15} = 4 + 4 = 8
+        assert collection["n6"].n_vertices == 8
+
+    def test_edges_match_figure(self, collection):
+        graph = collection["n6"]
+        rendered = sorted(
+            (repr(e.source), e.display(), e.kind.value, repr(e.target))
+            for e in graph.all_edges()
+        )
+        assert rendered == sorted([
+            # (i) invisible inserts at every vertex (a and b under d are hidden)
+            ("(c0,p0,c0)", "Ins(a)", "i", "(c0,p1,c0)"),
+            ("(c0,p0,c0)", "Ins(b)", "i", "(c0,p1,c0)"),
+            ("(m1,p0,c0)", "Ins(a)", "i", "(m1,p1,c0)"),
+            ("(m1,p0,c0)", "Ins(b)", "i", "(m1,p1,c0)"),
+            ("(m2,p0,m'1)", "Ins(a)", "i", "(m2,p1,m'1)"),
+            ("(m2,p0,m'1)", "Ins(b)", "i", "(m2,p1,m'1)"),
+            ("(m2,p0,m'2)", "Ins(a)", "i", "(m2,p1,m'2)"),
+            ("(m2,p0,m'2)", "Ins(b)", "i", "(m2,p1,m'2)"),
+            # (ii) invisible delete of b#n9 (state unchanged)
+            ("(c0,p0,c0)", "Del(b)", "ii", "(m1,p0,c0)"),
+            ("(c0,p1,c0)", "Del(b)", "ii", "(m1,p1,c0)"),
+            # (iii) invisible nop of b#n9 (consumes b: p0 → p1)
+            ("(c0,p0,c0)", "Nop(b)", "iii", "(m1,p1,c0)"),
+            # (iv) visible insert of c#n15 (consumes c: p1 → p0)
+            ("(m2,p1,m'1)", "Ins(c)", "iv", "(m2,p0,m'2)"),
+            # (vi) visible nop of c#n10 (consumes c: p1 → p0)
+            ("(m1,p1,c0)", "Nop(c)", "vi", "(m2,p0,m'1)"),
+        ])
+
+    def test_source_and_targets(self, collection):
+        graph = collection["n6"]
+        assert graph.source == PVertex(0, "p0", 0)
+        assert graph.targets == {PVertex(2, "p0", 2)}
+
+    def test_figure8_selected_path_cost(self, collection):
+        # Nop(b), Nop(c), Ins(a), Ins(c): 0 + 0 + 1 + 1 = 2
+        assert collection.costs["n6"] == 2
+
+    def test_to_dot(self, collection):
+        dot = collection["n6"].to_dot()
+        assert "Nop(c)" in dot and "doublecircle" in dot
+
+
+class TestLeafGraphs:
+    def test_nop_leaf_graph_trivial(self, collection):
+        # a#n4 has no children in t or S
+        graph = collection["n4"]
+        assert graph.n_vertices == 1
+        assert graph.n_edges == 0
+        assert collection.costs["n4"] == 0
+
+    def test_kept_leaf_under_kept_parent(self, collection):
+        # c#n10 under d#n6: no children at all
+        assert collection.costs["n10"] == 0
+
+
+class TestRootGraph:
+    def test_cheapest_cost_matches_figure7(self, collection):
+        """Figure 7's propagation costs 14 — and it is optimal."""
+        assert collection.min_cost() == paperdata.fig7_propagation().cost == 14
+
+    def test_edge_kinds_present(self, collection):
+        kinds = {edge.kind for edge in collection["n0"].all_edges()}
+        assert EdgeKind.INVISIBLE_INSERT in kinds
+        assert EdgeKind.INVISIBLE_DELETE in kinds
+        assert EdgeKind.INVISIBLE_NOP in kinds
+        assert EdgeKind.VISIBLE_INSERT in kinds
+        assert EdgeKind.VISIBLE_DELETE in kinds
+        assert EdgeKind.VISIBLE_NOP in kinds
+
+    def test_polynomial_bound(self, collection):
+        dtd = paperdata.d0(fig2_automata=True)
+        for node in collection:
+            graph = collection[node]
+            q = len(dtd.automaton(graph.label).states)
+            k = len(graph.t_children)
+            ell = len(graph.s_children)
+            assert graph.n_vertices <= (k + 1) * q * (ell + 1)
+
+
+class TestValidation:
+    def test_wrong_view_rejected(self):
+        bad = EditScript.parse("Nop.r#n0(Nop.a#n1)")  # not A0(t0)
+        with pytest.raises(InvalidViewUpdateError):
+            propagation_graphs(
+                paperdata.d0(), paperdata.a0(), paperdata.t0(), bad
+            )
+
+    def test_hidden_id_reuse_rejected(self):
+        # n2 is hidden in t0; inserting a node with that id is forbidden
+        script = EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+            "Ins.d#n2, Nop.d#n6(Nop.c#n10))"
+        )
+        with pytest.raises(InvalidViewUpdateError):
+            propagation_graphs(
+                paperdata.d0(), paperdata.a0(), paperdata.t0(), script
+            )
+
+    def test_output_outside_view_language_rejected(self):
+        # deleting a d leaves "a" alone: not in the view DTD r → (a·d)*
+        script = EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, Nop.d#n6(Nop.c#n10))"
+        )
+        with pytest.raises(InvalidViewUpdateError):
+            propagation_graphs(
+                paperdata.d0(), paperdata.a0(), paperdata.t0(), script
+            )
+
+    def test_identity_update_accepted(self):
+        view = paperdata.view0()
+        identity = EditScript.phantom(view)
+        collection = propagation_graphs(
+            paperdata.d0(), paperdata.a0(), paperdata.t0(), identity
+        )
+        assert collection.min_cost() == 0

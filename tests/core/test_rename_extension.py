@@ -1,0 +1,259 @@
+"""The Section 7 renaming extension: scripts, builder, propagation.
+
+The paper names "renaming a node" as the first future-work operation
+(Section 7). The extension here: a kept visible node may change its
+label (cost 1); the propagation graph gains a (vii)-edge that drives the
+parent's automaton with the *new* label and recurses into the renamed
+node's own graph built over the new label's content model. Renames are
+restricted to label pairs with identical child-visibility profiles —
+otherwise hidden content would silently appear in (or vanish from) the
+view and no side-effect-free propagation could exist.
+"""
+
+import pytest
+
+from repro.core import (
+    count_min_propagations,
+    enumerate_min_propagations,
+    propagate,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.dtd import DTD
+from repro.editing import EditScript, Op, UpdateBuilder, ren
+from repro.errors import InvalidScriptError, InvalidViewUpdateError
+from repro.views import Annotation
+from repro.xmltree import parse_term
+
+
+@pytest.fixture
+def doc_case():
+    """Articles can be renamed to notes; both carry hidden audit children."""
+    dtd = DTD(
+        {
+            "doc": "(article|note)*",
+            "article": "title,audit?",
+            "note": "title,audit?",
+            "title": "",
+            "audit": "",
+        }
+    )
+    annotation = Annotation.hiding(("article", "audit"), ("note", "audit"))
+    source = parse_term(
+        "doc#d(article#a1(title#t1, audit#x1), article#a2(title#t2))"
+    )
+    return dtd, annotation, source
+
+
+class TestEditLabelRen:
+    def test_ren_label(self):
+        label = ren("article", "note")
+        assert str(label) == "Ren(article→note)"
+        assert label.output_symbol == "note"
+        assert label.is_kept and label.is_rename
+
+    def test_self_rename_rejected(self):
+        with pytest.raises(InvalidScriptError):
+            ren("a", "a")
+
+    def test_target_only_for_ren(self):
+        from repro.editing import EditLabel
+
+        with pytest.raises(InvalidScriptError):
+            EditLabel(Op.NOP, "a", "b")
+        with pytest.raises(InvalidScriptError):
+            EditLabel(Op.REN, "a")
+
+    def test_parse_forms(self):
+        from repro.editing import parse_edit_label
+
+        assert parse_edit_label("Ren(a→b)") == ren("a", "b")
+        assert parse_edit_label("Ren(a->b)") == ren("a", "b")
+        assert parse_edit_label("Ren.a.b") == ren("a", "b")
+        with pytest.raises(InvalidScriptError):
+            parse_edit_label("Ren(a)")
+
+
+class TestScriptWithRenames:
+    def test_in_out_labels(self):
+        script = EditScript.parse("Nop.doc#d(Ren.article.note#a1(Nop.title#t1))")
+        assert script.input_tree.label("a1") == "article"
+        assert script.output_tree.label("a1") == "note"
+        assert script.cost == 1
+
+    def test_term_round_trip(self):
+        script = EditScript.parse("Nop.doc#d(Ren.article.note#a1(Nop.title#t1))")
+        assert EditScript.parse(script.to_term()) == script
+
+    def test_ren_under_ins_rejected(self):
+        with pytest.raises(InvalidScriptError):
+            EditScript.parse("Ins.doc#d(Ren.a.b#x)")
+
+    def test_kept_nodes_include_renames(self):
+        script = EditScript.parse("Nop.doc#d(Ren.article.note#a1, Del.article#a2)")
+        assert list(script.kept_nodes()) == ["d", "a1"]
+        assert list(script.nop_nodes()) == ["d"]
+
+
+class TestBuilderRename:
+    def test_rename_original_node(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        script = builder.script()
+        assert script.op("a1") is Op.REN
+        assert script.output_tree.label("a1") == "note"
+        assert script.cost == 1
+
+    def test_rename_back_cancels(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note").rename("a1", "article")
+        assert builder.script().is_identity()
+
+    def test_rename_inserted_relabels(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("d", parse_term("article#u0(title#u1)"))
+        builder.rename("u0", "note")
+        script = builder.script()
+        assert script.op("u0") is Op.INS
+        assert script.symbol("u0") == "note"
+
+    def test_rename_deleted_rejected(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.delete("a1")
+        with pytest.raises(InvalidScriptError):
+            builder.rename("a1", "note")
+
+    def test_delete_renamed_becomes_plain_delete(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        builder.delete("a1")
+        script = builder.script()
+        assert script.op("a1") is Op.DEL
+        assert script.symbol("a1") == "article"
+
+    def test_current_output_shows_new_label(self, doc_case):
+        _, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        assert builder.current_output().label("a1") == "note"
+
+
+class TestRenamePropagation:
+    def test_rename_propagates_and_keeps_hidden_audit(self, doc_case):
+        dtd, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        assert script.cost == 1  # just the rename; the hidden audit stays
+        out = script.output_tree
+        assert out.label("a1") == "note"
+        assert "x1" in out  # the hidden audit node was kept, not rebuilt
+        assert out.children("a1") == ("t1", "x1")
+
+    def test_rename_with_other_ops(self, doc_case):
+        dtd, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        builder.delete("a2")
+        builder.insert("d", parse_term("article#u0(title#u1)"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+    def test_rename_changing_content_model(self):
+        """The renamed node's children must satisfy the *new* rule; the
+        propagation inserts the hidden child the new label demands."""
+        dtd = DTD(
+            {
+                "doc": "(a|b)*",
+                "a": "t",
+                "b": "t,h",  # b requires a hidden h-child
+                "t": "",
+                "h": "",
+            }
+        )
+        annotation = Annotation.hiding(("a", "h"), ("b", "h"))
+        source = parse_term("doc#d(a#n1(t#n2))")
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("n1", "b")
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        out = script.output_tree
+        assert out.label("n1") == "b"
+        assert out.child_labels("n1") == ("t", "h")  # invented hidden h
+        assert script.cost == 2  # rename + one hidden insertion
+
+    def test_rename_changing_visibility_rejected(self):
+        """a→b where b hides its t-children: the rename would make kept
+        content vanish from the view — rejected by validation."""
+        dtd = DTD({"doc": "(a|b)*", "a": "t*", "b": "t*", "t": ""})
+        annotation = Annotation.hiding(("b", "t"))
+        source = parse_term("doc#d(a#n1(t#n2))")
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("n1", "b")
+        builder.delete("n2")  # even explicitly deleting the child won't help
+        with pytest.raises(InvalidViewUpdateError):
+            propagate(dtd, annotation, source, builder.script())
+
+    def test_rename_target_outside_alphabet_rejected(self, doc_case):
+        dtd, annotation, source = doc_case
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "memo")
+        with pytest.raises(InvalidViewUpdateError):
+            propagate(dtd, annotation, source, builder.script())
+
+    def test_rename_where_parent_model_forbids_target(self):
+        dtd = DTD({"doc": "a*", "a": "", "b": ""})
+        annotation = Annotation.identity()
+        source = parse_term("doc#d(a#n1)")
+        builder = UpdateBuilder(annotation.view(source), forbidden_ids=source.nodes())
+        builder.rename("n1", "b")  # doc accepts only a-children
+        with pytest.raises(InvalidViewUpdateError):
+            propagate(dtd, annotation, source, builder.script())
+
+
+class TestRenameCountingAndEnumeration:
+    def test_counting_through_renames(self):
+        """A rename that forces a hidden (b|c)-style choice still counts."""
+        dtd = DTD({"doc": "x*", "x": "(h1|h2)?", "y": "h1|h2", "h1": "", "h2": ""})
+        rules_annotation = Annotation.hiding(
+            ("x", "h1"), ("x", "h2"), ("y", "h1"), ("y", "h2")
+        )
+        # rename x (childless) to y (requires one hidden child): 2 choices
+        dtd = DTD(
+            {"doc": "(x|y)*", "x": "(h1|h2)?", "y": "h1|h2", "h1": "", "h2": ""}
+        )
+        source = parse_term("doc#d(x#n1)")
+        builder = UpdateBuilder(
+            rules_annotation.view(source), forbidden_ids=source.nodes()
+        )
+        builder.rename("n1", "y")
+        update = builder.script()
+        collection = propagation_graphs(dtd, rules_annotation, source, update)
+        assert collection.min_cost() == 2  # rename + one hidden node
+        assert count_min_propagations(collection) == 2  # h1 or h2
+        scripts = list(enumerate_min_propagations(collection))
+        assert len(scripts) == 2
+        for script in scripts:
+            assert verify_propagation(
+                dtd, rules_annotation, source, update, script
+            )

@@ -1,0 +1,109 @@
+"""Theorem 5 (existence) and Theorem 6 (tractability) on random workloads.
+
+Every valid view update must have a schema-compliant, side-effect-free
+propagation; the seeded sweep below exercises the full random pipeline
+(random DTD → random source → random annotation → random update →
+propagate → verify) and requires a 100 % success rate.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PreferenceChooser,
+    propagate,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.dtd import view_dtd
+from repro.generators import (
+    random_annotation,
+    random_dtd,
+    random_tree,
+    random_view_update,
+)
+
+
+def pipeline(seed: int, n_labels: int = 5, size_hint: int = 14, n_ops: int = 3):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_labels)
+    annotation = random_annotation(rng, dtd, hide_probability=0.3)
+    source = random_tree(dtd, rng, root_label="l0", size_hint=size_hint)
+    update = random_view_update(rng, dtd, annotation, source, n_ops=n_ops)
+    return dtd, annotation, source, update
+
+
+class TestTheorem5Existence:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_updates_always_propagate(self, seed):
+        dtd, annotation, source, update = pipeline(seed)
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+    @pytest.mark.parametrize("seed", range(40, 55))
+    def test_larger_documents(self, seed):
+        dtd, annotation, source, update = pipeline(seed, n_labels=6, size_hint=40)
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+    @pytest.mark.parametrize("seed", range(55, 65))
+    def test_heavy_hiding(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, 5)
+        annotation = random_annotation(rng, dtd, hide_probability=0.6)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=18)
+        update = random_view_update(rng, dtd, annotation, source, n_ops=4)
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_propagation_cost_equals_graph_optimum(self, seed):
+        dtd, annotation, source, update = pipeline(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        script = collection.build_script(PreferenceChooser())
+        assert script.cost == collection.min_cost()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_update_cost_lower_bounds_propagation(self, seed):
+        """A propagation must do at least the update's visible work."""
+        dtd, annotation, source, update = pipeline(seed)
+        script = propagate(dtd, annotation, source, update)
+        assert script.cost >= update.cost
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_dtd_satisfiable_and_sized(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, 6)
+        assert dtd.satisfiable_symbols() == dtd.alphabet
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_tree_valid(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, 5)
+        tree = random_tree(dtd, rng, root_label="l0", size_hint=25)
+        assert dtd.validates(tree)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_update_is_valid_view_update(self, seed):
+        from repro.core import validate_view_update
+
+        dtd, annotation, source, update = pipeline(seed)
+        validate_view_update(dtd, annotation, source, update)
+        vdtd = view_dtd(dtd, annotation)
+        assert vdtd.validates(update.output_tree)
+
+    def test_random_trees_are_diverse(self):
+        from repro.dtd import DTD
+
+        rng = random.Random(1)
+        dtd = DTD({"r": "(a|b)+,c?"})  # genuine branching at every step
+        shapes = {
+            random_tree(dtd, rng, root_label="r", size_hint=8).shape()
+            for _ in range(20)
+        }
+        assert len(shapes) >= 3

@@ -1,0 +1,182 @@
+"""Tests for the DTD model: validation, satisfiability, sizes."""
+
+import pytest
+
+from repro.dtd import DTD, parse_dtd, serialize_dtd
+from repro.errors import DTDError, UnknownLabelError, UnsatisfiableDTDError
+from repro.xmltree import parse_term
+
+
+@pytest.fixture
+def d0() -> DTD:
+    """The paper's Figure 2 DTD."""
+    return DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+
+
+class TestConstruction:
+    def test_alphabet_includes_rule_symbols(self, d0: DTD):
+        assert d0.alphabet == {"r", "a", "b", "c", "d"}
+
+    def test_extra_alphabet(self):
+        dtd = DTD({"r": "a*"}, alphabet=["z"])
+        assert "z" in dtd.alphabet
+        assert dtd.allows("z", [])
+
+    def test_regex_object_rule(self):
+        from repro.automata import parse_regex
+
+        dtd = DTD({"r": parse_regex("a*")})
+        assert dtd.allows("r", ["a", "a"])
+
+    def test_nfa_rule(self):
+        from repro.automata import NFA
+
+        model = NFA.from_triples(0, [(0, "a", 1)], [1])
+        dtd = DTD({"r": model})
+        assert dtd.allows("r", ["a"])
+        assert not dtd.allows("r", [])
+
+    def test_bad_rule_type(self):
+        with pytest.raises(DTDError):
+            DTD({"r": 42})  # type: ignore[dict-item]
+
+    def test_implicit_epsilon_rule(self, d0: DTD):
+        assert d0.allows("a", [])
+        assert not d0.allows("a", ["a"])
+        assert not d0.has_explicit_rule("a")
+        assert d0.has_explicit_rule("r")
+
+    def test_unknown_label(self, d0: DTD):
+        with pytest.raises(UnknownLabelError):
+            d0.automaton("zzz")
+        with pytest.raises(UnknownLabelError):
+            d0.with_root("zzz")
+
+    def test_size_positive(self, d0: DTD):
+        assert d0.size > 0
+
+
+class TestSatisfiability:
+    def test_satisfiable_dtd_accepted(self, d0: DTD):
+        assert d0.satisfiable_symbols() == d0.alphabet
+
+    def test_unsatisfiable_rejected(self):
+        # r requires an 'a' child, and 'a' requires an 'r' child: no finite tree
+        with pytest.raises(UnsatisfiableDTDError) as exc:
+            DTD({"r": "a", "a": "r"})
+        assert "a" in exc.value.symbols and "r" in exc.value.symbols
+
+    def test_partially_unsatisfiable(self):
+        with pytest.raises(UnsatisfiableDTDError) as exc:
+            DTD({"r": "a*", "b": "b"})
+        assert exc.value.symbols == ("b",)
+
+    def test_recursive_but_satisfiable(self):
+        # recursion guarded by * is fine
+        dtd = DTD({"r": "r*"})
+        assert dtd.satisfiable_symbols() == {"r"}
+
+    def test_check_can_be_deferred(self):
+        dtd = DTD({"r": "a", "a": "r"}, check=False)
+        with pytest.raises(UnsatisfiableDTDError):
+            dtd.assert_satisfiable()
+
+
+class TestValidation:
+    def test_paper_t0_satisfies_d0(self, d0: DTD):
+        t0 = parse_term(
+            "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+        )
+        assert d0.validates(t0)
+        d0.assert_valid(t0)
+
+    def test_empty_tree_not_in_language(self, d0: DTD):
+        from repro.xmltree import Tree
+
+        assert not d0.validates(Tree.empty())
+        with pytest.raises(DTDError):
+            d0.assert_valid(Tree.empty())
+
+    def test_violation_reported(self, d0: DTD):
+        bad = parse_term("r(a, d)")  # (b|c) missing between a and d
+        assert not d0.validates(bad)
+        violations = list(d0.violations(bad))
+        assert len(violations) == 1
+        assert violations[0].label == "r"
+        assert violations[0].word == ("a", "d")
+
+    def test_violation_deep(self, d0: DTD):
+        bad = parse_term("r(a, b, d(a, c, a))")
+        violations = list(d0.violations(bad))
+        assert [v.label for v in violations] == ["d"]
+
+    def test_unknown_label_in_tree_is_violation(self, d0: DTD):
+        bad = parse_term("r(zzz)")
+        assert not d0.validates(bad)
+
+    def test_any_root_label_allowed(self, d0: DTD):
+        # the paper drops the root-label requirement to allow fragments
+        fragment = parse_term("d(a, c)")
+        assert d0.validates(fragment)
+
+    def test_rooted_dtd_restores_requirement(self, d0: DTD):
+        rooted = d0.with_root("r")
+        assert not rooted.validates(parse_term("d(a, c)"))
+        assert rooted.validates(parse_term("r(a, b, d)"))
+
+
+class TestDescribe:
+    def test_describe_lists_rules(self, d0: DTD):
+        text = d0.describe()
+        assert "r -> (a,(b|c),d)*" in text
+        assert "d -> ((a|b),c)*" in text
+
+    def test_repr(self, d0: DTD):
+        assert "rules=2" in repr(d0)
+
+
+class TestDTDIO:
+    def test_parse_round_trip(self, d0: DTD):
+        text = serialize_dtd(d0)
+        back = parse_dtd(text)
+        assert back.alphabet == d0.alphabet
+        for symbol in d0.alphabet:
+            assert back.automaton(symbol).equivalent(d0.automaton(symbol))
+
+    def test_parse_realistic_document(self):
+        dtd = parse_dtd(
+            """
+            <!-- hospital records -->
+            <!ELEMENT hospital (patient*)>
+            <!ELEMENT patient (name, ward, (treatment | diagnosis)*)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT ward EMPTY>
+            <!ATTLIST patient id CDATA #REQUIRED>
+            """
+        )
+        assert dtd.allows("hospital", ["patient", "patient"])
+        assert dtd.allows("patient", ["name", "ward", "treatment", "diagnosis"])
+        assert dtd.allows("name", [])
+
+    def test_mixed_content_keeps_elements(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*>")
+        assert dtd.allows("p", ["em", "em"])
+        assert dtd.allows("p", [])
+
+    def test_any_rejected(self):
+        from repro.errors import DTDSyntaxError
+
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT r ANY>")
+
+    def test_duplicate_element_rejected(self):
+        from repro.errors import DTDSyntaxError
+
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT r (a)>\n<!ELEMENT r (b)>")
+
+    def test_garbage_rejected(self):
+        from repro.errors import DTDSyntaxError
+
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT r (a)> and some garbage")

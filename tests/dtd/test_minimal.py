@@ -1,0 +1,129 @@
+"""Tests for minimal trees: sizes, shapes, counting, exponential family."""
+
+import pytest
+
+from repro.dtd import (
+    DTD,
+    count_minimal_shapes,
+    minimal_shape,
+    minimal_size,
+    minimal_sizes,
+    minimal_tree,
+)
+from repro.errors import UnknownLabelError
+from repro.xmltree import NodeIds
+
+
+def exponential_dtd(n: int) -> DTD:
+    """The Section 5 family: a → aₙ·aₙ, aᵢ → aᵢ₋₁·aᵢ₋₁, a₀ → ε."""
+    rules = {"a": f"a{n},a{n}"}
+    for i in range(n, 0, -1):
+        rules[f"a{i}"] = f"a{i-1},a{i-1}"
+    return DTD(rules)
+
+
+class TestMinimalSizes:
+    def test_childless_symbol(self):
+        sizes = minimal_sizes(DTD({"r": "a*"}))
+        assert sizes["a"] == 1
+        assert sizes["r"] == 1  # a* is nullable
+
+    def test_required_children(self):
+        sizes = minimal_sizes(DTD({"r": "a,(b|c),d"}))
+        assert sizes["r"] == 4
+
+    def test_nested_requirements(self):
+        sizes = minimal_sizes(DTD({"r": "x,x", "x": "y", "y": "z?"}))
+        # y is nullable (z?), so |y|=1, |x|=2, |r|=1+2·2=5
+        assert sizes == {"r": 5, "x": 2, "y": 1, "z": 1}
+
+    def test_cheaper_branch_chosen(self):
+        sizes = minimal_sizes(DTD({"r": "x|y", "x": "a,a,a", "y": "a"}))
+        assert sizes["r"] == 1 + sizes["y"]
+        assert sizes["y"] == 2
+
+    def test_recursive_rule(self):
+        sizes = minimal_sizes(DTD({"r": "r*"}))
+        assert sizes["r"] == 1
+
+    def test_paper_exponential_family(self):
+        """Section 5: minimal trees exponential in the DTD size."""
+        for n in [1, 3, 6, 20, 64]:
+            dtd = exponential_dtd(n)
+            # complete binary tree of height n+1: 2^(n+2) - 1 nodes
+            assert minimal_size(dtd, "a") == 2 ** (n + 2) - 1
+
+    def test_unknown_symbol(self):
+        with pytest.raises(UnknownLabelError):
+            minimal_size(DTD({"r": "a*"}), "zzz")
+
+
+class TestMinimalShapeAndTree:
+    def test_shape_is_canonical(self):
+        dtd = DTD({"r": "a,(b|c),d", "d": "((a|b),c)*"})
+        shape = minimal_shape(dtd, "r")
+        # lexicographically smallest cheapest word: a b d, with empty d
+        assert shape == ("r", (("a", ()), ("b", ()), ("d", ())))
+
+    def test_tree_matches_shape_and_size(self):
+        dtd = DTD({"r": "x,x", "x": "y", "y": ""})
+        tree = minimal_tree(dtd, "r")
+        assert tree.size == minimal_size(dtd, "r") == 5
+        assert dtd.validates(tree)
+        assert tree.label(tree.root) == "r"
+
+    def test_fresh_ids_disjoint(self):
+        dtd = DTD({"r": "a,a"})
+        gen = NodeIds("w")
+        first = minimal_tree(dtd, "r", gen)
+        second = minimal_tree(dtd, "r", gen)
+        assert first.node_set.isdisjoint(second.node_set)
+        assert first.isomorphic(second)
+
+    def test_small_exponential_instance_materialises(self):
+        dtd = exponential_dtd(2)
+        tree = minimal_tree(dtd, "a")
+        assert tree.size == 15
+        assert dtd.validates(tree)
+
+    @pytest.mark.parametrize(
+        "rules,symbol",
+        [
+            ({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"}, "r"),
+            ({"r": "a+,b?"}, "r"),
+            ({"r": "x|(y,z)", "x": "w,w"}, "r"),
+        ],
+    )
+    def test_minimal_tree_always_valid_and_minimal(self, rules, symbol):
+        dtd = DTD(rules)
+        tree = minimal_tree(dtd, symbol)
+        assert dtd.validates(tree)
+        assert tree.size == minimal_size(dtd, symbol)
+
+
+class TestCountMinimalShapes:
+    def test_unique_minimal(self):
+        assert count_minimal_shapes(DTD({"r": "a,b"}), "r") == 1
+
+    def test_two_way_choice(self):
+        assert count_minimal_shapes(DTD({"r": "a,(b|c),d"}), "r") == 2
+
+    def test_choices_multiply(self):
+        assert count_minimal_shapes(DTD({"r": "(a|b),(c|d)"}), "r") == 4
+
+    def test_nested_counts(self):
+        dtd = DTD({"r": "x,x", "x": "a|b"})
+        # each x has 2 minimal shapes; r = 2 * 2
+        assert count_minimal_shapes(dtd, "r") == 4
+
+    def test_longer_but_equal_cost_words(self):
+        # both branches cost 2: one word of length 2 and one of length 2
+        dtd = DTD({"r": "(a,a)|(b,b)"})
+        assert count_minimal_shapes(dtd, "r") == 2
+
+    def test_cheaper_word_excludes_expensive(self):
+        dtd = DTD({"r": "a|(b,b)"})
+        assert count_minimal_shapes(dtd, "r") == 1
+
+    def test_star_contributes_single_empty_word(self):
+        assert count_minimal_shapes(DTD({"r": "(a|b)*"}), "r") == 1

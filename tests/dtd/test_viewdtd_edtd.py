@@ -1,0 +1,143 @@
+"""Tests for view-DTD derivation and EDTD typing."""
+
+import pytest
+
+from repro.automata import glushkov, parse_regex
+from repro.dtd import DTD, EDTD, erase_hidden, view_dtd
+from repro.errors import EDTDError
+from repro.views import Annotation
+from repro.xmltree import parse_term
+
+
+@pytest.fixture
+def d0() -> DTD:
+    return DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+
+
+@pytest.fixture
+def a0() -> Annotation:
+    return Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+
+
+class TestEraseHidden:
+    def test_middle_symbol_erased(self):
+        model = glushkov(parse_regex("(a,(b|c),d)*"))
+        erased = erase_hidden(model, {"a", "d"})
+        assert erased.equivalent(glushkov(parse_regex("(a,d)*")))
+
+    def test_all_hidden_gives_epsilon(self):
+        model = glushkov(parse_regex("(a,b)*"))
+        erased = erase_hidden(model, set())
+        assert erased.accepts([])
+        assert not erased.language_nonempty() or erased.accepts([])
+        assert list(erased.enumerate_words(3)) == [()]
+
+    def test_nothing_hidden_is_identity(self):
+        model = glushkov(parse_regex("(a,(b|c),d)*"))
+        erased = erase_hidden(model, {"a", "b", "c", "d"})
+        assert erased.equivalent(model)
+
+
+class TestViewDTD:
+    def test_paper_example(self, d0: DTD, a0: Annotation):
+        """Section 2: 'the view DTD for D0 and A0 is r → (a·d)*, d → c*'."""
+        derived = view_dtd(d0, a0)
+        assert derived.automaton("r").equivalent(glushkov(parse_regex("(a,d)*")))
+        assert derived.automaton("d").equivalent(glushkov(parse_regex("c*")))
+
+    def test_view_of_valid_tree_is_view_valid(self, d0: DTD, a0: Annotation):
+        t0 = parse_term(
+            "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+        )
+        derived = view_dtd(d0, a0)
+        assert derived.validates(a0.view(t0))
+
+    def test_rule_regex_display(self, d0: DTD, a0: Annotation):
+        derived = view_dtd(d0, a0)
+        # round-trip the derived display regex back to the same language
+        regex = derived.rule_regex("r")
+        assert glushkov(regex).equivalent(glushkov(parse_regex("(a,d)*")))
+
+    def test_d3_example(self):
+        """Section 6.2: D3 = r → b·(c+ε)·(a·c)* with b, a hidden gives r → c*."""
+        d3 = DTD({"r": "b,(c|ε),(a,c)*"})
+        a3 = Annotation.hiding(("r", "b"), ("r", "a"))
+        derived = view_dtd(d3, a3)
+        assert derived.automaton("r").equivalent(glushkov(parse_regex("c*")))
+
+    def test_identity_annotation_keeps_language(self, d0: DTD):
+        derived = view_dtd(d0, Annotation.identity())
+        for symbol in d0.alphabet:
+            assert derived.automaton(symbol).equivalent(d0.automaton(symbol))
+
+
+class TestEDTD:
+    @pytest.fixture
+    def edtd(self) -> EDTD:
+        # two 'a' types distinguished by *ancestor* context (single-type
+        # EDTDs cannot distinguish sibling types by position)
+        return EDTD(
+            {
+                "Root": ("r", "TopA*"),
+                "TopA": ("a", "b_sec*"),
+                "b_sec": ("b", "InnerA*"),
+                "InnerA": ("a", ""),
+            },
+            ["Root"],
+        )
+
+    def test_typing_assigns_context_types(self, edtd: EDTD):
+        tree = parse_term("r#x(a#h(b#l(a#i1, a#i2)), a#t)")
+        types = edtd.typing(tree)
+        assert types["x"] == "Root"
+        assert types["h"] == types["t"] == "TopA"
+        assert types["l"] == "b_sec"
+        assert types["i1"] == types["i2"] == "InnerA"
+
+    def test_conforms(self, edtd: EDTD):
+        assert edtd.conforms(parse_term("r(a)"))
+        assert not edtd.conforms(parse_term("r(b)"))
+        # InnerA 'a' (under b) cannot have children
+        assert not edtd.conforms(parse_term("r(a(b(a(b))))"))
+
+    def test_single_type_violation_rejected(self):
+        with pytest.raises(EDTDError):
+            EDTD(
+                {
+                    "Root": ("r", "A1|A2"),
+                    "A1": ("a", ""),
+                    "A2": ("a", ""),
+                },
+                ["Root"],
+            )
+
+    def test_root_type_label_mismatch(self):
+        edtd = EDTD({"Root": ("r", "")}, ["Root"])
+        with pytest.raises(EDTDError):
+            edtd.typing(parse_term("a"))
+
+    def test_unknown_root_type(self):
+        with pytest.raises(EDTDError):
+            EDTD({"Root": ("r", "")}, ["Ghost"])
+
+    def test_duplicate_root_labels_rejected(self):
+        with pytest.raises(EDTDError):
+            EDTD({"R1": ("r", ""), "R2": ("r", "")}, ["R1", "R2"])
+
+    def test_unknown_type_in_model(self):
+        with pytest.raises(EDTDError):
+            EDTD({"Root": ("r", "Ghost")}, ["Root"])
+
+    def test_from_dtd_trivial_typing(self):
+        dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+        edtd = EDTD.from_dtd(dtd, "r")
+        tree = parse_term("r(a, b, d(a, c))")
+        types = edtd.typing(tree)
+        assert set(types.values()) <= dtd.alphabet
+        assert types[tree.root] == "r"
+
+    def test_empty_tree_rejected(self, edtd: EDTD):
+        from repro.xmltree import Tree
+
+        with pytest.raises(EDTDError):
+            edtd.typing(Tree.empty())

@@ -1,0 +1,197 @@
+"""Tests for UpdateBuilder — composing view updates."""
+
+import pytest
+
+from repro.editing import EditScript, Op, UpdateBuilder
+from repro.errors import InvalidScriptError, NodeNotFoundError
+from repro.xmltree import Tree, parse_term
+
+
+@pytest.fixture
+def view() -> Tree:
+    """The paper's view A0(t0)."""
+    return parse_term("r#n0(a#n1, d#n3(c#n8), a#n4, d#n6(c#n10))")
+
+
+class TestBasics:
+    def test_no_ops_identity_script(self, view: Tree):
+        script = UpdateBuilder(view).script()
+        assert script.is_identity()
+        assert script.input_tree == view
+        assert script.output_tree == view
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(Tree.empty())
+
+    def test_unknown_node(self, view: Tree):
+        with pytest.raises(NodeNotFoundError):
+            UpdateBuilder(view).delete("ghost")
+
+
+class TestDelete:
+    def test_delete_marks_subtree(self, view: Tree):
+        builder = UpdateBuilder(view).delete("n3")
+        script = builder.script()
+        assert script.op("n3") is Op.DEL
+        assert script.op("n8") is Op.DEL
+        assert script.output_tree == parse_term("r#n0(a#n1, a#n4, d#n6(c#n10))")
+
+    def test_delete_root_rejected(self, view: Tree):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(view).delete("n0")
+
+    def test_double_delete_rejected(self, view: Tree):
+        builder = UpdateBuilder(view).delete("n3")
+        with pytest.raises(InvalidScriptError):
+            builder.delete("n3")
+        with pytest.raises(InvalidScriptError):
+            builder.delete("n8")  # inside the deleted subtree
+
+    def test_delete_inserted_cancels(self, view: Tree):
+        builder = UpdateBuilder(view)
+        builder.insert("n6", parse_term("c#u0"))
+        builder.delete("u0")
+        script = builder.script()
+        assert "u0" not in script.node_set
+        assert script.is_identity()
+
+    def test_delete_original_with_insertions_inside(self, view: Tree):
+        builder = UpdateBuilder(view)
+        builder.insert("n3", parse_term("c#u0"))
+        builder.delete("n3")
+        script = builder.script()
+        assert "u0" not in script.node_set
+        assert script.op("n3") is Op.DEL
+        assert script.op("n8") is Op.DEL
+
+
+class TestInsert:
+    def test_insert_at_end_default(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n6", parse_term("c#u0"))
+        script = builder.script()
+        assert script.children("n6") == ("n10", "u0")
+        assert script.op("u0") is Op.INS
+
+    def test_insert_at_position(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n0", parse_term("a#u0"), index=1)
+        assert builder.current_output().children("n0") == (
+            "n1", "u0", "n3", "n4", "n6",
+        )
+
+    def test_insert_whole_subtree(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n0", parse_term("d#u0(c#u1, c#u2)"))
+        script = builder.script()
+        assert script.op("u1") is Op.INS
+        assert script.children("u0") == ("u1", "u2")
+
+    def test_insert_position_counts_output_children(self, view: Tree):
+        builder = UpdateBuilder(view).delete("n1")
+        # output children of n0 are now n3, n4, n6; index 1 = before n4
+        builder.insert("n0", parse_term("a#u0"), index=1)
+        assert builder.current_output().children("n0") == ("n3", "u0", "n4", "n6")
+
+    def test_insert_under_deleted_rejected(self, view: Tree):
+        builder = UpdateBuilder(view).delete("n3")
+        with pytest.raises(InvalidScriptError):
+            builder.insert("n3", parse_term("c#u0"))
+
+    def test_insert_out_of_range(self, view: Tree):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(view).insert("n6", parse_term("c#u0"), index=5)
+
+    def test_insert_reused_id_rejected(self, view: Tree):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(view).insert("n6", parse_term("c#n10"))
+
+    def test_insert_forbidden_hidden_id_rejected(self, view: Tree):
+        builder = UpdateBuilder(view, forbidden_ids={"n2"})
+        with pytest.raises(InvalidScriptError):
+            builder.insert("n6", parse_term("c#n2"))
+
+    def test_insert_inside_inserted(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n6", parse_term("c#u0"))
+        # c has no children in the paper DTD, but the builder is schema-agnostic
+        builder.insert("u0", parse_term("b#u1"))
+        assert builder.script().op("u1") is Op.INS
+
+    def test_empty_insert_is_noop(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n6", Tree.empty())
+        assert builder.script().is_identity()
+
+
+class TestAnchoredInsert:
+    def test_insert_after_deleted_anchor(self, view: Tree):
+        builder = UpdateBuilder(view).delete("n1")
+        builder.insert_after("n1", parse_term("a#u0"))
+        script = builder.script()
+        assert script.children("n0") == ("n1", "u0", "n3", "n4", "n6")
+
+    def test_insert_before(self, view: Tree):
+        builder = UpdateBuilder(view).insert_before("n4", parse_term("d#u0"))
+        assert builder.script().children("n0") == ("n1", "n3", "u0", "n4", "n6")
+
+    def test_root_anchor_rejected(self, view: Tree):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(view).insert_after("n0", parse_term("a#u0"))
+
+    def test_interleaving_differs_from_insert(self, view: Tree):
+        """insert() attaches to the visible predecessor, before deleted nodes."""
+        left = UpdateBuilder(view).delete("n3")
+        left.insert("n0", parse_term("d#u0"), index=1)  # right after n1
+        right = UpdateBuilder(view).delete("n3")
+        right.insert_after("n3", parse_term("d#u0"))  # after the deleted n3
+        assert left.script().children("n0") == ("n1", "u0", "n3", "n4", "n6")
+        assert right.script().children("n0") == ("n1", "n3", "u0", "n4", "n6")
+        # same output, different scripts
+        assert left.script().output_tree == right.script().output_tree
+        assert left.script() != right.script()
+
+
+class TestReplace:
+    def test_replace_original(self, view: Tree):
+        builder = UpdateBuilder(view).replace("n3", parse_term("d#u0(c#u1)"))
+        script = builder.script()
+        assert script.op("n3") is Op.DEL
+        assert script.op("u0") is Op.INS
+        assert script.output_tree.children("n0") == ("n1", "u0", "n4", "n6")
+
+    def test_replace_inserted(self, view: Tree):
+        builder = UpdateBuilder(view).insert("n6", parse_term("c#u0"))
+        builder.replace("u0", parse_term("c#u1"))
+        script = builder.script()
+        assert "u0" not in script.node_set
+        assert script.op("u1") is Op.INS
+
+    def test_replace_root_rejected(self, view: Tree):
+        with pytest.raises(InvalidScriptError):
+            UpdateBuilder(view).replace("n0", parse_term("r#u0"))
+
+
+class TestReproducesPaperS0:
+    def test_figure4_script(self, view: Tree):
+        """Rebuild S0 exactly with builder operations."""
+        builder = UpdateBuilder(view)
+        builder.delete("n1")
+        builder.delete("n3")
+        builder.insert_after("n4", parse_term("d#n11(c#n13, c#n14)"))
+        builder.insert_after("n11", parse_term("a#n12"))
+        builder.insert("n6", parse_term("c#n15"))
+        expected = EditScript.parse(
+            "Nop.r#n0("
+            "Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, "
+            "Ins.d#n11(Ins.c#n13, Ins.c#n14), Ins.a#n12, "
+            "Nop.d#n6(Nop.c#n10, Ins.c#n15))"
+        )
+        assert builder.script() == expected
+
+    def test_current_output_matches_figure5(self, view: Tree):
+        builder = UpdateBuilder(view)
+        builder.delete("n1")
+        builder.delete("n3")
+        builder.insert_after("n4", parse_term("d#n11(c#n13, c#n14)"))
+        builder.insert_after("n11", parse_term("a#n12"))
+        builder.insert("n6", parse_term("c#n15"))
+        assert builder.current_output() == parse_term(
+            "r#n0(a#n4, d#n11(c#n13, c#n14), a#n12, d#n6(c#n10, c#n15))"
+        )

@@ -1,0 +1,157 @@
+"""Tests for editing scripts: well-formedness, In/Out, cost (Figures 4-5)."""
+
+import pytest
+
+from repro.editing import EditLabel, EditScript, Op, dele, ins, nop
+from repro.errors import InvalidScriptError
+from repro.xmltree import Tree, parse_term
+
+S0_TERM = (
+    "Nop.r#n0("
+    "Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, "
+    "Ins.d#n11(Ins.c#n13, Ins.c#n14), Ins.a#n12, "
+    "Nop.d#n6(Nop.c#n10, Ins.c#n15))"
+)
+
+
+@pytest.fixture
+def s0() -> EditScript:
+    """The paper's Figure 4 view update S0."""
+    return EditScript.parse(S0_TERM)
+
+
+class TestOps:
+    def test_edit_label_str(self):
+        assert str(ins("a")) == "Ins(a)"
+        assert str(dele("d")) == "Del(d)"
+        assert str(nop("r")) == "Nop(r)"
+
+    def test_parse_edit_label_forms(self):
+        from repro.editing import parse_edit_label
+
+        assert parse_edit_label("Ins(a)") == ins("a")
+        assert parse_edit_label("Del.d") == dele("d")
+        with pytest.raises(InvalidScriptError):
+            parse_edit_label("Zap(a)")
+
+    def test_predicates(self):
+        assert ins("a").is_insert
+        assert dele("a").is_delete
+        assert nop("a").is_phantom
+
+
+class TestWellFormedness:
+    def test_ins_must_have_ins_descendants(self):
+        with pytest.raises(InvalidScriptError):
+            EditScript.parse("Ins.r(Nop.a)")
+        with pytest.raises(InvalidScriptError):
+            EditScript.parse("Ins.r(Del.a)")
+
+    def test_del_must_have_del_descendants(self):
+        with pytest.raises(InvalidScriptError):
+            EditScript.parse("Del.r(Ins.a)")
+        with pytest.raises(InvalidScriptError):
+            EditScript.parse("Del.r(Nop.a)")
+
+    def test_nop_may_mix_children(self, s0: EditScript):
+        assert s0.op("n0") is Op.NOP  # has Del, Nop, Ins children
+
+    def test_non_edit_labels_rejected(self):
+        with pytest.raises(InvalidScriptError):
+            EditScript(parse_term("r(a)"))
+
+
+class TestInputOutput:
+    def test_figure4_input_is_view(self, s0: EditScript):
+        expected = parse_term("r#n0(a#n1, d#n3(c#n8), a#n4, d#n6(c#n10))")
+        assert s0.input_tree == expected
+
+    def test_figure5_output(self, s0: EditScript):
+        expected = parse_term(
+            "r#n0(a#n4, d#n11(c#n13, c#n14), a#n12, d#n6(c#n10, c#n15))"
+        )
+        assert s0.output_tree == expected
+
+    def test_insertion_script(self):
+        tree = parse_term("d#x(c#y)")
+        script = EditScript.insertion(tree)
+        assert script.input_tree.is_empty
+        assert script.output_tree == tree
+        assert script.cost == 2
+
+    def test_deletion_script(self):
+        tree = parse_term("d#x(c#y)")
+        script = EditScript.deletion(tree)
+        assert script.input_tree == tree
+        assert script.output_tree.is_empty
+        assert script.cost == 2
+
+    def test_phantom_script(self):
+        tree = parse_term("d#x(c#y)")
+        script = EditScript.phantom(tree)
+        assert script.input_tree == tree
+        assert script.output_tree == tree
+        assert script.cost == 0
+        assert script.is_identity()
+
+    def test_apply_to(self, s0: EditScript):
+        view = s0.input_tree
+        assert s0.apply_to(view) == s0.output_tree
+        with pytest.raises(InvalidScriptError):
+            s0.apply_to(parse_term("r"))
+
+
+class TestCost:
+    def test_figure4_cost(self, s0: EditScript):
+        # S0 deletes 3 nodes (n1, n3, n8) and inserts 5 (n11-n15)
+        assert s0.cost == 8
+
+    def test_cost_counts_non_phantom(self):
+        script = EditScript.parse("Nop.r(Del.a, Ins.b)")
+        assert script.cost == 2
+
+
+class TestStructure:
+    def test_nop_nodes_document_order(self, s0: EditScript):
+        assert list(s0.nop_nodes()) == ["n0", "n4", "n6", "n10"]
+
+    def test_subscript(self, s0: EditScript):
+        fragment = s0.subscript("n6")
+        assert fragment.root == "n6"
+        assert fragment.op("n15") is Op.INS
+        assert fragment.input_tree == parse_term("d#n6(c#n10)")
+
+    def test_symbol_accessor(self, s0: EditScript):
+        assert s0.symbol("n11") == "d"
+        assert s0.edit_label("n11") == EditLabel(Op.INS, "d")
+
+    def test_assemble(self):
+        fragment = EditScript.assemble(
+            nop("d"), "n6",
+            [EditScript.phantom(Tree.leaf("c", "n10")),
+             EditScript.insertion(Tree.leaf("c", "n15"))],
+        )
+        assert fragment.children("n6") == ("n10", "n15")
+        assert fragment.cost == 1
+
+
+class TestRendering:
+    def test_term_round_trip(self, s0: EditScript):
+        assert EditScript.parse(s0.to_term()) == s0
+
+    def test_pretty_uses_paper_notation(self, s0: EditScript):
+        text = s0.pretty()
+        assert "Nop(r)#n0" in text
+        assert "Ins(d)#n11" in text
+
+    def test_shape_ignores_ids(self, s0: EditScript):
+        other = EditScript(s0.tree.with_fresh_ids())
+        assert other.shape() == s0.shape()
+        assert other != s0
+
+    def test_empty_script(self):
+        script = EditScript(Tree.empty())
+        assert script.is_empty
+        assert script.input_tree.is_empty
+        assert script.output_tree.is_empty
+        assert repr(script) == "EditScript(empty)"

@@ -1,0 +1,177 @@
+"""Tests for generators: exhaustive enumeration, random trees, workloads."""
+
+import random
+
+import pytest
+
+from repro.core import propagate, validate_view_update, verify_propagation
+from repro.dtd import DTD, minimal_size
+from repro.generators import (
+    enumerate_shapes,
+    enumerate_trees,
+    enumerate_words_weighted,
+    random_annotation,
+    random_dtd,
+    random_regex,
+    random_tree,
+    random_view_update,
+)
+from repro.generators.workloads import (
+    catalog,
+    deep_document,
+    hospital,
+    positional,
+    running_example,
+)
+from repro.automata import glushkov
+
+
+class TestEnumerateWordsWeighted:
+    def test_all_words_within_budget(self):
+        dtd = DTD({"r": "(a,b)*"})
+        model = dtd.automaton("r")
+        words = list(enumerate_words_weighted(model, {"a": 1, "b": 1}, 4))
+        assert words == [(), ("a", "b"), ("a", "b", "a", "b")]
+
+    def test_weights_respected(self):
+        dtd = DTD({"r": "(a|b)+"})
+        model = dtd.automaton("r")
+        words = set(enumerate_words_weighted(model, {"a": 3, "b": 1}, 3))
+        assert ("a",) in words
+        assert ("b", "b", "b") in words
+        assert ("a", "b") not in words  # cost 4
+
+    def test_empty_when_budget_too_small(self):
+        dtd = DTD({"r": "a,a"})
+        model = dtd.automaton("r")
+        assert list(enumerate_words_weighted(model, {"a": 2}, 3)) == []
+
+
+class TestEnumerateTrees:
+    def test_exhaustive_small_language(self):
+        dtd = DTD({"r": "a?,b?"})
+        shapes = list(enumerate_shapes(dtd, "r", 3))
+        assert len(shapes) == 4  # r, r(a), r(b), r(a,b)
+
+    def test_all_valid_and_within_budget(self):
+        dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+        trees = list(enumerate_trees(dtd, "r", 6))
+        assert trees
+        for tree in trees:
+            assert dtd.validates(tree)
+            assert tree.size <= 6
+            assert tree.label(tree.root) == "r"
+
+    def test_sizes_nondecreasing(self):
+        dtd = DTD({"r": "(a|b)*"})
+        sizes = [t.size for t in enumerate_trees(dtd, "r", 4)]
+        assert sizes == sorted(sizes)
+
+    def test_count_matches_closed_form(self):
+        # r → (a|b)*: trees with k children = 2^k shapes
+        dtd = DTD({"r": "(a|b)*"})
+        shapes = list(enumerate_shapes(dtd, "r", 4))
+        assert len(shapes) == 1 + 2 + 4 + 8
+
+    def test_min_size_tree_present(self):
+        dtd = DTD({"r": "x,x", "x": "y", "y": ""})
+        trees = list(enumerate_trees(dtd, "r", minimal_size(dtd, "r")))
+        assert len(trees) == 1
+        assert trees[0].size == minimal_size(dtd, "r")
+
+
+class TestRandomRegexAndDTD:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_regex_compiles(self, seed):
+        rng = random.Random(seed)
+        expr = random_regex(rng, ["x", "y", "z"])
+        nfa = glushkov(expr)
+        assert nfa.language_nonempty() or expr.nullable()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_dtd_usable_end_to_end(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, 4)
+        annotation = random_annotation(rng, dtd, 0.3)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=10)
+        update = random_view_update(rng, dtd, annotation, source, n_ops=2)
+        validate_view_update(dtd, annotation, source, update)
+
+    def test_random_tree_size_tracks_hint(self):
+        rng = random.Random(0)
+        dtd = DTD({"r": "(a)*"})
+        small = random_tree(dtd, rng, root_label="r", size_hint=3)
+        large = random_tree(dtd, rng, root_label="r", size_hint=60)
+        assert small.size < large.size
+
+    def test_random_tree_unknown_root_rejected(self):
+        from repro.errors import UnknownLabelError
+
+        with pytest.raises(UnknownLabelError):
+            random_tree(DTD({"r": "a*"}), random.Random(0), root_label="zz")
+
+
+WORKLOADS = [
+    lambda: running_example(2),
+    lambda: running_example(5),
+    lambda: hospital(6),
+    lambda: catalog(6),
+    lambda: positional(3),
+    lambda: deep_document(4),
+]
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("factory", WORKLOADS)
+    def test_workload_is_valid_instance(self, factory):
+        workload = factory()
+        assert workload.dtd.validates(workload.source)
+        validate_view_update(
+            workload.dtd, workload.annotation, workload.source, workload.update
+        )
+
+    @pytest.mark.parametrize("factory", WORKLOADS)
+    def test_workload_propagates(self, factory):
+        workload = factory()
+        script = propagate(
+            workload.dtd, workload.annotation, workload.source, workload.update
+        )
+        assert verify_propagation(
+            workload.dtd, workload.annotation, workload.source, workload.update, script
+        )
+
+    def test_running_example_scales(self):
+        small, big = running_example(2), running_example(8)
+        assert big.source.size > small.source.size
+
+    def test_hospital_hides_diagnoses(self):
+        workload = hospital(6)
+        view = workload.view
+        hidden_labels = {
+            workload.source.label(n)
+            for n in workload.source.nodes()
+            if n not in view.node_set
+        }
+        assert hidden_labels <= {"diagnosis", "bill"}
+
+    def test_catalog_forces_hidden_margin_invention(self):
+        workload = catalog(6)
+        script = propagate(
+            workload.dtd, workload.annotation, workload.source, workload.update
+        )
+        new_products = [
+            node
+            for node in script.output_tree.nodes()
+            if script.output_tree.label(node) == "product"
+            and node not in workload.source.node_set
+        ]
+        assert new_products
+        for product in new_products:
+            labels = script.output_tree.child_labels(product)
+            assert "margin" in labels  # invented hidden mandatory field
+
+    def test_positional_update_appends_after_existing(self):
+        workload = positional(2)
+        out = workload.update.output_tree
+        kids = out.children(out.root)
+        assert kids[1] == "u0"  # inserted right after the first c

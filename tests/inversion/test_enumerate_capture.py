@@ -1,0 +1,160 @@
+"""Theorem 1 and 2 capture tests: graphs vs brute-force enumeration."""
+
+import pytest
+
+from repro import paperdata
+from repro.dtd import DTD
+from repro.generators.trees import enumerate_trees
+from repro.inversion import (
+    count_min_inversions,
+    enumerate_inversions,
+    enumerate_min_inversions,
+    inversion_graphs,
+    verify_inverse,
+)
+from repro.views import Annotation
+from repro.xmltree import Tree, parse_term
+
+
+def brute_force_inverses(dtd: DTD, annotation: Annotation, view: Tree, max_size: int):
+    """Ground truth: all trees ⊨ D (≤ max_size) whose view is iso to `view`.
+
+    Returned as identifier-exact trees: the unique ordered isomorphism
+    maps candidate visible nodes onto the view's identifiers (the members
+    of Inv are pinned on visible nodes, free on hidden ones).
+    """
+    results = []
+    root_label = view.label(view.root)
+    for candidate in enumerate_trees(dtd, root_label, max_size):
+        candidate_view = annotation.view(candidate)
+        mapping = candidate_view.isomorphism(view)
+        if mapping is None:
+            continue
+        results.append(candidate.relabel_nodes(mapping))
+    return results
+
+
+CASES = [
+    # (rules, hidden pairs, view term, size slack beyond the minimum)
+    ({"r": "(a,b)*"}, [("r", "b")], "r#v(a#w)", 2),
+    ({"r": "a,(b|c),d", "d": "((a|b),c)*"}, [("r", "b"), ("r", "c"), ("d", "a"), ("d", "b")], "r#v(a#w, d#x(c#y))", 2),
+    ({"r": "b,(c|ε),(a,c)*"}, [("r", "b"), ("r", "a")], "r#v(c#w, c#x)", 2),
+    ({"r": "(a|b)*,c"}, [("r", "a"), ("r", "b")], "r#v(c#w)", 2),
+]
+
+
+class TestTheorem2MinimalCapture:
+    """H* captures Invmin: identical shape multisets as brute force."""
+
+    @pytest.mark.parametrize("rules,hidden,view_term,slack", CASES)
+    def test_minimal_inverses_match_brute_force(self, rules, hidden, view_term, slack):
+        dtd = DTD(rules)
+        annotation = Annotation.hiding(*hidden)
+        view = parse_term(view_term)
+        graphs = inversion_graphs(dtd, annotation, view)
+        min_size = graphs.min_inversion_size()
+
+        ground_truth = brute_force_inverses(dtd, annotation, view, min_size + slack)
+        assert ground_truth, "brute force found no inverse — bad test case"
+        brute_min = min(tree.size for tree in ground_truth)
+        assert brute_min == min_size
+
+        expected = sorted(
+            tree.shape() for tree in ground_truth if tree.size == min_size
+        )
+        produced = sorted(
+            tree.shape() for tree in enumerate_min_inversions(graphs)
+        )
+        assert produced == expected
+
+    @pytest.mark.parametrize("rules,hidden,view_term,slack", CASES)
+    def test_count_matches_enumeration(self, rules, hidden, view_term, slack):
+        dtd = DTD(rules)
+        annotation = Annotation.hiding(*hidden)
+        view = parse_term(view_term)
+        graphs = inversion_graphs(dtd, annotation, view)
+        produced = list(enumerate_min_inversions(graphs))
+        assert count_min_inversions(graphs, distinct_trees=True) == len(produced)
+
+
+class TestTheorem1Capture:
+    """The full graphs capture Inv (soundness + bounded completeness)."""
+
+    @pytest.mark.parametrize("rules,hidden,view_term,slack", CASES)
+    def test_every_enumerated_inversion_is_sound(self, rules, hidden, view_term, slack):
+        dtd = DTD(rules)
+        annotation = Annotation.hiding(*hidden)
+        view = parse_term(view_term)
+        graphs = inversion_graphs(dtd, annotation, view)
+        budget = graphs.min_inversion_size() - view.size + slack
+        produced = list(enumerate_inversions(graphs, max_hidden=budget, max_count=200))
+        assert produced
+        for tree in produced:
+            assert verify_inverse(dtd, annotation, view, tree)
+
+    def test_bounded_completeness_single_hidden_label(self):
+        """With one hidden label, canonical trees lose nothing: exact match."""
+        dtd = DTD({"r": "(a,b)*"})
+        annotation = Annotation.hiding(("r", "b"))
+        view = parse_term("r#v(a#w)")
+        graphs = inversion_graphs(dtd, annotation, view)
+        budget = 3  # up to 3 hidden b-nodes
+        produced = sorted(
+            set(
+                tree.shape()
+                for tree in enumerate_inversions(graphs, max_hidden=budget)
+            )
+        )
+        expected = sorted(
+            set(
+                tree.shape()
+                for tree in brute_force_inverses(dtd, annotation, view, view.size + budget)
+            )
+        )
+        assert produced == expected
+
+    def test_cyclic_paths_pump_hidden_content(self):
+        """D1-style pumping: r → (a·b*)* hides b; inverses of r(a) abound."""
+        dtd = paperdata.d1()
+        annotation = paperdata.a1()
+        view = parse_term("r#v(a#w)")
+        graphs = inversion_graphs(dtd, annotation, view)
+        produced = {
+            tree.shape()
+            for tree in enumerate_inversions(graphs, max_hidden=2)
+        }
+        assert parse_term("r(a)").shape() in produced
+        assert parse_term("r(a, b)").shape() in produced
+        assert parse_term("r(a, b, b)").shape() in produced
+        assert len(produced) == 3
+
+
+class TestPolynomialSize:
+    """Section 3: |H(D,A,t′)| is polynomial in |D| and |t′|."""
+
+    def test_size_linear_in_view_for_fixed_dtd(self):
+        dtd = paperdata.d0()
+        annotation = paperdata.a0()
+        sizes = []
+        for groups in [2, 4, 8]:
+            body = ", ".join(f"a#a{i}, d#d{i}(c#c{i})" for i in range(groups))
+            view = parse_term(f"r#v({body})")
+            graphs = inversion_graphs(dtd, annotation, view)
+            sizes.append((view.size, graphs.total_size))
+        # doubling the view should roughly double the collection size
+        (s1, g1), (s2, g2), (s3, g3) = sizes
+        assert g2 < 3 * g1
+        assert g3 < 3 * g2
+
+    def test_explicit_bound(self):
+        """|H_n| ≤ (k+1)·|Q| vertices and |δ|·(k+1) edges per node."""
+        dtd = paperdata.d0()
+        annotation = paperdata.a0()
+        view = paperdata.view0()
+        graphs = inversion_graphs(dtd, annotation, view)
+        for node in graphs:
+            graph = graphs[node]
+            model = dtd.automaton(graph.label)
+            k = len(graph.children)
+            assert graph.n_vertices <= (k + 1) * len(model.states)
+            assert graph.n_edges <= (k + 1) * model.n_transitions

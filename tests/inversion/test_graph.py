@@ -1,0 +1,164 @@
+"""Tests for inversion graphs, including the Figure 6 reproduction."""
+
+import pytest
+
+from repro import paperdata
+from repro.dtd import DTD, InsertletPackage
+from repro.errors import NoInversionError
+from repro.inversion import (
+    IVertex,
+    inversion_graphs,
+    invert,
+    verify_inverse,
+)
+from repro.views import Annotation
+from repro.xmltree import parse_term
+
+
+class TestFigure6:
+    """H_{n11} for the fragment d#n11(c#n13, c#n14), w.r.t. D0 and A0."""
+
+    @pytest.fixture
+    def graphs(self):
+        return inversion_graphs(
+            paperdata.d0(fig2_automata=True),
+            paperdata.a0(),
+            paperdata.fig6_view_fragment(),
+        )
+
+    def test_vertex_count_matches_figure(self, graphs):
+        # {c0, n13, n14} × {p0, p1} = 6 vertices
+        graph = graphs["n11"]
+        assert graph.n_vertices == 6
+
+    def test_edges_match_figure(self, graphs):
+        graph = graphs["n11"]
+        rendered = sorted(
+            (repr(e.source), e.display(), repr(e.target)) for e in graph.all_edges()
+        )
+        assert rendered == sorted(
+            [
+                ("(c0,p0)", "Ins(a)", "(c0,p1)"),
+                ("(c0,p0)", "Ins(b)", "(c0,p1)"),
+                ("(c0,p1)", "Rec(1)", "(m1,p0)"),
+                ("(m1,p0)", "Ins(a)", "(m1,p1)"),
+                ("(m1,p0)", "Ins(b)", "(m1,p1)"),
+                ("(m1,p1)", "Rec(2)", "(m2,p0)"),
+                ("(m2,p0)", "Ins(a)", "(m2,p1)"),
+                ("(m2,p0)", "Ins(b)", "(m2,p1)"),
+            ]
+        )
+
+    def test_source_and_targets(self, graphs):
+        graph = graphs["n11"]
+        assert graph.source == IVertex(0, "p0")
+        assert graph.targets == {IVertex(2, "p0")}
+
+    def test_leaf_graphs_trivial(self, graphs):
+        for leaf in ("n13", "n14"):
+            graph = graphs[leaf]
+            assert graph.n_edges == 0
+            assert graph.source in graph.targets  # c → ε accepts the empty word
+
+    def test_costs(self, graphs):
+        # each c needs one invisible a-or-b before it
+        assert graphs.costs["n13"] == 0
+        assert graphs.costs["n14"] == 0
+        assert graphs.costs["n11"] == 2
+        assert graphs.min_inversion_size() == 5
+
+    def test_figure6_inverse_shape(self, graphs):
+        """invert() reproduces the figure's d(a, c, b, c) up to hidden names."""
+        result = invert(
+            paperdata.d0(fig2_automata=True),
+            paperdata.a0(),
+            paperdata.fig6_view_fragment(),
+        )
+        expected = paperdata.fig6_inverse()
+        assert result.isomorphic(expected) or result.shape() in {
+            expected.shape(),
+            parse_term("d(a, c, a, c)").shape(),
+            parse_term("d(b, c, b, c)").shape(),
+            parse_term("d(b, c, a, c)").shape(),
+        }
+        # visible nodes keep their identifiers exactly
+        assert result.children(result.root)[1] == "n13"
+        assert result.children(result.root)[3] == "n14"
+
+    def test_inverse_is_valid(self, graphs):
+        dtd = paperdata.d0(fig2_automata=True)
+        annotation = paperdata.a0()
+        view = paperdata.fig6_view_fragment()
+        result = invert(dtd, annotation, view)
+        assert verify_inverse(dtd, annotation, view, result)
+
+    def test_to_dot_renders(self, graphs):
+        dot = graphs["n11"].to_dot()
+        assert "Ins(a)" in dot and "Rec(1)" in dot
+
+
+class TestWholeViewInversion:
+    def test_invert_full_view0(self):
+        dtd = paperdata.d0()
+        annotation = paperdata.a0()
+        view = paperdata.view0()
+        result = invert(dtd, annotation, view)
+        assert verify_inverse(dtd, annotation, view, result)
+
+    def test_minimal_inverse_size_of_view0(self):
+        graphs = inversion_graphs(paperdata.d0(), paperdata.a0(), paperdata.view0())
+        # each of the two r-groups (a..d) needs one hidden (b|c) child of r:
+        # a ? d a ? d → 2 hidden; each d child c needs one hidden a|b → 2 hidden
+        assert graphs.min_inversion_size() == paperdata.view0().size + 4
+
+    def test_fresh_hidden_ids_avoid_view(self):
+        view = paperdata.view0()
+        result = invert(paperdata.d0(), paperdata.a0(), view)
+        hidden = result.node_set - view.node_set
+        assert hidden  # some nodes were invented
+        assert view.node_set <= result.node_set
+
+    def test_view_of_inverse_has_same_ids(self):
+        dtd, annotation, view = paperdata.d0(), paperdata.a0(), paperdata.view0()
+        result = invert(dtd, annotation, view)
+        assert annotation.view(result) == view  # identifier-exact
+
+
+class TestNoInversion:
+    def test_view_with_hidden_label_rejected(self):
+        # b under r is hidden by A0, so no document has this view
+        with pytest.raises(NoInversionError):
+            inversion_graphs(paperdata.d0(), paperdata.a0(), parse_term("r(b)"))
+
+    def test_view_outside_view_language(self):
+        # r → (a·d)* in the view DTD; a lone 'a' child sequence is not a view
+        with pytest.raises(NoInversionError):
+            inversion_graphs(paperdata.d0(), paperdata.a0(), parse_term("r(a)"))
+
+    def test_empty_view_rejected(self):
+        from repro.xmltree import Tree
+
+        with pytest.raises(NoInversionError):
+            inversion_graphs(paperdata.d0(), paperdata.a0(), Tree.empty())
+
+
+class TestInsertletFactory:
+    def test_insertlets_change_inverse_content(self):
+        dtd = DTD({"r": "(a,b)*", "b": "c*"})
+        annotation = Annotation.hiding(("r", "b"))
+        view = parse_term("r#v0(a#v1)")
+        package = InsertletPackage.from_terms(dtd, {"b": "b(c)"}, strict=False)
+        result = invert(dtd, annotation, view, factory=package)
+        assert verify_inverse(dtd, annotation, view, result)
+        # the invented b-subtree is the insertlet (b with one c), not minimal b
+        b_nodes = [n for n in result.nodes() if result.label(n) == "b"]
+        assert len(b_nodes) == 1
+        assert result.child_labels(b_nodes[0]) == ("c",)
+
+    def test_insertlet_weights_feed_costs(self):
+        dtd = DTD({"r": "(a,b)*", "b": "c*"})
+        annotation = Annotation.hiding(("r", "b"))
+        view = parse_term("r#v0(a#v1)")
+        package = InsertletPackage.from_terms(dtd, {"b": "b(c)"}, strict=False)
+        graphs = inversion_graphs(dtd, annotation, view, factory=package)
+        assert graphs.costs["v0"] == 2  # insertlet size, not minimal size 1

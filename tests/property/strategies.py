@@ -1,0 +1,68 @@
+"""Hypothesis strategies for the library's core structures."""
+
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Epsilon,
+    Optional as OptRegex,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    concat,
+    union,
+)
+from repro.xmltree import Tree
+
+LABELS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def trees(draw, max_depth: int = 4, max_children: int = 4, labels=None) -> Tree:
+    """Random ordered labelled trees with unique sequential identifiers."""
+    labels = labels or LABELS
+    counter = [0]
+
+    def build(depth: int) -> Tree:
+        node = f"t{counter[0]}"
+        counter[0] += 1
+        label = draw(st.sampled_from(labels))
+        if depth >= max_depth:
+            return Tree.leaf(label, node)
+        n_children = draw(st.integers(0, max_children if depth < 2 else 2))
+        children = [build(depth + 1) for _ in range(n_children)]
+        return Tree.build(label, node, children)
+
+    return build(0)
+
+
+@st.composite
+def regexes(draw, max_depth: int = 4, labels=None) -> Regex:
+    """Random content-model regexes (never the empty language)."""
+    labels = labels or LABELS
+
+    def build(depth: int) -> Regex:
+        if depth >= max_depth:
+            return draw(st.sampled_from([Symbol(l) for l in labels] + [Epsilon()]))
+        choice = draw(st.integers(0, 6))
+        if choice == 0:
+            return Epsilon()
+        if choice <= 2:
+            return Symbol(draw(st.sampled_from(labels)))
+        if choice == 3:
+            parts = [build(depth + 1) for _ in range(draw(st.integers(2, 3)))]
+            return concat(*parts)  # normal form, as the parser produces
+        if choice == 4:
+            return union(build(depth + 1), build(depth + 1))
+        if choice == 5:
+            return Star(build(depth + 1))
+        return draw(st.sampled_from([Plus, OptRegex]))(build(depth + 1))
+
+    return build(0)
+
+
+@st.composite
+def words(draw, max_length: int = 6, labels=None) -> tuple:
+    labels = labels or LABELS
+    length = draw(st.integers(0, max_length))
+    return tuple(draw(st.sampled_from(labels)) for _ in range(length))

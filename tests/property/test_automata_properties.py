@@ -1,0 +1,182 @@
+"""Property-based tests for regexes and automata.
+
+The independent oracle is a Brzozowski-derivative matcher implemented
+here from scratch — no shared code with the Glushkov construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Concat,
+    Epsilon,
+    Optional as OptRegex,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    determinize,
+    glushkov,
+    min_word,
+    min_word_cost,
+    minimize,
+    nfa_to_regex,
+    parse_regex,
+)
+
+from .strategies import regexes, words
+
+
+# ---------------------------------------------------------------------------
+# Independent oracle: Brzozowski derivatives
+# ---------------------------------------------------------------------------
+
+
+def nullable(expr: Regex) -> bool:
+    if isinstance(expr, Epsilon):
+        return True
+    if isinstance(expr, Symbol):
+        return False
+    if isinstance(expr, Concat):
+        return all(nullable(p) for p in expr.parts)
+    if isinstance(expr, Union):
+        return any(nullable(p) for p in expr.parts)
+    if isinstance(expr, Star) or isinstance(expr, OptRegex):
+        return True
+    if isinstance(expr, Plus):
+        return nullable(expr.inner)
+    raise TypeError(expr)
+
+
+EMPTY = ("EMPTY",)  # marker for the empty language
+
+
+def derivative(expr: Regex, symbol: str):
+    if isinstance(expr, Epsilon):
+        return EMPTY
+    if isinstance(expr, Symbol):
+        return Epsilon() if expr.name == symbol else EMPTY
+    if isinstance(expr, Union):
+        branches = [derivative(p, symbol) for p in expr.parts]
+        live = [b for b in branches if b is not EMPTY]
+        if not live:
+            return EMPTY
+        return live[0] if len(live) == 1 else Union(tuple(live))
+    if isinstance(expr, Concat):
+        head, *tail = expr.parts
+        rest = Concat(tuple(tail)) if len(tail) > 1 else tail[0]
+        first = derivative(head, symbol)
+        branches = []
+        if first is not EMPTY:
+            branches.append(
+                rest if isinstance(first, Epsilon) else Concat((first, rest))
+            )
+        if nullable(head):
+            second = derivative(rest, symbol)
+            if second is not EMPTY:
+                branches.append(second)
+        if not branches:
+            return EMPTY
+        return branches[0] if len(branches) == 1 else Union(tuple(branches))
+    if isinstance(expr, Star):
+        inner = derivative(expr.inner, symbol)
+        if inner is EMPTY:
+            return EMPTY
+        return expr if isinstance(inner, Epsilon) else Concat((inner, expr))
+    if isinstance(expr, Plus):
+        return derivative(Concat((expr.inner, Star(expr.inner))), symbol)
+    if isinstance(expr, OptRegex):
+        return derivative(expr.inner, symbol)
+    raise TypeError(expr)
+
+
+def brzozowski_matches(expr: Regex, word) -> bool:
+    current = expr
+    for symbol in word:
+        current = derivative(current, symbol)
+        if current is EMPTY:
+            return False
+    return nullable(current)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestGlushkovAgainstDerivatives:
+    @given(regexes(), words())
+    @settings(max_examples=300)
+    def test_membership_agrees(self, expr: Regex, word):
+        nfa = glushkov(expr, alphabet=frozenset("abcd"))
+        assert nfa.accepts(word) == brzozowski_matches(expr, word)
+
+    @given(regexes())
+    def test_epsilon_agreement(self, expr: Regex):
+        assert glushkov(expr).accepts_epsilon() == expr.nullable() == nullable(expr)
+
+    @given(regexes())
+    @settings(max_examples=100)
+    def test_accepted_samples_match_oracle(self, expr: Regex):
+        nfa = glushkov(expr)
+        for word in list(nfa.enumerate_words(4))[:20]:
+            assert brzozowski_matches(expr, word)
+
+
+class TestTransformations:
+    @given(regexes(), words())
+    @settings(max_examples=150)
+    def test_determinize_preserves_language(self, expr: Regex, word):
+        nfa = glushkov(expr, alphabet=frozenset("abcd"))
+        assert determinize(nfa).accepts(word) == nfa.accepts(word)
+
+    @given(regexes(), words())
+    @settings(max_examples=100)
+    def test_minimize_preserves_language(self, expr: Regex, word):
+        nfa = glushkov(expr, alphabet=frozenset("abcd"))
+        assert minimize(nfa).accepts(word) == nfa.accepts(word)
+
+    @given(regexes())
+    @settings(max_examples=60)
+    def test_state_elimination_round_trip(self, expr: Regex):
+        nfa = glushkov(expr)
+        if not nfa.language_nonempty():
+            return
+        back = glushkov(nfa_to_regex(nfa), alphabet=nfa.alphabet)
+        assert back.equivalent(nfa)
+
+    @given(regexes())
+    @settings(max_examples=100)
+    def test_parser_round_trip(self, expr: Regex):
+        assert parse_regex(expr.to_dtd()) == expr
+
+
+class TestShortestWords:
+    @given(regexes())
+    @settings(max_examples=150)
+    def test_min_word_is_accepted_and_minimal(self, expr: Regex):
+        nfa = glushkov(expr)
+        weights = {symbol: 1 for symbol in "abcd"}
+        result = min_word(nfa, weights)
+        if result is None:
+            assert not nfa.language_nonempty()
+            return
+        cost, word = result
+        assert nfa.accepts(word)
+        assert cost == len(word)
+        # no strictly shorter accepted word exists
+        shorter = [w for w in nfa.enumerate_words(max(0, len(word) - 1))]
+        assert shorter == [] or min(len(w) for w in shorter) >= len(word)
+
+    @given(regexes(), st.dictionaries(st.sampled_from("abcd"), st.integers(1, 9)))
+    @settings(max_examples=150)
+    def test_weighted_cost_consistency(self, expr: Regex, partial_weights):
+        weights = {s: partial_weights.get(s, 5) for s in "abcd"}
+        nfa = glushkov(expr)
+        result = min_word(nfa, weights)
+        if result is None:
+            return
+        cost, word = result
+        assert cost == sum(weights[s] for s in word)
+        assert min_word_cost(nfa, weights) == cost

@@ -1,0 +1,107 @@
+"""Property tests for optimal-subgraph invariants on random instances.
+
+The facts the Section 4/5 algorithms rest on:
+
+* every path enumerated in an optimal subgraph costs exactly OPT;
+* optimal subgraphs are DAGs (counting terminates);
+* the greedy preference walk always reaches a target and its path costs
+  OPT;
+* the cheapest path on the full graph costs the same OPT.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PreferenceChooser, propagation_graphs
+from repro.generators import (
+    random_annotation,
+    random_dtd,
+    random_tree,
+    random_view_update,
+)
+from repro.graphutil import cheapest_path, count_paths, enumerate_paths
+from repro.inversion import inversion_graphs
+
+
+def make_instance(seed: int):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, rng.randint(3, 5))
+    annotation = random_annotation(rng, dtd, hide_probability=0.4)
+    source = random_tree(dtd, rng, root_label="l0", size_hint=rng.randint(4, 16))
+    update = random_view_update(rng, dtd, annotation, source, n_ops=2)
+    return dtd, annotation, source, update
+
+
+class TestOptimalPropagationGraphs:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_optimal_paths_cost_opt(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        for node in collection:
+            optimal = collection.optimal(node)
+            paths = list(
+                enumerate_paths(
+                    optimal.source, optimal.targets, optimal.edges_from,
+                    max_paths=25,
+                )
+            )
+            assert paths, f"optimal graph of {node!r} has no path"
+            for path in paths:
+                assert sum(e.weight for e in path) == optimal.cost
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_graphs_are_dags(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        for node in collection:
+            optimal = collection.optimal(node)
+            # CycleError would propagate out of count_paths
+            assert count_paths(
+                optimal.source, optimal.targets, optimal.edges_from
+            ) >= 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_walk_matches_opt(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        chooser = PreferenceChooser()
+        for node in collection:
+            optimal = collection.optimal(node)
+            path = chooser.choose(optimal)
+            assert sum(e.weight for e in path) == optimal.cost
+            assert path == () or path[-1].target in optimal.targets
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_full_graph_cheapest_equals_opt(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        for node in collection:
+            graph = collection[node]
+            path = cheapest_path(graph.source, graph.targets, graph.edges_from)
+            assert path is not None
+            assert sum(e.weight for e in path) == collection.optimal(node).cost
+
+
+class TestOptimalInversionGraphs:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_inversion_optimal_paths_cost_opt(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, rng.randint(3, 5))
+        annotation = random_annotation(rng, dtd, hide_probability=0.4)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=10)
+        view = annotation.view(source)
+        graphs = inversion_graphs(dtd, annotation, view)
+        for node in graphs:
+            optimal = graphs.optimal(node)
+            assert optimal.cost == graphs.costs[node]
+            for path in enumerate_paths(
+                optimal.source, optimal.targets, optimal.edges_from, max_paths=25
+            ):
+                assert sum(e.weight for e in path) == optimal.cost

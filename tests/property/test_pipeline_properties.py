@@ -1,0 +1,110 @@
+"""End-to-end property tests: the full propagation pipeline on random
+instances (seeded through hypothesis so failures shrink to small seeds)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import random
+
+from repro.core import (
+    count_min_propagations,
+    propagate,
+    propagation_graphs,
+    verify_propagation,
+)
+from repro.dtd import view_dtd
+from repro.generators import (
+    random_annotation,
+    random_dtd,
+    random_tree,
+    random_view_update,
+)
+from repro.inversion import inversion_graphs, invert, verify_inverse
+
+
+def make_instance(seed: int):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, rng.randint(3, 6))
+    annotation = random_annotation(rng, dtd, hide_probability=0.35)
+    source = random_tree(dtd, rng, root_label="l0", size_hint=rng.randint(4, 24))
+    update = random_view_update(rng, dtd, annotation, source, n_ops=rng.randint(1, 4))
+    return dtd, annotation, source, update
+
+
+class TestInversionPipeline:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_invert_view_round_trip(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, rng.randint(3, 6))
+        annotation = random_annotation(rng, dtd, hide_probability=0.35)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=12)
+        view = annotation.view(source)
+        inverse = invert(dtd, annotation, view)
+        assert verify_inverse(dtd, annotation, view, inverse)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_minimal_inverse_never_larger_than_source(self, seed):
+        """The source itself is an inverse, so the minimum is ≤ |t|."""
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, rng.randint(3, 5))
+        annotation = random_annotation(rng, dtd, hide_probability=0.35)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=10)
+        view = annotation.view(source)
+        graphs = inversion_graphs(dtd, annotation, view)
+        assert view.size <= graphs.min_inversion_size() <= source.size
+
+
+class TestPropagationPipeline:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_propagation_validates(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_cost_bounds(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        script = propagate(dtd, annotation, source, update)
+        assert script.cost == collection.min_cost()
+        assert script.cost >= update.cost  # visible work is a lower bound
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_update_propagates_to_identity(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, rng.randint(3, 5))
+        annotation = random_annotation(rng, dtd, hide_probability=0.35)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=10)
+        from repro.editing import EditScript
+
+        identity = EditScript.phantom(annotation.view(source))
+        script = propagate(dtd, annotation, source, identity)
+        assert script.cost == 0
+        assert script.output_tree == source
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_count_positive_and_enumeration_head_valid(self, seed):
+        from repro.core import enumerate_min_propagations
+
+        dtd, annotation, source, update = make_instance(seed)
+        collection = propagation_graphs(dtd, annotation, source, update)
+        assert count_min_propagations(collection) >= 1
+        head = list(enumerate_min_propagations(collection, max_count=3))
+        assert head
+        for script in head:
+            assert verify_propagation(dtd, annotation, source, update, script)
+            assert script.cost == collection.min_cost()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_output_view_dtd_valid(self, seed):
+        dtd, annotation, source, update = make_instance(seed)
+        script = propagate(dtd, annotation, source, update)
+        vdtd = view_dtd(dtd, annotation)
+        assert vdtd.validates(annotation.view(script.output_tree))

@@ -1,0 +1,109 @@
+"""Property-based tests for the tree substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import NodeIds, Tree, parse_term
+
+from .strategies import trees
+
+
+class TestStructuralInvariants:
+    @given(trees())
+    def test_size_equals_preorder_length(self, tree: Tree):
+        assert tree.size == len(list(tree.nodes()))
+        assert tree.size == len(list(tree.postorder()))
+
+    @given(trees())
+    def test_every_nonroot_has_consistent_parent(self, tree: Tree):
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if node == tree.root:
+                assert parent is None
+            else:
+                assert node in tree.children(parent)
+
+    @given(trees())
+    def test_subtree_sizes_sum(self, tree: Tree):
+        total = sum(tree.subtree(kid).size for kid in tree.children(tree.root))
+        assert tree.size == 1 + total
+
+    @given(trees())
+    def test_depth_height_consistency(self, tree: Tree):
+        assert max(tree.depth(node) for node in tree.nodes()) == tree.height()
+
+    @given(trees())
+    def test_descendant_relation_irreflexive(self, tree: Tree):
+        for node in list(tree.nodes())[:10]:
+            assert not tree.is_descendant(node, node)
+
+
+class TestRoundTrips:
+    @given(trees())
+    def test_term_round_trip_identity(self, tree: Tree):
+        assert parse_term(tree.to_term()) == tree
+
+    @given(trees())
+    def test_xml_round_trip_identity(self, tree: Tree):
+        from repro.xmltree import tree_from_xml, tree_to_xml
+
+        assert tree_from_xml(tree_to_xml(tree)) == tree
+
+    @given(trees())
+    def test_fresh_ids_isomorphic_disjoint(self, tree: Tree):
+        fresh = tree.with_fresh_ids(NodeIds("q").fresh)
+        assert fresh.isomorphic(tree)
+        assert fresh.node_set.isdisjoint(tree.node_set)
+
+    @given(trees())
+    def test_isomorphism_mapping_is_relabelling(self, tree: Tree):
+        fresh = tree.with_fresh_ids(NodeIds("q").fresh)
+        mapping = tree.isomorphism(fresh)
+        assert mapping is not None
+        assert tree.relabel_nodes(mapping) == fresh
+
+    @given(trees())
+    def test_shape_invariant_under_relabelling(self, tree: Tree):
+        assert tree.with_fresh_ids().shape() == tree.shape()
+
+
+class TestEditingOperations:
+    @given(trees(), st.data())
+    def test_delete_then_size(self, tree: Tree, data):
+        nodes = [n for n in tree.nodes() if n != tree.root]
+        if not nodes:
+            return
+        victim = data.draw(st.sampled_from(nodes))
+        removed = tree.subtree(victim).size
+        smaller = tree.delete_subtree(victim)
+        assert smaller.size == tree.size - removed
+        assert victim not in smaller
+
+    @given(trees(), st.data())
+    def test_insert_then_delete_identity(self, tree: Tree, data):
+        parent = data.draw(st.sampled_from(list(tree.nodes())))
+        index = data.draw(st.integers(0, len(tree.children(parent))))
+        extra = Tree.leaf("z", "zz")
+        grown = tree.insert_subtree(parent, index, extra)
+        assert grown.size == tree.size + 1
+        assert grown.delete_subtree("zz") == tree
+
+    @given(trees(), st.data())
+    def test_replace_subtree_preserves_rest(self, tree: Tree, data):
+        nodes = [n for n in tree.nodes() if n != tree.root]
+        if not nodes:
+            return
+        victim = data.draw(st.sampled_from(nodes))
+        replacement = Tree.leaf("z", "zz")
+        replaced = tree.replace_subtree(victim, replacement)
+        expected = tree.size - tree.subtree(victim).size + 1
+        assert replaced.size == expected
+        assert "zz" in replaced
+
+    @given(trees())
+    @settings(max_examples=50)
+    def test_map_labels_preserves_structure(self, tree: Tree):
+        upper = tree.map_labels(str.upper)
+        assert upper.node_set == tree.node_set
+        for node in tree.nodes():
+            assert upper.children(node) == tree.children(node)

@@ -1,0 +1,149 @@
+"""Property-based tests for annotations, views, and editing scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editing import EditScript, Op
+from repro.views import Annotation
+from repro.xmltree import Tree
+
+from .strategies import LABELS, trees
+
+
+@st.composite
+def annotations(draw) -> Annotation:
+    pairs = draw(
+        st.sets(
+            st.tuples(st.sampled_from(LABELS), st.sampled_from(LABELS)),
+            max_size=6,
+        )
+    )
+    return Annotation.hiding(*pairs)
+
+
+class TestViewProperties:
+    @given(trees(), annotations())
+    def test_visibility_upward_closed(self, tree: Tree, annotation: Annotation):
+        visible = annotation.visible_nodes(tree)
+        for node in visible:
+            parent = tree.parent(node)
+            while parent is not None:
+                assert parent in visible
+                parent = tree.parent(parent)
+
+    @given(trees(), annotations())
+    def test_root_always_visible(self, tree: Tree, annotation: Annotation):
+        assert tree.root in annotation.visible_nodes(tree)
+
+    @given(trees(), annotations())
+    def test_view_nodes_are_visible_nodes(self, tree: Tree, annotation: Annotation):
+        view = annotation.view(tree)
+        assert view.node_set == annotation.visible_nodes(tree)
+
+    @given(trees(), annotations())
+    def test_view_preserves_labels_and_order(self, tree, annotation):
+        view = annotation.view(tree)
+        for node in view.nodes():
+            assert view.label(node) == tree.label(node)
+            view_kids = list(view.children(node))
+            original_order = [k for k in tree.children(node) if k in view.node_set]
+            assert view_kids == original_order
+
+    @given(trees(), annotations())
+    def test_view_idempotent(self, tree, annotation):
+        view = annotation.view(tree)
+        assert annotation.view(view) == view
+
+    @given(trees())
+    def test_identity_annotation(self, tree):
+        assert Annotation.identity().view(tree) == tree
+
+    @given(trees(), annotations())
+    def test_view_size_bounds(self, tree, annotation):
+        view = annotation.view(tree)
+        assert 1 <= view.size <= tree.size
+
+
+@st.composite
+def scripts(draw) -> EditScript:
+    """Random well-formed editing scripts (renaming extension included)."""
+    counter = [0]
+
+    def build(depth: int, forced: Op | None):
+        node = f"s{counter[0]}"
+        counter[0] += 1
+        op = forced if forced is not None else draw(st.sampled_from(list(Op)))
+        label = draw(st.sampled_from(LABELS))
+        target = None
+        if op is Op.REN:
+            target = draw(st.sampled_from([l for l in LABELS if l != label]))
+        if depth >= 3:
+            children = []
+        else:
+            # descendants of Ins are Ins, of Del are Del
+            child_force = op if op in (Op.INS, Op.DEL) else None
+            children = [
+                build(depth + 1, child_force)
+                for _ in range(draw(st.integers(0, 3 if depth < 2 else 1)))
+            ]
+        from repro.editing import EditLabel
+
+        return Tree.build(EditLabel(op, label, target), node, [c for c in children])
+
+    return EditScript(build(0, None))
+
+
+class TestScriptProperties:
+    @given(scripts())
+    def test_cost_plus_phantoms_equals_size(self, script: EditScript):
+        phantoms = sum(1 for n in script.nodes() if script.op(n) is Op.NOP)
+        assert script.cost + phantoms == script.size
+
+    @given(scripts())
+    def test_in_out_node_partition(self, script: EditScript):
+        in_nodes = script.input_tree.node_set
+        out_nodes = script.output_tree.node_set
+        for node in script.nodes():
+            op = script.op(node)
+            assert (node in in_nodes) == (op is not Op.INS)
+            assert (node in out_nodes) == (op is not Op.DEL)
+
+    @given(scripts())
+    def test_size_accounting(self, script: EditScript):
+        ins = sum(1 for n in script.nodes() if script.op(n) is Op.INS)
+        dels = sum(1 for n in script.nodes() if script.op(n) is Op.DEL)
+        rens = sum(1 for n in script.nodes() if script.op(n) is Op.REN)
+        assert script.input_tree.size == script.size - ins
+        assert script.output_tree.size == script.size - dels
+        assert script.cost == ins + dels + rens
+
+    @given(scripts())
+    def test_renamed_nodes_change_label_between_sides(self, script: EditScript):
+        for node in script.nodes():
+            if script.op(node) is Op.REN:
+                assert script.input_tree.label(node) == script.symbol(node)
+                assert script.output_tree.label(node) == script.output_symbol(node)
+                assert script.symbol(node) != script.output_symbol(node)
+
+    @given(scripts())
+    def test_term_round_trip(self, script: EditScript):
+        assert EditScript.parse(script.to_term()) == script
+
+    @given(scripts())
+    def test_apply_to_input(self, script: EditScript):
+        assert script.apply_to(script.input_tree) == script.output_tree
+
+    @given(trees())
+    def test_phantom_of_tree_is_identity(self, tree: Tree):
+        script = EditScript.phantom(tree)
+        assert script.apply_to(tree) == tree
+        assert script.cost == 0
+
+    @given(trees())
+    def test_insertion_deletion_duality(self, tree: Tree):
+        insertion = EditScript.insertion(tree)
+        deletion = EditScript.deletion(tree)
+        assert insertion.output_tree == deletion.input_tree == tree
+        assert insertion.input_tree.is_empty
+        assert deletion.output_tree.is_empty
+        assert insertion.cost == deletion.cost == tree.size

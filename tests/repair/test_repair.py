@@ -1,0 +1,167 @@
+"""Tests for the repair baseline, incl. the Section 6.2 counter-example."""
+
+import random
+
+import pytest
+
+from repro import paperdata
+from repro.core import propagate, verify_propagation
+from repro.dtd import DTD
+from repro.errors import NoInversionError
+from repro.generators import random_annotation, random_dtd, random_tree, random_view_update
+from repro.repair import compare_with_propagation, repair_distance, repair_update
+from repro.views import Annotation
+from repro.xmltree import parse_term
+
+
+class TestSection62Example:
+    """D3 = r → b·(c+ε)·(a·c)*, hidden b and a, t = r(b,a,c)."""
+
+    def test_repair_picks_the_closer_wrong_tree(self):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        result = repair_update(dtd, annotation, source, update.output_tree)
+        # the paper: t1 = r(b,c,a,c) is closer (distance 1) than t2 (distance 2)
+        assert result.distance == 1
+        assert result.tree.shape() == parse_term("r(b, c, a, c)").shape()
+
+    def test_repair_output_is_a_valid_inverse_shape(self):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        result = repair_update(dtd, annotation, source, update.output_tree)
+        assert dtd.validates(result.tree)
+        assert annotation.view(result.tree).isomorphic(update.output_tree)
+
+    def test_repair_violates_side_effect_freeness(self):
+        """The old c#m3 ends up *after* the new c: the view changes ids."""
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        report = compare_with_propagation(dtd, annotation, source, update)
+        assert report.repair_view_isomorphic        # looks right...
+        assert not report.repair_side_effect_free   # ...but is not
+
+    def test_repaired_view_scrambles_node_positions(self):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        result = repair_update(dtd, annotation, source, update.output_tree)
+        repaired_view = annotation.view(result.tree)
+        kids = repaired_view.children(repaired_view.root)
+        # the kept source node m3 is the SECOND c in the repaired view,
+        # but the user's update demands it stays FIRST
+        assert kids[1] == "m3"
+        assert update.output_tree.children("m0")[0] == "m3"
+
+    def test_propagation_gets_it_right(self):
+        """The paper's t2 = r(b,a,c,a,c): costlier but side-effect free."""
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        source = paperdata.d3_source()
+        update = paperdata.d3_updated_view()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        assert script.cost == 2
+        assert script.output_tree.shape() == parse_term("r(b, a, c, a, c)").shape()
+        report = compare_with_propagation(dtd, annotation, source, update)
+        assert report.propagation_cost == 2
+        assert report.repair.distance < report.propagation_cost
+
+    def test_summary_renders(self):
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        report = compare_with_propagation(
+            dtd, annotation, paperdata.d3_source(), paperdata.d3_updated_view()
+        )
+        assert "side-effect free=False" in report.summary()
+
+
+class TestRepairDistance:
+    def test_zero_distance_for_own_view(self):
+        """Repairing t against A(t) costs nothing (t repairs itself)."""
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        source = paperdata.t0()
+        view = annotation.view(source)
+        assert repair_distance(dtd, annotation, source, view) == 0
+
+    def test_self_repair_returns_source(self):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        source = paperdata.t0()
+        result = repair_update(dtd, annotation, source, annotation.view(source))
+        assert result.tree == source
+
+    def test_distance_counts_deleted_subtrees(self):
+        dtd, annotation = paperdata.d0(), paperdata.a0()
+        source = paperdata.t0()
+        view = annotation.view(source)
+        # drop one (a, d)-group from the view: a#n1 plus d#n3(c#n8)
+        target = view.delete_subtree("n1").delete_subtree("n3")
+        distance = repair_distance(dtd, annotation, source, target)
+        # must delete a#n1 (1), hidden b#n2 (1), d#n3 subtree (3)
+        assert distance == 5
+
+    def test_distance_symmetric_in_insertion(self):
+        dtd = DTD({"r": "(a,h)*", "h": ""})
+        annotation = Annotation.hiding(("r", "h"))
+        source = parse_term("r#s0(a#s1, h#s2)")
+        target = parse_term("r#s0(a#s1, a#v0)")
+        # insert visible a (1) + hidden h (1)
+        assert repair_distance(dtd, annotation, source, target) == 2
+
+    def test_root_label_mismatch_rejected(self):
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(NoInversionError):
+            repair_distance(
+                dtd, Annotation.identity(), parse_term("r#x"), parse_term("a#y")
+            )
+
+    def test_unreachable_view_rejected(self):
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(NoInversionError):
+            repair_distance(
+                dtd, Annotation.identity(), parse_term("r#x"), parse_term("r#y(b#z)")
+            )
+
+
+class TestRepairVsPropagationRandom:
+    """The baseline is never *better* informed: when it happens to be
+    side-effect free its distance equals the propagation cost; and it is
+    measurably often wrong."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_repair_distance_lower_bounds_propagation_cost(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(rng, rng.randint(3, 5))
+        annotation = random_annotation(rng, dtd, hide_probability=0.35)
+        source = random_tree(dtd, rng, root_label="l0", size_hint=12)
+        update = random_view_update(rng, dtd, annotation, source, n_ops=2)
+        report = compare_with_propagation(dtd, annotation, source, update)
+        # dropping information can only make the tree look closer
+        assert report.repair.distance <= report.propagation_cost
+        # repair always lands in the inverse language
+        assert report.repair_view_isomorphic
+        assert dtd.validates(report.repair.tree)
+
+    def test_violation_rate_positive_on_positional_workload(self):
+        """Scaled D3-style workloads: appending to a list of c's whose
+        positions repair cannot distinguish."""
+        dtd, annotation = paperdata.d3(), paperdata.a3()
+        violations = 0
+        total = 0
+        for extra in range(4):
+            # source with `extra` trailing (a, c) groups
+            groups = ", ".join(f"a#g{i}, c#h{i}" for i in range(extra))
+            term = f"r#m0(b#m1, a#m2, c#m3{', ' + groups if groups else ''})"
+            source = parse_term(term)
+            view = annotation.view(source)
+            from repro.editing import UpdateBuilder
+
+            builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+            builder.insert("m0", parse_term("c#u0"), index=1)
+            update = builder.script()
+            report = compare_with_propagation(dtd, annotation, source, update)
+            total += 1
+            if not report.repair_side_effect_free:
+                violations += 1
+        assert total == 4
+        assert violations >= 3  # the baseline is wrong almost always here

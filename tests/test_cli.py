@@ -1,0 +1,201 @@
+"""Tests for the repro-xml command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DTD_TEXT = """
+<!ELEMENT r (a,(b|c),d)*>
+<!ELEMENT d ((a|b),c)*>
+"""
+
+ANNOTATION_TEXT = """
+hide r b
+hide r c
+hide d a
+hide d b
+"""
+
+DOC_XML = """
+<r id="n0">
+  <a id="n1"/><b id="n2"/>
+  <d id="n3"><a id="n7"/><c id="n8"/></d>
+  <a id="n4"/><c id="n5"/>
+  <d id="n6"><b id="n9"/><c id="n10"/></d>
+</r>
+"""
+
+UPDATE_TERM = (
+    "Nop.r#n0(Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, "
+    "Ins.d#n11(Ins.c#n13, Ins.c#n14), Ins.a#n12, "
+    "Nop.d#n6(Nop.c#n10, Ins.c#n15))"
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    dtd = tmp_path / "schema.dtd"
+    dtd.write_text(DTD_TEXT)
+    annotation = tmp_path / "policy.ann"
+    annotation.write_text(ANNOTATION_TEXT)
+    doc = tmp_path / "doc.xml"
+    doc.write_text(DOC_XML)
+    update = tmp_path / "update.term"
+    update.write_text(UPDATE_TERM)
+    return tmp_path, dtd, annotation, doc, update
+
+
+class TestValidate:
+    def test_valid_document(self, files, capsys):
+        _, dtd, _, doc, _ = files
+        assert main(["validate", "--dtd", str(dtd), "--doc", str(doc)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document(self, files, tmp_path, capsys):
+        _, dtd, _, _, _ = files
+        bad = tmp_path / "bad.xml"
+        bad.write_text('<r id="x"><a id="y"/></r>')
+        assert main(["validate", "--dtd", str(dtd), "--doc", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestView:
+    def test_view_extraction(self, files, capsys):
+        _, dtd, annotation, doc, _ = files
+        code = main([
+            "view", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'id="n3"' in out
+        assert 'id="n2"' not in out  # hidden b
+
+    def test_view_to_file(self, files, tmp_path):
+        _, dtd, annotation, doc, _ = files
+        target = tmp_path / "view.xml"
+        main([
+            "view", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--out", str(target),
+        ])
+        assert 'id="n10"' in target.read_text()
+
+
+class TestViewDTD:
+    def test_derived_rules(self, files, capsys):
+        _, dtd, annotation, _, _ = files
+        code = main([
+            "view-dtd", "--dtd", str(dtd), "--annotation", str(annotation),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT" in out
+
+
+class TestInvert:
+    def test_invert_view(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        # first extract the view, then invert it
+        view_file = tmp_path / "view.xml"
+        main([
+            "view", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--out", str(view_file),
+        ])
+        code = main([
+            "invert", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--view-doc", str(view_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'id="n0"' in out  # visible ids preserved
+
+    def test_invert_impossible_view(self, files, tmp_path, capsys):
+        _, dtd, annotation, _, _ = files
+        bad = tmp_path / "bad.xml"
+        bad.write_text('<r id="x"><a id="y"/></r>')  # a alone is not a view
+        code = main([
+            "invert", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--view-doc", str(bad),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPropagate:
+    def test_propagate_document(self, files, capsys):
+        _, dtd, annotation, doc, update = files
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(update),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert 'id="n11"' in captured.out       # inserted d materialised
+        assert "propagation cost: 14" in captured.err
+
+    def test_propagate_script_output(self, files, capsys):
+        _, dtd, annotation, doc, update = files
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(update), "--script",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Nop.r#n0(")
+
+    def test_preference_flag(self, files, capsys):
+        _, dtd, annotation, doc, update = files
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(update), "--prefer", "del",
+        ])
+        assert code == 0
+
+    def test_insertlets_file(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, update = files
+        insertlets = tmp_path / "w.ins"
+        insertlets.write_text("b = b\nc = c\n# comment line\n")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(update),
+            "--insertlets", str(insertlets),
+        ])
+        assert code == 0
+
+    def test_invalid_update_reports_error(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        bad = tmp_path / "bad.term"
+        bad.write_text("Nop.r#n0(Nop.a#n1)")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(bad),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRepairCompare:
+    def test_d3_example_flags_violation(self, tmp_path, capsys):
+        dtd = tmp_path / "d3.dtd"
+        dtd.write_text("<!ELEMENT r (b,(c|EMPTY),(a,c)*)>")
+        annotation = tmp_path / "a3.ann"
+        annotation.write_text("hide r b\nhide r a\n")
+        doc = tmp_path / "t.xml"
+        doc.write_text('<r id="m0"><b id="m1"/><a id="m2"/><c id="m3"/></r>')
+        update = tmp_path / "s.term"
+        update.write_text("Nop.r#m0(Nop.c#m3, Ins.c#u0)")
+        code = main([
+            "repair-compare", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(update),
+        ])
+        assert code == 2  # side-effect violation detected
+        out = capsys.readouterr().out
+        assert "side-effect free=False" in out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["validate", "--dtd", str(tmp_path / "nope.dtd"),
+                     "--doc", str(tmp_path / "nope.xml")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

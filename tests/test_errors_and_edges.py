@@ -1,0 +1,230 @@
+"""Failure injection and edge cases across the whole library.
+
+Every error class in :mod:`repro.errors` must be reachable through the
+public API with a meaningful message, and the boundary conditions of the
+tree/graph machinery (single-node documents, everything-hidden views,
+identity updates, recursive schemas) must behave.
+"""
+
+import pytest
+
+from repro import errors
+from repro.core import propagate, propagation_graphs, validate_view_update, verify_propagation
+from repro.dtd import DTD, InsertletPackage
+from repro.editing import EditScript, UpdateBuilder
+from repro.errors import (
+    InsertletError,
+    InvalidScriptError,
+    InvalidViewUpdateError,
+    NoInversionError,
+    ReproError,
+)
+from repro.inversion import invert
+from repro.views import Annotation
+from repro.xmltree import Tree, parse_term
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError)
+
+    def test_key_errors_double_as_keyerror(self):
+        from repro.errors import NodeNotFoundError, UnknownLabelError
+
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(UnknownLabelError, KeyError)
+
+    def test_value_errors_double_as_valueerror(self):
+        from repro.errors import DTDSyntaxError, RegexSyntaxError, TermSyntaxError
+
+        for cls in (RegexSyntaxError, TermSyntaxError, DTDSyntaxError):
+            assert issubclass(cls, ValueError)
+
+
+class TestSingleNodeDocument:
+    def test_identity_on_single_node(self):
+        dtd = DTD({"r": "a*"})
+        annotation = Annotation.identity()
+        source = parse_term("r#n0")
+        update = EditScript.phantom(source)
+        script = propagate(dtd, annotation, source, update)
+        assert script.is_identity()
+
+    def test_insert_into_single_node(self):
+        dtd = DTD({"r": "a*"})
+        annotation = Annotation.identity()
+        source = parse_term("r#n0")
+        builder = UpdateBuilder(annotation.view(source))
+        builder.insert("n0", parse_term("a#u0"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert script.output_tree == parse_term("r#n0(a#u0)")
+
+
+class TestEverythingHiddenView:
+    def test_view_is_root_only(self):
+        dtd = DTD({"r": "(a,b)*"})
+        annotation = Annotation({}, default=0)
+        source = parse_term("r#n0(a#n1, b#n2, a#n3, b#n4)")
+        view = annotation.view(source)
+        assert view == parse_term("r#n0")
+
+    def test_identity_update_keeps_hidden_content(self):
+        dtd = DTD({"r": "(a,b)*"})
+        annotation = Annotation({}, default=0)
+        source = parse_term("r#n0(a#n1, b#n2)")
+        update = EditScript.phantom(parse_term("r#n0"))
+        script = propagate(dtd, annotation, source, update)
+        assert script.output_tree == source  # nothing visible changed
+
+    def test_nothing_to_insert_in_root_only_view(self):
+        dtd = DTD({"r": "(a,b)*"})
+        annotation = Annotation({}, default=0)
+        source = parse_term("r#n0(a#n1, b#n2)")
+        # inserting any child in the view is invalid: the view DTD is r → ε
+        update = EditScript.parse("Nop.r#n0(Ins.a#u0)")
+        with pytest.raises(InvalidViewUpdateError):
+            validate_view_update(dtd, annotation, source, update)
+
+
+class TestRecursiveSchemas:
+    def test_deeply_recursive_propagation(self):
+        dtd = DTD({"s": "t,s*", "t": ""})
+        annotation = Annotation.identity()
+        term = "s#x0(t#y0, s#x1(t#y1, s#x2(t#y2, s#x3(t#y3))))"
+        source = parse_term(term)
+        view = annotation.view(source)
+        builder = UpdateBuilder(view)
+        builder.insert("x3", parse_term("s#u0(t#u1)"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        assert script.output_tree.depth("u0") == 4
+
+    def test_hidden_recursive_subtrees_kept_wholesale(self):
+        dtd = DTD({"s": "t?,h*,s*", "h": "h*", "t": ""})
+        annotation = Annotation.hiding(("s", "h"))
+        source = parse_term("s#x(t#y, h#h0(h#h1(h#h2)), s#z)")
+        view = annotation.view(source)
+        update = EditScript.phantom(view)
+        script = propagate(dtd, annotation, source, update)
+        assert script.output_tree == source
+        assert script.cost == 0
+
+
+class TestValidationOrdering:
+    def test_in_mismatch_detected_before_output(self):
+        dtd = DTD({"r": "a*"})
+        annotation = Annotation.identity()
+        source = parse_term("r#n0(a#n1)")
+        wrong_in = EditScript.parse("Nop.r#n0")  # missing a#n1
+        with pytest.raises(InvalidViewUpdateError) as exc:
+            validate_view_update(dtd, annotation, source, wrong_in)
+        assert "In(S)" in str(exc.value)
+
+    def test_hidden_id_reuse_message(self):
+        dtd = DTD({"r": "(a,h?)*", "h": ""})
+        annotation = Annotation.hiding(("r", "h"))
+        source = parse_term("r#n0(a#n1, h#n2)")
+        script = EditScript.parse("Nop.r#n0(Nop.a#n1, Ins.a#n2)")
+        with pytest.raises(InvalidViewUpdateError) as exc:
+            validate_view_update(dtd, annotation, source, script)
+        assert "hidden" in str(exc.value)
+
+
+class TestInsertletFailures:
+    def test_wrong_root_label(self):
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(InsertletError):
+            InsertletPackage(dtd, {"a": parse_term("r#w0")})
+
+    def test_invalid_fragment(self):
+        dtd = DTD({"r": "a,a"})
+        with pytest.raises(InsertletError):
+            InsertletPackage(dtd, {"r": parse_term("r#w0(a#w1)")})
+
+    def test_non_minimal_rejected_when_strict(self):
+        dtd = DTD({"r": "a*"})
+        big = parse_term("r#w0(a#w1, a#w2)")
+        with pytest.raises(InsertletError):
+            InsertletPackage(dtd, {"r": big})
+        package = InsertletPackage(dtd, {"r": big}, strict=False)
+        assert package.weight("r") == 3
+
+    def test_unknown_label(self):
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(InsertletError):
+            InsertletPackage(dtd, {"zz": parse_term("zz#w0")})
+
+    def test_empty_fragment(self):
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(InsertletError):
+            InsertletPackage(dtd, {"r": Tree.empty()})
+
+
+class TestInversionEdges:
+    def test_single_node_view_of_recursive_schema(self):
+        dtd = DTD({"s": "s*"})
+        annotation = Annotation.hiding(("s", "s"))
+        view = parse_term("s#v")
+        inverse = invert(dtd, annotation, view)
+        assert inverse == view  # minimal inverse adds nothing
+
+    def test_forced_hidden_chain(self):
+        """Minimal inverse must thread through nested hidden structure."""
+        dtd = DTD({"r": "m", "m": "x", "x": ""})
+        annotation = Annotation.hiding(("r", "m"))
+        view = parse_term("r#v")
+        inverse = invert(dtd, annotation, view)
+        assert inverse.size == 3  # r, hidden m, hidden x (m requires x)
+        assert dtd.validates(inverse)
+
+    def test_unsatisfiable_fragment_view(self):
+        dtd = DTD({"r": "a|b"})
+        annotation = Annotation.identity()
+        with pytest.raises(NoInversionError):
+            invert(dtd, annotation, parse_term("r#v"))  # r needs a child
+
+
+class TestScriptEdgeCases:
+    def test_script_of_whole_document_deletion_is_not_a_view_update(self):
+        # a script whose root is Del has empty output: never a view update
+        script = EditScript.deletion(parse_term("r#n0(a#n1)"))
+        dtd = DTD({"r": "a*"})
+        with pytest.raises(InvalidViewUpdateError):
+            validate_view_update(
+                dtd, Annotation.identity(), parse_term("r#n0(a#n1)"), script
+            )
+
+    def test_builder_rejects_double_root_wrap(self):
+        view = parse_term("r#n0")
+        builder = UpdateBuilder(view)
+        with pytest.raises(InvalidScriptError):
+            builder.delete("n0")
+
+    def test_assemble_rejects_duplicate_ids(self):
+        from repro.editing import nop
+
+        with pytest.raises(Exception):
+            EditScript.assemble(
+                nop("r"), "x",
+                [EditScript.phantom(parse_term("a#y")),
+                 EditScript.phantom(parse_term("b#y"))],
+            )
+
+
+class TestUnicodeAndOddLabels:
+    def test_unicode_labels_flow_through(self):
+        dtd = DTD({"raíz": "üñî*"})
+        annotation = Annotation.identity()
+        source = parse_term("raíz#n0(üñî#n1)")
+        update = EditScript.phantom(source)
+        script = propagate(dtd, annotation, source, update)
+        assert script.output_tree == source
+
+    def test_long_labels(self):
+        label = "x" * 200
+        dtd = DTD({label: ""})
+        assert dtd.validates(Tree.leaf(label, "n"))

@@ -1,0 +1,127 @@
+"""Integration: multi-step editing sessions against a living document.
+
+A realistic deployment applies one propagation after another: each round
+the user sees the *current* view, edits it, the propagation updates the
+source, and the next round starts from there. These tests run several
+rounds end to end and check the global invariants after every step.
+"""
+
+import random
+
+import pytest
+
+from repro.core import propagate, verify_propagation
+from repro.dtd import DTD, view_dtd
+from repro.editing import UpdateBuilder
+from repro.generators import random_view_update
+from repro.views import Annotation
+from repro.xmltree import NodeIds, parse_term
+
+
+class TestManualSession:
+    def test_three_round_session(self):
+        dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+        annotation = Annotation.hiding(
+            ("r", "b"), ("r", "c"), ("d", "a"), ("d", "b")
+        )
+        source = parse_term(
+            "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+        )
+        fresh = NodeIds("sess", forbidden=set(source.nodes()))
+
+        # round 1: delete the first group
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.delete("n1")
+        builder.delete("n3")
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update, fresh=fresh.fresh)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        source = script.output_tree
+
+        # round 2: append a fresh (a, d) group through the new view
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("n0", parse_term("a#r2a"))
+        builder.insert("n0", parse_term("d#r2d(c#r2c)"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update, fresh=fresh.fresh)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        source = script.output_tree
+        assert "r2a" in source and "r2d" in source
+
+        # round 3: extend the surviving original d-node
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("n6", parse_term("c#r3c"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update, fresh=fresh.fresh)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        source = script.output_tree
+
+        # global invariants after the session
+        assert dtd.validates(source)
+        assert "n5" in source  # hidden survivor from round 0 still there
+        assert source.children("n6")[-1] == "r3c"
+
+    def test_rename_then_edit_renamed(self):
+        """Round 2 edits a node renamed in round 1."""
+        dtd = DTD(
+            {"doc": "(article|note)*", "article": "title,p*",
+             "note": "title,p*", "title": "", "p": ""}
+        )
+        annotation = Annotation.identity()
+        source = parse_term("doc#d(article#a1(title#t1))")
+
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.rename("a1", "note")
+        script = propagate(dtd, annotation, source, builder.script())
+        source = script.output_tree
+        assert source.label("a1") == "note"
+
+        view = annotation.view(source)
+        builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+        builder.insert("a1", parse_term("p#p1"))
+        update = builder.script()
+        script = propagate(dtd, annotation, source, update)
+        assert verify_propagation(dtd, annotation, source, update, script)
+        assert script.output_tree.child_labels("a1") == ("title", "p")
+
+
+class TestRandomisedSessions:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_five_round_random_session(self, seed):
+        rng = random.Random(seed)
+        dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+        annotation = Annotation.hiding(
+            ("r", "b"), ("r", "c"), ("d", "a"), ("d", "b")
+        )
+        vdtd = view_dtd(dtd, annotation)
+        source = parse_term(
+            "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+        )
+        for round_number in range(5):
+            update = random_view_update(
+                rng, dtd, annotation, source, n_ops=2, derived_view_dtd=vdtd
+            )
+            script = propagate(dtd, annotation, source, update)
+            assert verify_propagation(dtd, annotation, source, update, script)
+            source = script.output_tree
+            assert dtd.validates(source)
+            assert vdtd.validates(annotation.view(source))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_view_sizes_track_edits(self, seed):
+        """The view after each round equals the update's output exactly."""
+        rng = random.Random(100 + seed)
+        dtd = DTD({"list": "item*", "item": "payload?,secret?", "payload": "", "secret": ""})
+        annotation = Annotation.hiding(("item", "secret"))
+        source = parse_term(
+            "list#l(item#i1(payload#p1, secret#s1), item#i2(secret#s2))"
+        )
+        for _ in range(4):
+            update = random_view_update(rng, dtd, annotation, source, n_ops=2)
+            script = propagate(dtd, annotation, source, update)
+            assert annotation.view(script.output_tree) == update.output_tree
+            source = script.output_tree

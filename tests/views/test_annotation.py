@@ -1,0 +1,162 @@
+"""Tests for annotations and view extraction (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.views import HIDDEN, VISIBLE, Annotation, SecurityPolicy
+from repro.xmltree import Tree, parse_term
+
+
+@pytest.fixture
+def t0() -> Tree:
+    return parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+
+
+@pytest.fixture
+def a0() -> Annotation:
+    """The paper's Figure 3 annotation A0."""
+    return Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+
+
+class TestAnnotationFunction:
+    def test_default_visible(self, a0: Annotation):
+        assert a0("r", "a") == VISIBLE
+        assert a0("r", "d") == VISIBLE
+        assert a0("d", "c") == VISIBLE
+
+    def test_hidden_pairs(self, a0: Annotation):
+        assert a0("r", "b") == HIDDEN
+        assert a0("r", "c") == HIDDEN
+        assert a0("d", "a") == HIDDEN
+        assert a0("d", "b") == HIDDEN
+
+    def test_visible_and_hides(self, a0: Annotation):
+        assert a0.visible("r", "a")
+        assert a0.hides("r", "b")
+
+    def test_identity(self, t0: Tree):
+        assert Annotation.identity().view(t0) == t0
+
+    def test_default_hidden(self):
+        annotation = Annotation({("r", "a"): VISIBLE}, default=HIDDEN)
+        assert annotation.visible("r", "a")
+        assert annotation.hides("r", "b")
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(AnnotationError):
+            Annotation({("r", "a"): 2})
+        with pytest.raises(AnnotationError):
+            Annotation(default=5)
+
+    def test_hidden_pairs_set(self, a0: Annotation):
+        assert ("r", "b") in a0.hidden_pairs()
+        assert ("r", "a") not in a0.hidden_pairs()
+
+
+class TestVisibility:
+    def test_paper_visible_set(self, t0: Tree, a0: Annotation):
+        assert a0.visible_nodes(t0) == {"n0", "n1", "n3", "n4", "n6", "n8", "n10"}
+
+    def test_paper_hidden_set(self, t0: Tree, a0: Annotation):
+        assert a0.hidden_nodes(t0) == {"n2", "n5", "n7", "n9"}
+
+    def test_root_always_visible(self, t0: Tree):
+        everything_hidden = Annotation({}, default=HIDDEN)
+        assert everything_hidden.visible_nodes(t0) == {"n0"}
+
+    def test_upward_closed(self, t0: Tree):
+        """Descendants of hidden nodes are hidden even if their pair says visible."""
+        annotation = Annotation.hiding(("r", "d"))  # hides n3, n6
+        visible = annotation.visible_nodes(t0)
+        # (d, c) is visible by default, but c-nodes under hidden d stay hidden
+        assert "n8" not in visible
+        assert "n10" not in visible
+
+    def test_empty_tree(self, a0: Annotation):
+        assert a0.visible_nodes(Tree.empty()) == frozenset()
+        assert a0.view(Tree.empty()).is_empty
+
+
+class TestViewExtraction:
+    def test_paper_figure3_view(self, t0: Tree, a0: Annotation):
+        expected = parse_term("r#n0(a#n1, d#n3(c#n8), a#n4, d#n6(c#n10))")
+        assert a0.view(t0) == expected
+
+    def test_view_preserves_ids_and_order(self, t0: Tree, a0: Annotation):
+        view = a0.view(t0)
+        assert view.children("n0") == ("n1", "n3", "n4", "n6")
+        assert view.children("n6") == ("n10",)
+
+    def test_is_view_of(self, t0: Tree, a0: Annotation):
+        assert a0.is_view_of(a0.view(t0), t0)
+        assert not a0.is_view_of(t0, t0)  # t0 has hidden nodes
+
+    def test_view_idempotent_on_view(self, t0: Tree, a0: Annotation):
+        view = a0.view(t0)
+        assert a0.view(view) == view
+
+
+class TestParse:
+    def test_parse_directives(self):
+        annotation = Annotation.parse(
+            """
+            # A0 from the paper
+            hide r b
+            hide r c
+            hide d a
+            hide d b
+            """
+        )
+        assert annotation.hides("r", "b")
+        assert annotation.visible("r", "a")
+
+    def test_parse_default_and_show(self):
+        annotation = Annotation.parse("default hidden\nshow r a")
+        assert annotation.visible("r", "a")
+        assert annotation.hides("r", "z")
+
+    def test_parse_errors(self):
+        with pytest.raises(AnnotationError):
+            Annotation.parse("frobnicate r b")
+        with pytest.raises(AnnotationError):
+            Annotation.parse("default sometimes")
+
+
+class TestSecurityPolicy:
+    def test_label_rule_applies_everywhere(self, t0: Tree):
+        policy = SecurityPolicy().deny_label("b", "internal")
+        annotation = policy.annotation({"r", "a", "b", "c", "d"})
+        assert annotation.hides("r", "b")
+        assert annotation.hides("d", "b")
+        assert annotation.visible("r", "a")
+
+    def test_pair_overrides_label(self):
+        policy = SecurityPolicy().deny_label("c").allow("d", "c")
+        annotation = policy.annotation({"r", "d", "c"})
+        assert annotation.hides("r", "c")
+        assert annotation.visible("d", "c")
+
+    def test_conflicting_rules_rejected(self):
+        with pytest.raises(AnnotationError):
+            SecurityPolicy().deny_label("b").allow_label("b")
+        with pytest.raises(AnnotationError):
+            SecurityPolicy().deny("r", "b").allow("r", "b")
+
+    def test_audit_lines(self):
+        policy = SecurityPolicy().deny("r", "b", "sensitive").allow_label("a")
+        lines = list(policy.audit())
+        assert any("deny b under r — sensitive" in line for line in lines)
+        assert any("allow label a" in line for line in lines)
+
+    def test_reproduces_a0(self, t0: Tree, a0: Annotation):
+        policy = (
+            SecurityPolicy()
+            .deny("r", "b")
+            .deny("r", "c")
+            .deny("d", "a")
+            .deny("d", "b")
+        )
+        annotation = policy.annotation({"r", "a", "b", "c", "d"})
+        assert annotation.view(t0) == a0.view(t0)

@@ -1,0 +1,264 @@
+"""Unit tests for the core tree structure."""
+
+import pytest
+
+from repro.errors import DuplicateNodeError, NodeNotFoundError, TreeError
+from repro.xmltree import Tree, parse_term
+
+
+@pytest.fixture
+def t0() -> Tree:
+    """The paper's Figure 1 tree."""
+    return parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+
+
+class TestConstruction:
+    def test_leaf(self):
+        tree = Tree.leaf("a", "n1")
+        assert tree.root == "n1"
+        assert tree.label("n1") == "a"
+        assert tree.size == 1
+        assert tree.children("n1") == ()
+
+    def test_build_nested(self):
+        tree = Tree.build("r", "x", [Tree.leaf("a", "y"), Tree.leaf("b", "z")])
+        assert tree.children("x") == ("y", "z")
+        assert tree.child_labels("x") == ("a", "b")
+
+    def test_build_rejects_duplicate_ids(self):
+        with pytest.raises(DuplicateNodeError):
+            Tree.build("r", "x", [Tree.leaf("a", "y"), Tree.leaf("b", "y")])
+
+    def test_build_rejects_root_id_reuse(self):
+        with pytest.raises(DuplicateNodeError):
+            Tree.build("r", "x", [Tree.leaf("a", "x")])
+
+    def test_build_rejects_empty_child(self):
+        with pytest.raises(TreeError):
+            Tree.build("r", "x", [Tree.empty()])
+
+    def test_empty_tree(self):
+        tree = Tree.empty()
+        assert tree.is_empty
+        assert tree.size == 0
+        with pytest.raises(TreeError):
+            tree.root
+
+    def test_raw_constructor_validates_cycles(self):
+        with pytest.raises(TreeError):
+            Tree("a", {"a": "r", "b": "x"}, {"a": ("b",), "b": ("a",)})
+
+    def test_raw_constructor_validates_unreachable(self):
+        with pytest.raises(TreeError):
+            Tree("a", {"a": "r", "b": "x"}, {})
+
+    def test_raw_constructor_validates_missing_label(self):
+        with pytest.raises(TreeError):
+            Tree("a", {"a": "r"}, {"a": ("b",)})
+
+
+class TestAccessors:
+    def test_size_matches_paper(self, t0: Tree):
+        assert t0.size == 11
+
+    def test_labels(self, t0: Tree):
+        assert t0.label("n0") == "r"
+        assert t0.label("n9") == "b"
+        assert t0.label("n10") == "c"
+
+    def test_unknown_node_raises(self, t0: Tree):
+        with pytest.raises(NodeNotFoundError):
+            t0.label("n99")
+        with pytest.raises(NodeNotFoundError):
+            t0.children("n99")
+        with pytest.raises(NodeNotFoundError):
+            t0.parent("n99")
+
+    def test_children_order(self, t0: Tree):
+        assert t0.children("n0") == ("n1", "n2", "n3", "n4", "n5", "n6")
+        assert t0.children("n3") == ("n7", "n8")
+
+    def test_child_labels_word(self, t0: Tree):
+        assert t0.child_labels("n0") == ("a", "b", "d", "a", "c", "d")
+
+    def test_parent(self, t0: Tree):
+        assert t0.parent("n0") is None
+        assert t0.parent("n7") == "n3"
+        assert t0.parent("n6") == "n0"
+
+    def test_contains(self, t0: Tree):
+        assert "n5" in t0
+        assert "zz" not in t0
+
+    def test_index_in_parent(self, t0: Tree):
+        assert t0.index_in_parent("n1") == 0
+        assert t0.index_in_parent("n6") == 5
+        with pytest.raises(TreeError):
+            t0.index_in_parent("n0")
+
+    def test_following_siblings(self, t0: Tree):
+        assert t0.following_siblings("n4") == ("n5", "n6")
+        assert t0.following_siblings("n6") == ()
+        assert t0.following_siblings("n0") == ()
+
+    def test_depth_and_height(self, t0: Tree):
+        assert t0.depth("n0") == 0
+        assert t0.depth("n8") == 2
+        assert t0.height() == 2
+        assert Tree.leaf("a", "x").height() == 0
+        assert Tree.empty().height() == -1
+
+
+class TestTraversal:
+    def test_preorder_document_order(self, t0: Tree):
+        assert list(t0.nodes()) == [
+            "n0", "n1", "n2", "n3", "n7", "n8", "n4", "n5", "n6", "n9", "n10",
+        ]
+
+    def test_postorder_children_first(self, t0: Tree):
+        order = list(t0.postorder())
+        assert order[-1] == "n0"
+        assert order.index("n7") < order.index("n3")
+        assert set(order) == t0.node_set
+
+    def test_descendants(self, t0: Tree):
+        assert set(t0.descendants("n3")) == {"n7", "n8"}
+        assert set(t0.descendants_or_self("n3")) == {"n3", "n7", "n8"}
+        assert set(t0.descendants("n10")) == set()
+
+    def test_is_descendant(self, t0: Tree):
+        assert t0.is_descendant("n7", "n3")
+        assert t0.is_descendant("n7", "n0")
+        assert not t0.is_descendant("n3", "n7")
+        assert not t0.is_descendant("n7", "n7")
+
+
+class TestDerivedTrees:
+    def test_subtree_keeps_ids(self, t0: Tree):
+        sub = t0.subtree("n3")
+        assert sub.root == "n3"
+        assert sub.size == 3
+        assert sub.children("n3") == ("n7", "n8")
+
+    def test_subtree_of_leaf(self, t0: Tree):
+        sub = t0.subtree("n5")
+        assert sub == Tree.leaf("c", "n5")
+
+    def test_delete_subtree(self, t0: Tree):
+        smaller = t0.delete_subtree("n3")
+        assert smaller.size == 8
+        assert "n7" not in smaller
+        assert smaller.children("n0") == ("n1", "n2", "n4", "n5", "n6")
+        # original untouched (immutability)
+        assert t0.size == 11
+
+    def test_delete_all_children_removes_entry(self, t0: Tree):
+        tree = t0.delete_subtree("n9").delete_subtree("n10")
+        assert tree.children("n6") == ()
+        assert tree.is_leaf("n6")
+
+    def test_delete_root_gives_empty(self, t0: Tree):
+        assert t0.delete_subtree("n0").is_empty
+
+    def test_insert_subtree(self, t0: Tree):
+        inserted = t0.insert_subtree("n6", 1, Tree.leaf("c", "w0"))
+        assert inserted.children("n6") == ("n9", "w0", "n10")
+        assert inserted.parent("w0") == "n6"
+        assert inserted.size == 12
+
+    def test_insert_at_bounds(self, t0: Tree):
+        assert t0.insert_subtree("n5", 0, Tree.leaf("a", "w")).children("n5") == ("w",)
+        with pytest.raises(TreeError):
+            t0.insert_subtree("n5", 1, Tree.leaf("a", "w"))
+
+    def test_insert_duplicate_id_rejected(self, t0: Tree):
+        with pytest.raises(DuplicateNodeError):
+            t0.insert_subtree("n6", 0, Tree.leaf("c", "n3"))
+
+    def test_replace_subtree(self, t0: Tree):
+        replacement = parse_term("d#w0(c#w1)")
+        replaced = t0.replace_subtree("n3", replacement)
+        assert replaced.children("n0") == ("n1", "n2", "w0", "n4", "n5", "n6")
+        assert "n7" not in replaced
+        assert replaced.subtree("w0") == replacement
+
+    def test_replace_root(self, t0: Tree):
+        other = Tree.leaf("z", "zz")
+        assert t0.replace_subtree("n0", other) == other
+
+    def test_relabel_nodes(self, t0: Tree):
+        renamed = t0.relabel_nodes({"n0": "root", "n10": "last"})
+        assert renamed.root == "root"
+        assert renamed.label("last") == "c"
+        assert renamed.size == t0.size
+        assert renamed.isomorphic(t0)
+
+    def test_relabel_collision_rejected(self, t0: Tree):
+        with pytest.raises(DuplicateNodeError):
+            t0.relabel_nodes({"n1": "n2"})
+
+    def test_with_fresh_ids(self, t0: Tree):
+        fresh = t0.with_fresh_ids()
+        assert fresh.isomorphic(t0)
+        assert fresh.node_set.isdisjoint(t0.node_set)
+
+    def test_map_labels(self, t0: Tree):
+        upper = t0.map_labels(str.upper)
+        assert upper.label("n0") == "R"
+        assert upper.node_set == t0.node_set
+
+
+class TestComparison:
+    def test_equality_is_identifier_aware(self):
+        left = parse_term("r#x(a#y)")
+        right = parse_term("r#x(a#z)")
+        assert left != right
+        assert left.isomorphic(right)
+
+    def test_equality_same_structure(self):
+        left = parse_term("r#x(a#y, b#z)")
+        right = parse_term("r#x(a#y, b#z)")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_isomorphic_respects_order(self):
+        assert not parse_term("r(a, b)").isomorphic(parse_term("r(b, a)"))
+
+    def test_isomorphic_respects_labels(self):
+        assert not parse_term("r(a)").isomorphic(parse_term("r(b)"))
+
+    def test_isomorphism_mapping(self, t0: Tree):
+        fresh = t0.with_fresh_ids()
+        mapping = t0.isomorphism(fresh)
+        assert mapping is not None
+        assert mapping["n0"] == fresh.root
+        assert len(mapping) == t0.size
+        assert t0.relabel_nodes(mapping) == fresh
+
+    def test_isomorphism_none_for_different_shapes(self):
+        assert parse_term("r(a)").isomorphism(parse_term("r(a, a)")) is None
+
+    def test_empty_isomorphism(self):
+        assert Tree.empty().isomorphism(Tree.empty()) == {}
+        assert Tree.empty().isomorphism(Tree.leaf("a", "x")) is None
+
+    def test_shape_canonical(self):
+        assert parse_term("r(a)").shape() == ("r", (("a", ()),))
+
+
+class TestRendering:
+    def test_to_term_round_trip(self, t0: Tree):
+        assert parse_term(t0.to_term()) == t0
+
+    def test_to_term_without_ids(self):
+        assert parse_term("r#0(a#1, b#2(c#3))").to_term(with_ids=False) == "r(a, b(c))"
+
+    def test_pretty_contains_all_nodes(self, t0: Tree):
+        text = t0.pretty()
+        for node in t0.nodes():
+            assert f"#{node}" in text
+
+    def test_repr_of_empty(self):
+        assert repr(Tree.empty()) == "Tree.empty()"

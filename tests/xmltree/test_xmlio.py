@@ -1,0 +1,66 @@
+"""Tests for the XML bridge."""
+
+import io
+
+import pytest
+
+from repro.errors import TreeError
+from repro.xmltree import parse_term, tree_from_xml, tree_to_xml
+
+
+class TestFromXml:
+    def test_basic_structure(self):
+        tree = tree_from_xml("<r><a/><b><c/></b></r>", id_attribute=None)
+        assert tree.label(tree.root) == "r"
+        assert tree.child_labels(tree.root) == ("a", "b")
+        assert tree.size == 4
+
+    def test_ids_from_attribute(self):
+        tree = tree_from_xml('<r id="n0"><a id="n1"/></r>')
+        assert tree.root == "n0"
+        assert tree.children("n0") == ("n1",)
+
+    def test_partial_ids_filled_in(self):
+        tree = tree_from_xml('<r id="n0"><a/><b id="n1"/></r>')
+        assert tree.root == "n0"
+        kids = tree.children("n0")
+        assert kids[1] == "n1"
+        assert kids[0] not in {"n0", "n1"}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_xml('<r id="x"><a id="x"/></r>')
+
+    def test_strict_rejects_text(self):
+        with pytest.raises(TreeError):
+            tree_from_xml("<r>hello</r>", strict=True)
+
+    def test_lenient_drops_text(self):
+        tree = tree_from_xml("<r>hello<a/>world</r>", strict=False)
+        assert tree.child_labels(tree.root) == ("a",)
+
+    def test_file_like_source(self):
+        tree = tree_from_xml(io.StringIO("<r><a/></r>"), id_attribute=None)
+        assert tree.size == 2
+
+
+class TestToXml:
+    def test_round_trip_with_ids(self):
+        tree = parse_term("r#n0(a#n1, d#n3(c#n8))")
+        assert tree_from_xml(tree_to_xml(tree)) == tree
+
+    def test_round_trip_without_ids_isomorphic(self):
+        tree = parse_term("r(a, d(c))")
+        back = tree_from_xml(tree_to_xml(tree, id_attribute=None), id_attribute=None)
+        assert back.isomorphic(tree)
+
+    def test_empty_tree_rejected(self):
+        from repro.xmltree import Tree
+
+        with pytest.raises(TreeError):
+            tree_to_xml(Tree.empty())
+
+    def test_indent_toggle(self):
+        tree = parse_term("r(a)")
+        assert "\n" in tree_to_xml(tree, indent=True)
+        assert "\n" not in tree_to_xml(tree, indent=False)
