@@ -19,12 +19,10 @@ from repro import (
     Annotation,
     InsertletPackage,
     UpdateBuilder,
+    ViewEngine,
     count_min_propagations,
     parse_dtd,
     parse_term,
-    propagate,
-    propagation_graphs,
-    verify_propagation,
 )
 
 CATALOG_DTD = """
@@ -44,14 +42,22 @@ def main() -> None:
     dtd = parse_dtd(CATALOG_DTD)
     annotation = Annotation.hiding(("product", "margin"), ("product", "supplier"))
 
+    # -- the administrator's insertlet for the mandatory hidden field -----------
+    insertlets = InsertletPackage.from_terms(dtd, {"margin": "margin"})
+    print(f"Insertlet package: {insertlets!r}")
+
+    # one engine per (schema, annotation, insertlets): the storefront
+    # server compiles it once and serves every editor request from it
+    engine = ViewEngine(dtd, annotation, factory=insertlets)
+
     source = parse_term(
         "catalog#c("
         "product#p1(title#t1, price#pr1, feature#f1, margin#m1,"
         "           supplier#s1(contact#sc1, contract#sk1)),"
         "product#p2(title#t2, price#pr2, margin#m2))"
     )
-    view = annotation.view(source)
-    print("Storefront editor's view:")
+    view = engine.view(source)
+    print("\nStorefront editor's view:")
     print(view.pretty())
 
     # -- the editor adds a product and prunes a feature ------------------------
@@ -60,12 +66,8 @@ def main() -> None:
     edit.delete("f1")
     update = edit.script()
 
-    # -- the administrator's insertlet for the mandatory hidden field -----------
-    insertlets = InsertletPackage.from_terms(dtd, {"margin": "margin"})
-    print(f"\nInsertlet package: {insertlets!r}")
-
-    result = propagate(dtd, annotation, source, update, factory=insertlets)
-    assert verify_propagation(dtd, annotation, source, update, result)
+    result = engine.propagate(source, update)
+    assert engine.verify(source, update, result)
     new_source = result.output_tree
     print(f"\nPropagated catalog (cost {result.cost}):")
     print(new_source.pretty())
@@ -75,7 +77,7 @@ def main() -> None:
     print("because the schema demands one — supplied by the insertlet.")
 
     # -- how many optimal propagations were there? ------------------------------
-    collection = propagation_graphs(dtd, annotation, source, update, insertlets)
+    collection = engine.propagation_graphs(source, update)
     count = count_min_propagations(collection)
     print(f"\nOptimal propagations for this update: {count}")
     print("The preference function Φ (Nop > Del > Ins) picked one of them")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compile once, serve many: the ViewEngine amortisation demo.
+
+A server answering view updates against one schema should not re-derive
+the view DTD, minimal-tree tables, and insertion factory on every
+request. This example compiles a :class:`repro.ViewEngine` for a wide
+schema (161 element types — the shape of real document schemas), serves
+a batch of updates through :meth:`propagate_many`, and times it against
+the legacy free-function path, asserting the scripts are identical.
+
+Run:  python examples/engine_batch.py
+"""
+
+import time
+
+from repro import ViewEngine, propagate
+from repro.generators.workloads import wide_schema
+
+BATCH = 8
+
+
+def main() -> None:
+    workload = wide_schema(40)
+    dtd, annotation = workload.dtd, workload.annotation
+    print(f"schema: {len(dtd.alphabet)} element types, "
+          f"document: {workload.source.size} nodes, "
+          f"update cost: {workload.update.cost}")
+
+    updates = [workload.update] * BATCH
+
+    # -- cold: the free function re-derives the view DTD and visibility
+    # tables per request (only the DTD-memoized tables are reused) ----------
+    start = time.perf_counter()
+    cold_scripts = [
+        propagate(dtd, annotation, workload.source, update)
+        for update in updates
+    ]
+    cold = time.perf_counter() - start
+
+    # -- warm: one compiled engine serves the whole batch --------------------
+    engine = ViewEngine(dtd, annotation).warm_up()
+    start = time.perf_counter()
+    warm_scripts = engine.propagate_many(workload.source, updates)
+    warm = time.perf_counter() - start
+
+    assert all(
+        got.to_term() == expected.to_term()
+        for got, expected in zip(warm_scripts, cold_scripts)
+    ), "engine and free-function scripts must be byte-identical"
+
+    print(f"\ncold (free function): {cold / BATCH * 1000:7.2f} ms/update")
+    print(f"warm (ViewEngine):    {warm / BATCH * 1000:7.2f} ms/update")
+    print(f"speedup: {cold / warm:.1f}x — same scripts, byte for byte")
+    print("\nEvery propagation is schema-compliant and side-effect free:")
+    ok = all(
+        engine.verify(workload.source, update, script)
+        for update, script in zip(updates, warm_scripts)
+    )
+    print(f"verified: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

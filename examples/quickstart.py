@@ -12,10 +12,10 @@ from repro import (
     Annotation,
     DTD,
     UpdateBuilder,
+    ViewEngine,
     parse_term,
     propagate,
     verify_propagation,
-    view_dtd,
 )
 
 
@@ -26,8 +26,11 @@ def main() -> None:
     print(dtd.describe())
 
     # -- Figure 3: the annotation (who may see what) -------------------------
+    # The engine compiles every schema-derived artifact — the view DTD,
+    # minimal-tree tables, the insertion factory — once for (D0, A0).
     annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
-    derived = view_dtd(dtd, annotation)
+    engine = ViewEngine(dtd, annotation)
+    derived = engine.view_dtd
     print("\nView DTD (derived):")
     print(f"r -> {derived.rule_regex('r').to_dtd()}")
     print(f"d -> {derived.rule_regex('d').to_dtd()}")
@@ -40,7 +43,7 @@ def main() -> None:
     print(source.pretty())
 
     # -- what the user sees ---------------------------------------------------
-    view = annotation.view(source)
+    view = engine.view(source)
     print(f"\nThe view A0(t0) ({view.size} nodes):")
     print(view.pretty())
 
@@ -56,9 +59,12 @@ def main() -> None:
     print(update.pretty())
 
     # -- Figures 7-10: propagate ----------------------------------------------
-    result = propagate(dtd, annotation, source, update)
+    result = engine.propagate(source, update)
     print(f"\nPropagation S0' (cost {result.cost}):")
     print(result.pretty())
+
+    # the free function gives the same script, paying compilation per call
+    assert propagate(dtd, annotation, source, update) == result
 
     new_source = result.output_tree
     print(f"\nNew source document ({new_source.size} nodes):")

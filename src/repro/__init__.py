@@ -24,11 +24,21 @@ Quickstart::
     result = propagate(dtd, annotation, source, update)
     new_source = result.output_tree           # schema-compliant, no side effects
 
+Serving many updates against one schema? Compile the ``(D, A)`` pair
+once with :class:`repro.engine.ViewEngine` and reuse every derived
+artifact (view DTD, minimal-tree tables, factories)::
+
+    from repro import ViewEngine
+
+    engine = ViewEngine(dtd, annotation).warm_up()
+    scripts = engine.propagate_many(source, updates)   # amortised serving
+
 Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
 :mod:`repro.dtd`, :mod:`repro.views`, :mod:`repro.editing`,
 :mod:`repro.inversion` (Section 3), :mod:`repro.core` (Sections 4-5),
-:mod:`repro.repair` (the Section 6.2 baseline), :mod:`repro.generators`
-(random workloads), :mod:`repro.paperdata` (every figure of the paper).
+:mod:`repro.engine` (the compiled serving layer), :mod:`repro.repair`
+(the Section 6.2 baseline), :mod:`repro.generators` (random workloads),
+:mod:`repro.paperdata` (every figure of the paper).
 """
 
 from . import errors
@@ -53,6 +63,7 @@ from .core import (
 )
 from .dtd import DTD, EDTD, parse_dtd, serialize_dtd, view_dtd
 from .editing import EditScript, Op, UpdateBuilder
+from .engine import ViewEngine
 from .inversion import (
     count_min_inversions,
     enumerate_min_inversions,
@@ -63,7 +74,7 @@ from .inversion import (
 from .views import Annotation, SecurityPolicy
 from .xmltree import NodeIds, Tree, parse_term, tree_from_xml, tree_to_xml
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +104,8 @@ __all__ = [
     "verify_inverse",
     "count_min_inversions",
     "enumerate_min_inversions",
+    # compiled serving layer
+    "ViewEngine",
     # propagation (Sections 4-5)
     "propagate",
     "propagation_graphs",

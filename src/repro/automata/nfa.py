@@ -38,7 +38,16 @@ class NFA:
         The accepting states ``F``.
     """
 
-    __slots__ = ("_states", "_alphabet", "_initial", "_delta", "_finals", "_ntransitions")
+    __slots__ = (
+        "_states",
+        "_alphabet",
+        "_initial",
+        "_delta",
+        "_finals",
+        "_ntransitions",
+        "_sorted_states",
+        "_sorted_successors",
+    )
 
     def __init__(
         self,
@@ -72,6 +81,11 @@ class NFA:
             for source, row in delta.items()
         }
         self._ntransitions = count
+        # memoized deterministic orderings (instances are immutable);
+        # graph builders walk these per document node, so the sorts are
+        # paid once per automaton instead of once per request.
+        self._sorted_states: tuple[State, ...] | None = None
+        self._sorted_successors: dict[tuple[State, str], tuple[State, ...]] = {}
         if self._initial not in self._states:
             raise AutomatonError(f"initial state {initial!r} not in state set")
         if not self._finals <= self._states:
@@ -109,6 +123,21 @@ class NFA:
     def successors(self, state: State, symbol: str) -> frozenset[State]:
         """``{q′ | (state, symbol, q′) ∈ δ}``."""
         return self._delta.get(state, {}).get(symbol, frozenset())
+
+    def sorted_states(self) -> tuple[State, ...]:
+        """``Q`` in deterministic (repr) order, computed once."""
+        if self._sorted_states is None:
+            self._sorted_states = tuple(sorted(self._states, key=repr))
+        return self._sorted_states
+
+    def sorted_successors(self, state: State, symbol: str) -> tuple[State, ...]:
+        """:meth:`successors` in deterministic (repr) order, memoized."""
+        key = (state, symbol)
+        cached = self._sorted_successors.get(key)
+        if cached is None:
+            cached = tuple(sorted(self.successors(state, symbol), key=repr))
+            self._sorted_successors[key] = cached
+        return cached
 
     def moves_from(self, state: State) -> Iterator[tuple[str, State]]:
         """All ``(symbol, target)`` pairs leaving *state*."""

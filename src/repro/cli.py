@@ -28,13 +28,11 @@ from .core import (
     NOP_OVER_DEL_OVER_INS,
     InsertletPackage,
     PreferenceChooser,
-    propagate,
-    verify_propagation,
 )
-from .dtd import parse_dtd, serialize_dtd, view_dtd
+from .dtd import parse_dtd, serialize_dtd
 from .editing import EditScript
+from .engine import ViewEngine
 from .errors import ReproError
-from .inversion import invert
 from .repair import compare_with_propagation
 from .views import Annotation
 from .xmltree import tree_from_xml, tree_to_xml
@@ -56,6 +54,14 @@ def _load_common(args: argparse.Namespace):
     dtd = parse_dtd(_read(args.dtd))
     annotation = Annotation.parse(_read(args.annotation)) if args.annotation else None
     return dtd, annotation
+
+
+def _load_engine(args: argparse.Namespace) -> ViewEngine:
+    """One compiled engine per CLI invocation: every subcommand that
+    needs schema-derived artifacts gets them from here."""
+    dtd, annotation = _load_common(args)
+    factory = _make_factory(args, dtd)
+    return ViewEngine(dtd, annotation, factory=factory)
 
 
 def _emit(args: argparse.Namespace, text: str) -> None:
@@ -85,25 +91,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_view(args: argparse.Namespace) -> int:
-    _, annotation = _load_common(args)
+    engine = _load_engine(args)
     document = tree_from_xml(_read(args.doc))
-    view = annotation.view(document)
-    _emit(args, tree_to_xml(view))
+    _emit(args, tree_to_xml(engine.view(document)))
     return 0
 
 
 def _cmd_view_dtd(args: argparse.Namespace) -> int:
-    dtd, annotation = _load_common(args)
-    derived = view_dtd(dtd, annotation)
-    _emit(args, serialize_dtd(derived))
+    engine = _load_engine(args)
+    _emit(args, serialize_dtd(engine.view_dtd))
     return 0
 
 
 def _cmd_invert(args: argparse.Namespace) -> int:
-    dtd, annotation = _load_common(args)
+    engine = _load_engine(args)
     view = tree_from_xml(_read(args.view_doc))
-    inverse = invert(dtd, annotation, view)
-    _emit(args, tree_to_xml(inverse))
+    _emit(args, tree_to_xml(engine.invert(view)))
     return 0
 
 
@@ -121,15 +124,12 @@ def _make_factory(args: argparse.Namespace, dtd):
 
 
 def _cmd_propagate(args: argparse.Namespace) -> int:
-    dtd, annotation = _load_common(args)
+    engine = _load_engine(args)
     source = tree_from_xml(_read(args.doc))
     update = EditScript.parse(_read(args.update).strip())
-    factory = _make_factory(args, dtd)
     chooser = PreferenceChooser(_PREFERENCES[args.prefer])
-    script = propagate(
-        dtd, annotation, source, update, factory=factory, chooser=chooser
-    )
-    assert verify_propagation(dtd, annotation, source, update, script)
+    script = engine.propagate(source, update, chooser=chooser)
+    assert engine.verify(source, update, script)
     if args.script:
         _emit(args, script.to_term())
     else:

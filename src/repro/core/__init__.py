@@ -30,7 +30,7 @@ from .enumerate import (
     enumerate_min_propagations,
     enumerate_propagations,
 )
-from .insertlets import InsertletPackage, MinimalTreeFactory, TreeFactory
+from ..dtd.insertlets import InsertletPackage, MinimalTreeFactory, TreeFactory
 from .optimal import OptimalPropagationGraph
 from .propagate import (
     PropagationGraphs,

@@ -24,7 +24,7 @@ Validation and verification helpers live here too:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..dtd import DTD, MinimalTreeFactory, TreeFactory, view_dtd
 from ..editing import EditScript, Op
@@ -59,6 +59,7 @@ def validate_view_update(
     update: EditScript,
     *,
     derived_view_dtd: DTD | None = None,
+    source_view: Tree | None = None,
 ) -> None:
     """Raise :class:`InvalidViewUpdateError` unless *update* is a view update.
 
@@ -66,8 +67,12 @@ def validate_view_update(
     script must not reuse identifiers of nodes hidden by the view, and
     ``Out(S)`` must belong to the view language ``A(L(D))`` (checked via
     the derived view DTD).
+
+    *derived_view_dtd* and *source_view* let callers that already hold
+    ``view_dtd(dtd, annotation)`` or ``annotation.view(source)`` (a
+    compiled engine, a batch loop) skip recomputing them.
     """
-    view = annotation.view(source)
+    view = source_view if source_view is not None else annotation.view(source)
     if update.input_tree != view:
         raise InvalidViewUpdateError(
             "In(S) differs from the view A(t) — the update was not built "
@@ -109,7 +114,7 @@ def _validate_renames(dtd: DTD, annotation: Annotation, update: EditScript) -> N
             )
         mismatch = [
             child
-            for child in sorted(dtd.alphabet)
+            for child in dtd.sorted_alphabet
             if annotation.visible(old, child) != annotation.visible(new, child)
         ]
         if mismatch:
@@ -239,6 +244,8 @@ def propagation_graphs(
     factory: TreeFactory | None = None,
     *,
     validate: bool = True,
+    derived_view_dtd: DTD | None = None,
+    hidden_table: "Mapping[str, Sequence[str]] | None" = None,
 ) -> PropagationGraphs:
     """Build ``G(D, A, t, S)`` with the paper's edge weights.
 
@@ -246,11 +253,18 @@ def propagation_graphs(
     inversion-graph collections are built for every visibly inserted
     subtree on the way (their minimal sizes weigh the (iv)-edges).
     Polynomial in ``|D|``, ``|t|``, ``|S|``.
+
+    *derived_view_dtd* and *hidden_table* accept a compiled engine's
+    artifacts (see :class:`repro.engine.ViewEngine`) so nothing
+    schema-level is rebuilt per request; both are derived on the fly
+    when absent.
     """
     if factory is None:
         factory = MinimalTreeFactory(dtd)
     if validate:
-        validate_view_update(dtd, annotation, source, update)
+        validate_view_update(
+            dtd, annotation, source, update, derived_view_dtd=derived_view_dtd
+        )
 
     subtree_sizes = _subtree_sizes(source)
     insertions: dict[NodeId, InversionGraphs] = {}
@@ -265,7 +279,9 @@ def propagation_graphs(
         for child in update.children(node):
             if update.op(child) is Op.INS:
                 fragment = update.subscript(child).output_tree
-                collection = inversion_graphs(dtd, annotation, fragment, factory)
+                collection = inversion_graphs(
+                    dtd, annotation, fragment, factory, hidden_table=hidden_table
+                )
                 insertions[child] = collection
                 insert_costs[child] = collection.min_inversion_size()
 
@@ -290,6 +306,7 @@ def propagation_graphs(
             child_costs=costs,
             insert_costs=insert_costs,
             effective_label=effective,
+            hidden_table=hidden_table,
         )
         dist = min_distances([graph.source], graph.edges_from)
         best = min(
@@ -350,13 +367,22 @@ def propagate(
         Verify the update is a valid view update first.
 
     Returns the propagation ``S′`` with ``In(S′) = t``.
+
+    Thin wrapper over a transient :class:`~repro.engine.ViewEngine`;
+    compile an engine yourself (once per schema) to amortise the
+    schema-level work across many updates.
     """
-    collection = propagation_graphs(
-        dtd, annotation, source, update, factory, validate=validate
+    from ..engine import ViewEngine
+
+    engine = ViewEngine(dtd, annotation, factory=factory)
+    return engine.propagate(
+        source,
+        update,
+        chooser=chooser,
+        fresh=fresh,
+        optimal=optimal,
+        validate=validate,
     )
-    if chooser is None:
-        chooser = PreferenceChooser() if optimal else CheapestPathChooser()
-    return collection.build_script(chooser, fresh, optimal_only=optimal)
 
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping, Sequence
 
 from ..automata import State
 from ..dtd import DTD, TreeFactory
@@ -241,6 +241,7 @@ def build_propagation_graph(
     child_costs: dict[NodeId, int],
     insert_costs: dict[NodeId, int],
     effective_label: str | None = None,
+    hidden_table: "Mapping[str, Sequence[str]] | None" = None,
 ) -> PropagationGraph:
     """Construct ``G_node`` for a kept (phantom or renamed) update node.
 
@@ -249,6 +250,10 @@ def build_propagation_graph(
     minimal inversion size of every visibly inserted child (the
     (iv)-edge weights) — both are produced bottom-up by the collection
     builder in :mod:`repro.core.propagate`.
+
+    ``hidden_table`` optionally supplies the sorted hidden symbols per
+    parent label (a compiled engine's table), saving the ``O(|Σ|)``
+    annotation scan per node.
 
     For a renamed node, *effective_label* is its new label: the content
     model and child visibility are those of the *output* tree (the
@@ -272,7 +277,12 @@ def build_propagation_graph(
     seg_s = _segment_indices(s_children, common)
 
     k, ell = len(t_children), len(s_children)
-    hidden_symbols = [y for y in sorted(dtd.alphabet) if annotation.hides(label, y)]
+    if hidden_table is not None:
+        hidden_symbols = hidden_table[label]
+    else:
+        hidden_symbols = [
+            y for y in dtd.sorted_alphabet if annotation.hides(label, y)
+        ]
 
     def valid(i: int, j: int) -> bool:
         return seg_t[i] == seg_s[j]
@@ -282,7 +292,7 @@ def build_propagation_graph(
     def add(edge: PEdge) -> None:
         adjacency.setdefault(edge.source, []).append(edge)
 
-    states = sorted(model.states, key=repr)
+    states = model.sorted_states()
     for i in range(k + 1):
         for j in range(ell + 1):
             if not valid(i, j):
@@ -292,7 +302,7 @@ def build_propagation_graph(
 
                 # (i) invisible insert: invent a hidden subtree, stay put
                 for symbol in hidden_symbols:
-                    for q2 in sorted(model.successors(state, symbol), key=repr):
+                    for q2 in model.sorted_successors(state, symbol):
                         add(PEdge(
                             vertex, PVertex(i, q2, j),
                             EdgeKind.INVISIBLE_INSERT, symbol,
@@ -312,7 +322,7 @@ def build_propagation_graph(
                                 subtree_sizes[t_child], t_child=t_child,
                             ))
                             # (iii) invisible nop: keep the hidden subtree
-                            for q2 in sorted(model.successors(state, y), key=repr):
+                            for q2 in model.sorted_successors(state, y):
                                 add(PEdge(
                                     vertex, PVertex(i + 1, q2, j),
                                     EdgeKind.INVISIBLE_NOP, y,
@@ -332,7 +342,7 @@ def build_propagation_graph(
                                 ))
                             if s_op is Op.NOP and valid(i + 1, j + 1):
                                 # (vi) visible nop: recurse into G_{m_i}
-                                for q2 in sorted(model.successors(state, y), key=repr):
+                                for q2 in model.sorted_successors(state, y):
                                     add(PEdge(
                                         vertex, PVertex(i + 1, q2, j + 1),
                                         EdgeKind.VISIBLE_NOP, y,
@@ -344,9 +354,7 @@ def build_propagation_graph(
                                 # label drives the automaton; cost 1 for the
                                 # rename plus its own graph's cheapest path
                                 new_label = update.output_symbol(t_child)
-                                for q2 in sorted(
-                                    model.successors(state, new_label), key=repr
-                                ):
+                                for q2 in model.sorted_successors(state, new_label):
                                     add(PEdge(
                                         vertex, PVertex(i + 1, q2, j + 1),
                                         EdgeKind.VISIBLE_RENAME, new_label,
@@ -360,7 +368,7 @@ def build_propagation_graph(
                     if update.op(s_child) is Op.INS and valid(i, j + 1):
                         y = update.symbol(s_child)
                         if annotation.visible(label, y):
-                            for q2 in sorted(model.successors(state, y), key=repr):
+                            for q2 in model.sorted_successors(state, y):
                                 add(PEdge(
                                     vertex, PVertex(i, q2, j + 1),
                                     EdgeKind.VISIBLE_INSERT, y,

@@ -91,6 +91,13 @@ class DTD:
             symbol: models.get(symbol, epsilon).with_alphabet(self._alphabet)
             for symbol in self._alphabet
         }
+        # memo slots for derived artifacts (a DTD is immutable once built,
+        # so these are filled at most once): the sorted alphabet, the
+        # satisfiability fixpoint, and the minimal-size table maintained
+        # by :func:`repro.dtd.minimal.minimal_sizes`.
+        self._sorted_alphabet: tuple[str, ...] | None = None
+        self._satisfiable: frozenset[str] | None = None
+        self._minimal_sizes: dict[str, int] | None = None
         if check:
             self.assert_satisfiable()
 
@@ -102,6 +109,13 @@ class DTD:
     def alphabet(self) -> frozenset[str]:
         """Σ — every known symbol."""
         return self._alphabet
+
+    @property
+    def sorted_alphabet(self) -> tuple[str, ...]:
+        """Σ in sorted order, computed once (hot loops iterate this)."""
+        if self._sorted_alphabet is None:
+            self._sorted_alphabet = tuple(sorted(self._alphabet))
+        return self._sorted_alphabet
 
     def automaton(self, symbol: str) -> NFA:
         """``D(symbol)`` — the content-model automaton."""
@@ -182,8 +196,11 @@ class DTD:
 
         Iterated fixpoint: a symbol is satisfiable once its content model
         accepts some word of satisfiable symbols. Polynomial in ``|D|``
-        (the paper cites [14] for the analogous result).
+        (the paper cites [14] for the analogous result). Memoized — the
+        rule set never changes after construction.
         """
+        if self._satisfiable is not None:
+            return self._satisfiable
         good: set[str] = set()
         changed = True
         while changed:
@@ -193,7 +210,8 @@ class DTD:
                 if model.accepts_epsilon() or self._accepts_over(model, good):
                     good.add(symbol)
                     changed = True
-        return frozenset(good)
+        self._satisfiable = frozenset(good)
+        return self._satisfiable
 
     @staticmethod
     def _accepts_over(model: NFA, allowed: set[str]) -> bool:

@@ -54,11 +54,17 @@ class MinimalTreeFactory:
     This is the parameter-free default. Beware the Section 5 exponential
     family: ``weight`` stays cheap to *compute*, but ``build`` will
     materialise every node.
+
+    *sizes* lets a caller that already holds the minimal-size table
+    (e.g. a compiled :class:`~repro.engine.ViewEngine`) share it instead
+    of recomputing the fixpoint.
     """
 
-    def __init__(self, dtd: DTD) -> None:
+    def __init__(
+        self, dtd: DTD, *, sizes: "Mapping[str, int] | None" = None
+    ) -> None:
         self._dtd = dtd
-        self._sizes = minimal_sizes(dtd)
+        self._sizes = dict(sizes) if sizes is not None else minimal_sizes(dtd)
         self._shapes: dict[str, tuple] = {}
 
     @property
@@ -94,6 +100,10 @@ class InsertletPackage:
         larger fragments are allowed; graph weights then use the actual
         fragment sizes, so optimisation stays consistent (it minimises
         *cost under the package*).
+    fallback:
+        A :class:`MinimalTreeFactory` for labels without an explicit
+        fragment; supply one to share its size/shape caches across
+        packages (a fresh factory is built otherwise).
     """
 
     def __init__(
@@ -102,9 +112,12 @@ class InsertletPackage:
         insertlets: Mapping[str, Tree],
         *,
         strict: bool = True,
+        fallback: "MinimalTreeFactory | None" = None,
     ) -> None:
         self._dtd = dtd
-        self._fallback = MinimalTreeFactory(dtd)
+        self._fallback = (
+            fallback if fallback is not None else MinimalTreeFactory(dtd)
+        )
         self._trees: dict[str, Tree] = {}
         for label, tree in insertlets.items():
             if label not in dtd.alphabet:

@@ -47,7 +47,13 @@ def minimal_sizes(dtd: DTD) -> dict[str, int]:
     cheapest word under current estimates, and at least one symbol
     reaches its final value per round, so at most ``|Σ|`` rounds run.
     Every symbol gets a finite value because DTDs are satisfiable.
+
+    The table is memoized on the (immutable) DTD: repeated calls — one
+    per :class:`~repro.dtd.MinimalTreeFactory`, say — pay the fixpoint
+    once. A fresh dict is returned each time, so callers may mutate it.
     """
+    if dtd._minimal_sizes is not None:
+        return dict(dtd._minimal_sizes)
     sizes: dict[str, int | None] = {symbol: None for symbol in dtd.alphabet}
     for _ in range(len(dtd.alphabet) + 1):
         changed = False
@@ -64,7 +70,11 @@ def minimal_sizes(dtd: DTD) -> dict[str, int]:
     assert all(value is not None for value in sizes.values()), (
         "satisfiable DTD must give finite minimal sizes"
     )
-    return {symbol: value for symbol, value in sizes.items() if value is not None}
+    result = {
+        symbol: value for symbol, value in sizes.items() if value is not None
+    }
+    dtd._minimal_sizes = dict(result)
+    return result
 
 
 def minimal_size(dtd: DTD, symbol: str, sizes: dict[str, int] | None = None) -> int:

@@ -15,6 +15,8 @@ them by forward closure.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..automata import NFA
 from ..views.annotation import Annotation
 from .dtd import DTD
@@ -57,18 +59,32 @@ def erase_hidden(model: NFA, visible: "set[str] | frozenset[str]") -> NFA:
     return NFA(model.states, visible_alphabet, model.initial, transitions, finals).trim()
 
 
-def view_dtd(dtd: DTD, annotation: Annotation) -> DTD:
+def view_dtd(
+    dtd: DTD,
+    annotation: Annotation,
+    *,
+    visible_table: "Mapping[str, frozenset[str]] | None" = None,
+) -> DTD:
     """The DTD recognising exactly the views ``A(L(D))``.
 
     The result is automaton-backed; use :meth:`DTD.rule_regex` to display
     its rules as regular expressions (for the running example this
     prints ``r -> (a,d)*`` and ``d -> c*``).
+
+    *visible_table* (per parent label, the set of visible child labels)
+    lets a compiled engine share its visibility tables instead of
+    re-querying the annotation ``|Σ|²`` times.
     """
     rules: dict[str, NFA] = {}
-    for symbol in dtd.alphabet:
-        visible = {
-            child for child in dtd.alphabet if annotation.visible(symbol, child)
-        }
+    for symbol in dtd.sorted_alphabet:
+        if visible_table is not None:
+            visible = visible_table[symbol]
+        else:
+            visible = frozenset(
+                child
+                for child in dtd.alphabet
+                if annotation.visible(symbol, child)
+            )
         rules[symbol] = erase_hidden(dtd.automaton(symbol), visible)
     # Satisfiability is inherited: every symbol's minimal source tree
     # projects to a (possibly smaller) valid view tree.

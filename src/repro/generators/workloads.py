@@ -32,6 +32,7 @@ __all__ = [
     "catalog",
     "positional",
     "deep_document",
+    "wide_schema",
 ]
 
 
@@ -82,6 +83,43 @@ def running_example(groups: int = 2) -> Workload:
     builder.insert_after("newd", parse_term("a#newa"))
     builder.insert(f"d{groups - 1}", parse_term("c#newc3"))
     return Workload("running_example", dtd, annotation, source, builder.script())
+
+
+def wide_schema(n_types: int = 40, sections: int = 6) -> Workload:
+    """A schema-heavy serving workload: a wide alphabet, a small request.
+
+    Production schemas (DocBook, HL7, …) have hundreds of element types
+    while a typical update touches a handful of nodes, so per-request
+    cost is dominated by schema-level work — deriving the view DTD and
+    the minimal-size table over ``4·n_types + 1`` symbols — unless those
+    artifacts are compiled once (:class:`repro.engine.ViewEngine`). The
+    instance: a root of section elements, each type carrying a mandatory
+    hidden ``meta`` field; the update deletes one section and inserts
+    another through the view, forcing the propagation to invent the
+    hidden field.
+    """
+    if n_types < 1 or sections < 1:
+        raise ValueError("need at least one section type and one section")
+    alternatives = "|".join(f"sec{i}" for i in range(n_types))
+    rules = {"root": f"({alternatives})*"}
+    for i in range(n_types):
+        rules[f"sec{i}"] = f"(head{i},meta{i},item{i}*)"
+    dtd = DTD(rules)
+    annotation = Annotation.hiding(
+        *((f"sec{i}", f"meta{i}") for i in range(n_types))
+    )
+    parts = []
+    for s in range(sections):
+        k = s % n_types
+        parts.append(
+            f"sec{k}#s{s}(head{k}#h{s}, meta{k}#m{s}, item{k}#i{s})"
+        )
+    source = parse_term(f"root#r0({', '.join(parts)})")
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    builder.delete(f"s{sections - 1}")
+    builder.insert("r0", parse_term("sec0#u0(head0#u1, item0#u2)"))
+    return Workload("wide_schema", dtd, annotation, source, builder.script())
 
 
 _HOSPITAL_DTD = """

@@ -25,7 +25,7 @@ identifier of position ``i ≥ 1`` is available via :meth:`child_at`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping, Sequence
 
 from ..automata import State
 from ..dtd import DTD, TreeFactory
@@ -176,13 +176,16 @@ def build_inversion_graph(
     node: NodeId,
     child_costs: dict[NodeId, int],
     factory: TreeFactory,
+    hidden_table: "Mapping[str, Sequence[str]] | None" = None,
 ) -> InversionGraph:
     """Construct ``H_node`` given the (already computed) child costs.
 
     ``child_costs[m]`` must hold the cheapest inversion-path cost of
     ``H_m`` for every child ``m`` — the (ii)-edge weights. (i)-edge
     weights come from ``factory.weight`` (minimal tree sizes by default,
-    insertlet sizes under a package).
+    insertlet sizes under a package). ``hidden_table`` optionally
+    supplies the sorted hidden symbols per parent label (a compiled
+    engine's table), saving the ``O(|Σ|)`` annotation scan per node.
 
     Raises :class:`NoInversionError` when a child's label is not visible
     under this node's label — such a tree cannot be any view.
@@ -190,7 +193,10 @@ def build_inversion_graph(
     label = view.label(node)
     children = view.children(node)
     model = dtd.automaton(label)
-    hidden = [y for y in sorted(dtd.alphabet) if annotation.hides(label, y)]
+    if hidden_table is not None:
+        hidden = hidden_table[label]
+    else:
+        hidden = [y for y in dtd.sorted_alphabet if annotation.hides(label, y)]
 
     adjacency: dict[IVertex, list[IEdge]] = {}
 
@@ -202,7 +208,7 @@ def build_inversion_graph(
             vertex = IVertex(pos, state)
             # (i)-edges: invent an invisible subtree, stay at the position
             for symbol in hidden:
-                for target_state in sorted(model.successors(state, symbol), key=repr):
+                for target_state in model.sorted_successors(state, symbol):
                     add(
                         IEdge(
                             vertex,
@@ -222,9 +228,7 @@ def build_inversion_graph(
                         f"view node {child!r} has label {child_label!r}, which is "
                         f"hidden under {label!r}: not a view of any document"
                     )
-                for target_state in sorted(
-                    model.successors(state, child_label), key=repr
-                ):
+                for target_state in model.sorted_successors(state, child_label):
                     add(
                         IEdge(
                             vertex,

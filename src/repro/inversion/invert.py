@@ -13,11 +13,11 @@ Entry points:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..dtd import DTD, MinimalTreeFactory, TreeFactory
 from ..errors import NoInversionError
-from ..graphutil import cheapest_path, min_distances
+from ..graphutil import min_distances
 from ..views import Annotation
 from ..xmltree import NodeId, NodeIds, Tree
 from .graph import InversionGraph, InversionPath, build_inversion_graph
@@ -124,11 +124,15 @@ def inversion_graphs(
     annotation: Annotation,
     view: Tree,
     factory: TreeFactory | None = None,
+    *,
+    hidden_table: "Mapping[str, Sequence[str]] | None" = None,
 ) -> InversionGraphs:
     """Build ``H(D, A, view)`` with the paper's edge weights.
 
     One bottom-up pass: children costs feed the parents' (ii)-edge
     weights. Raises :class:`NoInversionError` if ``view ∉ A(L(D))``.
+    *hidden_table* optionally supplies a compiled engine's per-label
+    hidden-symbol table (see :class:`repro.engine.ViewEngine`).
     """
     if view.is_empty:
         raise NoInversionError("the empty tree is not a view of any document")
@@ -142,7 +146,9 @@ def inversion_graphs(
     graphs: dict[NodeId, InversionGraph] = {}
     costs: dict[NodeId, int] = {}
     for node in view.postorder():
-        graph = build_inversion_graph(dtd, annotation, view, node, costs, factory)
+        graph = build_inversion_graph(
+            dtd, annotation, view, node, costs, factory, hidden_table
+        )
         dist = min_distances([graph.source], graph.edges_from)
         best = min(
             (dist[target] for target in graph.targets if target in dist),
@@ -173,20 +179,15 @@ def invert(
     (Theorem 2); otherwise any cheapest path of the full graph is used —
     currently the same choice, but kept separate so callers can read the
     intent. Deterministic.
+
+    Thin wrapper over a transient :class:`~repro.engine.ViewEngine`;
+    compile an engine yourself to serve many inversions against one
+    schema.
     """
-    graphs = inversion_graphs(dtd, annotation, view, factory)
+    from ..engine import ViewEngine
 
-    def choose(graph: InversionGraph) -> InversionPath:
-        path = cheapest_path(
-            graph.source,
-            graph.targets,
-            graph.edges_from,
-            tie_break=lambda edge: (edge.kind, edge.symbol),
-        )
-        assert path is not None, "collection builder verified reachability"
-        return path
-
-    return graphs.build_tree(choose, fresh, optimal_only=minimal)
+    engine = ViewEngine(dtd, annotation, factory=factory)
+    return engine.invert(view, fresh=fresh, minimal=minimal)
 
 
 def verify_inverse(

@@ -30,12 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from .core import (
-    PreferenceChooser,
-    enumerate_min_propagations,
-    propagation_graphs,
-)
+from .core import PreferenceChooser, enumerate_min_propagations
 from .dtd import DTD, TreeFactory
+from .engine import ViewEngine
 from .editing import EditScript
 from .errors import ReproError
 from .views import Annotation
@@ -187,6 +184,7 @@ def propagate_min_disturbance(
     *,
     factory: TreeFactory | None = None,
     max_candidates: int = 64,
+    engine: ViewEngine | None = None,
 ) -> MultiViewResult:
     """A cost-optimal propagation minimising secondary-view disturbance.
 
@@ -195,12 +193,16 @@ def propagate_min_disturbance(
     *max_candidates* are scored by the summed disturbance over the
     *secondary* views, with the default preference-chooser result as the
     deterministic tie-break baseline.
+
+    Pass a compiled *engine* for ``(dtd, primary)`` to reuse its schema
+    artifacts across calls (it must have been built from the same DTD,
+    primary annotation, and factory; a transient one is built otherwise).
     """
     if max_candidates < 1:
         raise ReproError("max_candidates must be at least 1")
-    collection = propagation_graphs(
-        dtd, primary, source, update, factory, validate=True
-    )
+    if engine is None:
+        engine = ViewEngine(dtd, primary, factory=factory)
+    collection = engine.propagation_graphs(source, update, validate=True)
     baseline = collection.build_script(PreferenceChooser())
     best_script = baseline
     best_key: tuple[int, int] | None = None

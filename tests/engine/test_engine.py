@@ -1,0 +1,244 @@
+"""The compiled ViewEngine layer: compile-once semantics, batch
+equivalence, and wrapper/engine result identity on the paper's running
+example."""
+
+import pytest
+
+import repro.engine as engine_module
+from repro import (
+    Annotation,
+    DTD,
+    InsertletPackage,
+    UpdateBuilder,
+    ViewEngine,
+    invert,
+    parse_term,
+    propagate,
+    parse_dtd,
+    validate_view_update,
+    verify_propagation,
+)
+from repro.errors import InvalidViewUpdateError
+
+
+@pytest.fixture
+def running_example():
+    """The paper's D0 / A0 / t0 / S0."""
+    dtd = DTD({"r": "(a,(b|c),d)*", "d": "((a|b),c)*"})
+    annotation = Annotation.hiding(("r", "b"), ("r", "c"), ("d", "a"), ("d", "b"))
+    source = parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+    view = annotation.view(source)
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.delete("n1")
+    edit.delete("n3")
+    edit.insert_after("n4", parse_term("d#n11(c#n13, c#n14)"))
+    edit.insert_after("n11", parse_term("a#n12"))
+    edit.insert("n6", parse_term("c#n15"))
+    return dtd, annotation, source, view, edit.script()
+
+
+def more_updates(annotation, source):
+    """A few distinct valid view updates of the running example."""
+    view = annotation.view(source)
+    updates = []
+
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.insert("n3", parse_term("c#u0"))
+    updates.append(edit.script())
+
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.delete("n4")
+    edit.delete("n6")
+    updates.append(edit.script())
+
+    edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+    edit.insert_after("n6", parse_term("a#u1"))
+    edit.insert_after("u1", parse_term("d#u2(c#u3)"))
+    updates.append(edit.script())
+
+    return updates
+
+
+class TestCompileOnce:
+    def test_artifacts_are_identity_stable(self, running_example):
+        dtd, annotation, *_ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert engine.view_dtd is engine.view_dtd
+        assert engine.factory is engine.factory
+        assert engine.minimal_sizes is engine.minimal_sizes
+        assert engine.hidden_table is engine.hidden_table
+        assert engine.visible_table is engine.visible_table
+
+    def test_artifacts_survive_requests(self, running_example):
+        dtd, annotation, source, view, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        vdtd = engine.view_dtd
+        factory = engine.factory
+        engine.propagate(source, update)
+        engine.invert(view)
+        engine.validate(source, update)
+        assert engine.view_dtd is vdtd
+        assert engine.factory is factory
+
+    def test_view_dtd_derived_exactly_once(self, running_example, monkeypatch):
+        dtd, annotation, source, _, update = running_example
+        calls = []
+        real = engine_module.view_dtd
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "view_dtd", counting)
+        engine = ViewEngine(dtd, annotation)
+        assert calls == []  # lazy: nothing derived before first use
+        for _ in range(3):
+            engine.propagate(source, update)
+        assert len(calls) == 1
+
+    def test_warm_up_compiles_everything_and_chains(self, running_example):
+        dtd, annotation, *_ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert "nothing yet" in repr(engine)
+        assert engine.warm_up() is engine
+        for name in ("sizes", "factory", "view_dtd", "visibility"):
+            assert name in repr(engine)
+
+    def test_explicit_factory_is_used_verbatim(self, running_example):
+        dtd, annotation, *_ = running_example
+        package = InsertletPackage.minimal(dtd)
+        engine = ViewEngine(dtd, annotation, factory=package)
+        assert engine.factory is package
+
+    def test_default_factory_is_the_compiled_minimal_factory(self, running_example):
+        dtd, annotation, *_ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert engine.factory is engine.minimal_factory
+
+    def test_insertlet_package_shares_compiled_fallback(self, running_example):
+        dtd, annotation, source, _, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        package = engine.insertlet_package({"b": parse_term("b#w0")})
+        # explicit fragment and compiled-fallback labels both served
+        assert package.weight("b") == 1
+        assert package.weight("c") == engine.minimal_factory.weight("c")
+        assert package._fallback is engine.minimal_factory
+        # a second engine over the package needs no schema recompilation
+        fast = ViewEngine(dtd, annotation, factory=package)
+        assert (
+            fast.propagate(source, update).to_term()
+            == propagate(dtd, annotation, source, update, factory=package).to_term()
+        )
+
+    def test_compiled_tables_match_schema(self, running_example):
+        dtd, annotation, *_ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert engine.hidden_table["r"] == ("b", "c")
+        assert engine.hidden_table["d"] == ("a", "b")
+        assert engine.visible_table["r"] == frozenset({"a", "d", "r"})
+        assert engine.minimal_sizes == {"a": 1, "b": 1, "c": 1, "d": 1, "r": 1}
+        assert engine.insert_weight("b") == 1
+        # the derived view DTD is the paper's r → (a·d)*, d → c*
+        assert engine.view_dtd.allows("r", ("a", "d", "a", "d"))
+        assert not engine.view_dtd.allows("r", ("a", "b", "d"))
+        assert engine.view_dtd.allows("d", ("c", "c", "c"))
+
+
+class TestBatchEquivalence:
+    def test_propagate_many_equals_independent_calls(self, running_example):
+        dtd, annotation, source, _, update = running_example
+        updates = [update, *more_updates(annotation, source)]
+        engine = ViewEngine(dtd, annotation)
+        batch = engine.propagate_many(source, updates)
+        singles = [
+            propagate(dtd, annotation, source, u) for u in updates
+        ]
+        assert len(batch) == len(singles)
+        for got, expected in zip(batch, singles):
+            assert got == expected
+            assert got.to_term() == expected.to_term()
+
+    def test_propagate_many_pairs_form(self, running_example):
+        dtd, annotation, source, _, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        pairs = [(source, u) for u in more_updates(annotation, source)]
+        batch = engine.propagate_many(pairs)
+        for (doc, u), script in zip(pairs, batch):
+            assert verify_propagation(dtd, annotation, doc, u, script)
+
+    def test_batch_results_verify(self, running_example):
+        dtd, annotation, source, _, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        for script, u in zip(
+            engine.propagate_many(source, more_updates(annotation, source)),
+            more_updates(annotation, source),
+        ):
+            assert engine.verify(source, u, script)
+
+    def test_batch_validates_each_update(self, running_example):
+        dtd, annotation, source, view, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        bad_edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+        bad_edit.delete("n1")  # a alone cannot be removed: (a,(b|c),d)*
+        with pytest.raises(InvalidViewUpdateError):
+            engine.propagate_many(source, [update, bad_edit.script()])
+
+
+class TestWrapperEquivalence:
+    def test_propagate_wrapper_is_byte_identical(self, running_example):
+        dtd, annotation, source, _, update = running_example
+        engine = ViewEngine(dtd, annotation).warm_up()
+        assert (
+            propagate(dtd, annotation, source, update).to_term()
+            == engine.propagate(source, update).to_term()
+        )
+
+    def test_invert_wrapper_is_identical(self, running_example):
+        dtd, annotation, _, view, _ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert invert(dtd, annotation, view) == engine.invert(view)
+        assert engine.verify_inverse(view, engine.invert(view))
+
+    def test_validate_parity(self, running_example):
+        dtd, annotation, source, view, update = running_example
+        engine = ViewEngine(dtd, annotation)
+        engine.validate(source, update)  # must not raise
+        validate_view_update(dtd, annotation, source, update)
+        bad = UpdateBuilder(view, forbidden_ids=source.nodes())
+        bad.delete("n1")
+        bad_update = bad.script()
+        with pytest.raises(InvalidViewUpdateError):
+            engine.validate(source, bad_update)
+        with pytest.raises(InvalidViewUpdateError):
+            validate_view_update(dtd, annotation, source, bad_update)
+
+    def test_view_matches_annotation(self, running_example):
+        dtd, annotation, source, view, _ = running_example
+        engine = ViewEngine(dtd, annotation)
+        assert engine.view(source) == view
+
+    def test_insertlet_engine_matches_wrapper(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT catalog  (product*)>
+            <!ELEMENT product  (title, margin)>
+            <!ELEMENT title    (#PCDATA)>
+            <!ELEMENT margin   (#PCDATA)>
+            """
+        )
+        annotation = Annotation.hiding(("product", "margin"))
+        source = parse_term(
+            "catalog#c(product#p1(title#t1, margin#m1))"
+        )
+        view = annotation.view(source)
+        edit = UpdateBuilder(view, forbidden_ids=source.nodes())
+        edit.insert("c", parse_term("product#p2(title#t2)"))
+        update = edit.script()
+        package = InsertletPackage.from_terms(dtd, {"margin": "margin"})
+        engine = ViewEngine(dtd, annotation, factory=package)
+        assert (
+            engine.propagate(source, update).to_term()
+            == propagate(dtd, annotation, source, update, factory=package).to_term()
+        )
