@@ -1,12 +1,27 @@
 """E6: Theorem 6 — with insertlets and a polynomial Φ, propagation runs
 in time polynomial in |D| + |t| + |S| + |W|. End-to-end timings across
-document sizes and workload families, plus the cold-vs-warm ViewEngine
-comparison (amortised per-update serving cost)."""
+document sizes and workload families, the cold-vs-warm ViewEngine
+comparison (amortised per-update serving cost), and the streaming
+workload pitting a :class:`DocumentSession` against transient-engine
+serving (run with ``REPRO_BENCH_SMOKE=1`` for a 2-update import-clean
+smoke pass).
+
+Note the free :func:`repro.propagate` is served by the default engine
+registry since the serving tier landed — the scaling benchmarks below
+therefore measure amortised per-request propagation (the Theorem 6
+quantity); the explicitly *cold* benchmarks build a transient
+:class:`ViewEngine` per call to keep measuring full recompilation.
+"""
+
+import os
+import random
+import time
 
 import pytest
 
 from repro.core import InsertletPackage, propagate, verify_propagation
 from repro.engine import ViewEngine
+from repro.generators.updates import random_view_update
 from repro.generators.workloads import (
     catalog,
     deep_document,
@@ -69,14 +84,13 @@ class TestWorkloadFamilies:
 # ---------------------------------------------------------------------------
 # Cold vs warm engine: the compile-once/serve-many speedup, measured.
 #
-# "Cold" is the legacy free-function path: every propagate() call
-# re-derives the per-request schema artifacts that are not memoized on
-# the DTD itself — the view DTD (an automaton elimination per symbol),
-# the visibility tables, and the factory (the minimal-size fixpoint and
-# NFA orderings *are* DTD-memoized, so the cold path is already partially
-# warm after the first call). "Warm" compiles one ViewEngine up front
-# and serves the same batch from it. Per-update amortised time =
-# round time / batch.
+# "Cold" builds a transient ViewEngine per request, re-deriving every
+# per-request schema artifact not memoized on the DTD itself — the view
+# DTD (an automaton elimination per symbol), the visibility tables, and
+# the factory (the minimal-size fixpoint and NFA orderings *are*
+# DTD-memoized, so the cold path is already partially warm after the
+# first call). "Warm" compiles one ViewEngine up front and serves the
+# same batch from it. Per-update amortised time = round time / batch.
 # ---------------------------------------------------------------------------
 
 BATCH = 16
@@ -89,14 +103,14 @@ SERVING = {
 
 @pytest.mark.parametrize("family", sorted(SERVING), ids=sorted(SERVING))
 class TestColdVsWarmEngine:
-    def test_cold_free_function_batch(self, benchmark, family):
+    def test_cold_transient_engine_batch(self, benchmark, family):
         workload = SERVING[family]()
         updates = [workload.update] * BATCH
 
         def serve_cold():
             return [
-                propagate(
-                    workload.dtd, workload.annotation, workload.source, u
+                ViewEngine(workload.dtd, workload.annotation).propagate(
+                    workload.source, u
                 )
                 for u in updates
             ]
@@ -121,3 +135,79 @@ class TestColdVsWarmEngine:
             workload.dtd, workload.annotation, workload.source, workload.update
         )
         assert all(script.to_term() == cold.to_term() for script in scripts)
+
+
+# ---------------------------------------------------------------------------
+# Streaming: one hot document, N *sequential* updates — each built against
+# the view the previous propagation produced. Transient serving recompiles
+# the schema and rescans the document per update; a DocumentSession
+# compiles once and carries the view/size/id caches forward. The scripts
+# must be byte-identical (asserted below); the session must win on time.
+# ---------------------------------------------------------------------------
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+STREAM_LENGTH = 2 if SMOKE else 50
+
+
+def _sequential_stream(workload, length, seed=17):
+    """Pregenerate a coherent stream of *length* sequential view updates
+    (untimed; uses its own throwaway engine)."""
+    dtd, annotation = workload.dtd, workload.annotation
+    rng = random.Random(seed)
+    scratch = ViewEngine(dtd, annotation).warm_up()
+    updates = []
+    current = workload.source
+    for _ in range(length):
+        update = random_view_update(
+            rng, dtd, annotation, current,
+            n_ops=2, derived_view_dtd=scratch.view_dtd,
+        )
+        updates.append(update)
+        current = scratch.propagate(current, update).output_tree
+    return updates
+
+
+class TestStreamingSession:
+    def test_session_beats_transient_serving(self):
+        workload = wide_schema(24, sections=8)
+        dtd, annotation = workload.dtd, workload.annotation
+        updates = _sequential_stream(workload, STREAM_LENGTH)
+
+        # -- transient: compile an engine per update, rescan everything --
+        start = time.perf_counter()
+        transient_scripts = []
+        current = workload.source
+        for update in updates:
+            script = ViewEngine(dtd, annotation).propagate(current, update)
+            transient_scripts.append(script)
+            current = script.output_tree
+        transient_elapsed = time.perf_counter() - start
+
+        # -- session: compile once, carry the caches forward -------------
+        start = time.perf_counter()
+        engine = ViewEngine(dtd, annotation).warm_up()
+        session = engine.session(workload.source)
+        session_scripts = session.serve(updates)
+        session_elapsed = time.perf_counter() - start
+
+        # byte-identical serving is non-negotiable
+        assert [s.to_term() for s in session_scripts] == [
+            s.to_term() for s in transient_scripts
+        ]
+        assert session.source == current
+
+        per_update_transient = transient_elapsed / len(updates) * 1000
+        per_update_session = session_elapsed / len(updates) * 1000
+        print(
+            f"\nstreaming x{len(updates)}: transient "
+            f"{per_update_transient:.2f} ms/update, session "
+            f"{per_update_session:.2f} ms/update, "
+            f"speedup {transient_elapsed / session_elapsed:.1f}x"
+        )
+        if not SMOKE:
+            # N >= 50 amortises one compile over the stream: the session
+            # must be measurably faster than transient serving
+            assert session_elapsed < transient_elapsed, (
+                f"session ({session_elapsed:.3f}s) not faster than "
+                f"transient serving ({transient_elapsed:.3f}s)"
+            )

@@ -19,8 +19,8 @@ from repro import (
     Annotation,
     InsertletPackage,
     UpdateBuilder,
-    ViewEngine,
     count_min_propagations,
+    default_registry,
     parse_dtd,
     parse_term,
 )
@@ -47,8 +47,9 @@ def main() -> None:
     print(f"Insertlet package: {insertlets!r}")
 
     # one engine per (schema, annotation, insertlets): the storefront
-    # server compiles it once and serves every editor request from it
-    engine = ViewEngine(dtd, annotation, factory=insertlets)
+    # server fetches it from the process registry — insertlet packages
+    # are content-hashed, so every worker shares the same compiled engine
+    engine = default_registry().get_or_compile(dtd, annotation, factory=insertlets)
 
     source = parse_term(
         "catalog#c("
@@ -66,15 +67,24 @@ def main() -> None:
     edit.delete("f1")
     update = edit.script()
 
-    result = engine.propagate(source, update)
-    assert engine.verify(source, update, result)
-    new_source = result.output_tree
+    # the editor keeps working on this catalog, so pin it in a session:
+    # the view, size table, and fresh-id map carry over between edits
+    session = engine.session(source)
+    result = session.propagate(update, verify=True)
+    new_source = session.source
     print(f"\nPropagated catalog (cost {result.cost}):")
     print(new_source.pretty())
 
     assert "margin" in new_source.child_labels("p3")
     print("\nThe new product received a margin node the editor never saw,")
     print("because the schema demands one — supplied by the insertlet.")
+
+    # -- a follow-up edit against the *new* view, same session ------------------
+    follow_up = UpdateBuilder(session.view, forbidden_ids=new_source.nodes())
+    follow_up.delete("p2")
+    second = session.propagate(follow_up.script(), verify=True)
+    print(f"\nFollow-up deletion propagated (cost {second.cost}); "
+          f"session stats: {session.stats}")
 
     # -- how many optimal propagations were there? ------------------------------
     collection = engine.propagation_graphs(source, update)

@@ -26,17 +26,28 @@ Quickstart::
 
 Serving many updates against one schema? Compile the ``(D, A)`` pair
 once with :class:`repro.engine.ViewEngine` and reuse every derived
-artifact (view DTD, minimal-tree tables, factories)::
+artifact (view DTD, minimal-tree tables, factories) — or let the
+serving tier manage the lifecycle for you: an
+:class:`repro.registry.EngineRegistry` shares engines across tenants
+under a canonical schema hash (the free functions above serve from a
+process-wide default registry automatically), and a
+:class:`repro.session.DocumentSession` pins one hot document and
+carries its caches across a stream of sequential updates::
 
-    from repro import ViewEngine
+    from repro import ViewEngine, default_registry
 
-    engine = ViewEngine(dtd, annotation).warm_up()
+    engine = default_registry().get_or_compile(dtd, annotation)
     scripts = engine.propagate_many(source, updates)   # amortised serving
+    session = engine.session(source)                   # one hot document
+    for update in incoming:
+        script = session.propagate(update)
 
 Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
 :mod:`repro.dtd`, :mod:`repro.views`, :mod:`repro.editing`,
 :mod:`repro.inversion` (Section 3), :mod:`repro.core` (Sections 4-5),
-:mod:`repro.engine` (the compiled serving layer), :mod:`repro.repair`
+:mod:`repro.engine` (the compiled serving layer),
+:mod:`repro.registry` (multi-tenant engine cache),
+:mod:`repro.session` (pinned-document streams), :mod:`repro.repair`
 (the Section 6.2 baseline), :mod:`repro.generators` (random workloads),
 :mod:`repro.paperdata` (every figure of the paper).
 """
@@ -63,7 +74,15 @@ from .core import (
 )
 from .dtd import DTD, EDTD, parse_dtd, serialize_dtd, view_dtd
 from .editing import EditScript, Op, UpdateBuilder
-from .engine import ViewEngine
+from .engine import EngineStats, ViewEngine
+from .registry import (
+    EngineRegistry,
+    RegistryStats,
+    default_registry,
+    schema_fingerprint,
+    set_default_registry,
+)
+from .session import DocumentSession, SessionStats
 from .inversion import (
     count_min_inversions,
     enumerate_min_inversions,
@@ -106,6 +125,14 @@ __all__ = [
     "enumerate_min_inversions",
     # compiled serving layer
     "ViewEngine",
+    "EngineStats",
+    "EngineRegistry",
+    "RegistryStats",
+    "default_registry",
+    "set_default_registry",
+    "schema_fingerprint",
+    "DocumentSession",
+    "SessionStats",
     # propagation (Sections 4-5)
     "propagate",
     "propagation_graphs",

@@ -6,7 +6,9 @@ Subcommands (``repro-xml <command> --help`` for details):
 * ``view``      — extract the annotation-defined view of a document;
 * ``view-dtd``  — print the derived DTD of the view language;
 * ``invert``    — build a minimal source document for a given view;
-* ``propagate`` — propagate a view update script onto the source;
+* ``propagate`` — propagate a view update script onto the source
+  (``--stream`` serves a blank-line-separated sequence of sequential
+  updates through one :class:`~repro.session.DocumentSession`);
 * ``repair-compare`` — run the Section 6.2 baseline next to the real
   propagation and report the side-effect verdicts.
 
@@ -33,6 +35,7 @@ from .dtd import parse_dtd, serialize_dtd
 from .editing import EditScript
 from .engine import ViewEngine
 from .errors import ReproError
+from .registry import default_registry
 from .repair import compare_with_propagation
 from .views import Annotation
 from .xmltree import tree_from_xml, tree_to_xml
@@ -57,11 +60,16 @@ def _load_common(args: argparse.Namespace):
 
 
 def _load_engine(args: argparse.Namespace) -> ViewEngine:
-    """One compiled engine per CLI invocation: every subcommand that
-    needs schema-derived artifacts gets them from here."""
+    """The compiled engine every subcommand serves from.
+
+    Fetched from the process default
+    :class:`~repro.registry.EngineRegistry`, so programmatic callers
+    driving :func:`main` repeatedly (tests, batch drivers) share one
+    compiled engine per schema instead of recompiling per invocation.
+    """
     dtd, annotation = _load_common(args)
     factory = _make_factory(args, dtd)
-    return ViewEngine(dtd, annotation, factory=factory)
+    return default_registry().get_or_compile(dtd, annotation, factory=factory)
 
 
 def _emit(args: argparse.Namespace, text: str) -> None:
@@ -123,11 +131,51 @@ def _make_factory(args: argparse.Namespace, dtd):
     return InsertletPackage.from_terms(dtd, terms, strict=not args.loose_insertlets)
 
 
+def _parse_update_stream(text: str) -> "list[EditScript]":
+    """Split an update file into scripts: one per block of non-blank lines."""
+    blocks: list[str] = []
+    current: list[str] = []
+    for line in text.splitlines():
+        if line.strip():
+            current.append(line)
+        elif current:
+            blocks.append("\n".join(current))
+            current = []
+    if current:
+        blocks.append("\n".join(current))
+    return [EditScript.parse(block.strip()) for block in blocks]
+
+
 def _cmd_propagate(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     source = tree_from_xml(_read(args.doc))
-    update = EditScript.parse(_read(args.update).strip())
     chooser = PreferenceChooser(_PREFERENCES[args.prefer])
+    if args.stream:
+        # A stream of sequential updates (blank-line separated), each
+        # built against the view the previous propagation produced;
+        # served by one DocumentSession carrying the caches forward.
+        updates = _parse_update_stream(_read(args.update))
+        if not updates:
+            print("error: no update scripts in the stream", file=sys.stderr)
+            return 1
+        session = engine.session(source)
+        scripts = []
+        for index, update in enumerate(updates):
+            script = session.propagate(update, chooser=chooser, verify=True)
+            scripts.append(script)
+            print(f"update {index}: cost {script.cost}", file=sys.stderr)
+        if args.script:
+            _emit(args, "\n".join(script.to_term() for script in scripts))
+        else:
+            _emit(args, tree_to_xml(session.source))
+        stats = session.stats
+        print(
+            f"served {stats.updates_served} updates, "
+            f"total cost {stats.total_cost}",
+            file=sys.stderr,
+        )
+        return 0
+    update = EditScript.parse(_read(args.update).strip())
     script = engine.propagate(source, update, chooser=chooser)
     assert engine.verify(source, update, script)
     if args.script:
@@ -211,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--script",
         action="store_true",
         help="print the propagation script instead of the new document",
+    )
+    prop.add_argument(
+        "--stream",
+        action="store_true",
+        help="treat the update file as blank-line-separated sequential "
+        "scripts and serve them through one document session",
     )
     prop.set_defaults(handler=_cmd_propagate)
 

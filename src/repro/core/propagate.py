@@ -246,6 +246,7 @@ def propagation_graphs(
     validate: bool = True,
     derived_view_dtd: DTD | None = None,
     hidden_table: "Mapping[str, Sequence[str]] | None" = None,
+    subtree_sizes: "Mapping[NodeId, int] | None" = None,
 ) -> PropagationGraphs:
     """Build ``G(D, A, t, S)`` with the paper's edge weights.
 
@@ -255,9 +256,11 @@ def propagation_graphs(
     Polynomial in ``|D|``, ``|t|``, ``|S|``.
 
     *derived_view_dtd* and *hidden_table* accept a compiled engine's
-    artifacts (see :class:`repro.engine.ViewEngine`) so nothing
-    schema-level is rebuilt per request; both are derived on the fly
-    when absent.
+    artifacts (see :class:`repro.engine.ViewEngine`) and *subtree_sizes*
+    a per-source table maintained by a serving layer (see
+    :class:`repro.session.DocumentSession`) so neither schema-level nor
+    document-level work is redone per request; all are derived on the
+    fly when absent.
     """
     if factory is None:
         factory = MinimalTreeFactory(dtd)
@@ -266,7 +269,8 @@ def propagation_graphs(
             dtd, annotation, source, update, derived_view_dtd=derived_view_dtd
         )
 
-    subtree_sizes = _subtree_sizes(source)
+    if subtree_sizes is None:
+        subtree_sizes = source.subtree_sizes()
     insertions: dict[NodeId, InversionGraphs] = {}
     insert_costs: dict[NodeId, int] = {}
     graphs: dict[NodeId, PropagationGraph] = {}
@@ -328,13 +332,6 @@ def propagation_graphs(
     )
 
 
-def _subtree_sizes(tree: Tree) -> dict[NodeId, int]:
-    sizes: dict[NodeId, int] = {}
-    for node in tree.postorder():
-        sizes[node] = 1 + sum(sizes[kid] for kid in tree.children(node))
-    return sizes
-
-
 def propagate(
     dtd: DTD,
     annotation: Annotation,
@@ -368,13 +365,16 @@ def propagate(
 
     Returns the propagation ``S′`` with ``In(S′) = t``.
 
-    Thin wrapper over a transient :class:`~repro.engine.ViewEngine`;
-    compile an engine yourself (once per schema) to amortise the
-    schema-level work across many updates.
+    Served by the process-wide default
+    :class:`~repro.registry.EngineRegistry`: repeat calls with the same
+    ``(dtd, annotation)`` (and a hashable factory) reuse one compiled
+    :class:`~repro.engine.ViewEngine` instead of recompiling the schema
+    artifacts per call. Compile or register an engine yourself for
+    explicit lifecycle control; results are byte-identical either way.
     """
-    from ..engine import ViewEngine
+    from ..registry import default_registry
 
-    engine = ViewEngine(dtd, annotation, factory=factory)
+    engine = default_registry().get_or_compile(dtd, annotation, factory=factory)
     return engine.propagate(
         source,
         update,

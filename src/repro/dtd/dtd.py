@@ -93,11 +93,13 @@ class DTD:
         }
         # memo slots for derived artifacts (a DTD is immutable once built,
         # so these are filled at most once): the sorted alphabet, the
-        # satisfiability fixpoint, and the minimal-size table maintained
-        # by :func:`repro.dtd.minimal.minimal_sizes`.
+        # satisfiability fixpoint, the minimal-size table maintained by
+        # :func:`repro.dtd.minimal.minimal_sizes`, and the canonical rule
+        # digest maintained by :func:`repro.registry.schema_fingerprint`.
         self._sorted_alphabet: tuple[str, ...] | None = None
         self._satisfiable: frozenset[str] | None = None
         self._minimal_sizes: dict[str, int] | None = None
+        self._canonical_digest: str | None = None
         if check:
             self.assert_satisfiable()
 

@@ -82,6 +82,15 @@ class MinimalTreeFactory:
             self._shapes[label] = minimal_shape(self._dtd, label, self._sizes)
         return shape_to_tree(self._shapes[label], fresh)
 
+    def cache_key(self) -> str:
+        """Registry cache key: minimal trees are DTD-determined.
+
+        Every :class:`MinimalTreeFactory` over the same DTD builds the
+        same canonical trees (the *sizes* parameter only shares the
+        already-determined table), so one key covers them all.
+        """
+        return "minimal"
+
 
 class InsertletPackage:
     """Administrator-specified default fragments ``W = (W_a)_{a∈Σ}``.
@@ -162,6 +171,22 @@ class InsertletPackage:
             mapping = {node: fresh() for node in template.nodes()}
             return template.relabel_nodes(mapping)
         return self._fallback.build(label, fresh)
+
+    def cache_key(self) -> str:
+        """Registry cache key: the package's content, identifiers ignored.
+
+        Fragments are keyed by their identifier-free terms — two packages
+        with isomorphic fragments behave identically (``build`` relabels
+        with the caller's fresh identifiers in document order), so they
+        may share one compiled engine.
+        """
+        import hashlib
+
+        payload = ";".join(
+            f"{label}={self._trees[label].to_term(with_ids=False)}"
+            for label in sorted(self._trees)
+        )
+        return "insertlets:" + hashlib.sha256(payload.encode()).hexdigest()
 
     @classmethod
     def minimal(cls, dtd: DTD) -> "InsertletPackage":

@@ -32,8 +32,10 @@ transient engine under the hood); results are byte-identical either way::
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from .core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
 from .core.propagate import (
@@ -57,7 +59,31 @@ from .inversion.graph import InversionGraph, InversionPath
 from .views import Annotation
 from .xmltree import NodeId, Tree
 
-__all__ = ["ViewEngine"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import DocumentSession
+
+__all__ = ["ViewEngine", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A snapshot of one engine's request counters.
+
+    Counters are best-effort under concurrency (an increment may be lost
+    in a race) — they exist for capacity planning and tests, not billing.
+    """
+
+    views: int
+    """View extractions served (:meth:`ViewEngine.view`)."""
+
+    validations: int
+    """View-update validations served (:meth:`ViewEngine.validate`)."""
+
+    inversions: int
+    """Inverses built (:meth:`ViewEngine.invert`)."""
+
+    propagations: int
+    """Propagation scripts built (single and batched)."""
 
 
 class ViewEngine:
@@ -94,6 +120,8 @@ class ViewEngine:
         "_sizes",
         "_hidden",
         "_visible",
+        "_schema_hash",
+        "_counters",
     )
 
     def __init__(
@@ -111,6 +139,13 @@ class ViewEngine:
         self._sizes: Mapping[str, int] | None = None
         self._hidden: Mapping[str, tuple[str, ...]] | None = None
         self._visible: Mapping[str, frozenset[str]] | None = None
+        self._schema_hash: str | None = None
+        self._counters: dict[str, int] = {
+            "views": 0,
+            "validations": 0,
+            "inversions": 0,
+            "propagations": 0,
+        }
 
     # ------------------------------------------------------------------
     # Compiled artifacts
@@ -125,6 +160,26 @@ class ViewEngine:
     def annotation(self) -> Annotation:
         """The annotation ``A``."""
         return self._annotation
+
+    @property
+    def schema_hash(self) -> str:
+        """The canonical fingerprint of ``(D, A)``, computed once.
+
+        Two engines over equal schemas share this value regardless of how
+        the schemas were constructed — it is the key
+        :class:`~repro.registry.EngineRegistry` caches engines under, and
+        a stable identifier for logs and metrics.
+        """
+        if self._schema_hash is None:
+            from .registry import schema_fingerprint
+
+            self._schema_hash = schema_fingerprint(self._dtd, self._annotation)
+        return self._schema_hash
+
+    @property
+    def stats(self) -> "EngineStats":
+        """Per-engine request counters (see :class:`EngineStats`)."""
+        return EngineStats(**self._counters)
 
     @property
     def minimal_factory(self) -> MinimalTreeFactory:
@@ -220,6 +275,7 @@ class ViewEngine:
 
     def view(self, source: Tree) -> Tree:
         """``A(source)`` — what the view's users see."""
+        self._counters["views"] += 1
         return self._annotation.view(source)
 
     def validate(
@@ -233,6 +289,7 @@ class ViewEngine:
 
         *source_view* lets batch callers reuse an already-extracted view.
         """
+        self._counters["validations"] += 1
         validate_view_update(
             self._dtd,
             self._annotation,
@@ -264,6 +321,7 @@ class ViewEngine:
         Identical to :func:`repro.inversion.invert` (deterministic,
         size-minimal by default), minus the per-call compilation.
         """
+        self._counters["inversions"] += 1
         graphs = self.inversion_graphs(view)
 
         def choose(graph: InversionGraph) -> InversionPath:
@@ -288,8 +346,14 @@ class ViewEngine:
         update: EditScript,
         *,
         validate: bool = True,
+        subtree_sizes: "Mapping[NodeId, int] | None" = None,
     ) -> PropagationGraphs:
-        """The collection ``G(D, A, source, update)`` from compiled artifacts."""
+        """The collection ``G(D, A, source, update)`` from compiled artifacts.
+
+        *subtree_sizes* lets a per-document serving layer (a
+        :class:`~repro.session.DocumentSession`) hand in its incrementally
+        maintained size table instead of re-deriving it from *source*.
+        """
         return propagation_graphs(
             self._dtd,
             self._annotation,
@@ -299,6 +363,7 @@ class ViewEngine:
             validate=validate,
             derived_view_dtd=self.view_dtd if validate else self._view_dtd,
             hidden_table=self.hidden_table,
+            subtree_sizes=subtree_sizes,
         )
 
     def propagate(
@@ -317,6 +382,7 @@ class ViewEngine:
         :func:`repro.core.propagate.propagate`; the engine only changes
         where the schema artifacts come from.
         """
+        self._counters["propagations"] += 1
         collection = self.propagation_graphs(source, update, validate=validate)
         if chooser is None:
             chooser = PreferenceChooser() if optimal else CheapestPathChooser()
@@ -330,6 +396,7 @@ class ViewEngine:
         chooser: PathChooser | None = None,
         optimal: bool = True,
         validate: bool = True,
+        parallel: "bool | int" = False,
     ) -> list[EditScript]:
         """Propagate a batch of updates, reusing everything compiled.
 
@@ -339,8 +406,17 @@ class ViewEngine:
             engine.propagate_many([(t1, s1), (t2, s2), ...])  # many documents
 
         Results equal N independent :meth:`propagate` calls (same scripts,
-        same determinism); consecutive updates against the same document
-        additionally share one view extraction during validation.
+        same determinism, same order); consecutive updates against the
+        same document additionally share one view extraction during
+        validation.
+
+        *parallel* fans the per-request work out to a thread pool:
+        ``True`` sizes the pool automatically, an integer fixes the
+        worker count. Compiled artifacts are forced up front (so the
+        immutable tables are shared, not racing to build) and results
+        keep batch order. Worthwhile for many-document batches; a single
+        hot document is usually better served sequentially (or through a
+        :class:`~repro.session.DocumentSession`).
         """
         if updates is None:
             pairs = list(source)  # type: ignore[arg-type]
@@ -348,6 +424,20 @@ class ViewEngine:
             pairs = [(source, update) for update in updates]
         if chooser is None:
             chooser = PreferenceChooser() if optimal else CheapestPathChooser()
+        self._counters["propagations"] += len(pairs)
+        if not parallel or len(pairs) < 2:
+            return self._propagate_batch(pairs, chooser, optimal, validate)
+        return self._propagate_batch_parallel(
+            pairs, chooser, optimal, validate, parallel
+        )
+
+    def _propagate_batch(
+        self,
+        pairs: "list[tuple[Tree, EditScript]]",
+        chooser: PathChooser,
+        optimal: bool,
+        validate: bool,
+    ) -> list[EditScript]:
         results: list[EditScript] = []
         cached_source: Tree | None = None
         cached_view: Tree | None = None
@@ -355,13 +445,60 @@ class ViewEngine:
             if validate:
                 if doc is not cached_source:
                     cached_source = doc
-                    cached_view = self.view(doc)
+                    cached_view = self._annotation.view(doc)
                 self.validate(doc, update, source_view=cached_view)
             collection = self.propagation_graphs(doc, update, validate=False)
             results.append(
                 collection.build_script(chooser, None, optimal_only=optimal)
             )
         return results
+
+    def _propagate_batch_parallel(
+        self,
+        pairs: "list[tuple[Tree, EditScript]]",
+        chooser: PathChooser,
+        optimal: bool,
+        validate: bool,
+        parallel: "bool | int",
+    ) -> list[EditScript]:
+        import os
+
+        workers = parallel if isinstance(parallel, int) and parallel > 1 else None
+        if workers is None:
+            workers = min(32, (os.cpu_count() or 1) + 4)
+        workers = min(workers, len(pairs))
+        # Force every schema artifact before fanning out: afterwards the
+        # workers only *read* the engine, and per-document views are
+        # extracted once per distinct tree rather than per request.
+        self.warm_up()
+        views: "dict[int, Tree] | None" = None
+        if validate:
+            views = {}
+            for doc, _ in pairs:
+                if id(doc) not in views:
+                    views[id(doc)] = self._annotation.view(doc)
+
+        def serve(pair: "tuple[Tree, EditScript]") -> EditScript:
+            doc, update = pair
+            if validate:
+                assert views is not None
+                self.validate(doc, update, source_view=views[id(doc)])
+            collection = self.propagation_graphs(doc, update, validate=False)
+            return collection.build_script(chooser, None, optimal_only=optimal)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(serve, pairs))
+
+    def session(self, source: Tree, **kwargs) -> "DocumentSession":
+        """Open a :class:`~repro.session.DocumentSession` pinning *source*.
+
+        The session serves a stream of sequential view updates against
+        one document, carrying the cached view, node-identifier map, and
+        subtree-size table forward across propagations.
+        """
+        from .session import DocumentSession
+
+        return DocumentSession(self, source, **kwargs)
 
     def verify(
         self, source: Tree, update: EditScript, propagation: EditScript

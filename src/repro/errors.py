@@ -28,6 +28,7 @@ __all__ = [
     "NoInversionError",
     "NoPropagationError",
     "InsertletError",
+    "StaleSessionError",
 ]
 
 
@@ -178,3 +179,20 @@ class NoPropagationError(ReproError):
 
 class InsertletError(ReproError):
     """An insertlet package entry is missing or does not satisfy the DTD."""
+
+
+# ---------------------------------------------------------------------------
+# Serving
+# ---------------------------------------------------------------------------
+
+
+class StaleSessionError(ReproError):
+    """A :class:`repro.session.DocumentSession` was asked to serve against
+    a tree that is not its pinned source.
+
+    Sessions maintain per-document caches (the source view, the
+    subtree-size table, the fresh-identifier map); serving a request for
+    a different tree from those caches would silently produce wrong
+    propagations, so the mismatch is refused. Re-pin with
+    :meth:`~repro.session.DocumentSession.rebase` to switch documents.
+    """

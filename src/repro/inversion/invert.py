@@ -180,13 +180,14 @@ def invert(
     currently the same choice, but kept separate so callers can read the
     intent. Deterministic.
 
-    Thin wrapper over a transient :class:`~repro.engine.ViewEngine`;
-    compile an engine yourself to serve many inversions against one
-    schema.
+    Served by the process-wide default
+    :class:`~repro.registry.EngineRegistry`: repeat calls with the same
+    schema reuse one compiled :class:`~repro.engine.ViewEngine` instead
+    of recompiling per call (byte-identical results either way).
     """
-    from ..engine import ViewEngine
+    from ..registry import default_registry
 
-    engine = ViewEngine(dtd, annotation, factory=factory)
+    engine = default_registry().get_or_compile(dtd, annotation, factory=factory)
     return engine.invert(view, fresh=fresh, minimal=minimal)
 
 

@@ -196,12 +196,16 @@ def propagate_min_disturbance(
 
     Pass a compiled *engine* for ``(dtd, primary)`` to reuse its schema
     artifacts across calls (it must have been built from the same DTD,
-    primary annotation, and factory; a transient one is built otherwise).
+    primary annotation, and factory; one is fetched from the default
+    :class:`~repro.registry.EngineRegistry` otherwise, so repeat calls
+    share compilation automatically).
     """
     if max_candidates < 1:
         raise ReproError("max_candidates must be at least 1")
     if engine is None:
-        engine = ViewEngine(dtd, primary, factory=factory)
+        from .registry import default_registry
+
+        engine = default_registry().get_or_compile(dtd, primary, factory=factory)
     collection = engine.propagation_graphs(source, update, validate=True)
     baseline = collection.build_script(PreferenceChooser())
     best_script = baseline

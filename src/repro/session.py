@@ -1,0 +1,341 @@
+"""Document sessions: serve a stream of view updates against one source.
+
+A hot document — a catalog being edited all day, a patient record behind
+a busy ward terminal — receives *sequential* view updates: each one is
+built against the view of the document the previous propagation
+produced. The free functions (and even a compiled
+:class:`~repro.engine.ViewEngine`) treat every request as a stranger:
+they re-extract the source view for validation, re-derive the
+subtree-size table weighing every delete edge, and re-scan all node
+identifiers to find a safe fresh-identifier range — all ``O(|t|)`` work
+whose inputs barely changed since the previous request.
+
+A :class:`DocumentSession` pins one source document and carries those
+three caches forward across propagations:
+
+* the **source view** — after a propagation of ``S`` the new view *is*
+  ``Out(S)`` (that is exactly the side-effect-free criterion), so the
+  session never extracts a view again after the first;
+* the **subtree-size table** — advanced in one pass over the chosen
+  propagation script (entries of deleted subtrees dropped, inserted ones
+  added, ancestors re-summed) instead of a full postorder re-derivation;
+* the **fresh-identifier map** — a running index of the numeric
+  ``f``-suffixes in use, so the safe starting point for fresh node
+  identifiers is known without re-scanning the document.
+
+Results are byte-identical to serving each step with a cold transient
+engine — the caches change where the inputs come from, never the
+algorithm — which is what the property-based differential suite
+(``tests/property/test_serving_equivalence.py``) pins down.
+
+    engine = registry.get_or_compile(dtd, annotation)
+    session = engine.session(source)
+    for update in incoming:            # a stream, each against the
+        script = session.propagate(update)   # current view
+    session.source                     # the document after the stream
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from .core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
+from .editing import EditScript, Op
+from .errors import ReproError, StaleSessionError
+from .xmltree import NodeId, NodeIds, Tree
+from .xmltree.nodeid import max_numeric_suffix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import ViewEngine
+
+__all__ = ["DocumentSession", "SessionStats"]
+
+_FRESH_PREFIX = "f"
+
+
+class _FreshSuffixIndex:
+    """The numeric ``<prefix><k>`` suffixes present in a changing id set.
+
+    Supports ``add``/``discard`` of arbitrary identifiers (non-matching
+    ones are ignored) and an amortised-O(log n) ``max()`` via a lazy
+    max-heap, so a session knows the largest ``f``-suffix in its source
+    without rescanning every node identifier per request — including
+    after deletions, where a simple running counter would drift from
+    what a cold rescan reports.
+    """
+
+    def __init__(self, prefix: str, ids: Iterable[NodeId] = ()) -> None:
+        self._prefix = prefix
+        self._counts: dict[int, int] = {}
+        self._heap: list[int] = []
+        for nid in ids:
+            self.add(nid)
+
+    def _suffix(self, nid: NodeId) -> "int | None":
+        if not isinstance(nid, str) or not nid.startswith(self._prefix):
+            return None
+        tail = nid[len(self._prefix):]
+        return int(tail) if tail.isdigit() else None
+
+    def add(self, nid: NodeId) -> None:
+        suffix = self._suffix(nid)
+        if suffix is None:
+            return
+        count = self._counts.get(suffix, 0)
+        self._counts[suffix] = count + 1
+        if count == 0:
+            heapq.heappush(self._heap, -suffix)
+
+    def discard(self, nid: NodeId) -> None:
+        suffix = self._suffix(nid)
+        if suffix is None or suffix not in self._counts:
+            return
+        remaining = self._counts[suffix] - 1
+        if remaining:
+            self._counts[suffix] = remaining
+        else:
+            del self._counts[suffix]
+
+    def max(self) -> int:
+        """Largest live suffix, ``-1`` when none (matches
+        :func:`~repro.xmltree.nodeid.max_numeric_suffix`)."""
+        while self._heap and -self._heap[0] not in self._counts:
+            heapq.heappop(self._heap)
+        return -self._heap[0] if self._heap else -1
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Counters over one session's lifetime."""
+
+    updates_served: int
+    """Propagations built (including non-advancing previews)."""
+
+    total_cost: int
+    """Summed cost of the served propagation scripts."""
+
+    nodes_inserted: int
+    """Source nodes added across all advanced propagations."""
+
+    nodes_deleted: int
+    """Source nodes removed across all advanced propagations."""
+
+    size_entries_carried: int
+    """Subtree-size entries reused unchanged across advances — work a
+    per-request recomputation would have redone."""
+
+
+class DocumentSession:
+    """One pinned source document served by a compiled engine.
+
+    Parameters
+    ----------
+    engine:
+        The compiled ``(D, A)`` engine; shared and immutable, so many
+        sessions (one per hot document) can hang off one engine.
+    source:
+        The document to pin. Validated against the engine's DTD unless
+        *validate_source* is false.
+
+    A session is **not** thread-safe: it advances mutable per-document
+    state. Serve one document stream per session; engines and registries
+    are the layers meant for sharing.
+    """
+
+    __slots__ = (
+        "_engine",
+        "_source",
+        "_view",
+        "_sizes",
+        "_suffixes",
+        "_served",
+        "_total_cost",
+        "_inserted",
+        "_deleted",
+        "_carried",
+    )
+
+    def __init__(
+        self,
+        engine: "ViewEngine",
+        source: Tree,
+        *,
+        validate_source: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._served = 0
+        self._total_cost = 0
+        self._inserted = 0
+        self._deleted = 0
+        self._carried = 0
+        self._pin(source, validate_source)
+
+    def _pin(self, source: Tree, validate_source: bool) -> None:
+        if validate_source:
+            self._engine.dtd.assert_valid(source)
+        self._source = source
+        self._view = self._engine.annotation.view(source)
+        self._sizes: dict[NodeId, int] = dict(source.subtree_sizes())
+        self._suffixes = _FreshSuffixIndex(_FRESH_PREFIX, source.nodes())
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> "ViewEngine":
+        return self._engine
+
+    @property
+    def source(self) -> Tree:
+        """The current source document."""
+        return self._source
+
+    @property
+    def view(self) -> Tree:
+        """``A(source)`` for the current source — cached, never stale:
+        every advance replaces it with the update's output (which
+        side-effect-freeness guarantees equals a fresh extraction)."""
+        return self._view
+
+    @property
+    def stats(self) -> SessionStats:
+        return SessionStats(
+            updates_served=self._served,
+            total_cost=self._total_cost,
+            nodes_inserted=self._inserted,
+            nodes_deleted=self._deleted,
+            size_entries_carried=self._carried,
+        )
+
+    def rebase(self, source: Tree, *, validate_source: bool = True) -> None:
+        """Re-pin the session to *source*, rebuilding every cache.
+
+        The explicit way to follow a document that changed outside the
+        session (or to reuse a session object for another document);
+        lifetime counters are kept.
+        """
+        self._pin(source, validate_source)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def propagate(
+        self,
+        update: EditScript,
+        *,
+        source: Tree | None = None,
+        chooser: PathChooser | None = None,
+        optimal: bool = True,
+        validate: bool = True,
+        advance: bool = True,
+        verify: bool = False,
+    ) -> EditScript:
+        """Serve one view update of the current view; advance the session.
+
+        The script equals what a cold
+        :meth:`~repro.engine.ViewEngine.propagate` against the current
+        source would return, byte for byte — only where the view, size
+        table, and fresh-identifier range come from changes.
+
+        Parameters beyond the engine's: *source* asserts the caller and
+        the session agree on the document (a mismatch raises
+        :class:`~repro.errors.StaleSessionError` instead of serving from
+        stale caches); *advance* moves the session to the propagated
+        document (pass ``False`` to preview alternatives — e.g. different
+        choosers — without committing); *verify* re-checks schema
+        compliance and side-effect-freeness before advancing.
+        """
+        if source is not None and source != self._source:
+            raise StaleSessionError(
+                "the given tree differs from the session's pinned source — "
+                "rebase() the session (or open a new one) instead of "
+                "serving from stale caches"
+            )
+        if validate:
+            self._engine.validate(self._source, update, source_view=self._view)
+        collection = self._engine.propagation_graphs(
+            self._source, update, validate=False, subtree_sizes=self._sizes
+        )
+        if chooser is None:
+            chooser = PreferenceChooser() if optimal else CheapestPathChooser()
+        script = collection.build_script(
+            chooser, self._fresh_ids(update), optimal_only=optimal
+        )
+        if verify and not self._engine.verify(self._source, update, script):
+            raise ReproError(
+                "propagation failed verification; session not advanced"
+            )
+        self._served += 1
+        self._total_cost += script.cost
+        if advance:
+            self._advance(update, script)
+        return script
+
+    def serve(self, updates: Iterable[EditScript]) -> list[EditScript]:
+        """Serve a whole stream of sequential updates; returns all scripts."""
+        return [self.propagate(update) for update in updates]
+
+    def _fresh_ids(self, update: EditScript) -> Callable[[], NodeId]:
+        """Fresh identifiers, byte-compatible with the cold path.
+
+        A cold :meth:`PropagationGraphs.build_script` scans every source
+        and update identifier to continue the ``f``-numbering
+        (:meth:`NodeIds.avoiding`); the session already knows the source
+        side from its suffix index, so only the update is scanned. The
+        first candidate exceeds every live suffix, hence no candidate can
+        collide and the emitted sequence is identical.
+        """
+        start = 1 + max(
+            self._suffixes.max(),
+            max_numeric_suffix(update.nodes(), _FRESH_PREFIX),
+        )
+        return NodeIds(_FRESH_PREFIX, start).fresh
+
+    # ------------------------------------------------------------------
+    # Cache advancement
+    # ------------------------------------------------------------------
+
+    def _advance(self, update: EditScript, script: EditScript) -> None:
+        """Move every cache to the propagated document.
+
+        One pass over the propagation script: deleted subtrees drop their
+        size entries and identifier suffixes, inserted ones add theirs,
+        and kept ancestors are re-summed; untouched subtrees keep their
+        entries (counted in :attr:`SessionStats.size_entries_carried`).
+        The new view is ``Out(update)`` — the side-effect-free criterion
+        ``A(Out(S′)) = Out(S)`` makes extraction unnecessary.
+        """
+        tree = script.tree
+
+        def walk(node: NodeId) -> int:
+            op = script.op(node)
+            if op is Op.DEL:
+                for gone in tree.descendants_or_self(node):
+                    self._sizes.pop(gone, None)
+                    self._suffixes.discard(gone)
+                    self._deleted += 1
+                return 0
+            total = 1
+            for kid in tree.children(node):
+                total += walk(kid)
+            if op is Op.INS:
+                self._suffixes.add(node)
+                self._inserted += 1
+            elif self._sizes.get(node) == total:
+                self._carried += 1
+            self._sizes[node] = total
+            return total
+
+        walk(script.root)
+        self._source = script.output_tree
+        self._view = update.output_tree
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentSession(|t|={self._source.size}, "
+            f"served={self._served}, engine={self._engine!r})"
+        )

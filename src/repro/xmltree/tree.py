@@ -22,6 +22,7 @@ share nothing mutable with the original.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Callable, Hashable, Iterator, Mapping, Sequence
 
 from ..errors import DuplicateNodeError, NodeNotFoundError, TreeError
@@ -50,7 +51,7 @@ class Tree:
         without an entry are leaves.
     """
 
-    __slots__ = ("_root", "_labels", "_children", "_parents")
+    __slots__ = ("_root", "_labels", "_children", "_parents", "_sizes")
 
     def __init__(
         self,
@@ -68,6 +69,7 @@ class Tree:
         self._parents: dict[NodeId, NodeId] = {
             kid: node for node, kids in self._children.items() for kid in kids
         }
+        self._sizes: dict[NodeId, int] | None = None
         if _validate:
             self._validate()
 
@@ -155,6 +157,25 @@ class Tree:
     def size(self) -> int:
         """Number of nodes, ``|t|`` in the paper."""
         return len(self._labels)
+
+    def subtree_sizes(self) -> Mapping[NodeId, int]:
+        """Per node, the size of the subtree rooted there (read-only).
+
+        Propagation-graph construction weighs every delete edge with the
+        deleted subtree's size; the table is memoized on the tree (which
+        is immutable) so serving layers reuse it across requests instead
+        of re-deriving it. :class:`~repro.session.DocumentSession`
+        maintains its own incrementally-advanced copy across a stream of
+        updates.
+        """
+        if self._sizes is None:
+            sizes: dict[NodeId, int] = {}
+            for node in self.postorder():
+                sizes[node] = 1 + sum(
+                    sizes[kid] for kid in self._children.get(node, ())
+                )
+            self._sizes = sizes
+        return MappingProxyType(self._sizes)
 
     def __len__(self) -> int:
         return len(self._labels)

@@ -1,0 +1,15 @@
+"""Mark every test under ``tests/property`` with the ``property`` marker,
+so CI can select the whole property-based suite with ``-m property``."""
+
+import pathlib
+
+import pytest
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.property)

@@ -162,6 +162,76 @@ class TestPropagate:
         ])
         assert code == 0
 
+
+# second update of the stream, built against the view the first one
+# produces: r#n0(a#n4, d#n11(c#n13, c#n14), a#n12, d#n6(c#n10, c#n15))
+SECOND_UPDATE_TERM = (
+    "Nop.r#n0(Nop.a#n4, Nop.d#n11(Nop.c#n13, Nop.c#n14), "
+    "Del.a#n12, Del.d#n6(Del.c#n10, Del.c#n15))"
+)
+
+
+class TestPropagateStream:
+    def test_stream_serves_sequential_updates(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        stream = tmp_path / "stream.term"
+        stream.write_text(UPDATE_TERM + "\n\n" + SECOND_UPDATE_TERM + "\n")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(stream), "--stream",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert 'id="n11"' in captured.out        # inserted d survived
+        assert 'id="n6"' not in captured.out     # deleted by update 2
+        assert "served 2 updates" in captured.err
+
+    def test_stream_script_output_emits_propagations(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        stream = tmp_path / "stream.term"
+        stream.write_text(UPDATE_TERM + "\n\n" + SECOND_UPDATE_TERM + "\n")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(stream), "--stream", "--script",
+        ])
+        assert code == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 2
+        # propagation scripts, not the input updates: they span the whole
+        # source, so hidden nodes (n2, invented f-ids) appear in them
+        assert lines[0].startswith("Nop.r#n0(")
+        assert "n2" in lines[0] and "f0" in lines[0]
+        assert lines[0] != UPDATE_TERM
+        # update 2 deletes d#n6, which drags its hidden child n9 along —
+        # visible only in the propagation script
+        assert "Del.d#n6" in lines[1] and "n9" in lines[1]
+        assert lines[1] != SECOND_UPDATE_TERM
+
+    def test_empty_stream_is_an_error(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        stream = tmp_path / "empty.term"
+        stream.write_text("\n\n")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(stream), "--stream",
+        ])
+        assert code == 1
+
+    def test_stream_stale_second_update_fails_cleanly(self, files, tmp_path, capsys):
+        _, dtd, annotation, doc, _ = files
+        stream = tmp_path / "stale.term"
+        # the same update twice: the second is built against the original
+        # view, which no longer matches after the first propagation
+        stream.write_text(UPDATE_TERM + "\n\n" + UPDATE_TERM + "\n")
+        code = main([
+            "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
+            "--doc", str(doc), "--update", str(stream), "--stream",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
     def test_invalid_update_reports_error(self, files, tmp_path, capsys):
         _, dtd, annotation, doc, _ = files
         bad = tmp_path / "bad.term"
