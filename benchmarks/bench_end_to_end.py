@@ -1,10 +1,11 @@
 """E6: Theorem 6 — with insertlets and a polynomial Φ, propagation runs
 in time polynomial in |D| + |t| + |S| + |W|. End-to-end timings across
 document sizes and workload families, the cold-vs-warm ViewEngine
-comparison (amortised per-update serving cost), and the streaming
+comparison (amortised per-update serving cost), the streaming
 workload pitting a :class:`DocumentSession` against transient-engine
-serving (run with ``REPRO_BENCH_SMOKE=1`` for a 2-update import-clean
-smoke pass).
+serving, and the durability columns quantifying write-ahead-log
+overhead (``always``/``batch`` fsync vs in-memory serving). Run with
+``REPRO_BENCH_SMOKE=1`` for a 2-update import-clean smoke pass.
 
 Note the free :func:`repro.propagate` is served by the default engine
 registry since the serving tier landed — the scaling benchmarks below
@@ -22,6 +23,7 @@ import pytest
 from repro.core import InsertletPackage, propagate, verify_propagation
 from repro.engine import ViewEngine
 from repro.generators.updates import random_view_update
+from repro.store import DocumentStore
 from repro.generators.workloads import (
     catalog,
     deep_document,
@@ -210,4 +212,55 @@ class TestStreamingSession:
             assert session_elapsed < transient_elapsed, (
                 f"session ({session_elapsed:.3f}s) not faster than "
                 f"transient serving ({transient_elapsed:.3f}s)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Durability overhead: the same streaming workload with the write-ahead
+# log off (a plain in-memory session), in `batch` mode (fsync every 8
+# records), and in `always` mode (fsync per record). The scripts must be
+# byte-identical in all three columns — the WAL is an observer — so the
+# only thing the columns may differ in is time.
+# ---------------------------------------------------------------------------
+
+
+class TestDurableStreaming:
+    def test_wal_overhead_columns(self, tmp_path):
+        workload = wide_schema(24, sections=8)
+        dtd, annotation = workload.dtd, workload.annotation
+        updates = _sequential_stream(workload, STREAM_LENGTH)
+        engine = ViewEngine(dtd, annotation).warm_up()
+
+        # -- WAL off: the in-memory baseline --------------------------
+        start = time.perf_counter()
+        session = engine.session(workload.source)
+        baseline_scripts = session.serve(updates)
+        off_elapsed = time.perf_counter() - start
+
+        columns = {"off (in-memory)": (off_elapsed, baseline_scripts)}
+
+        # -- WAL on, batch and always fsync ---------------------------
+        for policy in ("batch", "always"):
+            store = DocumentStore.init(tmp_path / f"store-{policy}")
+            store.put("doc", workload.source, dtd, annotation)
+            start = time.perf_counter()
+            with store.open_session(
+                "doc", engine=engine, fsync=policy
+            ) as durable:
+                scripts = durable.serve(updates)
+            elapsed = time.perf_counter() - start
+            columns[f"wal {policy}"] = (elapsed, scripts)
+            # durability must be pure overhead, never different serving
+            assert [s.to_term() for s in scripts] == [
+                s.to_term() for s in baseline_scripts
+            ]
+            assert store.load("doc") == session.source
+
+        print(f"\ndurable streaming x{len(updates)}:")
+        for name, (elapsed, _) in columns.items():
+            per_update = elapsed / len(updates) * 1000
+            overhead = (elapsed / off_elapsed - 1) * 100
+            print(
+                f"  {name:18s} {per_update:8.2f} ms/update "
+                f"({overhead:+6.1f}% vs in-memory)"
             )

@@ -47,7 +47,9 @@ Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
 :mod:`repro.inversion` (Section 3), :mod:`repro.core` (Sections 4-5),
 :mod:`repro.engine` (the compiled serving layer),
 :mod:`repro.registry` (multi-tenant engine cache),
-:mod:`repro.session` (pinned-document streams), :mod:`repro.repair`
+:mod:`repro.session` (pinned-document streams), :mod:`repro.store`
+(durable documents: write-ahead log, snapshots, crash recovery),
+:mod:`repro.repair`
 (the Section 6.2 baseline), :mod:`repro.generators` (random workloads),
 :mod:`repro.paperdata` (every figure of the paper).
 """
@@ -83,6 +85,7 @@ from .registry import (
     set_default_registry,
 )
 from .session import DocumentSession, SessionStats
+from .store import DocumentStore, DurableSession, RecoveredDocument
 from .inversion import (
     count_min_inversions,
     enumerate_min_inversions,
@@ -133,6 +136,10 @@ __all__ = [
     "schema_fingerprint",
     "DocumentSession",
     "SessionStats",
+    # durable document store
+    "DocumentStore",
+    "DurableSession",
+    "RecoveredDocument",
     # propagation (Sections 4-5)
     "propagate",
     "propagation_graphs",

@@ -10,7 +10,11 @@ Subcommands (``repro-xml <command> --help`` for details):
   (``--stream`` serves a blank-line-separated sequence of sequential
   updates through one :class:`~repro.session.DocumentSession`);
 * ``repair-compare`` — run the Section 6.2 baseline next to the real
-  propagation and report the side-effect verdicts.
+  propagation and report the side-effect verdicts;
+* ``stats``     — registry/engine metrics of this process as JSON;
+* ``store …``   — the durable document store
+  (:mod:`repro.store`): ``init``, ``put``, ``ls``, ``propagate``,
+  ``compact``, ``recover``, ``stats``.
 
 File formats: documents are XML carrying node identifiers in an ``id``
 attribute; DTDs use classic ``<!ELEMENT …>`` declarations; annotations
@@ -21,6 +25,7 @@ compact term notation (``Nop.r#n0(Del.a#n1, Ins.d#u0)``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -37,6 +42,7 @@ from .engine import ViewEngine
 from .errors import ReproError
 from .registry import default_registry
 from .repair import compare_with_propagation
+from .store import FSYNC_POLICIES, DocumentStore
 from .views import Annotation
 from .xmltree import tree_from_xml, tree_to_xml
 
@@ -195,6 +201,128 @@ def _cmd_repair_compare(args: argparse.Namespace) -> int:
     return 0 if report.repair_side_effect_free else 2
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Registry + engine metrics of this process, as JSON.
+
+    One-shot invocations report a single compile; the payload earns its
+    keep for programmatic drivers calling :func:`main` repeatedly in one
+    process (tests, batch jobs), whose engines accumulate in the default
+    registry.
+    """
+    payload = default_registry().stats_payload()
+    _emit(args, json.dumps(payload, indent=None if args.compact else 2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Durable store subcommands
+# ---------------------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace) -> DocumentStore:
+    return DocumentStore(
+        args.root, fsync=getattr(args, "fsync", None) or "always"
+    )
+
+
+def _cmd_store_init(args: argparse.Namespace) -> int:
+    store = DocumentStore.init(args.root)
+    print(f"initialised document store at {store.root}")
+    return 0
+
+
+def _cmd_store_put(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    dtd, annotation = _load_common(args)
+    source = tree_from_xml(_read(args.doc))
+    schema_hash = store.put(
+        args.id, source, dtd, annotation, overwrite=args.overwrite
+    )
+    print(
+        f"stored {args.id!r}: {source.size} nodes under schema "
+        f"{schema_hash[:12]}…"
+    )
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    for doc_id in store.documents():
+        stats = store.stats(doc_id)
+        print(
+            f"{doc_id}\trecords={stats['wal_records']} "
+            f"last_seq={stats['wal_last_seq']} "
+            f"snapshots={','.join(map(str, stats['snapshots']))} "
+            f"schema={stats['schema'][:12]}…"
+        )
+    return 0
+
+
+def _cmd_store_propagate(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    chooser = PreferenceChooser(_PREFERENCES[args.prefer])
+    text = _read(args.update)
+    updates = (
+        _parse_update_stream(text)
+        if args.stream
+        else [EditScript.parse(text.strip())]
+    )
+    if not updates:
+        print("error: no update scripts in the stream", file=sys.stderr)
+        return 1
+    with store.open_session(args.id, fsync=args.fsync) as session:
+        if session.recovered.truncated_tail:
+            print("recovery truncated a torn log tail", file=sys.stderr)
+        scripts = []
+        for index, update in enumerate(updates):
+            script = session.propagate(update, chooser=chooser, verify=True)
+            scripts.append(script)
+            print(
+                f"update {index}: cost {script.cost} (wal seq "
+                f"{session.last_seq})",
+                file=sys.stderr,
+            )
+        if args.compact_after:
+            seq = session.compact()
+            print(f"compacted at seq {seq}", file=sys.stderr)
+        if args.script:
+            _emit(args, "\n".join(script.to_term() for script in scripts))
+        else:
+            _emit(args, tree_to_xml(session.source))
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    seq = store.compact(args.id)
+    print(f"compacted {args.id!r} at seq {seq}")
+    return 0
+
+
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    recovered = store.recover(args.id, repair=not args.no_repair)
+    print(
+        f"recovered {args.id!r}: snapshot {recovered.snapshot_seq} + "
+        f"{recovered.replayed} replayed records -> seq {recovered.last_seq}"
+        + (" (torn tail truncated)" if recovered.truncated_tail else ""),
+        file=sys.stderr,
+    )
+    if args.view:
+        dtd, annotation = store.schema(args.id)
+        _emit(args, tree_to_xml(annotation.view(recovered.tree)))
+    else:
+        _emit(args, tree_to_xml(recovered.tree))
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    payload = store.stats(args.id) if args.id else store.stats()
+    _emit(args, json.dumps(payload, indent=2))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -275,6 +403,114 @@ def build_parser() -> argparse.ArgumentParser:
     common(cmp_)
     cmp_.add_argument("--update", required=True)
     cmp_.set_defaults(handler=_cmd_repair_compare)
+
+    stats = commands.add_parser(
+        "stats",
+        help="print this process's engine-registry metrics as JSON",
+    )
+    stats.add_argument("--out", help="write the JSON here instead of stdout")
+    stats.add_argument(
+        "--compact", action="store_true", help="single-line JSON"
+    )
+    stats.set_defaults(handler=_cmd_stats)
+
+    store = commands.add_parser(
+        "store", help="the durable document store (WAL + snapshots)"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    def store_common(sub, with_id=True):
+        sub.add_argument("--root", required=True, help="store directory")
+        if with_id:
+            sub.add_argument("--id", required=True, help="document identifier")
+
+    s_init = store_commands.add_parser("init", help="create a store directory")
+    store_common(s_init, with_id=False)
+    s_init.set_defaults(handler=_cmd_store_init)
+
+    s_put = store_commands.add_parser(
+        "put", help="store a document with its schema (genesis snapshot)"
+    )
+    store_common(s_put)
+    s_put.add_argument("--dtd", required=True)
+    s_put.add_argument("--annotation", required=True)
+    s_put.add_argument("--doc", required=True, help="source XML document")
+    s_put.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing document, discarding its history",
+    )
+    s_put.set_defaults(handler=_cmd_store_put)
+
+    s_ls = store_commands.add_parser("ls", help="list stored documents")
+    store_common(s_ls, with_id=False)
+    s_ls.set_defaults(handler=_cmd_store_ls)
+
+    s_prop = store_commands.add_parser(
+        "propagate",
+        help="serve view updates against a stored document, write-ahead "
+        "logged (recovers the document first)",
+    )
+    store_common(s_prop)
+    s_prop.add_argument("--update", required=True, help="update script file")
+    s_prop.add_argument(
+        "--stream",
+        action="store_true",
+        help="blank-line-separated sequential scripts, one durable session",
+    )
+    s_prop.add_argument(
+        "--prefer", choices=sorted(_PREFERENCES), default="nop"
+    )
+    s_prop.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help="log durability policy (default: the store's, 'always')",
+    )
+    s_prop.add_argument(
+        "--script",
+        action="store_true",
+        help="print the propagation scripts instead of the new document",
+    )
+    s_prop.add_argument(
+        "--compact-after",
+        action="store_true",
+        help="checkpoint and trim the log after serving",
+    )
+    s_prop.add_argument("--out")
+    s_prop.set_defaults(handler=_cmd_store_propagate)
+
+    s_compact = store_commands.add_parser(
+        "compact", help="checkpoint a document and trim its log"
+    )
+    store_common(s_compact)
+    s_compact.set_defaults(handler=_cmd_store_compact)
+
+    s_recover = store_commands.add_parser(
+        "recover",
+        help="rebuild a document from snapshot + log and print it",
+    )
+    store_common(s_recover)
+    s_recover.add_argument(
+        "--view",
+        action="store_true",
+        help="print the document's view instead of the source",
+    )
+    s_recover.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="audit only: do not truncate a torn log tail",
+    )
+    s_recover.add_argument("--out")
+    s_recover.set_defaults(handler=_cmd_store_recover)
+
+    s_stats = store_commands.add_parser(
+        "stats", help="storage metrics (JSON): log sizes, snapshots"
+    )
+    s_stats.add_argument("--root", required=True, help="store directory")
+    s_stats.add_argument("--id", help="one document (default: whole store)")
+    s_stats.add_argument("--out")
+    s_stats.set_defaults(handler=_cmd_store_stats)
 
     return parser
 

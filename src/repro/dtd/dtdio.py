@@ -42,18 +42,24 @@ def parse_dtd(text: str, *, check: bool = True) -> DTD:
     """
     remaining = _SKIP_RE.sub("", text)
     rules: dict[str, str] = {}
+    declared: list[str] = []
     matched_spans: list[tuple[int, int]] = []
     for match in _ELEMENT_RE.finditer(remaining):
         name, model = match.group(1), " ".join(match.group(2).split())
         matched_spans.append(match.span())
-        if name in rules:
+        if name in rules or name in declared:
             raise DTDSyntaxError(f"duplicate <!ELEMENT {name}> declaration")
         if model == "ANY":
             raise DTDSyntaxError(
                 f"<!ELEMENT {name} ANY> is not expressible in the paper's DTD model"
             )
         if model in ("EMPTY", "(#PCDATA)", "#PCDATA"):
-            continue  # implicit a → ε
+            # implicit a → ε; still part of the alphabet, even when no
+            # other rule references the element (serialize/parse must
+            # round-trip the alphabet exactly — the durable store keys
+            # documents by the schema fingerprint, which includes it)
+            declared.append(name)
+            continue
         # mixed content (#PCDATA|x|y)* : keep the element structure only
         model = re.sub(r"#PCDATA\s*\|?", "", model)
         rules[name] = model
@@ -61,7 +67,7 @@ def parse_dtd(text: str, *, check: bool = True) -> DTD:
     if leftovers:
         snippet = leftovers.splitlines()[0][:60]
         raise DTDSyntaxError(f"unrecognised DTD content: {snippet!r}")
-    return DTD(rules, check=check)
+    return DTD(rules, alphabet=declared, check=check)
 
 
 def serialize_dtd(dtd: DTD) -> str:

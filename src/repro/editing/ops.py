@@ -98,8 +98,22 @@ class EditLabel:
         return self.symbol
 
     def encode(self) -> str:
-        """Compact textual form used by the script term notation: ``Ins.a``."""
+        """Compact textual form used by the script term notation: ``Ins.a``.
+
+        Guaranteed to parse back to an equal label
+        (``parse_edit_label(label.encode()) == label``) — the write-ahead
+        log of :mod:`repro.store` depends on that round trip. The one
+        form the compact notation cannot express unambiguously is a
+        renaming whose *source* symbol contains a dot (``Ren.a.b.c``
+        would re-parse with the wrong split), so it is refused here
+        rather than silently corrupted.
+        """
         if self.op is Op.REN:
+            if "." in self.symbol:
+                raise InvalidScriptError(
+                    f"cannot encode renaming of dotted symbol {self.symbol!r}: "
+                    "the compact form Ren.old.new splits at the first dot"
+                )
             return f"Ren.{self.symbol}.{self.target}"
         return f"{self.op.value}.{self.symbol}"
 

@@ -32,6 +32,7 @@ transient engine under the hood); results are byte-identical either way::
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -84,6 +85,10 @@ class EngineStats:
 
     propagations: int
     """Propagation scripts built (single and batched)."""
+
+    def as_dict(self) -> "dict[str, int]":
+        """A JSON-serializable snapshot (``repro-xml stats`` emits these)."""
+        return dataclasses.asdict(self)
 
 
 class ViewEngine:

@@ -29,6 +29,13 @@ __all__ = [
     "NoPropagationError",
     "InsertletError",
     "StaleSessionError",
+    "StoreError",
+    "DocumentExistsError",
+    "UnknownDocumentError",
+    "WALCorruptError",
+    "SnapshotCorruptError",
+    "RecoveryError",
+    "StoreSchemaMismatchError",
 ]
 
 
@@ -195,4 +202,66 @@ class StaleSessionError(ReproError):
     a different tree from those caches would silently produce wrong
     propagations, so the mismatch is refused. Re-pin with
     :meth:`~repro.session.DocumentSession.rebase` to switch documents.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Durable document store
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for :mod:`repro.store` failures."""
+
+
+class DocumentExistsError(StoreError):
+    """A document identifier is already taken in the store."""
+
+
+class UnknownDocumentError(StoreError, KeyError):
+    """A document identifier does not exist in the store."""
+
+    def __init__(self, doc_id):
+        super().__init__(doc_id)
+        self.doc_id = doc_id
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return f"document {self.doc_id!r} is not in the store"
+
+
+class WALCorruptError(StoreError):
+    """A write-ahead log contains an unreadable record *before* its tail.
+
+    A torn **final** record is the expected signature of a crash
+    mid-append and is silently truncated during recovery; corruption in
+    the interior of the log (a record that fails its checksum, a broken
+    header, or a sequence-number gap followed by further records) means
+    data written before the crash was lost or rewritten, which recovery
+    must never paper over.
+    """
+
+
+class SnapshotCorruptError(StoreError):
+    """A snapshot file failed its header, checksum, or schema check."""
+
+
+class RecoveryError(StoreError):
+    """A document cannot be reconstructed from its snapshot and log.
+
+    Raised when no usable snapshot exists, when the newest snapshot is
+    *ahead* of the log (records the snapshot supposedly covers are
+    missing), when the log was trimmed past the snapshot, or when a
+    replayed edit script does not apply to the document state it should.
+    """
+
+
+class StoreSchemaMismatchError(StoreError, StaleSessionError):
+    """A stored document was opened under a different ``(DTD, Annotation)``.
+
+    The store keys every document's snapshots and sessions by the
+    canonical :func:`repro.registry.schema_fingerprint`; serving a
+    document through an engine compiled for another schema would
+    propagate against the wrong view definition, so — like serving a
+    session from stale caches — the mismatch is refused (this error is
+    also a :class:`StaleSessionError`).
     """

@@ -32,6 +32,7 @@ use from many threads is safe.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
@@ -179,6 +180,12 @@ class RegistryStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> "dict[str, float | int]":
+        """A JSON-serializable snapshot, ``hit_rate`` included."""
+        payload: "dict[str, float | int]" = dataclasses.asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
 
 class EngineRegistry:
     """A bounded, thread-safe cache of compiled :class:`ViewEngine`\\ s.
@@ -267,6 +274,34 @@ class EngineRegistry:
         """Cache keys from least- to most-recently used (for diagnostics)."""
         with self._lock:
             return list(self._engines)
+
+    def cached_engines(self) -> "list[tuple[tuple[str, str], ViewEngine]]":
+        """A snapshot of (key, engine) pairs, least- to most-recently used.
+
+        Does not count as use: LRU order and hit counters are untouched
+        (it exists for metrics export, not serving).
+        """
+        with self._lock:
+            return list(self._engines.items())
+
+    def stats_payload(self) -> dict:
+        """The registry and all cached engines as one JSON-serializable
+        report — what ``repro-xml stats`` prints.
+
+        Engine entries carry the schema fingerprint (the cache key), the
+        factory token, and the engine's request counters.
+        """
+        return {
+            "registry": self.stats.as_dict(),
+            "engines": [
+                {
+                    "schema_hash": schema_hash,
+                    "factory": factory_token,
+                    **engine.stats.as_dict(),
+                }
+                for (schema_hash, factory_token), engine in self.cached_engines()
+            ],
+        }
 
     def clear(self) -> None:
         """Drop every cached engine and reset the counters."""

@@ -155,6 +155,7 @@ class DocumentSession:
         "_inserted",
         "_deleted",
         "_carried",
+        "_journal",
     )
 
     def __init__(
@@ -163,6 +164,7 @@ class DocumentSession:
         source: Tree,
         *,
         validate_source: bool = True,
+        journal: "Callable[[EditScript, EditScript], None] | None" = None,
     ) -> None:
         self._engine = engine
         self._served = 0
@@ -170,6 +172,7 @@ class DocumentSession:
         self._inserted = 0
         self._deleted = 0
         self._carried = 0
+        self._journal = journal
         self._pin(source, validate_source)
 
     def _pin(self, source: Tree, validate_source: bool) -> None:
@@ -199,6 +202,24 @@ class DocumentSession:
         every advance replaces it with the update's output (which
         side-effect-freeness guarantees equals a fresh extraction)."""
         return self._view
+
+    @property
+    def journal(self) -> "Callable[[EditScript, EditScript], None] | None":
+        """Write-ahead hook: called as ``journal(update, script)`` after a
+        propagation is built but *before* any cache advances.
+
+        A durable layer (:class:`repro.store.DurableSession`) appends the
+        translated source script to its log here; if the hook raises, the
+        session does not advance, so in-memory state never runs ahead of
+        what the journal recorded.
+        """
+        return self._journal
+
+    @journal.setter
+    def journal(
+        self, hook: "Callable[[EditScript, EditScript], None] | None"
+    ) -> None:
+        self._journal = hook
 
     @property
     def stats(self) -> SessionStats:
@@ -269,6 +290,8 @@ class DocumentSession:
             raise ReproError(
                 "propagation failed verification; session not advanced"
             )
+        if advance and self._journal is not None:
+            self._journal(update, script)
         self._served += 1
         self._total_cost += script.cost
         if advance:
@@ -302,12 +325,21 @@ class DocumentSession:
     def _advance(self, update: EditScript, script: EditScript) -> None:
         """Move every cache to the propagated document.
 
-        One pass over the propagation script: deleted subtrees drop their
-        size entries and identifier suffixes, inserted ones add theirs,
-        and kept ancestors are re-summed; untouched subtrees keep their
-        entries (counted in :attr:`SessionStats.size_entries_carried`).
+        One pass over the propagation script (see :meth:`_walk_caches`).
         The new view is ``Out(update)`` — the side-effect-free criterion
         ``A(Out(S′)) = Out(S)`` makes extraction unnecessary.
+        """
+        self._walk_caches(script)
+        self._source = script.output_tree
+        self._view = update.output_tree
+
+    def _walk_caches(self, script: EditScript) -> None:
+        """Advance the size table and suffix index along a source script.
+
+        Deleted subtrees drop their size entries and identifier suffixes,
+        inserted ones add theirs, and kept ancestors are re-summed;
+        untouched subtrees keep their entries (counted in
+        :attr:`SessionStats.size_entries_carried`).
         """
         tree = script.tree
 
@@ -331,8 +363,30 @@ class DocumentSession:
             return total
 
         walk(script.root)
+
+    def apply_source_script(self, script: EditScript) -> None:
+        """Advance the session along an already-translated *source* script.
+
+        The replay half of durability: recovery re-pins a session to a
+        snapshot (:meth:`rebase`) and then applies the write-ahead log's
+        source edit scripts — the outputs of earlier propagations — one
+        by one, without re-running propagation. The script must apply to
+        the pinned source exactly (``In(S′) = source``), otherwise the
+        log and the snapshot disagree and :class:`StaleSessionError` is
+        raised before any cache moves.
+
+        Unlike :meth:`propagate`, no view update is available, so the
+        view cache is re-extracted from the new source (the journal hook
+        is *not* invoked — replay must never re-journal).
+        """
+        if script.input_tree != self._source:
+            raise StaleSessionError(
+                "source script does not apply to the session's pinned "
+                "source — the log and the document state disagree"
+            )
+        self._walk_caches(script)
         self._source = script.output_tree
-        self._view = update.output_tree
+        self._view = self._engine.annotation.view(self._source)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,378 @@
+"""The write-ahead log: an append-only file of source edit scripts.
+
+Propagation makes every view update a deterministic, side-effect-free
+edit script over the source, so the translated script — not the
+materialized tree — is the natural durable unit: replaying the log
+against the last snapshot reproduces the document byte for byte. The
+format is deliberately textual and self-checking:
+
+.. code-block:: text
+
+    WALv1 <base_seq>\\n                    # file header, written once
+    R <seq> <length> <crc32>\\n            # one record header per append
+    <length bytes of script term text>\\n  # e.g. Nop.r#n0(Del.a#n1, ...)
+
+``base_seq`` is the absolute sequence number the log starts *after*
+(compaction rewrites the log with a new base; sequence numbers never
+reset for the lifetime of a document). Each record carries the CRC-32
+and byte length of its payload, so a reader can tell exactly how far
+the log is trustworthy:
+
+* a **torn tail** — a final record cut short by a crash mid-append
+  (partial header, short payload, missing trailing newline, or a
+  checksum failure on the *last* record) — is reported via
+  :attr:`WalScan.torn_at` and safely truncated by recovery: the record
+  never finished, so by write-ahead discipline its update was never
+  applied;
+* **interior corruption** — an unreadable record *followed by more
+  data*, or a sequence-number gap — means acknowledged history was
+  damaged, and raises :class:`~repro.errors.WALCorruptError` instead of
+  silently dropping suffixes of the log.
+
+:class:`WalWriter` is the append side, implementing the three fsync
+policies of the store (``always`` / ``batch`` / ``off``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import StoreError, WALCorruptError
+
+__all__ = [
+    "WalRecord",
+    "WalScan",
+    "scan_wal",
+    "create_wal",
+    "rewrite_wal",
+    "WalWriter",
+    "FSYNC_POLICIES",
+]
+
+_MAGIC = b"WALv1"
+_HEADER_RE = re.compile(rb"WALv1 (\d+)")
+_RECORD_RE = re.compile(rb"R (\d+) (\d+) (\d+)")
+
+FSYNC_POLICIES = ("always", "batch", "off")
+"""When appends reach the platter: every record, every N records, never."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable record: the *seq*-th edit script of the document."""
+
+    seq: int
+    text: str
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """The result of reading a log file front to back."""
+
+    base_seq: int
+    """Sequence number the log starts after (its records are
+    ``base_seq + 1 .. last_seq``)."""
+
+    records: tuple[WalRecord, ...]
+    """Every complete, checksummed record in order."""
+
+    end_offset: int
+    """Byte offset just past the last valid record — where the next
+    append goes, and where a torn tail is truncated."""
+
+    torn_at: "int | None"
+    """Byte offset of an incomplete final record, ``None`` when the log
+    ends cleanly."""
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durable record."""
+        return self.records[-1].seq if self.records else self.base_seq
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    # Directory fsync makes renames/creates durable; not every platform
+    # allows opening a directory, in which case we did our best.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def encode_record(seq: int, text: str) -> bytes:
+    """The exact bytes :class:`WalWriter` appends for (*seq*, *text*)."""
+    payload = text.encode("utf-8")
+    header = f"R {seq} {len(payload)} {zlib.crc32(payload)}\n".encode("ascii")
+    return header + payload + b"\n"
+
+
+def rewrite_wal(
+    path: "Path | str", base_seq: int, records: "Iterable[WalRecord]" = ()
+) -> None:
+    """Atomically replace the log with one starting after *base_seq*
+    carrying *records* (which must be contiguous from ``base_seq + 1``).
+
+    Atomic (tmp + rename) and fsynced: compaction rewrites a live
+    document's log through this — a crash mid-rewrite must leave either
+    the old log or the new one, never a truncated file.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_MAGIC + f" {base_seq}\n".encode("ascii"))
+        expected = base_seq + 1
+        for record in records:
+            if record.seq != expected:
+                raise StoreError(
+                    f"cannot rewrite log: record {record.seq} breaks the "
+                    f"sequence at {expected}"
+                )
+            handle.write(encode_record(record.seq, record.text))
+            expected += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def create_wal(path: "Path | str", base_seq: int = 0) -> None:
+    """Write a fresh, empty log starting after *base_seq* (fsynced:
+    creation must be durable whatever append policy follows)."""
+    rewrite_wal(path, base_seq)
+
+
+def scan_wal(path: "Path | str") -> WalScan:
+    """Read the log, classifying its end (see the module docstring).
+
+    Raises :class:`WALCorruptError` for interior corruption — a broken
+    record with more data after it, a checksum failure before the tail,
+    or a sequence-number gap. A torn tail is *not* an error: it is
+    reported through :attr:`WalScan.torn_at` for the caller to truncate.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    newline = data.find(b"\n")
+    if newline < 0 or not _HEADER_RE.fullmatch(data[:newline]):
+        raise WALCorruptError(
+            f"{path.name}: missing or malformed WAL header "
+            "(the header is written and fsynced at creation; a bad one "
+            "means the file is not a WAL or was overwritten)"
+        )
+    base_seq = int(_HEADER_RE.fullmatch(data[:newline]).group(1))
+
+    records: list[WalRecord] = []
+    pos = newline + 1
+    end_offset = pos
+    torn_at: "int | None" = None
+    expected = base_seq + 1
+    while pos < len(data):
+        header_end = data.find(b"\n", pos)
+        if header_end < 0:
+            torn_at = pos  # header cut short by the crash
+            break
+        match = _RECORD_RE.fullmatch(data[pos:header_end])
+        if match is None:
+            if header_end == len(data) - 1 and data.find(b"\n", header_end + 1) < 0:
+                torn_at = pos  # garbage final line, nothing after it
+                break
+            raise WALCorruptError(
+                f"{path.name}: malformed record header at byte {pos} "
+                "with further data after it"
+            )
+        seq, length, crc = (int(group) for group in match.groups())
+        body_start = header_end + 1
+        body_end = body_start + length
+        if body_end + 1 > len(data):
+            torn_at = pos  # payload (or its trailing newline) cut short
+            break
+        payload = data[body_start:body_end]
+        is_last = body_end + 1 == len(data)
+        intact = data[body_end:body_end + 1] == b"\n" and zlib.crc32(payload) == crc
+        text: "str | None" = None
+        if intact:
+            try:
+                text = payload.decode("utf-8")
+            except UnicodeDecodeError:
+                intact = False
+        if not intact:
+            if is_last:
+                torn_at = pos  # classic torn write into the final record
+                break
+            raise WALCorruptError(
+                f"{path.name}: record {seq} at byte {pos} fails its "
+                "checksum but is not the final record — interior "
+                "corruption, refusing to replay past it"
+            )
+        if seq != expected:
+            raise WALCorruptError(
+                f"{path.name}: expected record {expected} at byte {pos}, "
+                f"found {seq} — records are missing or reordered"
+            )
+        records.append(WalRecord(seq, text))
+        expected += 1
+        pos = body_end + 1
+        end_offset = pos
+    return WalScan(
+        base_seq=base_seq,
+        records=tuple(records),
+        end_offset=end_offset,
+        torn_at=torn_at,
+    )
+
+
+def truncate_torn_tail(path: "Path | str", scan: WalScan) -> bool:
+    """Cut a torn final record off the file; returns whether it did."""
+    if scan.torn_at is None:
+        return False
+    path = Path(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(scan.end_offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
+
+
+class WalWriter:
+    """The append side of one document's log.
+
+    Opens the existing file, truncates a torn tail (write-ahead
+    discipline makes that always safe), and appends records under one of
+    the three fsync policies:
+
+    ``always``
+        every append is fsynced before :meth:`append` returns — a crash
+        after an acknowledged propagation loses nothing;
+    ``batch``
+        appends are flushed to the OS immediately but fsynced every
+        *batch_interval* records (and on :meth:`sync`/:meth:`close`) —
+        bounded loss of the last few acknowledged records on power
+        failure, none on process crash;
+    ``off``
+        never fsyncs — durability is left to the OS page cache.
+    """
+
+    def __init__(
+        self,
+        path: "Path | str",
+        *,
+        policy: str = "always",
+        batch_interval: int = 8,
+    ) -> None:
+        if policy not in FSYNC_POLICIES:
+            raise StoreError(
+                f"unknown fsync policy {policy!r}; pick one of {FSYNC_POLICIES}"
+            )
+        if batch_interval < 1:
+            raise StoreError(f"batch_interval must be positive, got {batch_interval}")
+        self._path = Path(path)
+        self._policy = policy
+        self._interval = batch_interval
+        self._pending = 0
+        self._appended = 0
+        self._syncs = 0
+        scan = scan_wal(self._path)
+        truncate_torn_tail(self._path, scan)
+        self._seq = scan.last_seq
+        self._handle = open(self._path, "ab")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended (or pre-existing) record."""
+        return self._seq
+
+    @property
+    def appended(self) -> int:
+        """Records appended through this writer."""
+        return self._appended
+
+    @property
+    def syncs(self) -> int:
+        """fsync calls issued by this writer."""
+        return self._syncs
+
+    @property
+    def pending(self) -> int:
+        """Appends since the last fsync (``batch`` policy backlog)."""
+        return self._pending
+
+    def append(self, text: str) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is written and flushed before this returns; whether it
+        is also fsynced depends on the policy. The caller (the session's
+        journal hook) invokes this *before* advancing any in-memory
+        state, which is what makes torn tails harmless.
+        """
+        seq = self._seq + 1
+        self._handle.write(encode_record(seq, text))
+        self._handle.flush()
+        self._seq = seq
+        self._appended += 1
+        self._pending += 1
+        if self._policy == "always" or (
+            self._policy == "batch" and self._pending >= self._interval
+        ):
+            self.sync()
+        return seq
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+        self._syncs += 1
+
+    def close(self, *, final_sync: "bool | None" = None) -> None:
+        """Flush and close; fsyncs pending records unless policy ``off``
+        (override with *final_sync*)."""
+        if self._handle.closed:
+            return
+        if final_sync is None:
+            final_sync = self._policy != "off" and self._pending > 0
+        self._handle.flush()
+        if final_sync:
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+            self._syncs += 1
+        self._handle.close()
+
+    def reopen(self) -> None:
+        """Re-point the writer at the (possibly rewritten) file —
+        compaction swaps a trimmed log under the same path."""
+        self.close()
+        scan = scan_wal(self._path)
+        truncate_torn_tail(self._path, scan)
+        self._seq = scan.last_seq
+        self._pending = 0
+        self._handle = open(self._path, "ab")
+
+    def __repr__(self) -> str:
+        return (
+            f"WalWriter({self._path.name}, policy={self._policy!r}, "
+            f"last_seq={self._seq})"
+        )

@@ -105,6 +105,22 @@ class Annotation:
                 raise AnnotationError(f"cannot parse annotation line {raw_line!r}")
         return cls(entries, default)
 
+    def serialize(self) -> str:
+        """Render the directive format accepted back by :meth:`parse`.
+
+        ``Annotation.parse(a.serialize())`` defines the same function as
+        ``a``: the default line comes first, then one ``hide``/``show``
+        line per explicit entry in sorted order (so equal annotations
+        serialize identically — the durable store relies on this).
+        """
+        lines = [
+            "default " + ("visible" if self._default == VISIBLE else "hidden")
+        ]
+        for (parent, child), value in sorted(self._entries.items()):
+            directive = "show" if value == VISIBLE else "hide"
+            lines.append(f"{directive} {parent} {child}")
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------
     # The function A
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ def tree_from_element(
     id_attribute: str | None = "id",
     id_prefix: str = "n",
     strict: bool = False,
+    require_ids: bool = False,
 ) -> Tree:
     """Convert an ElementTree element into a :class:`Tree`.
 
@@ -45,7 +46,16 @@ def tree_from_element(
     strict:
         When true, raise :class:`TreeError` if the document contains
         non-whitespace text content (which the tree model cannot carry).
+    require_ids:
+        When true, every element must carry *id_attribute* explicitly —
+        no identifier is ever invented. This is the identifier-exact
+        round trip durable storage needs: a snapshot that lost its
+        identifiers must fail to load, not silently renumber the
+        document (which would desynchronise it from its edit-script
+        log).
     """
+    if require_ids and id_attribute is None:
+        raise TreeError("require_ids needs an id_attribute to read from")
     explicit: list[str] = []
     if id_attribute is not None:
         stack = [element]
@@ -71,6 +81,11 @@ def tree_from_element(
         if id_attribute is not None:
             nid = elem.get(id_attribute)
         if nid is None:
+            if require_ids:
+                raise TreeError(
+                    f"element <{elem.tag}> lacks the {id_attribute!r} "
+                    "attribute and identifiers are required"
+                )
             nid = fresh.fresh()
         return Tree.build(elem.tag, nid, [convert(kid) for kid in elem])
 
@@ -83,6 +98,7 @@ def tree_from_xml(
     id_attribute: str | None = "id",
     id_prefix: str = "n",
     strict: bool = False,
+    require_ids: bool = False,
 ) -> Tree:
     """Parse an XML string (or file-like object) into a :class:`Tree`."""
     if isinstance(source, str):
@@ -90,7 +106,11 @@ def tree_from_xml(
     else:
         element = ET.parse(source).getroot()
     return tree_from_element(
-        element, id_attribute=id_attribute, id_prefix=id_prefix, strict=strict
+        element,
+        id_attribute=id_attribute,
+        id_prefix=id_prefix,
+        strict=strict,
+        require_ids=require_ids,
     )
 
 

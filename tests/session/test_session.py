@@ -240,3 +240,97 @@ class TestRandomisedStreams:
             assert session.source == current
             assert session.view == annotation.view(current)
             assert session._sizes == dict(current.subtree_sizes())
+
+
+class TestJournalHook:
+    """The write-ahead seam the durable store hangs off."""
+
+    def _update(self, session):
+        return _delete_pair(session.view, session.source.nodes(), "n1", "n3")
+
+    def test_journal_called_before_advance(self, engine, source):
+        observed = []
+
+        def hook(update, script):
+            # at hook time the session must not have moved yet
+            observed.append((script.to_term(), session.source))
+
+        session = engine.session(source, journal=hook)
+        update = self._update(session)
+        script = session.propagate(update)
+        assert observed == [(script.to_term(), source)]
+        assert session.source == script.output_tree
+
+    def test_preview_is_not_journalled(self, engine, source):
+        observed = []
+        session = engine.session(source)
+        session.journal = lambda update, script: observed.append(script)
+        session.propagate(self._update(session), advance=False)
+        assert observed == []
+
+    def test_failing_journal_blocks_the_advance(self, engine, source):
+        def hook(update, script):
+            raise OSError("log device gone")
+
+        session = engine.session(source, journal=hook)
+        with pytest.raises(OSError):
+            session.propagate(self._update(session))
+        assert session.source == source
+        assert session.stats.updates_served == 0
+
+    def test_journal_is_an_observer(self, engine, source):
+        """Scripts with and without a journal are byte-identical."""
+        plain = engine.session(source)
+        journalled = engine.session(source, journal=lambda u, s: None)
+        update = self._update(plain)
+        assert (
+            journalled.propagate(update).to_term()
+            == plain.propagate(update).to_term()
+        )
+
+
+class TestApplySourceScript:
+    """Replay: advancing a session by an already-translated script."""
+
+    def test_replay_reaches_the_same_state(self, engine, source):
+        serving = engine.session(source)
+        update = _delete_pair(serving.view, source.nodes(), "n1", "n3")
+        script = serving.propagate(update)
+
+        replaying = engine.session(source)
+        replaying.apply_source_script(script)
+        assert replaying.source == serving.source
+        assert replaying.view == serving.view
+        assert replaying._sizes == dict(serving.source.subtree_sizes())
+
+    def test_replay_then_serve_matches_cold(self, engine, schema, source):
+        """After a rebase + replay (exactly what recovery does), further
+        serving is byte-identical to a cold engine."""
+        dtd, annotation = schema
+        serving = engine.session(source)
+        first = _delete_pair(serving.view, source.nodes(), "n1", "n3")
+        script = serving.propagate(first)
+
+        recovered = engine.session(source)  # "snapshot" at genesis
+        recovered.apply_source_script(script)
+        second = _delete_pair(recovered.view, recovered.source.nodes(), "n4", "n6")
+        warm = recovered.propagate(second)
+        cold = ViewEngine(dtd, annotation).propagate(serving.source, second)
+        assert warm.to_term() == cold.to_term()
+
+    def test_mismatched_script_is_refused(self, engine, source):
+        session = engine.session(source)
+        update = _delete_pair(session.view, source.nodes(), "n1", "n3")
+        script = session.propagate(update)  # session advanced past source
+        with pytest.raises(StaleSessionError):
+            session.apply_source_script(script)  # In(script) is the old tree
+
+    def test_replay_does_not_rejournal(self, engine, source):
+        observed = []
+        serving = engine.session(source)
+        update = _delete_pair(serving.view, source.nodes(), "n1", "n3")
+        script = serving.propagate(update)
+
+        replaying = engine.session(source, journal=lambda u, s: observed.append(s))
+        replaying.apply_source_script(script)
+        assert observed == []

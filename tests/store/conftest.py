@@ -1,0 +1,38 @@
+"""Mark every test under ``tests/store`` with the ``store`` marker (so CI
+can run the durability suite with ``-m store``) and share workload
+fixtures."""
+
+import pathlib
+
+import pytest
+
+from repro.generators.workloads import running_example
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.store)
+
+
+@pytest.fixture
+def workload():
+    """The paper's running example, 4 groups — small but non-trivial."""
+    return running_example(4)
+
+
+@pytest.fixture
+def store(tmp_path):
+    from repro.store import DocumentStore
+
+    return DocumentStore.init(tmp_path / "store")
+
+
+@pytest.fixture
+def stored_doc(store, workload):
+    """A freshly ``put`` document; returns (store, doc_id, workload)."""
+    store.put("doc", workload.source, workload.dtd, workload.annotation)
+    return store, "doc", workload

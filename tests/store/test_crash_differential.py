@@ -1,0 +1,151 @@
+"""Crash-recovery differential suite (the PR's acceptance criterion).
+
+For generated (DTD, annotation, document, update-stream) workloads: run
+the stream through a durable session, kill the store at an arbitrary
+record boundary (simulated by truncating the log exactly where a crash
+mid-append would leave it), recover, and demand a document — and
+therefore a view — **byte-identical** to an uninterrupted in-memory
+:class:`~repro.session.DocumentSession` run of the same prefix. Also
+mid-record kills (which must fall back to the previous boundary) and a
+compaction thrown into the middle of the stream.
+"""
+
+import random
+
+import pytest
+
+from repro import ViewEngine
+from repro.generators.dtds import random_annotation, random_dtd
+from repro.generators.trees import random_tree
+from repro.generators.updates import random_view_update
+from repro.store import DocumentStore, scan_wal
+
+
+def _random_workload(seed, steps):
+    """(dtd, annotation, source, updates, states): ``states[k]`` is the
+    in-memory document after serving ``updates[:k]``."""
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_labels=rng.randint(3, 5))
+    annotation = random_annotation(rng, dtd)
+    source = random_tree(dtd, rng, root_label="l0", size_hint=rng.randint(4, 12))
+    engine = ViewEngine(dtd, annotation).warm_up()
+    session = engine.session(source)
+    updates, states = [], [source]
+    for _ in range(steps):
+        update = random_view_update(rng, dtd, annotation, session.source, n_ops=2)
+        updates.append(update)
+        session.propagate(update)
+        states.append(session.source)
+    return dtd, annotation, source, updates, states
+
+
+def _record_boundaries(wal_path):
+    """Byte offsets of every record boundary: after the header, after
+    record 1, ..., after the last record."""
+    data = wal_path.read_bytes()
+    scan = scan_wal(wal_path)
+    boundaries = [data.find(b"\n") + 1]
+    pos = boundaries[0]
+    for _ in scan.records:
+        header_end = data.find(b"\n", pos)
+        length = int(data[pos:header_end].split()[2])
+        pos = header_end + 1 + length + 1
+        boundaries.append(pos)
+    return boundaries
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 91, 404])
+def test_kill_at_every_record_boundary_recovers_prefix_exactly(tmp_path, seed):
+    steps = 4
+    dtd, annotation, source, updates, states = _random_workload(seed, steps)
+    store = DocumentStore.init(tmp_path / "s", fsync="off")
+    store.put("d", source, dtd, annotation)
+    with store.open_session("d") as session:
+        for update in updates:
+            session.propagate(update)
+    wal_path = store.root / "docs" / "d" / "wal.log"
+    intact = wal_path.read_bytes()
+    boundaries = _record_boundaries(wal_path)
+    assert len(boundaries) == len(updates) + 1
+
+    for k, boundary in enumerate(boundaries):
+        wal_path.write_bytes(intact[:boundary])  # the crash point
+        recovered = store.recover("d")
+        expected = states[k]
+        assert recovered.tree == expected, f"seed {seed}, boundary {k}"
+        # byte-identical document and view
+        assert recovered.tree.to_term() == expected.to_term()
+        assert (
+            annotation.view(recovered.tree).to_term()
+            == annotation.view(expected).to_term()
+        )
+        wal_path.write_bytes(intact)  # resurrect for the next kill
+
+
+@pytest.mark.parametrize("seed", [5, 77])
+def test_kill_mid_record_falls_back_to_previous_boundary(tmp_path, seed):
+    dtd, annotation, source, updates, states = _random_workload(seed, 3)
+    store = DocumentStore.init(tmp_path / "s", fsync="off")
+    store.put("d", source, dtd, annotation)
+    with store.open_session("d") as session:
+        for update in updates:
+            session.propagate(update)
+    wal_path = store.root / "docs" / "d" / "wal.log"
+    intact = wal_path.read_bytes()
+    boundaries = _record_boundaries(wal_path)
+
+    rng = random.Random(seed)
+    for k in range(len(updates)):
+        lo, hi = boundaries[k], boundaries[k + 1]
+        cut = rng.randrange(lo + 1, hi)  # strictly inside record k+1
+        wal_path.write_bytes(intact[:cut])
+        recovered = store.recover("d")
+        assert recovered.truncated_tail
+        assert recovered.tree.to_term() == states[k].to_term()
+        wal_path.write_bytes(intact)
+
+
+@pytest.mark.parametrize("seed", [13, 59])
+def test_crash_after_mid_stream_compaction(tmp_path, seed):
+    """A compaction halfway through the stream must not change what any
+    later crash point recovers to (keep_snapshots=1 so the compaction
+    genuinely trims the log)."""
+    steps = 4
+    dtd, annotation, source, updates, states = _random_workload(seed, steps)
+    store = DocumentStore.init(tmp_path / "s", fsync="off", keep_snapshots=1)
+    store.put("d", source, dtd, annotation)
+    with store.open_session("d") as session:
+        for index, update in enumerate(updates):
+            session.propagate(update)
+            if index == 1:
+                session.compact()
+    wal_path = store.root / "docs" / "d" / "wal.log"
+    intact = wal_path.read_bytes()
+    boundaries = _record_boundaries(wal_path)
+    assert scan_wal(wal_path).base_seq == 2
+
+    # crash points now reach states 2..4 (earlier ones are checkpointed)
+    for k, boundary in enumerate(boundaries):
+        wal_path.write_bytes(intact[:boundary])
+        recovered = store.recover("d")
+        assert recovered.tree.to_term() == states[2 + k].to_term()
+        wal_path.write_bytes(intact)
+
+
+def test_durable_scripts_equal_in_memory_scripts(tmp_path):
+    """The journal must be an observer: scripts served durably are byte-
+    identical to the in-memory session's (and to cold serving, by the
+    existing property suite)."""
+    dtd, annotation, source, updates, _ = _random_workload(321, 4)
+    store = DocumentStore.init(tmp_path / "s")
+    store.put("d", source, dtd, annotation)
+    engine = ViewEngine(dtd, annotation)
+    plain = engine.session(source)
+    with store.open_session("d") as durable:
+        for update in updates:
+            assert (
+                durable.propagate(update).to_term()
+                == plain.propagate(update).to_term()
+            )
+        assert durable.source == plain.source
+        assert durable.view == plain.view

@@ -1,0 +1,253 @@
+"""Recovery edge cases: empty logs, torn tails, snapshots ahead of the
+log, schema mismatches on open, external replacement + rebase."""
+
+import random
+
+import pytest
+
+from repro import DTD, Annotation, ViewEngine
+from repro.errors import (
+    RecoveryError,
+    StaleSessionError,
+    StoreSchemaMismatchError,
+    WALCorruptError,
+)
+from repro.generators.updates import random_view_update
+from repro.registry import schema_fingerprint
+from repro.store import DocumentStore, create_wal, scan_wal
+from repro.store.snapshot import list_snapshots
+
+
+def _wal(store, doc_id):
+    return store.root / "docs" / doc_id / "wal.log"
+
+
+def _advance(store, doc_id, workload, n=1, seed=23):
+    """Serve *n* random updates durably; returns the final tree."""
+    rng = random.Random(seed)
+    with store.open_session(doc_id) as session:
+        for _ in range(n):
+            update = random_view_update(
+                rng, workload.dtd, workload.annotation, session.source, n_ops=2
+            )
+            session.propagate(update)
+        return session.source
+
+
+class TestEmptyWal:
+    def test_fresh_document_recovers_to_genesis(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        recovered = store.recover(doc_id)
+        assert recovered.tree == workload.source
+        assert recovered.snapshot_seq == 0
+        assert recovered.last_seq == 0
+        assert recovered.replayed == 0
+        assert not recovered.truncated_tail
+
+    def test_empty_wal_after_compaction(self, tmp_path, workload):
+        from repro.store import DocumentStore
+
+        store = DocumentStore.init(tmp_path / "s", keep_snapshots=1)
+        store.put("doc", workload.source, workload.dtd, workload.annotation)
+        final = _advance(store, "doc", workload, n=2)
+        store.compact("doc")  # single retained snapshot → log fully trimmed
+        assert scan_wal(_wal(store, "doc")).records == ()
+        recovered = store.recover("doc")
+        assert recovered.tree == final
+        assert recovered.replayed == 0
+
+
+class TestTornFinalRecord:
+    def test_torn_tail_truncated_and_previous_state_restored(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        _advance(store, doc_id, workload, n=2)
+        after_one = None
+        # rebuild what the state was after record 1 from a clean recover
+        wal = _wal(store, doc_id)
+        intact = wal.read_bytes()
+        scan = scan_wal(wal)
+        assert scan.last_seq == 2
+        # cut into the middle of record 2
+        record_starts = []
+        pos = intact.find(b"\n") + 1
+        for record in scan.records:
+            record_starts.append(pos)
+            header_end = intact.find(b"\n", pos)
+            length = int(intact[pos:header_end].split()[2])
+            pos = header_end + 1 + length + 1
+        wal.write_bytes(intact[: record_starts[1] + 5])
+
+        recovered = store.recover(doc_id)
+        assert recovered.truncated_tail
+        assert recovered.last_seq == 1
+        assert recovered.replayed == 1
+        # the file was repaired: a second recovery is clean
+        again = store.recover(doc_id)
+        assert not again.truncated_tail
+        assert again.tree == recovered.tree
+
+    def test_repair_false_leaves_the_tail(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        _advance(store, doc_id, workload, n=1)
+        wal = _wal(store, doc_id)
+        wal.write_bytes(wal.read_bytes() + b"R 2 99 12345\nhalf")
+        before = wal.read_bytes()
+        recovered = store.recover(doc_id, repair=False)
+        assert not recovered.truncated_tail  # reported as found, not cut
+        assert wal.read_bytes() == before
+        repaired = store.recover(doc_id)
+        assert repaired.truncated_tail
+        assert wal.read_bytes() != before
+
+
+class TestSnapshotNewerThanLog:
+    def test_snapshot_ahead_of_log_is_fatal(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        _advance(store, doc_id, workload, n=2)
+        store.compact(doc_id)  # snapshot at seq 2, log base 2
+        # the log is then lost and recreated from scratch (base 0, empty)
+        create_wal(_wal(store, doc_id), base_seq=0)
+        with pytest.raises(RecoveryError, match="ahead of the log"):
+            store.recover(doc_id)
+
+    def test_log_trimmed_past_snapshot_is_fatal(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        _advance(store, doc_id, workload, n=1)
+        # pretend compaction trimmed the log to base 5 without a snapshot
+        create_wal(_wal(store, doc_id), base_seq=5)
+        with pytest.raises(RecoveryError, match="no usable snapshot"):
+            store.recover(doc_id)
+
+    def test_no_snapshots_at_all_is_fatal(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        for _, path in list_snapshots(
+            store.root / "docs" / doc_id / "snapshots"
+        ):
+            path.unlink()
+        with pytest.raises(RecoveryError, match="no usable snapshot"):
+            store.recover(doc_id)
+
+    def test_corrupt_newest_snapshot_falls_back_when_log_covers_it(
+        self, stored_doc
+    ):
+        """keep_snapshots=2 retention is real redundancy: compaction
+        trims the log only past the *oldest* retained checkpoint, so when
+        the newest snapshot rots, recovery falls back and replays more."""
+        store, doc_id, workload = stored_doc
+        final = _advance(store, doc_id, workload, n=2)
+        with store.open_session(doc_id) as session:
+            session.compact()  # snapshot at 2; genesis stays retained
+        snapshots = list_snapshots(store.root / "docs" / doc_id / "snapshots")
+        assert [seq for seq, _ in snapshots] == [0, 2]
+        snapshots[-1][1].write_bytes(b"{broken")
+        recovered = store.recover(doc_id)
+        assert recovered.snapshot_seq == 0
+        assert recovered.replayed == 2
+        assert recovered.tree == final
+
+    def test_corrupt_newest_snapshot_without_coverage_is_fatal(
+        self, tmp_path, workload
+    ):
+        from repro.store import DocumentStore
+
+        store = DocumentStore.init(tmp_path / "s", keep_snapshots=1)
+        store.put("doc", workload.source, workload.dtd, workload.annotation)
+        _advance(store, "doc", workload, n=1)
+        store.compact("doc")  # only snapshot 1 retained, log trimmed to 1
+        snapshots = list_snapshots(store.root / "docs" / "doc" / "snapshots")
+        assert [seq for seq, _ in snapshots] == [1]
+        snapshots[-1][1].write_bytes(b"{broken")
+        with pytest.raises(RecoveryError, match="no usable snapshot"):
+            store.recover("doc")
+
+
+class TestInteriorCorruptionIsFatal:
+    def test_flipped_byte_mid_log(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        _advance(store, doc_id, workload, n=3)
+        wal = _wal(store, doc_id)
+        data = bytearray(wal.read_bytes())
+        first_record = data.find(b"\nR ") + 1
+        payload_start = data.find(b"\n", first_record) + 1
+        data[payload_start] ^= 0xFF
+        wal.write_bytes(bytes(data))
+        with pytest.raises(WALCorruptError):
+            store.recover(doc_id)
+
+
+class TestSchemaMismatchOnOpen:
+    def test_engine_for_other_schema_refused(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        other = ViewEngine(
+            DTD({"r": "a*", "a": ""}), Annotation.hiding(("r", "a"))
+        )
+        with pytest.raises(StoreSchemaMismatchError):
+            store.open_session(doc_id, engine=other)
+
+    def test_mismatch_is_a_stale_session_error(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        other = ViewEngine(DTD({"r": "a*", "a": ""}), Annotation.identity())
+        with pytest.raises(StaleSessionError):
+            store.open_session(doc_id, engine=other)
+
+    def test_matching_engine_accepted(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        engine = ViewEngine(workload.dtd, workload.annotation)
+        with store.open_session(doc_id, engine=engine) as session:
+            assert session.engine is engine
+
+    def test_tampered_schema_files_detected(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        ann_file = store.root / "docs" / doc_id / "schema.ann"
+        ann_file.write_text("default visible\n")  # hides nothing anymore
+        with pytest.raises(StoreSchemaMismatchError, match="edited after"):
+            store.open_session(doc_id)
+
+    def test_snapshot_under_wrong_schema_skipped(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        # rewrite the genesis snapshot under a lying schema hash
+        from repro.store import write_snapshot
+
+        directory = store.root / "docs" / doc_id / "snapshots"
+        write_snapshot(directory, workload.source, seq=0, schema_hash="lie")
+        with pytest.raises(RecoveryError, match="no usable snapshot"):
+            store.recover(doc_id)
+
+
+class TestExternalReplacementAndRebase:
+    def test_reopen_after_external_compaction(self, stored_doc):
+        """A session closed, the document compacted elsewhere, a new
+        session opened: serving continues from the exact same state."""
+        store, doc_id, workload = stored_doc
+        final = _advance(store, doc_id, workload, n=2)
+        store.compact(doc_id)  # 'external' maintenance between sessions
+        with store.open_session(doc_id) as session:
+            assert session.source == final
+            assert session.recovered.replayed == 0
+
+    def test_rebase_follows_an_externally_replaced_tree(self, stored_doc):
+        """`rebase()` is the session-level answer to 'the tree changed
+        under me': after an overwrite-put, a plain session rebased onto
+        the recovered tree serves byte-identically to a cold engine."""
+        store, doc_id, workload = stored_doc
+        engine = ViewEngine(workload.dtd, workload.annotation)
+        session = engine.session(workload.source)
+        session.propagate(workload.update)
+
+        # the stored document is replaced wholesale behind the session
+        store.put(
+            doc_id,
+            workload.source,
+            workload.dtd,
+            workload.annotation,
+            overwrite=True,
+        )
+        replaced = store.load(doc_id)
+        with pytest.raises(StaleSessionError):
+            session.propagate(workload.update, source=replaced)
+        session.rebase(replaced)
+        script = session.propagate(workload.update)
+        cold = ViewEngine(workload.dtd, workload.annotation).propagate(
+            workload.source, workload.update
+        )
+        assert script.to_term() == cold.to_term()
