@@ -3,9 +3,20 @@ in time polynomial in |D| + |t| + |S| + |W|. End-to-end timings across
 document sizes and workload families, the cold-vs-warm ViewEngine
 comparison (amortised per-update serving cost), the streaming
 workload pitting a :class:`DocumentSession` against transient-engine
-serving, and the durability columns quantifying write-ahead-log
-overhead (``always``/``batch`` fsync vs in-memory serving). Run with
-``REPRO_BENCH_SMOKE=1`` for a 2-update import-clean smoke pass.
+serving, the cross-request memoization and process-pool columns of the
+propagation fast path, and the durability columns quantifying
+write-ahead-log overhead (``always``/``batch``/group-commit fsync vs
+in-memory serving). Run with ``REPRO_BENCH_SMOKE=1`` for a 2-update
+import-clean smoke pass.
+
+Run **as a script** to emit the machine-readable perf trajectory::
+
+    python benchmarks/bench_end_to_end.py --json BENCH_PR4.json [--smoke]
+
+writing per-workload medians for the five serving modes (cold, warm,
+session, memoized, process-pool) plus the WAL columns — the checked-in
+``BENCH_PR4.json`` is that output, and CI's ``bench-smoke`` job fails
+on regressions against it (``benchmarks/check_regression.py``).
 
 Note the free :func:`repro.propagate` is served by the default engine
 registry since the serving tier landed — the scaling benchmarks below
@@ -14,8 +25,10 @@ quantity); the explicitly *cold* benchmarks build a transient
 :class:`ViewEngine` per call to keep measuring full recompilation.
 """
 
+import json
 import os
 import random
+import statistics
 import time
 
 import pytest
@@ -264,3 +277,284 @@ class TestDurableStreaming:
                 f"  {name:18s} {per_update:8.2f} ms/update "
                 f"({overhead:+6.1f}% vs in-memory)"
             )
+
+
+# ---------------------------------------------------------------------------
+# Memoization: the same (source, update) request arriving again and again —
+# retries, idempotent replays, many clients making the same change. A warm
+# engine with the memo off rebuilds every graph per request; with the memo
+# on, repeats cost one content hash. Byte-identical scripts, asserted.
+# ---------------------------------------------------------------------------
+
+MEMO_REPEATS = 4 if SMOKE else 16
+
+
+class TestMemoizedServing:
+    def test_memo_beats_warm_engine_on_repeats(self):
+        workload = hospital(8 if SMOKE else 120)
+        dtd, annotation = workload.dtd, workload.annotation
+
+        warm = ViewEngine(dtd, annotation, memo_capacity=0).warm_up()
+        start = time.perf_counter()
+        warm_scripts = [
+            warm.propagate(workload.source, workload.update)
+            for _ in range(MEMO_REPEATS)
+        ]
+        warm_elapsed = time.perf_counter() - start
+
+        memo = ViewEngine(dtd, annotation).warm_up()
+        memo.propagate(workload.source, workload.update)  # prime (one miss)
+        start = time.perf_counter()
+        memo_scripts = [
+            memo.propagate(workload.source, workload.update)
+            for _ in range(MEMO_REPEATS)
+        ]
+        memo_elapsed = time.perf_counter() - start
+
+        # memoization must be invisible in the bytes
+        assert [s.to_term() for s in memo_scripts] == [
+            s.to_term() for s in warm_scripts
+        ]
+        assert memo.stats.memo_hits == MEMO_REPEATS
+
+        per_warm = warm_elapsed / MEMO_REPEATS * 1000
+        per_memo = memo_elapsed / MEMO_REPEATS * 1000
+        speedup = warm_elapsed / memo_elapsed if memo_elapsed else float("inf")
+        print(
+            f"\nrepeated identical update x{MEMO_REPEATS}: warm "
+            f"{per_warm:.2f} ms/update, memoized {per_memo:.3f} ms/update, "
+            f"speedup {speedup:.1f}x"
+        )
+        if not SMOKE:
+            # the acceptance floor is 5x; assert a conservative margin so
+            # noisy CI boxes do not flake
+            assert speedup > 2, (
+                f"memoized serving ({per_memo:.3f} ms) not faster than a "
+                f"warm engine ({per_warm:.3f} ms)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Process pool: a CPU-bound many-document batch served by worker processes.
+# On a single-core box the pool only adds pickling overhead — the column
+# exists for byte-identity and for recording the crossover on real hardware.
+# ---------------------------------------------------------------------------
+
+
+class TestProcessPoolServing:
+    def test_process_pool_matches_serial(self):
+        workload = hospital(6 if SMOKE else 40)
+        dtd, annotation = workload.dtd, workload.annotation
+        engine = ViewEngine(dtd, annotation).warm_up()
+        batch = [(workload.source, workload.update)] * (4 if SMOKE else 16)
+
+        serial = engine.propagate_many(list(batch), memo=False)
+        pooled = engine.propagate_many(
+            list(batch), parallel="process", workers=min(4, os.cpu_count() or 1)
+        )
+        assert [s.to_term() for s in pooled] == [s.to_term() for s in serial]
+
+
+# ---------------------------------------------------------------------------
+# The machine-readable perf trajectory (python bench_end_to_end.py --json).
+# ---------------------------------------------------------------------------
+
+
+def _median_seconds(fn, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _repeated_update_modes(workload, repeats: int, rounds: int) -> dict:
+    """Median ms/request for the four single-request serving modes."""
+    dtd, annotation = workload.dtd, workload.annotation
+    source, update = workload.source, workload.update
+    reference = ViewEngine(dtd, annotation, memo_capacity=0).propagate(
+        source, update
+    ).to_term()
+
+    def serve_cold():
+        for _ in range(repeats):
+            ViewEngine(dtd, annotation, memo_capacity=0).propagate(source, update)
+
+    warm_engine = ViewEngine(dtd, annotation, memo_capacity=0).warm_up()
+
+    def serve_warm():
+        for _ in range(repeats):
+            warm_engine.propagate(source, update)
+
+    memo_engine = ViewEngine(dtd, annotation).warm_up()
+    assert memo_engine.propagate(source, update).to_term() == reference
+
+    def serve_memoized():
+        for _ in range(repeats):
+            memo_engine.propagate(source, update)
+
+    batch = [(source, update)] * repeats
+
+    def serve_process_pool():
+        memo_engine.propagate_many(batch, parallel="process")
+
+    modes = {
+        "cold_ms": _median_seconds(serve_cold, rounds),
+        "warm_ms": _median_seconds(serve_warm, rounds),
+        "memoized_ms": _median_seconds(serve_memoized, rounds),
+        "process_pool_ms": _median_seconds(serve_process_pool, rounds),
+    }
+    per_request = {key: value / repeats * 1000 for key, value in modes.items()}
+    per_request["memoized_speedup_vs_warm"] = (
+        per_request["warm_ms"] / per_request["memoized_ms"]
+    )
+    per_request["memoized_speedup_vs_cold"] = (
+        per_request["cold_ms"] / per_request["memoized_ms"]
+    )
+    per_request["repeats"] = repeats
+    return per_request
+
+
+def _streaming_modes(workload, length: int, rounds: int) -> dict:
+    """Median ms/update for transient-engine vs session streaming."""
+    dtd, annotation = workload.dtd, workload.annotation
+    updates = _sequential_stream(workload, length)
+
+    def serve_transient():
+        current = workload.source
+        for update in updates:
+            script = ViewEngine(dtd, annotation).propagate(current, update)
+            current = script.output_tree
+
+    engine = ViewEngine(dtd, annotation).warm_up()
+
+    def serve_session():
+        session = engine.session(workload.source)
+        session.serve(updates)
+
+    transient = _median_seconds(serve_transient, rounds)
+    session = _median_seconds(serve_session, rounds)
+    return {
+        "stream_length": len(updates),
+        "transient_ms_per_update": transient / len(updates) * 1000,
+        "session_ms_per_update": session / len(updates) * 1000,
+        "session_speedup_vs_transient": transient / session,
+    }
+
+
+def _wal_modes(workload, length: int, tmp_root, rounds: int) -> dict:
+    """ms/update for in-memory vs WAL policies (incl. group commit)."""
+    from pathlib import Path
+
+    dtd, annotation = workload.dtd, workload.annotation
+    updates = _sequential_stream(workload, length)
+    engine = ViewEngine(dtd, annotation).warm_up()
+    engine.session(workload.source).serve(updates)  # warm every lazy cache
+
+    off_elapsed = _median_seconds(
+        lambda: engine.session(workload.source).serve(updates), rounds
+    )
+    columns = {"in_memory_ms_per_update": off_elapsed / len(updates) * 1000}
+
+    flavours = {
+        "wal_batch": {"fsync": "batch"},
+        "wal_always": {"fsync": "always"},
+        "wal_group_commit": {
+            "fsync": "batch",
+            "group_commit": True,
+            "group_window": 0.002,
+        },
+    }
+    for name, kwargs in flavours.items():
+        times = []
+        for round_index in range(rounds):
+            # a fresh store per round (the stream only applies once), but
+            # only the serving itself is timed — setup and recovery are not
+            # per-update costs
+            store = DocumentStore.init(
+                Path(tmp_root) / f"store-{name}-{round_index}", **kwargs
+            )
+            store.put("doc", workload.source, dtd, annotation)
+            with store.open_session("doc", engine=engine) as durable:
+                start = time.perf_counter()
+                durable.serve(updates)
+                times.append(time.perf_counter() - start)
+            store.close()
+        elapsed = statistics.median(times)
+        columns[f"{name}_ms_per_update"] = elapsed / len(updates) * 1000
+        columns[f"{name}_overhead_pct"] = (elapsed / off_elapsed - 1) * 100
+    return columns
+
+
+def run_trajectory(smoke: bool) -> dict:
+    """The full perf trajectory as one JSON-serializable report."""
+    repeats = 4 if smoke else 16
+    rounds = 2 if smoke else 5
+    stream_length = 2 if smoke else 50
+    families = {
+        "hospital": hospital(8 if smoke else 120),
+        "wide_schema": wide_schema(12 if smoke else 24, sections=8),
+    }
+    workloads = {}
+    for name, workload in families.items():
+        print(f"[{name}] source={workload.source.size} nodes", flush=True)
+        workloads[name] = {
+            "source_size": workload.source.size,
+            "repeated_update": _repeated_update_modes(workload, repeats, rounds),
+            "streaming": _streaming_modes(workload, stream_length, rounds),
+        }
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp_root:
+        workloads["wide_schema"]["wal"] = _wal_modes(
+            families["wide_schema"], stream_length, tmp_root, rounds
+        )
+    return {
+        "meta": {
+            "generated_by": "benchmarks/bench_end_to_end.py --json",
+            "mode": "smoke" if smoke else "full",
+            "cpus": os.cpu_count(),
+            "repeats": repeats,
+            "rounds": rounds,
+            "stream_length": stream_length,
+        },
+        "workloads": workloads,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Write the end-to-end perf trajectory as JSON"
+    )
+    parser.add_argument("--json", required=True, help="output path")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes (what CI's bench-smoke job runs)",
+    )
+    args = parser.parse_args(argv)
+    report = run_trajectory(args.smoke or SMOKE)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, data in report["workloads"].items():
+        repeated = data["repeated_update"]
+        streaming = data["streaming"]
+        print(
+            f"{name}: cold {repeated['cold_ms']:.2f} / warm "
+            f"{repeated['warm_ms']:.2f} / memoized {repeated['memoized_ms']:.3f} "
+            f"/ process-pool {repeated['process_pool_ms']:.2f} ms/request; "
+            f"memo speedup {repeated['memoized_speedup_vs_warm']:.1f}x vs warm; "
+            f"streaming session {streaming['session_ms_per_update']:.2f} "
+            f"ms/update ({streaming['session_speedup_vs_transient']:.1f}x vs "
+            "transient)"
+        )
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Fail when a fresh benchmark run regresses against the checked-in baseline.
+
+CI's ``bench-smoke`` job runs::
+
+    python benchmarks/bench_end_to_end.py --json /tmp/bench.json --smoke
+    python benchmarks/check_regression.py \\
+        --baseline BENCH_PR4.json --candidate /tmp/bench.json
+
+Absolute times are machine-bound and useless across runners, so only
+**ratio** metrics are compared — the memoized-vs-warm speedup of
+repeated identical updates and the session-vs-transient speedup of the
+streaming workload. A candidate ratio more than ``--tolerance`` (default
+25%) below the baseline's fails the job. The baseline file carries a
+dedicated ``smoke_reference`` section (per-metric minimum of several
+smoke runs on the baseline machine); a smoke candidate is compared
+against that, a full run against the root workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+RATIO_METRICS = (
+    ("repeated_update", "memoized_speedup_vs_warm"),
+    ("streaming", "session_speedup_vs_transient"),
+)
+
+# Smoke workloads are microsecond-scale, so even their *ratios* wobble
+# with scheduler noise on shared runners. Caps bound what the smoke gate
+# may demand: a 100x memo speedup on the baseline box still only
+# requires 10x (minus tolerance) in CI — enough to prove the cache is
+# alive without tripping on a 20 µs hiccup. Full-mode comparisons are
+# uncapped.
+SMOKE_EXPECTATION_CAPS = {
+    "memoized_speedup_vs_warm": 10.0,
+    "session_speedup_vs_transient": 1.0,
+}
+
+
+def check(baseline: dict, candidate: dict, tolerance: float) -> "list[str]":
+    mode = candidate.get("meta", {}).get("mode", "full")
+    if mode == "smoke" and "smoke_reference" in baseline:
+        reference = baseline["smoke_reference"]["workloads"]
+    else:
+        reference = baseline["workloads"]
+    failures: "list[str]" = []
+    for family, sections in candidate["workloads"].items():
+        if family not in reference:
+            continue
+        for section, metric in RATIO_METRICS:
+            expected = reference[family].get(section, {}).get(metric)
+            actual = sections.get(section, {}).get(metric)
+            if expected is None or actual is None:
+                continue
+            if mode == "smoke" and metric in SMOKE_EXPECTATION_CAPS:
+                expected = min(expected, SMOKE_EXPECTATION_CAPS[metric])
+            floor = expected * (1.0 - tolerance)
+            status = "ok" if actual >= floor else "REGRESSION"
+            print(
+                f"{family}.{section}.{metric}: candidate {actual:.2f}x vs "
+                f"baseline {expected:.2f}x (floor {floor:.2f}x) [{status}]"
+            )
+            if actual < floor:
+                failures.append(
+                    f"{family}.{section}.{metric}: {actual:.2f}x < "
+                    f"{floor:.2f}x (baseline {expected:.2f}x - {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.candidate, encoding="utf-8") as handle:
+        candidate = json.load(handle)
+    failures = check(baseline, candidate, args.tolerance)
+    if failures:
+        print("\nperformance regression vs checked-in baseline:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regression beyond tolerance — baseline holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

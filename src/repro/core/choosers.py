@@ -31,6 +31,7 @@ __all__ = [
     "PathChooser",
     "PreferenceChooser",
     "CheapestPathChooser",
+    "chooser_from_key",
     "NOP_OVER_DEL_OVER_INS",
     "DEL_OVER_NOP_OVER_INS",
     "INS_OVER_NOP_OVER_DEL",
@@ -103,6 +104,16 @@ class PreferenceChooser:
             graph.source, graph.targets, graph.edges_from, self.preference
         )
 
+    def cache_key(self) -> tuple:
+        """A hashable, picklable key determining this chooser's behaviour.
+
+        Equal keys mean byte-identical path choices — the propagation
+        memo of :class:`~repro.engine.ViewEngine` and the process-pool
+        serving envelopes both rely on it (see :func:`chooser_from_key`).
+        """
+        order = sorted(self._rank, key=self._rank.get)
+        return ("greedy", tuple(op.value for op in order))
+
     def __repr__(self) -> str:
         order = sorted(self._rank, key=self._rank.get)
         return f"PreferenceChooser({' > '.join(op.value for op in order)})"
@@ -135,6 +146,27 @@ class CheapestPathChooser:
             raise NoPropagationError(f"no path in graph of {graph.node!r}")
         return path
 
+    def cache_key(self) -> tuple:
+        """See :meth:`PreferenceChooser.cache_key`."""
+        order = sorted(self._rank, key=self._rank.get)
+        return ("dijkstra", tuple(op.value for op in order))
+
     def __repr__(self) -> str:
         order = sorted(self._rank, key=self._rank.get)
         return f"CheapestPathChooser({' > '.join(op.value for op in order)})"
+
+
+def chooser_from_key(key: tuple) -> "PreferenceChooser | CheapestPathChooser":
+    """Rebuild a shipped chooser from its :meth:`~PreferenceChooser.cache_key`.
+
+    The inverse the process-pool serving path uses to reconstruct Φ
+    inside a worker: only the two shipped chooser families round-trip
+    (user-defined choosers have no canonical key).
+    """
+    kind, op_values = key
+    op_order = tuple(Op(value) for value in op_values)
+    if kind == "greedy":
+        return PreferenceChooser(op_order)
+    if kind == "dijkstra":
+        return CheapestPathChooser(op_order)
+    raise ValueError(f"unknown chooser key {key!r}")

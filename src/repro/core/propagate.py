@@ -24,11 +24,11 @@ Validation and verification helpers live here too:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, MutableMapping, Sequence
 
 from ..dtd import DTD, MinimalTreeFactory, TreeFactory, view_dtd
-from ..editing import EditScript, Op
-from ..errors import InvalidViewUpdateError
+from ..editing import EditScript, EditLabel, Op
+from ..errors import DuplicateNodeError, InvalidViewUpdateError
 from ..graphutil import min_distances
 from ..inversion import InversionGraphs, inversion_graphs
 from ..views import Annotation
@@ -50,6 +50,19 @@ __all__ = [
     "is_side_effect_free",
     "verify_propagation",
 ]
+
+_LABEL_CACHE: "dict[tuple[Op, str], EditLabel]" = {}
+
+
+def _uniform_label(op: Op, symbol: str) -> EditLabel:
+    """Interned ``EditLabel(op, symbol)`` — script emission labels whole
+    subtrees uniformly, so one immutable label instance per (op, symbol)
+    saves a dataclass construction per node on the hot path. Bounded by
+    the alphabets of the schemas served."""
+    label = _LABEL_CACHE.get((op, symbol))
+    if label is None:
+        label = _LABEL_CACHE[(op, symbol)] = EditLabel(op, symbol)
+    return label
 
 
 def validate_view_update(
@@ -132,6 +145,21 @@ class PropagationGraphs:
     ``costs[n]`` is the cheapest propagation-path cost of ``G_n``;
     ``costs[root]`` is the cost of an optimal propagation. Optimal
     subgraphs are cached via :meth:`optimal`.
+
+    **Pristine nodes.** A kept node whose entire update subtree is
+    phantom (every operation ``Nop``) is *pristine*: its graph has a
+    0-cost path threading exactly the existing source children (the
+    source is schema-compliant, so the automaton accepts its child
+    word), every Ins/Del edge costs at least 1, and therefore **every**
+    0-cost path — and with it the whole optimal subgraph — consumes all
+    children in order with Nops. Its cheapest cost is 0 and the script
+    it contributes is ``Nop(t|node)`` no matter which path a chooser
+    picks. The collection builder consequently skips graph construction
+    for pristine nodes (per update, only the graphs along root-to-edit
+    paths are built — the *affected* region), and :meth:`build_script`
+    splices their source subtrees directly. Accessing a pristine node's
+    graph through :meth:`__getitem__`/:meth:`optimal` still works: it
+    materializes on demand, identical to an eager build.
     """
 
     def __init__(
@@ -144,6 +172,13 @@ class PropagationGraphs:
         graphs: Mapping[NodeId, PropagationGraph],
         costs: Mapping[NodeId, int],
         insertions: Mapping[NodeId, InversionGraphs],
+        *,
+        order: "Sequence[NodeId] | None" = None,
+        pristine: "frozenset[NodeId]" = frozenset(),
+        subtree_sizes: "Mapping[NodeId, int] | None" = None,
+        insert_costs: "Mapping[NodeId, int] | None" = None,
+        hidden_table: "Mapping[str, Sequence[str]] | None" = None,
+        insert_moves: "Callable[[str], Mapping] | None" = None,
     ) -> None:
         self.dtd = dtd
         self.annotation = annotation
@@ -153,21 +188,63 @@ class PropagationGraphs:
         self._graphs = dict(graphs)
         self.costs = dict(costs)
         self.insertions = dict(insertions)
+        self._order = list(order) if order is not None else list(self._graphs)
+        self._pristine = pristine
+        self._subtree_sizes = subtree_sizes
+        self._insert_costs = dict(insert_costs) if insert_costs else {}
+        self._hidden_table = hidden_table
+        self._insert_moves = insert_moves
         self._optimal: dict[NodeId, OptimalPropagationGraph] = {}
 
+    @property
+    def pristine(self) -> "frozenset[NodeId]":
+        """Kept nodes whose update subtree is entirely phantom."""
+        return self._pristine
+
+    def _materialize(self, node: NodeId) -> PropagationGraph:
+        """Build a pristine node's graph on demand (see the class doc)."""
+        if node not in self._pristine:
+            raise KeyError(node)
+        sizes = self._subtree_sizes
+        if sizes is None:
+            sizes = self.source.subtree_sizes()
+        graph = build_propagation_graph(
+            self.dtd,
+            self.annotation,
+            self.source,
+            self.update,
+            node,
+            factory=self.factory,
+            subtree_sizes=sizes,  # type: ignore[arg-type]
+            child_costs=self.costs,
+            insert_costs=self._insert_costs,
+            effective_label=None,  # pristine nodes are phantom, never renamed
+            hidden_table=self._hidden_table,
+            insert_moves=(
+                self._insert_moves(self.source.label(node))
+                if self._insert_moves is not None
+                else None
+            ),
+        )
+        self._graphs[node] = graph
+        return graph
+
     def __getitem__(self, node: NodeId) -> PropagationGraph:
-        return self._graphs[node]
+        graph = self._graphs.get(node)
+        if graph is None:
+            graph = self._materialize(node)
+        return graph
 
     def __iter__(self) -> Iterator[NodeId]:
-        return iter(self._graphs)
+        return iter(self._order)
 
     def __len__(self) -> int:
-        return len(self._graphs)
+        return len(self._order)
 
     def optimal(self, node: NodeId) -> OptimalPropagationGraph:
         """``G*_node`` — cached cheapest-path-induced subgraph."""
         if node not in self._optimal:
-            self._optimal[node] = OptimalPropagationGraph(self._graphs[node])
+            self._optimal[node] = OptimalPropagationGraph(self[node])
         return self._optimal[node]
 
     def min_cost(self) -> int:
@@ -176,8 +253,10 @@ class PropagationGraphs:
 
     @property
     def total_size(self) -> int:
-        """Total vertex+edge count over all graphs (for scaling studies)."""
-        return sum(g.n_vertices + g.n_edges for g in self._graphs.values())
+        """Total vertex+edge count over all graphs (for scaling studies;
+        materializes every lazily skipped graph so the number matches an
+        eager build)."""
+        return sum(self[n].n_vertices + self[n].n_edges for n in self._order)
 
     # ------------------------------------------------------------------
     # Script construction (steps 3-4 of the algorithm)
@@ -190,29 +269,77 @@ class PropagationGraphs:
         *,
         optimal_only: bool = True,
     ) -> EditScript:
-        """Assemble a propagation from one chosen path per (used) graph."""
-        if fresh is None:
-            generator = NodeIds.avoiding(
-                list(self.source.nodes()) + list(self.update.nodes()), "f"
-            )
-            fresh = generator.fresh
+        """Assemble a propagation from one chosen path per (used) graph.
 
-        def build(node: NodeId) -> EditScript:
-            graph = self.optimal(node) if optimal_only else self._graphs[node]
+        The batched applier: one traversal over the chosen paths
+        accumulates the script's node maps directly — kept source
+        subtrees and inserted fragments are spliced in without
+        materializing (and re-merging) an intermediate script per level.
+        The emitted script, including every fresh identifier, is
+        byte-identical to the old level-by-level assembly.
+        """
+        if fresh is None:
+            # byte-compatible with NodeIds.avoiding(source + update, "f"):
+            # candidates exceed every live f-suffix, so none can collide —
+            # and both maxima are memoized on the (immutable) trees.
+            start = 1 + max(
+                self.source.max_suffix("f"), self.update.tree.max_suffix("f")
+            )
+            fresh = NodeIds("f", start).fresh
+
+        source_labels = self.source._labels
+        source_children = self.source._children
+        labels: "dict[NodeId, EditLabel]" = {}
+        children: "dict[NodeId, tuple[NodeId, ...]]" = {}
+        parents: "dict[NodeId, NodeId]" = {}
+        emitted = 0
+
+        def emit_fragment(tree: Tree, op: Op) -> NodeId:
+            """Splice a whole freshly built tree in under a uniform op."""
+            nonlocal emitted
+            for nid, symbol in tree._labels.items():
+                labels[nid] = _uniform_label(op, symbol)
+            children.update(tree._children)
+            parents.update(tree._parents)
+            emitted += len(tree._labels)
+            return tree.root
+
+        def emit_source_subtree(node: NodeId, op: Op) -> NodeId:
+            """Splice ``t|node`` in under a uniform op, no intermediate tree."""
+            nonlocal emitted
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                labels[current] = _uniform_label(op, source_labels[current])
+                emitted += 1
+                kids = source_children.get(current)
+                if kids:
+                    children[current] = kids
+                    for kid in kids:
+                        parents[kid] = current
+                    stack.extend(kids)
+            return node
+
+        pristine = self._pristine
+
+        def build(node: NodeId) -> NodeId:
+            nonlocal emitted
+            if optimal_only and node in pristine:
+                # the optimal subgraph of a pristine node admits exactly
+                # one script — keep everything — so no chooser can emit
+                # anything but the phantom source subtree (class doc)
+                return emit_source_subtree(node, Op.NOP)
+            graph = self.optimal(node) if optimal_only else self[node]
             path = chooser.choose(graph)
-            children: list[EditScript] = []
+            kids: list[NodeId] = []
             for edge in path:
                 if edge.kind is EdgeKind.INVISIBLE_INSERT:
                     tree = self.factory.build(edge.symbol, fresh)
-                    children.append(EditScript.insertion(tree))
+                    kids.append(emit_fragment(tree, Op.INS))
                 elif edge.kind in (EdgeKind.INVISIBLE_DELETE, EdgeKind.VISIBLE_DELETE):
-                    children.append(
-                        EditScript.deletion(self.source.subtree(edge.t_child))
-                    )
+                    kids.append(emit_source_subtree(edge.t_child, Op.DEL))
                 elif edge.kind is EdgeKind.INVISIBLE_NOP:
-                    children.append(
-                        EditScript.phantom(self.source.subtree(edge.t_child))
-                    )
+                    kids.append(emit_source_subtree(edge.t_child, Op.NOP))
                 elif edge.kind is EdgeKind.VISIBLE_INSERT:
                     inversion = self.insertions[edge.s_child]
                     inverse = inversion.build_tree(
@@ -220,19 +347,35 @@ class PropagationGraphs:
                         fresh,
                         optimal_only=optimal_only,
                     )
-                    children.append(EditScript.insertion(inverse))
+                    kids.append(emit_fragment(inverse, Op.INS))
                 else:  # VISIBLE_NOP / VISIBLE_RENAME: recurse
-                    children.append(build(edge.t_child))
+                    kids.append(build(edge.t_child))
             # the node's own operation comes from the update (Nop or Ren)
-            label = self.update.edit_label(node)
-            return EditScript.assemble(label, node, children)
+            labels[node] = self.update.edit_label(node)
+            emitted += 1
+            if kids:
+                children[node] = tuple(kids)
+                for kid in kids:
+                    parents[kid] = node
+            return node
 
-        return build(self.update.root)
+        root = build(self.update.root)
+        if len(labels) != emitted:
+            raise DuplicateNodeError(
+                "propagation fragments share node identifiers — the update "
+                "reuses identifiers it must not (was validation skipped?)"
+            )
+        return EditScript._trusted(
+            Tree._from_parts(root, labels, children, parents)
+        )
 
     def __repr__(self) -> str:
+        # deliberately cheap: total_size would materialize every
+        # pristine-skipped graph, defeating the fast path for a repr
         return (
-            f"PropagationGraphs(|N_Δ|={len(self._graphs)}, "
-            f"total_size={self.total_size}, min_cost={self.min_cost()})"
+            f"PropagationGraphs(|N_Δ|={len(self._order)}, "
+            f"built={len(self._graphs)}, pristine={len(self._pristine)}, "
+            f"min_cost={self.min_cost()})"
         )
 
 
@@ -247,6 +390,8 @@ def propagation_graphs(
     derived_view_dtd: DTD | None = None,
     hidden_table: "Mapping[str, Sequence[str]] | None" = None,
     subtree_sizes: "Mapping[NodeId, int] | None" = None,
+    insert_moves: "Callable[[str], Mapping] | None" = None,
+    inversion_cache: "MutableMapping[str, InversionGraphs] | None" = None,
 ) -> PropagationGraphs:
     """Build ``G(D, A, t, S)`` with the paper's edge weights.
 
@@ -255,12 +400,16 @@ def propagation_graphs(
     subtree on the way (their minimal sizes weigh the (iv)-edges).
     Polynomial in ``|D|``, ``|t|``, ``|S|``.
 
-    *derived_view_dtd* and *hidden_table* accept a compiled engine's
-    artifacts (see :class:`repro.engine.ViewEngine`) and *subtree_sizes*
-    a per-source table maintained by a serving layer (see
-    :class:`repro.session.DocumentSession`) so neither schema-level nor
-    document-level work is redone per request; all are derived on the
-    fly when absent.
+    *derived_view_dtd*, *hidden_table*, and *insert_moves* accept a
+    compiled engine's artifacts (see :class:`repro.engine.ViewEngine`)
+    and *subtree_sizes* a per-source table maintained by a serving layer
+    (see :class:`repro.session.DocumentSession`) so neither schema-level
+    nor document-level work is redone per request; all are derived on
+    the fly when absent. *inversion_cache* is a (bounded) mutable
+    mapping from fragment content keys to inversion collections — an
+    engine hands in its cross-request cache so an identical inserted
+    fragment (a repeated update, a common template) reuses the graphs
+    built for it last time.
     """
     if factory is None:
         factory = MinimalTreeFactory(dtd)
@@ -283,22 +432,51 @@ def propagation_graphs(
         for child in update.children(node):
             if update.op(child) is Op.INS:
                 fragment = update.subscript(child).output_tree
-                collection = inversion_graphs(
-                    dtd, annotation, fragment, factory, hidden_table=hidden_table
-                )
+                collection = None
+                fragment_key: "str | None" = None
+                if inversion_cache is not None:
+                    fragment_key = fragment.content_key()
+                    collection = inversion_cache.get(fragment_key)
+                if collection is None:
+                    collection = inversion_graphs(
+                        dtd,
+                        annotation,
+                        fragment,
+                        factory,
+                        hidden_table=hidden_table,
+                        insert_moves=insert_moves,
+                    )
+                    if fragment_key is not None:
+                        inversion_cache[fragment_key] = collection
                 insertions[child] = collection
                 insert_costs[child] = collection.min_inversion_size()
 
+    # pristine nodes: kept nodes whose whole update subtree is phantom.
+    # Their graphs are skipped (cheapest cost 0, unique optimal script:
+    # keep everything — see the PropagationGraphs class doc); only the
+    # graphs along root-to-edit paths — the affected region — are built.
+    pristine: set[NodeId] = set()
+    update_tree = update.tree
+    for node in update_tree.postorder():
+        if update.op(node) is Op.NOP and all(
+            kid in pristine for kid in update_tree.children(node)
+        ):
+            pristine.add(node)
+
     # kept nodes (phantom or renamed) bottom-up: children before parents
     kept_postorder = [
-        node for node in update.tree.postorder() if update.is_kept(node)
+        node for node in update_tree.postorder() if update.is_kept(node)
     ]
     for node in kept_postorder:
+        if node in pristine:
+            costs[node] = 0
+            continue
         effective = (
             update.output_symbol(node)
             if update.op(node) is Op.REN
             else None
         )
+        label = effective if effective is not None else source.label(node)
         graph = build_propagation_graph(
             dtd,
             annotation,
@@ -311,6 +489,7 @@ def propagation_graphs(
             insert_costs=insert_costs,
             effective_label=effective,
             hidden_table=hidden_table,
+            insert_moves=insert_moves(label) if insert_moves is not None else None,
         )
         dist = min_distances([graph.source], graph.edges_from)
         best = min(
@@ -328,7 +507,20 @@ def propagation_graphs(
         graphs[node] = graph
         costs[node] = best
     return PropagationGraphs(
-        dtd, annotation, source, update, factory, graphs, costs, insertions
+        dtd,
+        annotation,
+        source,
+        update,
+        factory,
+        graphs,
+        costs,
+        insertions,
+        order=kept_postorder,
+        pristine=frozenset(pristine),
+        subtree_sizes=subtree_sizes,
+        insert_costs=insert_costs,
+        hidden_table=hidden_table,
+        insert_moves=insert_moves,
     )
 
 

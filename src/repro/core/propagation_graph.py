@@ -43,7 +43,43 @@ from ..errors import ScriptError
 from ..views import Annotation
 from ..xmltree import NodeId, Tree
 
-__all__ = ["EdgeKind", "PVertex", "PEdge", "PropagationGraph", "PropagationPath"]
+__all__ = [
+    "EdgeKind",
+    "PVertex",
+    "PEdge",
+    "PropagationGraph",
+    "PropagationPath",
+    "InsertMoves",
+    "compile_insert_moves",
+]
+
+InsertMoves = Mapping[State, "tuple[tuple[str, State, int], ...]"]
+"""Per automaton state, the (i)-edge moves under one parent label:
+``(hidden symbol, successor state, insertion weight)`` triples in the
+canonical (symbol-major, successor-minor) order the graph builders emit
+edges in."""
+
+
+def compile_insert_moves(
+    model, hidden_symbols: "Sequence[str]", factory: TreeFactory
+) -> "dict[State, tuple[tuple[str, State, int], ...]]":
+    """Precompute the invisible-insert moves of one content model.
+
+    Both propagation graphs ((i)-edges) and inversion graphs ((i)-edges
+    of Section 3) enumerate, at *every* vertex, the hidden symbols a
+    parent label admits together with the automaton successors and the
+    factory weight. None of that depends on the document or the update —
+    only on ``(D, A, W)`` — so a compiled engine builds this table once
+    per label and every graph construction just reads it.
+    """
+    return {
+        state: tuple(
+            (symbol, successor, factory.weight(symbol))
+            for symbol in hidden_symbols
+            for successor in model.sorted_successors(state, symbol)
+        )
+        for state in model.sorted_states()
+    }
 
 
 class EdgeKind(enum.Enum):
@@ -242,6 +278,7 @@ def build_propagation_graph(
     insert_costs: dict[NodeId, int],
     effective_label: str | None = None,
     hidden_table: "Mapping[str, Sequence[str]] | None" = None,
+    insert_moves: "InsertMoves | None" = None,
 ) -> PropagationGraph:
     """Construct ``G_node`` for a kept (phantom or renamed) update node.
 
@@ -253,7 +290,9 @@ def build_propagation_graph(
 
     ``hidden_table`` optionally supplies the sorted hidden symbols per
     parent label (a compiled engine's table), saving the ``O(|Σ|)``
-    annotation scan per node.
+    annotation scan per node; ``insert_moves`` the label's precompiled
+    (i)-edge move table (see :func:`compile_insert_moves`), saving the
+    hidden-symbol × successor enumeration at every vertex.
 
     For a renamed node, *effective_label* is its new label: the content
     model and child visibility are those of the *output* tree (the
@@ -293,6 +332,8 @@ def build_propagation_graph(
         adjacency.setdefault(edge.source, []).append(edge)
 
     states = model.sorted_states()
+    if insert_moves is None:
+        insert_moves = compile_insert_moves(model, hidden_symbols, factory)
     for i in range(k + 1):
         for j in range(ell + 1):
             if not valid(i, j):
@@ -301,13 +342,11 @@ def build_propagation_graph(
                 vertex = PVertex(i, state, j)
 
                 # (i) invisible insert: invent a hidden subtree, stay put
-                for symbol in hidden_symbols:
-                    for q2 in model.sorted_successors(state, symbol):
-                        add(PEdge(
-                            vertex, PVertex(i, q2, j),
-                            EdgeKind.INVISIBLE_INSERT, symbol,
-                            factory.weight(symbol),
-                        ))
+                for symbol, q2, weight in insert_moves[state]:
+                    add(PEdge(
+                        vertex, PVertex(i, q2, j),
+                        EdgeKind.INVISIBLE_INSERT, symbol, weight,
+                    ))
 
                 # edges consuming the next t-child m_{i+1}
                 if i < k:

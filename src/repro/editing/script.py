@@ -44,6 +44,23 @@ class EditScript:
         self._cost: int | None = None
         self._validate()
 
+    @classmethod
+    def _trusted(cls, tree: Tree) -> "EditScript":
+        """Adopt a tree already known to be well-formed, skipping the
+        ``O(|S|)`` validation walk.
+
+        Internal constructors whose output is well-formed by
+        construction (:meth:`_uniform`, :meth:`assemble` after its root
+        check, :meth:`subscript`) use this; the public constructor and
+        :meth:`parse` keep validating.
+        """
+        self = cls.__new__(cls)
+        self._tree = tree
+        self._input = None
+        self._output = None
+        self._cost = None
+        return self
+
     def _validate(self) -> None:
         for node in self._tree.nodes():
             label = self._tree.label(node)
@@ -71,7 +88,8 @@ class EditScript:
 
     @classmethod
     def _uniform(cls, tree: Tree, op: Op) -> "EditScript":
-        return cls(tree.map_labels(lambda symbol: EditLabel(op, symbol)))
+        # uniform scripts are well-formed by construction
+        return cls._trusted(tree.map_labels(lambda symbol: EditLabel(op, symbol)))
 
     @classmethod
     def insertion(cls, tree: Tree) -> "EditScript":
@@ -95,9 +113,25 @@ class EditScript:
         node: NodeId,
         children: Sequence["EditScript"] = (),
     ) -> "EditScript":
-        """Build a script from a root operation and child scripts."""
+        """Build a script from a root operation and child scripts.
+
+        The children are already-validated scripts, so well-formedness
+        only needs the root/child-root operation check here — the old
+        full revalidation walk made every level of a bottom-up assembly
+        re-scan the entire subtree.
+        """
+        op = label.op
+        if op is not Op.NOP and op is not Op.REN:
+            for child in children:
+                kid_op = child._tree.label(child._tree.root).op
+                if kid_op is not op:
+                    raise InvalidScriptError(
+                        f"descendant {child._tree.root!r} of "
+                        f"{'inserting' if op is Op.INS else 'deleting'} "
+                        f"node {node!r} is {kid_op}"
+                    )
         tree = Tree.build(label, node, [child._tree for child in children])
-        return cls(tree)
+        return cls._trusted(tree)
 
     @classmethod
     def parse(cls, text: str, id_prefix: str = "n") -> "EditScript":
@@ -164,7 +198,8 @@ class EditScript:
 
     def subscript(self, node: NodeId) -> "EditScript":
         """``S|node`` — the script fragment rooted at *node*."""
-        return EditScript(self._tree.subtree(node))
+        # a subtree of a well-formed script is well-formed
+        return EditScript._trusted(self._tree.subtree(node))
 
     def nop_nodes(self) -> Iterator[NodeId]:
         """``N_Δ`` — nodes with phantom operations (document order)."""
@@ -188,26 +223,42 @@ class EditScript:
         Labels come from the ``In`` side when insertions are dropped and
         from the ``Out`` side when deletions are (renamed nodes change
         label between the two).
+
+        This is the batched applier: one iterative pass accumulating the
+        node maps of the projected tree directly, instead of assembling
+        a fresh tree (and merging every descendant's maps again) at each
+        level of a recursion.
         """
-        if self._tree.is_empty:
+        tree = self._tree
+        if tree.is_empty:
             return Tree.empty()
-        root_label: EditLabel = self._tree.label(self._tree.root)
-        if root_label.op is drop:
+        root = tree.root
+        script_labels: "dict[NodeId, EditLabel]" = tree._labels
+        script_children = tree._children
+        if script_labels[root].op is drop:
             # well-formedness: the whole script is then uniformly `drop`
             return Tree.empty()
         output_side = drop is Op.DEL
 
-        def project(node: NodeId) -> Tree:
-            label: EditLabel = self._tree.label(node)
-            kept = [
-                project(kid)
-                for kid in self._tree.children(node)
-                if self._tree.label(kid).op is not drop
-            ]
-            symbol = label.output_symbol if output_side else label.symbol
-            return Tree.build(symbol, node, kept)
-
-        return project(self._tree.root)
+        labels: "dict[NodeId, str]" = {}
+        children: "dict[NodeId, tuple[NodeId, ...]]" = {}
+        parents: "dict[NodeId, NodeId]" = {}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            label = script_labels[node]
+            labels[node] = label.output_symbol if output_side else label.symbol
+            kids = script_children.get(node)
+            if kids:
+                kept = tuple(
+                    kid for kid in kids if script_labels[kid].op is not drop
+                )
+                if kept:
+                    children[node] = kept
+                    for kid in kept:
+                        parents[kid] = node
+                    stack.extend(kept)
+        return Tree._from_parts(root, labels, children, parents)
 
     @property
     def input_tree(self) -> Tree:
@@ -228,10 +279,16 @@ class EditScript:
         """Number of non-phantom nodes (the paper's script cost)."""
         if self._cost is None:
             self._cost = sum(
-                1 for node in self._tree.nodes()
-                if self._tree.label(node).op is not Op.NOP
+                1
+                for label in self._tree._labels.values()
+                if label.op is not Op.NOP
             )
         return self._cost
+
+    def content_key(self) -> str:
+        """A canonical content digest of the script (see
+        :meth:`repro.xmltree.Tree.content_key`); equal scripts share it."""
+        return self._tree.content_key()
 
     def apply_to(self, tree: Tree) -> Tree:
         """``S(tree)``: require ``In(S) = tree`` and return ``Out(S)``."""

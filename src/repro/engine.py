@@ -33,6 +33,8 @@ transient engine under the hood); results are byte-identical either way::
 from __future__ import annotations
 
 import dataclasses
+import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -45,6 +47,7 @@ from .core.propagate import (
     validate_view_update,
     verify_propagation,
 )
+from .core.propagation_graph import InsertMoves, compile_insert_moves
 from .dtd import (
     DTD,
     InsertletPackage,
@@ -66,6 +69,59 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["ViewEngine", "EngineStats"]
 
 
+class _LruCache:
+    """A small thread-safe LRU mapping (the engine's memo substrate)."""
+
+    __slots__ = ("_capacity", "_lock", "_entries", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key, default=None):
+        with self._lock:
+            value = self._entries.get(key, default)
+            if value is not default:
+                self._entries.move_to_end(key)
+            return value
+
+    def __setitem__(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class _MemoEntry:
+    """Everything memoized for one exact ``(source, update)`` request.
+
+    ``validated`` records that the pair passed view-update validation
+    (validation is deterministic, so re-running it on a repeat request
+    proves nothing); ``graphs`` holds the propagation-graph collection;
+    ``scripts`` the finished propagation per ``(chooser key, optimal)``
+    — a second chooser against a cached collection rebuilds only the
+    script, not the graphs.
+    """
+
+    __slots__ = ("validated", "graphs", "scripts")
+
+    def __init__(self) -> None:
+        self.validated = False
+        self.graphs: "PropagationGraphs | None" = None
+        self.scripts: "dict[tuple, EditScript]" = {}
+
+
 @dataclass(frozen=True)
 class EngineStats:
     """A snapshot of one engine's request counters.
@@ -78,13 +134,28 @@ class EngineStats:
     """View extractions served (:meth:`ViewEngine.view`)."""
 
     validations: int
-    """View-update validations served (:meth:`ViewEngine.validate`)."""
+    """View-update validations actually run (:meth:`ViewEngine.validate`
+    plus first-time validations on the memo path — a memo repeat skips
+    the deterministic re-validation and is not counted here)."""
 
     inversions: int
     """Inverses built (:meth:`ViewEngine.invert`)."""
 
     propagations: int
     """Propagation scripts built (single and batched)."""
+
+    memo_hits: int = 0
+    """Propagations served straight from the cross-request memo."""
+
+    memo_misses: int = 0
+    """Memo-eligible propagations that had to build their script."""
+
+    memo_evictions: int = 0
+    """Memo entries dropped by the LRU policy."""
+
+    memo_bypass: int = 0
+    """Propagations not memoizable (caller-supplied ``fresh``, a chooser
+    without a canonical key, or memoization disabled)."""
 
     def as_dict(self) -> "dict[str, int]":
         """A JSON-serializable snapshot (``repro-xml stats`` emits these)."""
@@ -127,6 +198,9 @@ class ViewEngine:
         "_visible",
         "_schema_hash",
         "_counters",
+        "_insert_moves",
+        "_memo",
+        "_inversion_cache",
     )
 
     def __init__(
@@ -135,6 +209,8 @@ class ViewEngine:
         annotation: Annotation,
         *,
         factory: TreeFactory | None = None,
+        memo_capacity: int = 64,
+        inversion_cache_capacity: int = 256,
     ) -> None:
         self._dtd = dtd
         self._annotation = annotation
@@ -150,7 +226,17 @@ class ViewEngine:
             "validations": 0,
             "inversions": 0,
             "propagations": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "memo_bypass": 0,
         }
+        self._insert_moves: "dict[str, InsertMoves]" = {}
+        self._memo = _LruCache(memo_capacity) if memo_capacity > 0 else None
+        self._inversion_cache = (
+            _LruCache(inversion_cache_capacity)
+            if inversion_cache_capacity > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Compiled artifacts
@@ -184,7 +270,10 @@ class ViewEngine:
     @property
     def stats(self) -> "EngineStats":
         """Per-engine request counters (see :class:`EngineStats`)."""
-        return EngineStats(**self._counters)
+        return EngineStats(
+            **self._counters,
+            memo_evictions=self._memo.evictions if self._memo else 0,
+        )
 
     @property
     def minimal_factory(self) -> MinimalTreeFactory:
@@ -266,12 +355,44 @@ class ViewEngine:
         """Size of the tree an invisible insertion of *label* will cost."""
         return self.factory.weight(label)
 
+    def insert_moves(self, label: str) -> InsertMoves:
+        """The compiled (i)-edge move table of *label* (see
+        :func:`~repro.core.propagation_graph.compile_insert_moves`).
+
+        Per automaton state, the hidden symbols insertable under
+        *label*, their successor states, and their factory weights — the
+        innermost enumeration of both graph builders, schema-level and
+        therefore compiled once per label and shared by every request.
+        """
+        table = self._insert_moves.get(label)
+        if table is None:
+            table = compile_insert_moves(
+                self._dtd.automaton(label), self.hidden_table[label], self.factory
+            )
+            self._insert_moves[label] = table
+        return table
+
+    def invalidate_memo(self) -> None:
+        """Drop every memoized propagation result and inversion collection.
+
+        The memo is keyed by request *content* under this engine's
+        compiled artifacts, which are immutable — a schema change means
+        a different fingerprint and therefore a different engine, so
+        nothing ever invalidates implicitly. This is the explicit knob
+        (memory pressure, tests)."""
+        if self._memo is not None:
+            self._memo.clear()
+        if self._inversion_cache is not None:
+            self._inversion_cache.clear()
+
     def warm_up(self) -> "ViewEngine":
         """Force every lazy artifact now; returns the engine (chainable)."""
         self.minimal_sizes
         self.factory
         self.visible_table
         self.view_dtd
+        for label in self._dtd.sorted_alphabet:
+            self.insert_moves(label)
         return self
 
     # ------------------------------------------------------------------
@@ -305,14 +426,29 @@ class ViewEngine:
         )
 
     def inversion_graphs(self, view: Tree) -> InversionGraphs:
-        """The collection ``H(D, A, view)`` built from compiled artifacts."""
-        return inversion_graphs(
+        """The collection ``H(D, A, view)`` built from compiled artifacts.
+
+        Served through the engine's cross-request inversion cache: an
+        identical view (same identifiers) reuses the collection built
+        for it last time.
+        """
+        cache = self._inversion_cache
+        key = view.content_key() if cache is not None else None
+        if key is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        collection = inversion_graphs(
             self._dtd,
             self._annotation,
             view,
             self.factory,
             hidden_table=self.hidden_table,
+            insert_moves=self.insert_moves,
         )
+        if key is not None:
+            cache[key] = collection
+        return collection
 
     def invert(
         self,
@@ -369,6 +505,8 @@ class ViewEngine:
             derived_view_dtd=self.view_dtd if validate else self._view_dtd,
             hidden_table=self.hidden_table,
             subtree_sizes=subtree_sizes,
+            insert_moves=self.insert_moves,
+            inversion_cache=self._inversion_cache,
         )
 
     def propagate(
@@ -380,18 +518,89 @@ class ViewEngine:
         fresh: "Callable[[], NodeId] | None" = None,
         optimal: bool = True,
         validate: bool = True,
+        memo: bool = True,
     ) -> EditScript:
         """One schema-compliant, side-effect-free propagation of *update*.
 
         Parameters and result are exactly those of
         :func:`repro.core.propagate.propagate`; the engine only changes
         where the schema artifacts come from.
+
+        Requests are additionally served through the engine's
+        cross-request memo (*memo=False* opts out): the key is the exact
+        content of ``(source, update)`` — identifiers included — under
+        this engine's compiled ``(D, A, W)``, so a repeated identical
+        update returns the previously built script without touching a
+        single graph. Results are byte-identical either way (propagation
+        is deterministic); requests with a caller-supplied *fresh*
+        generator or a chooser without a :meth:`cache_key` bypass the
+        memo rather than risk a wrong share.
         """
         self._counters["propagations"] += 1
-        collection = self.propagation_graphs(source, update, validate=validate)
         if chooser is None:
             chooser = PreferenceChooser() if optimal else CheapestPathChooser()
-        return collection.build_script(chooser, fresh, optimal_only=optimal)
+        chooser_key = self._chooser_key(chooser) if memo and fresh is None else None
+        if chooser_key is None or self._memo is None:
+            self._counters["memo_bypass"] += 1
+            collection = self.propagation_graphs(source, update, validate=validate)
+            return collection.build_script(chooser, fresh, optimal_only=optimal)
+        return self._memo_propagate(
+            source, update, chooser, chooser_key, optimal, validate, None
+        )
+
+    @staticmethod
+    def _chooser_key(chooser: PathChooser) -> "tuple | None":
+        key = getattr(chooser, "cache_key", None)
+        return key() if callable(key) else None
+
+    def _memo_propagate(
+        self,
+        source: Tree,
+        update: EditScript,
+        chooser: PathChooser,
+        chooser_key: tuple,
+        optimal: bool,
+        validate: bool,
+        view_supplier: "Callable[[], Tree] | None",
+    ) -> EditScript:
+        """Serve one propagation through the cross-request memo.
+
+        *view_supplier* optionally hands in an already-extracted source
+        view for validation (the batch path's per-document view cache);
+        it is only consulted when this exact pair has not been validated
+        before.
+        """
+        assert self._memo is not None
+        key = (source.content_key(), update.content_key())
+        entry = self._memo.get(key)
+        if entry is None:
+            entry = _MemoEntry()
+            self._memo[key] = entry
+        if validate and not entry.validated:
+            self._counters["validations"] += 1
+            validate_view_update(
+                self._dtd,
+                self._annotation,
+                source,
+                update,
+                derived_view_dtd=self.view_dtd,
+                source_view=view_supplier() if view_supplier is not None else None,
+            )
+            entry.validated = True
+        script_key = (chooser_key, optimal)
+        script = entry.scripts.get(script_key)
+        if script is not None:
+            self._counters["memo_hits"] += 1
+            return script
+        self._counters["memo_misses"] += 1
+        graphs = entry.graphs
+        if graphs is None:
+            graphs = entry.graphs = self.propagation_graphs(
+                source, update, validate=False
+            )
+        script = graphs.build_script(chooser, None, optimal_only=optimal)
+        entry.scripts[script_key] = script
+        return script
 
     def propagate_many(
         self,
@@ -401,7 +610,9 @@ class ViewEngine:
         chooser: PathChooser | None = None,
         optimal: bool = True,
         validate: bool = True,
-        parallel: "bool | int" = False,
+        parallel: "bool | int | str" = False,
+        workers: "int | None" = None,
+        memo: bool = True,
     ) -> list[EditScript]:
         """Propagate a batch of updates, reusing everything compiled.
 
@@ -413,15 +624,28 @@ class ViewEngine:
         Results equal N independent :meth:`propagate` calls (same scripts,
         same determinism, same order); consecutive updates against the
         same document additionally share one view extraction during
-        validation.
+        validation, and repeated identical requests are served from the
+        cross-request memo (*memo=False* opts out).
 
-        *parallel* fans the per-request work out to a thread pool:
-        ``True`` sizes the pool automatically, an integer fixes the
-        worker count. Compiled artifacts are forced up front (so the
-        immutable tables are shared, not racing to build) and results
-        keep batch order. Worthwhile for many-document batches; a single
-        hot document is usually better served sequentially (or through a
-        :class:`~repro.session.DocumentSession`).
+        *parallel* fans the per-request work out:
+
+        ``True`` / ``"thread"`` / an integer
+            a thread pool (the integer fixes the worker count, as does
+            *workers*) — cheap to start, but CPU-bound batches contend
+            on the GIL;
+        ``"process"``
+            a process pool for CPU-bound many-document batches. Each
+            worker parses the engine's serialized schema once, compiles
+            (or, under ``fork``, inherits) its own engine through the
+            process-local registry, and serves contiguous chunks of the
+            batch; tasks and results cross the process boundary as
+            picklable envelopes. Requires a shipped chooser (one with a
+            ``cache_key``) and a default or insertlet-package factory.
+
+        Compiled artifacts are forced up front (so the immutable tables
+        are shared, not racing to build) and results keep batch order. A
+        single hot document is usually better served sequentially (or
+        through a :class:`~repro.session.DocumentSession`).
         """
         if updates is None:
             pairs = list(source)  # type: ignore[arg-type]
@@ -430,10 +654,24 @@ class ViewEngine:
         if chooser is None:
             chooser = PreferenceChooser() if optimal else CheapestPathChooser()
         self._counters["propagations"] += len(pairs)
+        if isinstance(parallel, str) and parallel not in ("thread", "process"):
+            raise ValueError(
+                f"unknown parallel mode {parallel!r}: pass False, True, a "
+                "worker count, 'thread', or 'process'"
+            )
         if not parallel or len(pairs) < 2:
-            return self._propagate_batch(pairs, chooser, optimal, validate)
+            return self._propagate_batch(pairs, chooser, optimal, validate, memo)
+        if parallel == "process":
+            from .parallel import propagate_batch_processes
+
+            self.warm_up()
+            return propagate_batch_processes(
+                self, pairs, chooser, optimal, validate, workers, memo
+            )
+        if isinstance(parallel, int) and parallel > 1 and workers is None:
+            workers = parallel
         return self._propagate_batch_parallel(
-            pairs, chooser, optimal, validate, parallel
+            pairs, chooser, optimal, validate, workers, memo
         )
 
     def _propagate_batch(
@@ -442,16 +680,39 @@ class ViewEngine:
         chooser: PathChooser,
         optimal: bool,
         validate: bool,
+        memo: bool = True,
     ) -> list[EditScript]:
+        chooser_key = self._chooser_key(chooser) if memo else None
+        use_memo = chooser_key is not None and self._memo is not None
         results: list[EditScript] = []
         cached_source: Tree | None = None
         cached_view: Tree | None = None
+
+        def view_of(doc: Tree) -> Tree:
+            nonlocal cached_source, cached_view
+            if doc is not cached_source:
+                cached_source = doc
+                cached_view = self._annotation.view(doc)
+            assert cached_view is not None
+            return cached_view
+
         for doc, update in pairs:
+            if use_memo:
+                results.append(
+                    self._memo_propagate(
+                        doc,
+                        update,
+                        chooser,
+                        chooser_key,  # type: ignore[arg-type]
+                        optimal,
+                        validate,
+                        (lambda d=doc: view_of(d)) if validate else None,
+                    )
+                )
+                continue
+            self._counters["memo_bypass"] += 1
             if validate:
-                if doc is not cached_source:
-                    cached_source = doc
-                    cached_view = self._annotation.view(doc)
-                self.validate(doc, update, source_view=cached_view)
+                self.validate(doc, update, source_view=view_of(doc))
             collection = self.propagation_graphs(doc, update, validate=False)
             results.append(
                 collection.build_script(chooser, None, optimal_only=optimal)
@@ -464,11 +725,11 @@ class ViewEngine:
         chooser: PathChooser,
         optimal: bool,
         validate: bool,
-        parallel: "bool | int",
+        workers: "int | None",
+        memo: bool = True,
     ) -> list[EditScript]:
         import os
 
-        workers = parallel if isinstance(parallel, int) and parallel > 1 else None
         if workers is None:
             workers = min(32, (os.cpu_count() or 1) + 4)
         workers = min(workers, len(pairs))
@@ -482,9 +743,22 @@ class ViewEngine:
             for doc, _ in pairs:
                 if id(doc) not in views:
                     views[id(doc)] = self._annotation.view(doc)
+        chooser_key = self._chooser_key(chooser) if memo else None
+        use_memo = chooser_key is not None and self._memo is not None
 
         def serve(pair: "tuple[Tree, EditScript]") -> EditScript:
             doc, update = pair
+            if use_memo:
+                return self._memo_propagate(
+                    doc,
+                    update,
+                    chooser,
+                    chooser_key,  # type: ignore[arg-type]
+                    optimal,
+                    validate,
+                    (lambda: views[id(doc)]) if validate else None,  # type: ignore[index]
+                )
+            self._counters["memo_bypass"] += 1
             if validate:
                 assert views is not None
                 self.validate(doc, update, source_view=views[id(doc)])

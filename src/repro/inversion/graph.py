@@ -177,6 +177,7 @@ def build_inversion_graph(
     child_costs: dict[NodeId, int],
     factory: TreeFactory,
     hidden_table: "Mapping[str, Sequence[str]] | None" = None,
+    insert_moves: "Mapping | None" = None,
 ) -> InversionGraph:
     """Construct ``H_node`` given the (already computed) child costs.
 
@@ -185,7 +186,10 @@ def build_inversion_graph(
     weights come from ``factory.weight`` (minimal tree sizes by default,
     insertlet sizes under a package). ``hidden_table`` optionally
     supplies the sorted hidden symbols per parent label (a compiled
-    engine's table), saving the ``O(|Σ|)`` annotation scan per node.
+    engine's table), saving the ``O(|Σ|)`` annotation scan per node;
+    ``insert_moves`` the label's precompiled (i)-edge move table (see
+    :func:`repro.core.propagation_graph.compile_insert_moves`), saving
+    the hidden-symbol × successor enumeration at every vertex.
 
     Raises :class:`NoInversionError` when a child's label is not visible
     under this node's label — such a tree cannot be any view.
@@ -197,6 +201,10 @@ def build_inversion_graph(
         hidden = hidden_table[label]
     else:
         hidden = [y for y in dtd.sorted_alphabet if annotation.hides(label, y)]
+    if insert_moves is None:
+        from ..core.propagation_graph import compile_insert_moves
+
+        insert_moves = compile_insert_moves(model, hidden, factory)
 
     adjacency: dict[IVertex, list[IEdge]] = {}
 
@@ -207,18 +215,17 @@ def build_inversion_graph(
         for state in model.states:
             vertex = IVertex(pos, state)
             # (i)-edges: invent an invisible subtree, stay at the position
-            for symbol in hidden:
-                for target_state in model.sorted_successors(state, symbol):
-                    add(
-                        IEdge(
-                            vertex,
-                            IVertex(pos, target_state),
-                            "ins",
-                            symbol,
-                            None,
-                            factory.weight(symbol),
-                        )
+            for symbol, target_state, weight in insert_moves[state]:
+                add(
+                    IEdge(
+                        vertex,
+                        IVertex(pos, target_state),
+                        "ins",
+                        symbol,
+                        None,
+                        weight,
                     )
+                )
             # (ii)-edges: consume the next visible child
             if pos < len(children):
                 child = children[pos]

@@ -96,8 +96,10 @@ class InversionGraphs:
         ``factory`` trees with *fresh* identifiers.
         """
         if fresh is None:
-            generator = NodeIds.avoiding(self.view.nodes(), "h")
-            fresh = generator.fresh
+            # byte-compatible with NodeIds.avoiding(view.nodes(), "h"):
+            # every candidate exceeds the largest live h-suffix, so none
+            # can collide — and the maximum is memoized on the tree.
+            fresh = NodeIds("h", self.view.max_suffix("h") + 1).fresh
 
         def build(node: NodeId) -> Tree:
             graph = self.optimal(node) if optimal_only else self._graphs[node]
@@ -126,13 +128,15 @@ def inversion_graphs(
     factory: TreeFactory | None = None,
     *,
     hidden_table: "Mapping[str, Sequence[str]] | None" = None,
+    insert_moves: "Callable[[str], Mapping] | None" = None,
 ) -> InversionGraphs:
     """Build ``H(D, A, view)`` with the paper's edge weights.
 
     One bottom-up pass: children costs feed the parents' (ii)-edge
     weights. Raises :class:`NoInversionError` if ``view ∉ A(L(D))``.
     *hidden_table* optionally supplies a compiled engine's per-label
-    hidden-symbol table (see :class:`repro.engine.ViewEngine`).
+    hidden-symbol table and *insert_moves* its per-label (i)-edge move
+    tables (see :class:`repro.engine.ViewEngine`).
     """
     if view.is_empty:
         raise NoInversionError("the empty tree is not a view of any document")
@@ -147,7 +151,14 @@ def inversion_graphs(
     costs: dict[NodeId, int] = {}
     for node in view.postorder():
         graph = build_inversion_graph(
-            dtd, annotation, view, node, costs, factory, hidden_table
+            dtd,
+            annotation,
+            view,
+            node,
+            costs,
+            factory,
+            hidden_table,
+            insert_moves(view.label(node)) if insert_moves is not None else None,
         )
         dist = min_distances([graph.source], graph.edges_from)
         best = min(

@@ -1,0 +1,174 @@
+"""Process-pool serving: CPU-bound batches across worker processes.
+
+Thread-pool ``propagate_many`` shares one compiled engine but contends
+on the GIL — propagation is pure Python, so threads buy overlap only
+around the interpreter lock. This module fans a many-document batch out
+to *processes* instead:
+
+* the engine's schema crosses the boundary **as text** — the serialized
+  DTD, annotation, and insertlet terms (term notation and the schema
+  serializers round-trip exactly, which the durable store already
+  depends on) — never as a pickled engine (compiled artifacts hold
+  unpicklable read-only views, and shipping them would be slower than
+  recompiling);
+* each worker compiles its engine **once** through its process-local
+  :func:`~repro.registry.default_registry` (under the ``fork`` start
+  method it typically *inherits* the parent's already-compiled registry
+  and the warm-up is a cache hit), then serves every chunk assigned to
+  it;
+* the batch is dispatched in contiguous **chunks** (several per worker,
+  so a slow chunk does not straggle the whole batch) and reassembled in
+  order; documents, updates, and result scripts are plain picklable
+  trees.
+
+Results are byte-identical to serial serving: workers run the same
+deterministic ``_propagate_batch`` the engine runs locally, and fresh
+identifiers depend only on request content. The preference function Φ
+crosses the boundary by its canonical key, so only the shipped chooser
+families are supported (:func:`~repro.core.choosers.chooser_from_key`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from .core.choosers import PathChooser, chooser_from_key
+from .dtd import InsertletPackage, MinimalTreeFactory, serialize_dtd
+from .editing import EditScript
+from .errors import ReproError
+from .xmltree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import ViewEngine
+
+__all__ = ["propagate_batch_processes", "engine_spec"]
+
+
+class ProcessServingError(ReproError):
+    """The batch cannot be shipped to worker processes as requested."""
+
+
+def engine_spec(engine: "ViewEngine") -> tuple:
+    """The picklable envelope that reconstructs *engine* in a worker.
+
+    ``(dtd text, annotation text, insertlet terms | None, schema hash)``
+    — the schema hash rides along purely as a cross-process sanity
+    check: the worker's reconstructed engine must fingerprint
+    identically, otherwise serialization lost information and serving
+    would silently diverge.
+    """
+    factory = engine._factory
+    insertlets: "dict[str, str] | None" = None
+    if factory is None or factory is engine._minimal_factory:
+        insertlets = None
+    elif isinstance(factory, MinimalTreeFactory):
+        insertlets = None
+    elif isinstance(factory, InsertletPackage):
+        # identifier-free terms: build() relabels with caller-fresh ids
+        # in preorder, so isomorphic fragments serve identically.
+        insertlets = {
+            label: factory._trees[label].to_term(with_ids=False)
+            for label in factory._trees
+        }
+    else:
+        raise ProcessServingError(
+            "process-pool serving needs a reconstructible tree factory "
+            "(the default minimal factory or an InsertletPackage); got "
+            f"{type(factory).__name__}"
+        )
+    return (
+        serialize_dtd(engine.dtd),
+        engine.annotation.serialize(),
+        insertlets,
+        engine.schema_hash,
+    )
+
+
+# Worker-process state: one compiled engine per (schema, factory) spec.
+_WORKER_ENGINE: dict = {}
+
+
+def _worker_init(spec: tuple) -> None:
+    """Process-pool initializer: parse the schema, compile the engine.
+
+    Runs once per worker; repeated chunks reuse the compiled engine via
+    the process-local default registry (multi-tenant workers serving
+    several schemas would each warm their own entry).
+    """
+    from .dtd import parse_dtd
+    from .registry import default_registry
+    from .views import Annotation
+
+    dtd_text, annotation_text, insertlets, schema_hash = spec
+    dtd = parse_dtd(dtd_text)
+    annotation = Annotation.parse(annotation_text)
+    factory = None
+    if insertlets is not None:
+        factory = InsertletPackage.from_terms(dtd, insertlets, strict=False)
+    engine = default_registry().get_or_compile(
+        dtd, annotation, factory=factory, warm=True
+    )
+    if engine.schema_hash != schema_hash:
+        raise ProcessServingError(
+            f"worker reconstructed schema {engine.schema_hash[:12]}… but the "
+            f"parent serves {schema_hash[:12]}… — schema serialization is "
+            "not round-tripping"
+        )
+    _WORKER_ENGINE["engine"] = engine
+
+
+def _serve_chunk(
+    payload: "tuple[list[tuple[Tree, EditScript]], tuple, bool, bool, bool]",
+) -> "list[EditScript]":
+    """Serve one contiguous chunk inside a worker process."""
+    pairs, chooser_key, optimal, validate, memo = payload
+    engine = _WORKER_ENGINE["engine"]
+    chooser = chooser_from_key(chooser_key)
+    return engine._propagate_batch(pairs, chooser, optimal, validate, memo)
+
+
+def propagate_batch_processes(
+    engine: "ViewEngine",
+    pairs: "Sequence[tuple[Tree, EditScript]]",
+    chooser: PathChooser,
+    optimal: bool,
+    validate: bool,
+    workers: "int | None" = None,
+    memo: bool = True,
+) -> "list[EditScript]":
+    """Serve *pairs* across a process pool; results keep batch order.
+
+    The pool lives for one call — process startup is amortised over the
+    batch, so this pays off for large CPU-bound batches (hundreds of
+    documents), not for a handful of requests.
+    """
+    chooser_key = getattr(chooser, "cache_key", None)
+    if chooser_key is None:
+        raise ProcessServingError(
+            "process-pool serving needs a chooser with a canonical "
+            "cache_key (the shipped PreferenceChooser/CheapestPathChooser); "
+            f"got {type(chooser).__name__}"
+        )
+    key = chooser_key()
+    spec = engine_spec(engine)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(pairs)))
+    # Contiguous chunks, several per worker: order-preserving reassembly
+    # with enough pieces that one slow chunk cannot straggle the batch.
+    target_chunks = min(len(pairs), workers * 4)
+    chunk_size = -(-len(pairs) // target_chunks)  # ceil division
+    chunks = [
+        list(pairs[start:start + chunk_size])
+        for start in range(0, len(pairs), chunk_size)
+    ]
+    payloads = [(chunk, key, optimal, validate, memo) for chunk in chunks]
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(spec,)
+    ) as pool:
+        results: "list[EditScript]" = []
+        for chunk_scripts in pool.map(_serve_chunk, payloads):
+            results.extend(chunk_scripts)
+    return results

@@ -198,10 +198,21 @@ class EngineRegistry:
     schema observe the same engine instance.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        memo_capacity: "int | None" = None,
+        inversion_cache_capacity: "int | None" = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
+        self._engine_kwargs: dict = {}
+        if memo_capacity is not None:
+            self._engine_kwargs["memo_capacity"] = memo_capacity
+        if inversion_cache_capacity is not None:
+            self._engine_kwargs["inversion_cache_capacity"] = inversion_cache_capacity
         self._lock = threading.Lock()
         self._engines: "OrderedDict[tuple[str, str], ViewEngine]" = OrderedDict()
         self._hits = 0
@@ -244,13 +255,18 @@ class EngineRegistry:
         stable key yield a fresh uncached engine (see
         :func:`_factory_key`). With ``warm=True`` a newly compiled
         engine's artifacts are forced eagerly (outside the lock — warming
-        is idempotent).
+        is idempotent). Engines are built with the registry's
+        ``memo_capacity`` / ``inversion_cache_capacity`` overrides, so a
+        multi-tenant server sizes every tenant's propagation memo in one
+        place.
         """
         token = _factory_key(factory)
         if token is None:
             with self._lock:
                 self._uncacheable += 1
-            engine = ViewEngine(dtd, annotation, factory=factory)
+            engine = ViewEngine(
+                dtd, annotation, factory=factory, **self._engine_kwargs
+            )
             return engine.warm_up() if warm else engine
         key = (schema_fingerprint(dtd, annotation), token)
         fresh_engine: ViewEngine | None = None
@@ -261,7 +277,9 @@ class EngineRegistry:
                 self._engines.move_to_end(key)
                 return engine
             self._misses += 1
-            fresh_engine = ViewEngine(dtd, annotation, factory=factory)
+            fresh_engine = ViewEngine(
+                dtd, annotation, factory=factory, **self._engine_kwargs
+            )
             self._engines[key] = fresh_engine
             while len(self._engines) > self._capacity:
                 self._engines.popitem(last=False)

@@ -45,7 +45,7 @@ from .core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
 from .editing import EditScript, Op
 from .errors import ReproError, StaleSessionError
 from .xmltree import NodeId, NodeIds, Tree
-from .xmltree.nodeid import max_numeric_suffix
+from .xmltree.nodeid import max_numeric_suffix, numeric_suffix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import ViewEngine
@@ -74,10 +74,7 @@ class _FreshSuffixIndex:
             self.add(nid)
 
     def _suffix(self, nid: NodeId) -> "int | None":
-        if not isinstance(nid, str) or not nid.startswith(self._prefix):
-            return None
-        tail = nid[len(self._prefix):]
-        return int(tail) if tail.isdigit() else None
+        return numeric_suffix(nid, self._prefix)
 
     def add(self, nid: NodeId) -> None:
         suffix = self._suffix(nid)
@@ -339,30 +336,37 @@ class DocumentSession:
         Deleted subtrees drop their size entries and identifier suffixes,
         inserted ones add theirs, and kept ancestors are re-summed;
         untouched subtrees keep their entries (counted in
-        :attr:`SessionStats.size_entries_carried`).
+        :attr:`SessionStats.size_entries_carried`). One iterative pass —
+        a hot document deeper than the interpreter's recursion limit
+        must not take the session down with it.
         """
         tree = script.tree
-
-        def walk(node: NodeId) -> int:
-            op = script.op(node)
-            if op is Op.DEL:
-                for gone in tree.descendants_or_self(node):
-                    self._sizes.pop(gone, None)
-                    self._suffixes.discard(gone)
-                    self._deleted += 1
-                return 0
+        totals: dict[NodeId, int] = {}
+        stack: list[tuple[NodeId, bool]] = [(script.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                if script.op(node) is Op.DEL:
+                    for gone in tree.descendants_or_self(node):
+                        self._sizes.pop(gone, None)
+                        self._suffixes.discard(gone)
+                        self._deleted += 1
+                    totals[node] = 0
+                    continue
+                stack.append((node, True))
+                for kid in tree.children(node):
+                    stack.append((kid, False))
+                continue
             total = 1
             for kid in tree.children(node):
-                total += walk(kid)
-            if op is Op.INS:
+                total += totals.pop(kid)
+            if script.op(node) is Op.INS:
                 self._suffixes.add(node)
                 self._inserted += 1
             elif self._sizes.get(node) == total:
                 self._carried += 1
             self._sizes[node] = total
-            return total
-
-        walk(script.root)
+            totals[node] = total
 
     def apply_source_script(self, script: EditScript) -> None:
         """Advance the session along an already-translated *source* script.

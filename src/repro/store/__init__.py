@@ -36,6 +36,7 @@ from .snapshot import Snapshot, list_snapshots, read_snapshot, write_snapshot
 from .store import DocumentStore, DurableSession, RecoveredDocument
 from .wal import (
     FSYNC_POLICIES,
+    GroupCommitCoordinator,
     WalRecord,
     WalScan,
     WalWriter,
@@ -48,6 +49,7 @@ __all__ = [
     "DurableSession",
     "RecoveredDocument",
     "FSYNC_POLICIES",
+    "GroupCommitCoordinator",
     "WalRecord",
     "WalScan",
     "WalWriter",

@@ -59,6 +59,7 @@ from ..xmltree import Tree
 from .snapshot import Snapshot, list_snapshots, read_snapshot, write_snapshot
 from .wal import (
     FSYNC_POLICIES,
+    GroupCommitCoordinator,
     WalScan,
     WalWriter,
     create_wal,
@@ -138,6 +139,13 @@ class DocumentStore:
     keep_snapshots:
         Checkpoints retained per document after compaction (the newest
         one is always kept).
+    group_commit:
+        Coalesce concurrent sessions' ``batch``-policy fsyncs through a
+        store-wide :class:`~repro.store.wal.GroupCommitCoordinator`: one
+        flush pass per *group_window* seconds makes every dirty log
+        durable, instead of each session stalling on its own interval
+        fsync. Durability stays ``batch``-grade (bounded loss on power
+        failure, none on process crash).
     """
 
     def __init__(
@@ -149,6 +157,8 @@ class DocumentStore:
         batch_interval: int = 8,
         keep_snapshots: int = 2,
         registry: "EngineRegistry | None" = None,
+        group_commit: bool = False,
+        group_window: float = 0.002,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise StoreError(
@@ -160,6 +170,9 @@ class DocumentStore:
         self._fsync = fsync
         self._batch_interval = batch_interval
         self._keep_snapshots = keep_snapshots
+        self._coordinator = (
+            GroupCommitCoordinator(group_window) if group_commit else None
+        )
         self._registry = registry if registry is not None else default_registry()
         marker = self._root / _STORE_MARKER
         if not marker.is_file():
@@ -202,6 +215,30 @@ class DocumentStore:
     @property
     def registry(self) -> EngineRegistry:
         return self._registry
+
+    @property
+    def group_commit(self) -> "GroupCommitCoordinator | None":
+        """The shared fsync coordinator, or ``None`` when group commit
+        is off."""
+        return self._coordinator
+
+    def close(self) -> None:
+        """Flush and stop the group-commit coordinator (no-op otherwise).
+
+        Sessions opened from the store keep working — their logs just
+        fall back to synchronous interval fsyncs on close. A store that
+        is dropped *without* ``close()`` does not leak: the coordinator's
+        flusher thread sheds itself after a few idle seconds. The store
+        is also a context manager (``with DocumentStore.init(...) as
+        store:``) closing on exit."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+
+    def __enter__(self) -> "DocumentStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _doc_dir(self, doc_id: str) -> Path:
         return self._root / "docs" / doc_id
@@ -477,6 +514,7 @@ class DocumentStore:
             batch_interval=(
                 batch_interval if batch_interval is not None else self._batch_interval
             ),
+            group_commit=self._coordinator,
         )
 
     # ------------------------------------------------------------------
@@ -524,11 +562,14 @@ class DocumentStore:
         """JSON-serializable storage metrics — per document, or for the
         whole store when *doc_id* is ``None``."""
         if doc_id is None:
-            return {
+            payload = {
                 "root": str(self._root),
                 "fsync": self._fsync,
                 "documents": [self.stats(one) for one in self.documents()],
             }
+            if self._coordinator is not None:
+                payload["group_commit"] = self._coordinator.stats()
+            return payload
         directory = self._require_doc(doc_id)
         scan = scan_wal(directory / _WAL_FILE)
         snapshots = list_snapshots(directory / _SNAP_DIR)
@@ -573,6 +614,7 @@ class DurableSession:
         batch_interval: int,
         session: "DocumentSession | None" = None,
         validate_source: bool = False,
+        group_commit: "GroupCommitCoordinator | None" = None,
     ) -> None:
         self._store = store
         self._engine = engine
@@ -584,6 +626,7 @@ class DurableSession:
             store._doc_dir(recovered.doc_id) / _WAL_FILE,
             policy=fsync,
             batch_interval=batch_interval,
+            group_commit=group_commit,
         )
         if self._writer.last_seq != recovered.last_seq:
             self._writer.close(final_sync=False)

@@ -31,12 +31,18 @@ the log is trustworthy:
 
 :class:`WalWriter` is the append side, implementing the three fsync
 policies of the store (``always`` / ``batch`` / ``off``).
+:class:`GroupCommitCoordinator` coalesces the ``batch`` policy's fsyncs
+*across* concurrent sessions: appends from every writer sharing the
+coordinator are made durable by one flush pass per commit window
+instead of one fsync per writer per interval.
 """
 
 from __future__ import annotations
 
 import os
 import re
+import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -51,6 +57,7 @@ __all__ = [
     "create_wal",
     "rewrite_wal",
     "WalWriter",
+    "GroupCommitCoordinator",
     "FSYNC_POLICIES",
 ]
 
@@ -249,6 +256,137 @@ def truncate_torn_tail(path: "Path | str", scan: WalScan) -> bool:
     return True
 
 
+class GroupCommitCoordinator:
+    """Coalesce concurrent writers' ``batch``-policy fsyncs (group commit).
+
+    N durable sessions under the plain ``batch`` policy each fsync their
+    own log every *batch_interval* records — N independent fsync stalls
+    for what is logically one "make recent work durable" obligation. A
+    coordinator shared by the writers turns that into a **commit
+    window**: an append marks its writer dirty and returns immediately;
+    a single background flusher wakes every *window* seconds and fsyncs
+    every dirty log once. K writers appending within a window cost one
+    flush pass instead of K interval-triggered stalls, and each log is
+    fsynced at most once per window no matter how many records landed.
+
+    Durability contract: identical in kind to ``batch`` — bounded loss
+    of the most recent acknowledged records on power failure (here
+    bounded by the window rather than the record count), none on process
+    crash (appends are flushed to the OS synchronously; see
+    :meth:`WalWriter.append`). :meth:`WalWriter.sync` and
+    :meth:`WalWriter.close` remain synchronous barriers. A flush error
+    (disk full, revoked fd) is re-raised to the affected writer's next
+    ``append``/``sync``/``close`` — the session finds out before it
+    acknowledges anything further, not never.
+    """
+
+    def __init__(self, window: float = 0.002) -> None:
+        if window <= 0:
+            raise StoreError(f"commit window must be positive, got {window}")
+        self._window = window
+        self._cond = threading.Condition()
+        self._dirty: "dict[int, WalWriter]" = {}
+        self._closed = False
+        self._thread: "threading.Thread | None" = None
+        self._flushes = 0
+        self._scheduled = 0
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @property
+    def flushes(self) -> int:
+        """Flush passes performed (each fsyncs every then-dirty log once)."""
+        return self._flushes
+
+    @property
+    def scheduled(self) -> int:
+        """Appends that requested durability through the coordinator."""
+        return self._scheduled
+
+    def stats(self) -> dict:
+        """JSON-serializable counters (``repro-xml store stats`` embeds
+        them when group commit is on)."""
+        with self._cond:
+            return {
+                "window_seconds": self._window,
+                "flush_passes": self._flushes,
+                "appends_coalesced": self._scheduled,
+                "pending_writers": len(self._dirty),
+            }
+
+    def schedule(self, writer: "WalWriter") -> bool:
+        """Mark *writer* dirty; the flusher makes it durable next window.
+
+        Returns ``False`` once the coordinator is closed — the writer
+        then falls back to its own synchronous interval fsyncs instead
+        of losing durability (see :meth:`WalWriter.append`).
+        """
+        with self._cond:
+            if self._closed:
+                return False
+            self._scheduled += 1
+            self._dirty[id(writer)] = writer
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="wal-group-commit", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+        return True
+
+    def discard(self, writer: "WalWriter") -> None:
+        """Forget *writer* (it is closing and will flush itself)."""
+        with self._cond:
+            self._dirty.pop(id(writer), None)
+
+    _IDLE_TIMEOUT = 5.0
+    """Seconds of no work after which the flusher thread sheds itself
+    (``schedule`` restarts one lazily) — a dropped, never-closed store
+    must not pin a thread for the life of the process."""
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._dirty and not self._closed:
+                    if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
+                        self._thread = None  # idle: next schedule restarts
+                        return
+                if self._closed and not self._dirty:
+                    self._thread = None
+                    return
+            # let a window's worth of appends accumulate before flushing
+            time.sleep(self._window)
+            with self._cond:
+                batch = list(self._dirty.values())
+                self._dirty.clear()
+                self._flushes += 1
+            for writer in batch:
+                writer._flush_for_group()
+
+    def close(self) -> None:
+        """Flush everything still dirty and stop the flusher thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            batch = list(self._dirty.values())
+            self._dirty.clear()
+            thread = self._thread
+            self._cond.notify_all()
+        for writer in batch:
+            writer._flush_for_group()
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupCommitCoordinator(window={self._window}, "
+            f"flushes={self._flushes}, scheduled={self._scheduled})"
+        )
+
+
 class WalWriter:
     """The append side of one document's log.
 
@@ -263,7 +401,10 @@ class WalWriter:
         appends are flushed to the OS immediately but fsynced every
         *batch_interval* records (and on :meth:`sync`/:meth:`close`) —
         bounded loss of the last few acknowledged records on power
-        failure, none on process crash;
+        failure, none on process crash. With a *group_commit*
+        coordinator attached, the interval fsync is delegated to the
+        coordinator's shared per-window flush instead (see
+        :class:`GroupCommitCoordinator`);
     ``off``
         never fsyncs — durability is left to the OS page cache.
     """
@@ -274,6 +415,7 @@ class WalWriter:
         *,
         policy: str = "always",
         batch_interval: int = 8,
+        group_commit: "GroupCommitCoordinator | None" = None,
     ) -> None:
         if policy not in FSYNC_POLICIES:
             raise StoreError(
@@ -284,6 +426,9 @@ class WalWriter:
         self._path = Path(path)
         self._policy = policy
         self._interval = batch_interval
+        self._group = group_commit if policy == "batch" else None
+        self._sync_lock = threading.Lock()
+        self._flush_error: "BaseException | None" = None
         self._pending = 0
         self._appended = 0
         self._syncs = 0
@@ -320,6 +465,14 @@ class WalWriter:
         """Appends since the last fsync (``batch`` policy backlog)."""
         return self._pending
 
+    def _raise_deferred(self) -> None:
+        """Surface an asynchronous group-commit flush failure."""
+        if self._flush_error is not None:
+            error, self._flush_error = self._flush_error, None
+            raise StoreError(
+                f"deferred group-commit flush of {self._path.name} failed"
+            ) from error
+
     def append(self, text: str) -> int:
         """Append one record; returns its sequence number.
 
@@ -328,38 +481,74 @@ class WalWriter:
         journal hook) invokes this *before* advancing any in-memory
         state, which is what makes torn tails harmless.
         """
+        self._raise_deferred()
         seq = self._seq + 1
-        self._handle.write(encode_record(seq, text))
-        self._handle.flush()
-        self._seq = seq
-        self._appended += 1
-        self._pending += 1
-        if self._policy == "always" or (
-            self._policy == "batch" and self._pending >= self._interval
-        ):
+        with self._sync_lock:
+            self._handle.write(encode_record(seq, text))
+            self._handle.flush()
+            self._seq = seq
+            self._appended += 1
+            self._pending += 1
+        if self._policy == "always":
             self.sync()
+        elif self._policy == "batch":
+            delegated = (
+                self._group is not None and self._group.schedule(self)
+            )
+            if not delegated and self._pending >= self._interval:
+                # no coordinator (or a closed one): plain interval fsyncs
+                self.sync()
         return seq
+
+    def _flush_for_group(self) -> None:
+        """One coordinator-driven fsync; errors are deferred to the
+        writer's own thread (never lost, never raised into the flusher)."""
+        try:
+            with self._sync_lock:
+                if self._handle.closed or not self._pending:
+                    return
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._pending = 0
+                self._syncs += 1
+        except BaseException as error:  # noqa: BLE001 - deferred, not dropped
+            self._flush_error = error
 
     def sync(self) -> None:
         """Force everything appended so far onto stable storage."""
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self._pending = 0
-        self._syncs += 1
-
-    def close(self, *, final_sync: "bool | None" = None) -> None:
-        """Flush and close; fsyncs pending records unless policy ``off``
-        (override with *final_sync*)."""
-        if self._handle.closed:
-            return
-        if final_sync is None:
-            final_sync = self._policy != "off" and self._pending > 0
-        self._handle.flush()
-        if final_sync:
+        self._raise_deferred()
+        with self._sync_lock:
+            self._handle.flush()
             os.fsync(self._handle.fileno())
             self._pending = 0
             self._syncs += 1
-        self._handle.close()
+
+    def close(self, *, final_sync: "bool | None" = None) -> None:
+        """Flush and close; fsyncs pending records unless policy ``off``
+        (override with *final_sync*). A deferred group-commit flush
+        error is re-raised *after* the handle is flushed and closed —
+        the caller learns about it without leaking a half-closed log."""
+        if self._group is not None:
+            self._group.discard(self)
+        if self._handle.closed:
+            return
+        deferred, self._flush_error = self._flush_error, None
+        if deferred is not None and final_sync is None:
+            final_sync = self._policy != "off"  # re-attempt what the flusher missed
+        with self._sync_lock:
+            if final_sync is None:
+                final_sync = self._policy != "off" and self._pending > 0
+            self._handle.flush()
+            if final_sync:
+                os.fsync(self._handle.fileno())
+                self._pending = 0
+                self._syncs += 1
+            self._handle.close()
+        if deferred is not None:
+            raise StoreError(
+                f"deferred group-commit flush of {self._path.name} failed "
+                "(the log was flushed and closed on this final attempt)"
+            ) from deferred
 
     def reopen(self) -> None:
         """Re-point the writer at the (possibly rewritten) file —

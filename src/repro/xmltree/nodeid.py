@@ -11,7 +11,22 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator
 
-__all__ = ["NodeIds", "max_numeric_suffix"]
+__all__ = ["NodeIds", "max_numeric_suffix", "numeric_suffix"]
+
+
+def numeric_suffix(nid: Hashable, prefix: str) -> "int | None":
+    """The integer ``k`` of an identifier ``f"{prefix}{k}"``, else ``None``.
+
+    The single definition of which identifiers participate in a
+    numbering scheme. :func:`max_numeric_suffix`, the carried
+    :meth:`repro.xmltree.Tree.max_suffix` memo, and the session's
+    fresh-suffix index all build on it — fresh-identifier
+    collision-freedom depends on them agreeing exactly.
+    """
+    if not isinstance(nid, str) or not nid.startswith(prefix):
+        return None
+    tail = nid[len(prefix):]
+    return int(tail) if tail.isdigit() else None
 
 
 def max_numeric_suffix(ids: Iterable[Hashable], prefix: str) -> int:
@@ -25,11 +40,9 @@ def max_numeric_suffix(ids: Iterable[Hashable], prefix: str) -> int:
     """
     best = -1
     for nid in ids:
-        if not isinstance(nid, str) or not nid.startswith(prefix):
-            continue
-        suffix = nid[len(prefix):]
-        if suffix.isdigit():
-            best = max(best, int(suffix))
+        suffix = numeric_suffix(nid, prefix)
+        if suffix is not None and suffix > best:
+            best = suffix
     return best
 
 

@@ -16,8 +16,17 @@ preserved here:
   be paths in ``ℕ*``; any hashable values work, because updates insert
   and delete nodes while the surviving nodes keep their identifiers.
 
-Trees are immutable: all "modification" helpers return new trees that
-share nothing mutable with the original.
+Trees are immutable, and the editing helpers exploit that: instead of
+rebuilding every node map from scratch (a Python-level ``O(n)``
+comprehension per edit), :meth:`Tree.replace_subtree`,
+:meth:`Tree.delete_subtree`, and :meth:`Tree.insert_subtree` copy the
+maps at C speed and patch only the delta, :meth:`Tree.map_labels`
+shares the child/parent maps outright (the shape is untouched), and the
+memoized per-node subtree-size table and fresh-identifier suffix index
+are *carried* through an edit — unaffected entries are kept, only the
+edited region and its ancestor path are recomputed. Observable
+behaviour (equality, hashing, errors, iteration order) is unchanged;
+only where the dictionaries come from differs.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from types import MappingProxyType
 from typing import Callable, Hashable, Iterator, Mapping, Sequence
 
 from ..errors import DuplicateNodeError, NodeNotFoundError, TreeError
+from .nodeid import numeric_suffix as _numeric_suffix
 
 __all__ = ["NodeId", "Tree"]
 
@@ -51,7 +61,10 @@ class Tree:
         without an entry are leaves.
     """
 
-    __slots__ = ("_root", "_labels", "_children", "_parents", "_sizes")
+    __slots__ = (
+        "_root", "_labels", "_children", "_parents", "_sizes", "_suffixes",
+        "_ckey",
+    )
 
     def __init__(
         self,
@@ -70,8 +83,39 @@ class Tree:
             kid: node for node, kids in self._children.items() for kid in kids
         }
         self._sizes: dict[NodeId, int] | None = None
+        self._suffixes: dict[str, tuple[int, int]] | None = None
+        self._ckey: str | None = None
         if _validate:
             self._validate()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        root: NodeId | None,
+        labels: "dict[NodeId, str]",
+        children: "dict[NodeId, tuple[NodeId, ...]]",
+        parents: "dict[NodeId, NodeId]",
+        sizes: "dict[NodeId, int] | None" = None,
+        suffixes: "dict[str, tuple[int, int]] | None" = None,
+    ) -> "Tree":
+        """Adopt already-consistent internal maps without copying.
+
+        The structure-sharing constructor behind every editing helper:
+        callers hand over dictionaries they will never mutate again
+        (*children* must have no empty entries, *parents* must mirror
+        it). Skipping the per-node copy and the parent-map rebuild is
+        what makes an edit cost ``O(copy + delta)`` instead of a full
+        Python-level reconstruction.
+        """
+        self = cls.__new__(cls)
+        self._root = root
+        self._labels = labels
+        self._children = children
+        self._parents = parents
+        self._sizes = sizes
+        self._suffixes = suffixes
+        self._ckey = None
+        return self
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -95,21 +139,33 @@ class Tree:
         """
         labels: dict[NodeId, str] = {node: label}
         child_map: dict[NodeId, tuple[NodeId, ...]] = {}
+        parents: dict[NodeId, NodeId] = {}
         roots: list[NodeId] = []
         for child in children:
             if child.is_empty:
                 raise TreeError("cannot attach an empty tree as a child")
-            for nid, lab in child._labels.items():
-                if nid in labels:
-                    raise DuplicateNodeError(
-                        f"node {nid!r} occurs in more than one subtree"
-                    )
-                labels[nid] = lab
+            expected = len(labels) + len(child._labels)
+            labels.update(child._labels)
+            if len(labels) != expected:
+                # Slow path, only to name the offender in the error.
+                seen: set[NodeId] = {node}
+                for subtree in children:
+                    for nid in subtree._labels:
+                        if nid in seen:
+                            raise DuplicateNodeError(
+                                f"node {nid!r} occurs in more than one subtree"
+                            )
+                        seen.add(nid)
+                raise DuplicateNodeError(
+                    "subtrees share node identifiers"
+                )  # pragma: no cover - the replay above always raises
             child_map.update(child._children)
+            parents.update(child._parents)
+            parents[child.root] = node
             roots.append(child.root)
         if roots:
             child_map[node] = tuple(roots)
-        return cls(node, labels, child_map, _validate=False)
+        return cls._from_parts(node, labels, child_map, parents)
 
     def _validate(self) -> None:
         if self._root is None:
@@ -176,6 +232,115 @@ class Tree:
                 )
             self._sizes = sizes
         return MappingProxyType(self._sizes)
+
+    def max_suffix(self, prefix: str) -> int:
+        """Largest ``k`` with ``f"{prefix}{k}"`` a node identifier, ``-1`` if none.
+
+        Matches :func:`~repro.xmltree.nodeid.max_numeric_suffix` over
+        :meth:`nodes` exactly, but is memoized on the tree and *carried*
+        through the structure-sharing edits (insertions update the
+        maximum, deletions invalidate it only when they remove its last
+        witness), so fresh-identifier generation for edit scripts does
+        not rescan every identifier per request.
+        """
+        memo = self._suffixes
+        if memo is None:
+            memo = self._suffixes = {}
+        entry = memo.get(prefix)
+        if entry is None:
+            best, count = -1, 0
+            for nid in self._labels:
+                suffix = _numeric_suffix(nid, prefix)
+                if suffix is None:
+                    continue
+                if suffix > best:
+                    best, count = suffix, 1
+                elif suffix == best:
+                    count += 1
+            entry = memo[prefix] = (best, count)
+        return entry[0]
+
+    def content_key(self) -> str:
+        """A canonical content digest of the tree, identifiers included.
+
+        Two trees share a key iff they are equal (up to SHA-256
+        collisions): the digest covers the preorder stream of
+        ``(identifier, label, child count)`` triples, which determines
+        an ordered tree uniquely. Memoized (trees are immutable) — the
+        serving tier's cross-request propagation memo keys on it.
+        """
+        if self._ckey is None:
+            import hashlib
+
+            hasher = hashlib.sha256()
+            if self._root is None:
+                hasher.update(b"<empty>")
+            else:
+                labels = self._labels
+                children = self._children
+                for node in self.nodes():
+                    kids = children.get(node)
+                    hasher.update(
+                        repr((node, labels[node], len(kids) if kids else 0)).encode()
+                    )
+            self._ckey = hasher.hexdigest()
+        return self._ckey
+
+    def _carry_memos(
+        self,
+        removed: "Sequence[NodeId]",
+        inserted: "Tree | None",
+        anchor: "NodeId | None",
+    ) -> "tuple[dict[NodeId, int] | None, dict[str, tuple[int, int]] | None]":
+        """Advance the size table and suffix index across one edit.
+
+        *removed* are the identifiers leaving the tree (a whole former
+        subtree, its root first), *inserted* the subtree joining it, and
+        *anchor* the surviving parent whose ancestor path re-sums. Both
+        memos are carried only when already computed — the point is to
+        keep unaffected entries, never to force a computation the caller
+        skipped. Returns the new ``(sizes, suffixes)`` for
+        :meth:`_from_parts`.
+        """
+        sizes: "dict[NodeId, int] | None" = None
+        if self._sizes is not None:
+            sizes = self._sizes.copy()
+            delta = 0
+            if removed:
+                delta -= sizes[removed[0]]
+                for gone in removed:
+                    del sizes[gone]
+            if inserted is not None:
+                inserted_sizes = inserted.subtree_sizes()
+                sizes.update(inserted_sizes)
+                delta += inserted_sizes[inserted.root]
+            if delta:
+                current = anchor
+                while current is not None:
+                    sizes[current] += delta
+                    current = self._parents.get(current)
+        suffixes: "dict[str, tuple[int, int]] | None" = None
+        if self._suffixes:
+            suffixes = {}
+            for prefix, (best, count) in self._suffixes.items():
+                for gone in removed:
+                    if _numeric_suffix(gone, prefix) == best:
+                        count -= 1
+                if count <= 0 and best >= 0:
+                    continue  # last witness of the maximum left; rescan lazily
+                if inserted is not None:
+                    for nid in inserted._labels:
+                        suffix = _numeric_suffix(nid, prefix)
+                        if suffix is None:
+                            continue
+                        if suffix > best:
+                            best, count = suffix, 1
+                        elif suffix == best:
+                            count += 1
+                suffixes[prefix] = (best, count)
+            if not suffixes:
+                suffixes = None
+        return sizes, suffixes
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -320,22 +485,32 @@ class Tree:
         """``t|node`` — the subtree of ``t`` rooted at *node* (ids preserved)."""
         if node not in self._labels:
             raise NodeNotFoundError(node)
+        if node == self._root:
+            return self
         labels: dict[NodeId, str] = {}
         child_map: dict[NodeId, tuple[NodeId, ...]] = {}
+        parents: dict[NodeId, NodeId] = {}
+        own_labels = self._labels
+        own_children = self._children
+        sizes = self._sizes
+        sub_sizes: "dict[NodeId, int] | None" = {} if sizes is not None else None
         for current in self.descendants_or_self(node):
-            labels[current] = self._labels[current]
-            kids = self._children.get(current)
+            labels[current] = own_labels[current]
+            kids = own_children.get(current)
             if kids:
                 child_map[current] = kids
-        return Tree(node, labels, child_map, _validate=False)
+                for kid in kids:
+                    parents[kid] = current
+            if sub_sizes is not None:
+                sub_sizes[current] = sizes[current]  # type: ignore[index]
+        return Tree._from_parts(node, labels, child_map, parents, sub_sizes)
 
     def relabel_nodes(self, mapping: Mapping[NodeId, NodeId]) -> "Tree":
         """Rename node identifiers through *mapping* (identity if missing)."""
         if self._root is None:
             return self
 
-        def rename(node: NodeId) -> NodeId:
-            return mapping.get(node, node)
+        rename = lambda node: mapping.get(node, node)  # noqa: E731
 
         labels = {rename(node): label for node, label in self._labels.items()}
         if len(labels) != len(self._labels):
@@ -344,7 +519,13 @@ class Tree:
             rename(node): tuple(rename(kid) for kid in kids)
             for node, kids in self._children.items()
         }
-        return Tree(rename(self._root), labels, children, _validate=False)
+        parents = {
+            rename(kid): rename(node) for kid, node in self._parents.items()
+        }
+        sizes = None
+        if self._sizes is not None:
+            sizes = {rename(node): size for node, size in self._sizes.items()}
+        return Tree._from_parts(rename(self._root), labels, children, parents, sizes)
 
     def with_fresh_ids(self, fresh: "Callable[[], NodeId] | None" = None) -> "Tree":
         """An isomorphic copy whose every node gets a fresh identifier.
@@ -359,6 +540,31 @@ class Tree:
             mapping = {node: fresh() for node in self.nodes()}
         return self.relabel_nodes(mapping)
 
+    def _strip(
+        self, node: NodeId
+    ) -> "tuple[list[NodeId], dict[NodeId, str], dict[NodeId, tuple[NodeId, ...]], dict[NodeId, NodeId]]":
+        """Copy the node maps with ``t|node`` removed (copy-on-write).
+
+        The maps are C-speed copies of this tree's, patched by deleting
+        the removed region — every untouched entry is shared work, not
+        re-derived. The parent's child list is *not* adjusted here (the
+        callers splice differently).
+        """
+        removed = list(self.descendants_or_self(node))
+        labels = self._labels.copy()
+        children = self._children.copy()
+        parents = self._parents.copy()
+        for gone in removed:
+            del labels[gone]
+            children.pop(gone, None)
+            parents.pop(gone, None)
+        return removed, labels, children, parents
+
+    def _check_disjoint(self, incoming: "Tree", labels: "dict[NodeId, str]") -> None:
+        for nid in incoming._labels:
+            if nid in labels:
+                raise DuplicateNodeError(f"node {nid!r} already present")
+
     def replace_subtree(self, node: NodeId, replacement: "Tree") -> "Tree":
         """Replace ``t|node`` by *replacement* (which must reuse no id of the rest)."""
         if node not in self._labels:
@@ -367,26 +573,21 @@ class Tree:
             return replacement
         if replacement.is_empty:
             return self.delete_subtree(node)
-        removed = set(self.descendants_or_self(node))
-        labels = {
-            n: lab for n, lab in self._labels.items() if n not in removed
-        }
-        children = {
-            n: kids
-            for n, kids in self._children.items()
-            if n not in removed
-        }
-        for nid, lab in replacement._labels.items():
-            if nid in labels:
-                raise DuplicateNodeError(f"node {nid!r} already present")
-            labels[nid] = lab
+        removed, labels, children, parents = self._strip(node)
+        self._check_disjoint(replacement, labels)
+        labels.update(replacement._labels)
         children.update(replacement._children)
+        parents.update(replacement._parents)
         parent = self._parents[node]
+        parents[replacement.root] = parent
         children[parent] = tuple(
             replacement.root if kid == node else kid
             for kid in self._children[parent]
         )
-        return Tree(self._root, labels, children, _validate=False)
+        sizes, suffixes = self._carry_memos(removed, replacement, parent)
+        return Tree._from_parts(
+            self._root, labels, children, parents, sizes, suffixes
+        )
 
     def delete_subtree(self, node: NodeId) -> "Tree":
         """Remove ``t|node`` entirely. Deleting the root yields the empty tree."""
@@ -394,18 +595,17 @@ class Tree:
             raise NodeNotFoundError(node)
         if node == self._root:
             return Tree.empty()
-        removed = set(self.descendants_or_self(node))
-        labels = {n: lab for n, lab in self._labels.items() if n not in removed}
-        children = {
-            n: kids for n, kids in self._children.items() if n not in removed
-        }
+        removed, labels, children, parents = self._strip(node)
         parent = self._parents[node]
         remaining = tuple(kid for kid in self._children[parent] if kid != node)
         if remaining:
             children[parent] = remaining
         else:
             children.pop(parent, None)
-        return Tree(self._root, labels, children, _validate=False)
+        sizes, suffixes = self._carry_memos(removed, None, parent)
+        return Tree._from_parts(
+            self._root, labels, children, parents, sizes, suffixes
+        )
 
     def insert_subtree(self, parent: NodeId, index: int, subtree: "Tree") -> "Tree":
         """Insert *subtree* as the ``index``-th child of *parent*."""
@@ -418,21 +618,36 @@ class Tree:
             raise TreeError(
                 f"index {index} out of range for {len(kids)} children of {parent!r}"
             )
-        labels = dict(self._labels)
-        for nid, lab in subtree._labels.items():
-            if nid in labels:
-                raise DuplicateNodeError(f"node {nid!r} already present")
-            labels[nid] = lab
-        children = dict(self._children)
+        labels = self._labels.copy()
+        self._check_disjoint(subtree, labels)
+        labels.update(subtree._labels)
+        children = self._children.copy()
         children.update(subtree._children)
+        parents = self._parents.copy()
+        parents.update(subtree._parents)
+        parents[subtree.root] = parent
         kids.insert(index, subtree.root)
         children[parent] = tuple(kids)
-        return Tree(self._root, labels, children, _validate=False)
+        sizes, suffixes = self._carry_memos((), subtree, parent)
+        return Tree._from_parts(
+            self._root, labels, children, parents, sizes, suffixes
+        )
 
     def map_labels(self, fn: Callable[[str], str]) -> "Tree":
-        """Apply *fn* to every label, keeping identifiers and shape."""
+        """Apply *fn* to every label, keeping identifiers and shape.
+
+        The child/parent maps, size table, and suffix index are shared
+        with this tree outright — relabelling touches none of them.
+        """
         labels = {node: fn(label) for node, label in self._labels.items()}
-        return Tree(self._root, labels, self._children, _validate=False)
+        return Tree._from_parts(
+            self._root,
+            labels,
+            self._children,
+            self._parents,
+            self._sizes,
+            self._suffixes,
+        )
 
     # ------------------------------------------------------------------
     # Comparison

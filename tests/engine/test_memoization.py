@@ -1,0 +1,188 @@
+"""Cross-request propagation memoization: hits, bypasses, invalidation.
+
+The memo must be invisible in results (byte-identical scripts — the
+property suite pins that against random workloads) and visible only in
+time and counters. These tests pin the cache mechanics: keying by exact
+request content, chooser keys, LRU eviction, the bypass conditions, and
+the inversion-fragment cache shared across different requests.
+"""
+
+import pytest
+
+from repro.core import (
+    CheapestPathChooser,
+    DEL_OVER_NOP_OVER_INS,
+    PreferenceChooser,
+)
+from repro.core.choosers import chooser_from_key
+from repro.editing import EditScript
+from repro.engine import ViewEngine
+from repro.errors import InvalidViewUpdateError
+from repro.paperdata.figures import a0, d0
+from repro.xmltree import parse_term
+
+
+@pytest.fixture
+def schema():
+    return d0(), a0()
+
+
+@pytest.fixture
+def engine(schema):
+    return ViewEngine(*schema)
+
+
+@pytest.fixture
+def source():
+    return parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+
+
+@pytest.fixture
+def update():
+    return EditScript.parse(
+        "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+        "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+    )
+
+
+class TestMemoHits:
+    def test_repeat_request_is_a_hit(self, engine, source, update):
+        first = engine.propagate(source, update)
+        second = engine.propagate(source, update)
+        assert second is first  # the memo returns the cached script object
+        stats = engine.stats
+        assert (stats.memo_misses, stats.memo_hits) == (1, 1)
+
+    def test_equal_content_different_objects_hit(self, engine, source, update):
+        engine.propagate(source, update)
+        clone_source = parse_term(source.to_term())
+        clone_update = EditScript.parse(update.to_term())
+        script = engine.propagate(clone_source, clone_update)
+        assert engine.stats.memo_hits == 1
+        assert script.to_term() == engine.propagate(source, update).to_term()
+
+    def test_different_chooser_rebuilds_script_not_graphs(
+        self, engine, source, update
+    ):
+        nop_first = engine.propagate(source, update)
+        del_first = engine.propagate(
+            source, update, chooser=PreferenceChooser(DEL_OVER_NOP_OVER_INS)
+        )
+        # both count as misses (no cached script for that chooser), but
+        # the second shares the entry's graphs
+        assert engine.stats.memo_misses == 2
+        assert engine.stats.memo_hits == 0
+        # each chooser's result equals its own memo-free baseline ...
+        assert del_first.to_term() == engine.propagate(
+            source,
+            update,
+            chooser=PreferenceChooser(DEL_OVER_NOP_OVER_INS),
+            memo=False,
+        ).to_term()
+        # ... and each chooser now hits its own cached script
+        assert engine.propagate(source, update) is nop_first
+        assert (
+            engine.propagate(
+                source, update, chooser=PreferenceChooser(DEL_OVER_NOP_OVER_INS)
+            )
+            is del_first
+        )
+
+    def test_validation_runs_once_per_pair(self, engine, source, update):
+        engine.propagate(source, update)
+        engine.propagate(source, update)
+        # an *invalid* update still fails on a repeat (never cached)
+        bad = EditScript.parse("Nop.r#n0(Del.a#n1)")
+        for _ in range(2):
+            with pytest.raises(InvalidViewUpdateError):
+                engine.propagate(source, bad)
+
+
+class TestMemoBypass:
+    def test_memo_false_bypasses(self, engine, source, update):
+        engine.propagate(source, update, memo=False)
+        engine.propagate(source, update, memo=False)
+        stats = engine.stats
+        assert stats.memo_hits == 0 and stats.memo_misses == 0
+        assert stats.memo_bypass == 2
+
+    def test_caller_fresh_bypasses(self, engine, source, update):
+        from repro.xmltree import NodeIds
+
+        engine.propagate(source, update, fresh=NodeIds("f", 100).fresh)
+        assert engine.stats.memo_bypass == 1
+
+    def test_unknown_chooser_bypasses(self, engine, source, update):
+        class OddChooser(CheapestPathChooser):
+            cache_key = None  # no canonical key
+
+        engine.propagate(source, update, chooser=OddChooser())
+        assert engine.stats.memo_bypass == 1
+
+    def test_zero_capacity_disables(self, schema, source, update):
+        engine = ViewEngine(*schema, memo_capacity=0)
+        engine.propagate(source, update)
+        engine.propagate(source, update)
+        stats = engine.stats
+        assert stats.memo_hits == 0 and stats.memo_bypass == 2
+
+
+class TestMemoLifecycle:
+    def test_lru_eviction_and_refill(self, schema, source, update):
+        engine = ViewEngine(*schema, memo_capacity=1)
+        other = EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Del.a#n4, Del.d#n6(Del.c#n10))"
+        )
+        baseline = engine.propagate(source, update, memo=False).to_term()
+        engine.propagate(source, update)   # miss, cached
+        engine.propagate(source, other)    # miss, evicts the first entry
+        assert engine.stats.memo_evictions == 1
+        # the evicted request must re-serve correctly (and re-cache)
+        again = engine.propagate(source, update)
+        assert again.to_term() == baseline
+        assert engine.stats.memo_misses == 3
+
+    def test_invalidate_memo(self, engine, source, update):
+        engine.propagate(source, update)
+        engine.invalidate_memo()
+        engine.propagate(source, update)
+        stats = engine.stats
+        assert stats.memo_hits == 0
+        assert stats.memo_misses == 2
+
+    def test_stats_payload_carries_memo_counters(self, engine, source, update):
+        engine.propagate(source, update)
+        engine.propagate(source, update)
+        payload = engine.stats.as_dict()
+        assert payload["memo_hits"] == 1
+        assert payload["memo_misses"] == 1
+        assert "memo_evictions" in payload and "memo_bypass" in payload
+
+
+class TestInversionFragmentCache:
+    def test_identical_fragment_reuses_collection(self, engine, source):
+        """Two *different* requests inserting the same fragment share one
+        inversion-graph collection through the engine's fragment cache."""
+        first = EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+            "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+        )
+        second = EditScript.parse(
+            "Nop.r#n0(Del.a#n1, Del.d#n3(Del.c#n8), Nop.a#n4, "
+            "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+        )
+        g1 = engine.propagation_graphs(source, first)
+        g2 = engine.propagation_graphs(source, second)
+        assert g1.insertions["u0"] is g2.insertions["u0"]
+
+    def test_chooser_key_round_trip(self):
+        for chooser in (
+            PreferenceChooser(),
+            PreferenceChooser(DEL_OVER_NOP_OVER_INS),
+            CheapestPathChooser(),
+        ):
+            rebuilt = chooser_from_key(chooser.cache_key())
+            assert type(rebuilt) is type(chooser)
+            assert rebuilt.cache_key() == chooser.cache_key()

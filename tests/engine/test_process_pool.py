@@ -1,0 +1,100 @@
+"""Process-pool ``propagate_many``: envelopes, equivalence, refusals.
+
+The property suite pins byte-identical results against the cold
+baseline on random workloads; these tests pin the mechanics — chunk
+reassembly order, insertlet-package shipping, and the explicit refusal
+of envelopes that cannot cross the process boundary.
+"""
+
+import pytest
+
+from repro.core import CheapestPathChooser, InsertletPackage
+from repro.editing import EditScript
+from repro.engine import ViewEngine
+from repro.parallel import ProcessServingError, engine_spec
+from repro.paperdata.figures import a0, d0
+from repro.xmltree import parse_term
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return d0(), a0()
+
+
+@pytest.fixture(scope="module")
+def batch():
+    source = parse_term(
+        "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+    )
+    updates = [
+        EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+            "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+        ),
+        EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Del.a#n4, "
+            "Del.d#n6(Del.c#n10))"
+        ),
+        EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Ins.c#u5, Nop.c#n8), Nop.a#n4, "
+            "Nop.d#n6(Nop.c#n10))"
+        ),
+    ]
+    return [(source, update) for update in updates]
+
+
+class TestProcessPool:
+    def test_matches_serial_in_order(self, schema, batch):
+        engine = ViewEngine(*schema)
+        serial = engine.propagate_many(list(batch))
+        pooled = engine.propagate_many(list(batch), parallel="process", workers=2)
+        assert [s.to_term() for s in pooled] == [s.to_term() for s in serial]
+
+    def test_chunking_preserves_order_on_large_batches(self, schema, batch):
+        engine = ViewEngine(*schema)
+        large = list(batch) * 7  # several chunks per worker
+        serial = engine.propagate_many(large)
+        pooled = engine.propagate_many(large, parallel="process", workers=2)
+        assert [s.to_term() for s in pooled] == [s.to_term() for s in serial]
+
+    def test_insertlet_package_ships(self, schema, batch):
+        dtd, annotation = schema
+        package = InsertletPackage.minimal(dtd)
+        engine = ViewEngine(dtd, annotation, factory=package)
+        serial = engine.propagate_many(list(batch))
+        pooled = engine.propagate_many(list(batch), parallel="process", workers=2)
+        assert [s.to_term() for s in pooled] == [s.to_term() for s in serial]
+
+    def test_custom_chooser_is_refused(self, schema, batch):
+        class OddChooser(CheapestPathChooser):
+            cache_key = None
+
+        engine = ViewEngine(*schema)
+        with pytest.raises(ProcessServingError):
+            engine.propagate_many(
+                list(batch), parallel="process", chooser=OddChooser()
+            )
+
+    def test_unreconstructible_factory_is_refused(self, schema):
+        dtd, annotation = schema
+
+        class OpaqueFactory:
+            def weight(self, label):
+                return 1
+
+            def build(self, label, fresh):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        engine = ViewEngine(dtd, annotation, factory=OpaqueFactory())
+        with pytest.raises(ProcessServingError):
+            engine_spec(engine)
+
+
+class TestSpec:
+    def test_spec_is_picklable_and_hash_stable(self, schema):
+        import pickle
+
+        engine = ViewEngine(*schema)
+        spec = engine_spec(engine)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert spec[3] == engine.schema_hash

@@ -109,6 +109,63 @@ def test_parallel_propagate_many_matches_cold_baseline(seed, steps):
 
 
 @settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 3))
+def test_memoized_engine_matches_cold_baseline(seed, steps):
+    """One long-lived engine serving every request *twice* — misses,
+    hits, and re-misses after eviction — returns byte-identical scripts
+    to the cold per-request baseline throughout."""
+    dtd, annotation, _, stream = _workload(seed, steps)
+    engine = ViewEngine(dtd, annotation)
+    for document, update, cold in stream:
+        first = engine.propagate(document, update)   # memo miss
+        again = engine.propagate(document, update)   # memo hit
+        assert first.to_term() == cold.to_term()
+        assert again.to_term() == cold.to_term()
+    stats = engine.stats
+    # the stream may repeat a request across steps (an identity update),
+    # so hits can exceed one per step — but every repeat must hit
+    assert stats.memo_hits >= len(stream)
+    assert stats.memo_hits + stats.memo_misses == 2 * len(stream)
+    assert stats.memo_bypass == 0
+
+    # a capacity-1 engine serves the same stream with evictions between
+    # repeats: every re-served request is a fresh build, still identical
+    tiny = ViewEngine(dtd, annotation, memo_capacity=1)
+    for document, update, cold in stream:
+        assert tiny.propagate(document, update).to_term() == cold.to_term()
+    for document, update, cold in stream:
+        assert tiny.propagate(document, update).to_term() == cold.to_term()
+    distinct = {
+        (document.content_key(), update.content_key())
+        for document, update, _ in stream
+    }
+    if len(distinct) > 1:
+        assert tiny.stats.memo_evictions > 0
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(2, 3))
+def test_process_pool_matches_cold_baseline(seed, steps):
+    """propagate_many(parallel="process") ships the batch through worker
+    processes and returns scripts byte-identical to serial serving, in
+    order."""
+    dtd, annotation, _, stream = _workload(seed, steps)
+    pairs = [(document, update) for document, update, _ in stream]
+    engine = ViewEngine(dtd, annotation)
+    pooled = engine.propagate_many(pairs, parallel="process", workers=2)
+    for (_, _, cold), script in zip(stream, pooled):
+        assert script.to_term() == cold.to_term()
+
+
+@settings(
     max_examples=15,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
