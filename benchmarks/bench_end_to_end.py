@@ -280,6 +280,55 @@ class TestDurableStreaming:
 
 
 # ---------------------------------------------------------------------------
+# Replication: the WAL shipped, applied, and served from a standby. The
+# engine never re-runs on the replica path — shipping is file and frame
+# I/O — so keeping a standby byte-identical must cost a fraction of the
+# propagation work that produced the records. Asserted byte-identical.
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationShipping:
+    def test_standby_keeps_up_with_the_primary(self, tmp_path):
+        from repro.replication import StandbyStore, replicate
+
+        workload = wide_schema(8 if SMOKE else 24, sections=8)
+        dtd, annotation = workload.dtd, workload.annotation
+        updates = _sequential_stream(workload, STREAM_LENGTH)
+        engine = ViewEngine(dtd, annotation).warm_up()
+
+        primary = DocumentStore.init(tmp_path / "primary", fsync="off")
+        primary.put("doc", workload.source, dtd, annotation)
+        standby = StandbyStore.init(
+            tmp_path / "standby", primary_root=tmp_path / "primary"
+        )
+        replicate(primary, standby)
+        reader = standby.replica_session("doc")
+
+        serve_elapsed = ship_elapsed = 0.0
+        with primary.open_session("doc", engine=engine) as session:
+            for update in updates:
+                start = time.perf_counter()
+                session.propagate(update)
+                serve_elapsed += time.perf_counter() - start
+                start = time.perf_counter()
+                replicate(primary, standby)
+                reader.refresh()
+                ship_elapsed += time.perf_counter() - start
+            # a fully caught-up replica serves the primary's exact state
+            assert reader.lag() == 0
+            assert reader.view == session.view
+            assert reader.source == session.source
+
+        print(
+            f"\nreplication x{len(updates)} records: "
+            f"serve {serve_elapsed / len(updates) * 1000:.2f} ms/update, "
+            f"ship+refresh {ship_elapsed / len(updates) * 1000:.2f} "
+            f"ms/record ({ship_elapsed / serve_elapsed * 100:.0f}% of "
+            "propagation cost)"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Memoization: the same (source, update) request arriving again and again —
 # retries, idempotent replays, many clients making the same change. A warm
 # engine with the memo off rebuilds every graph per request; with the memo
@@ -487,6 +536,52 @@ def _wal_modes(workload, length: int, tmp_root, rounds: int) -> dict:
     return columns
 
 
+def _replication_modes(workload, length: int, tmp_root, rounds: int) -> dict:
+    """Per-record shipping cost and standby serving costs (not gated by
+    check_regression — absolute I/O times are machine-bound; tracked for
+    the trajectory)."""
+    from pathlib import Path
+
+    from repro.replication import QueueTransport, StandbyStore, WalShipper, replicate
+
+    dtd, annotation = workload.dtd, workload.annotation
+    updates = _sequential_stream(workload, length)
+    engine = ViewEngine(dtd, annotation).warm_up()
+    primary = DocumentStore.init(Path(tmp_root) / "repl-primary", fsync="off")
+    primary.put("doc", workload.source, dtd, annotation)
+    with primary.open_session("doc", engine=engine) as session:
+        session.serve(updates)
+
+    # bootstrap + full-stream catch-up of a fresh standby, per record
+    ship_times = []
+    for round_index in range(rounds):
+        standby = StandbyStore.init(
+            Path(tmp_root) / f"repl-standby-{round_index}"
+        )
+        transport = QueueTransport()
+        start = time.perf_counter()
+        WalShipper(primary, transport).ship_all()
+        standby.apply_frames(transport.drain())
+        ship_times.append(time.perf_counter() - start)
+        assert standby.applied_seq("doc") == len(updates)
+    ship_elapsed = statistics.median(ship_times)
+
+    # serving side: a warm replica session's no-op refresh vs rebuilding
+    # the whole session from snapshot + log
+    standby = StandbyStore.init(
+        Path(tmp_root) / "repl-standby-serve", primary_root=primary.root
+    )
+    replicate(primary, standby)
+    reader = standby.replica_session("doc")
+    rebuild = _median_seconds(lambda: standby.replica_session("doc"), rounds)
+    refresh = _median_seconds(reader.refresh, rounds)
+    return {
+        "ship_ms_per_record": ship_elapsed / len(updates) * 1000,
+        "replica_rebuild_ms": rebuild * 1000,
+        "replica_noop_refresh_ms": refresh * 1000,
+    }
+
+
 def run_trajectory(smoke: bool) -> dict:
     """The full perf trajectory as one JSON-serializable report."""
     repeats = 4 if smoke else 16
@@ -508,6 +603,9 @@ def run_trajectory(smoke: bool) -> dict:
 
     with tempfile.TemporaryDirectory() as tmp_root:
         workloads["wide_schema"]["wal"] = _wal_modes(
+            families["wide_schema"], stream_length, tmp_root, rounds
+        )
+        workloads["wide_schema"]["replication"] = _replication_modes(
             families["wide_schema"], stream_length, tmp_root, rounds
         )
     return {

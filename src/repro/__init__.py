@@ -48,7 +48,10 @@ Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
 :mod:`repro.engine` (the compiled serving layer),
 :mod:`repro.registry` (multi-tenant engine cache),
 :mod:`repro.session` (pinned-document streams), :mod:`repro.store`
-(durable documents: write-ahead log, snapshots, crash recovery),
+(durable documents: write-ahead log, snapshots, crash recovery,
+point-in-time recovery, per-document write leases),
+:mod:`repro.replication` (WAL-shipping replication: standby stores,
+bounded-lag replica reads, promotion with lease fencing),
 :mod:`repro.repair`
 (the Section 6.2 baseline), :mod:`repro.generators` (random workloads),
 :mod:`repro.paperdata` (every figure of the paper).
@@ -84,8 +87,9 @@ from .registry import (
     schema_fingerprint,
     set_default_registry,
 )
+from .replication import ReplicaSession, StandbyStore, WalShipper, replicate
 from .session import DocumentSession, SessionStats
-from .store import DocumentStore, DurableSession, RecoveredDocument
+from .store import DocumentStore, DurableSession, RecoveredDocument, TimeTravelView
 from .inversion import (
     count_min_inversions,
     enumerate_min_inversions,
@@ -140,6 +144,12 @@ __all__ = [
     "DocumentStore",
     "DurableSession",
     "RecoveredDocument",
+    "TimeTravelView",
+    # WAL-shipping replication
+    "WalShipper",
+    "replicate",
+    "StandbyStore",
+    "ReplicaSession",
     # propagation (Sections 4-5)
     "propagate",
     "propagation_graphs",

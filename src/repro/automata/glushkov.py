@@ -43,35 +43,35 @@ class _Analysis:
             first: set[int] = set()
             last: set[int] = set()
             for part in node.parts:
-                n, f, l = self.analyse(part)
+                n, f, ls = self.analyse(part)
                 nullable = nullable or n
                 first |= f
-                last |= l
+                last |= ls
             return (nullable, first, last)
         if isinstance(node, Concat):
             nullable = True
             first: set[int] = set()
             last: set[int] = set()
             for part in node.parts:
-                n, f, l = self.analyse(part)
+                n, f, ls = self.analyse(part)
                 if nullable:
                     first |= f
                 for position in last:
                     self.follow[position] |= f
                 if n:
-                    last |= l
+                    last |= ls
                 else:
-                    last = l
+                    last = ls
                 nullable = nullable and n
             return (nullable, first, last)
         if isinstance(node, (Star, Plus)):
-            n, f, l = self.analyse(node.inner)
-            for position in l:
+            n, f, ls = self.analyse(node.inner)
+            for position in ls:
                 self.follow[position] |= f
-            return (n or isinstance(node, Star), f, l)
+            return (n or isinstance(node, Star), f, ls)
         if isinstance(node, Optional):
-            n, f, l = self.analyse(node.inner)
-            return (True, f, l)
+            n, f, ls = self.analyse(node.inner)
+            return (True, f, ls)
         raise TypeError(f"unknown regex node {node!r}")
 
 

@@ -14,7 +14,11 @@ Subcommands (``repro-xml <command> --help`` for details):
 * ``stats``     — registry/engine metrics of this process as JSON;
 * ``store …``   — the durable document store
   (:mod:`repro.store`): ``init``, ``put``, ``ls``, ``propagate``,
-  ``compact``, ``recover``, ``stats``.
+  ``compact``, ``recover`` (``--upto SEQ`` for point-in-time
+  recovery), ``stats``;
+* ``replica …`` — WAL-shipping replication
+  (:mod:`repro.replication`): ``init``, ``ship``, ``spool``,
+  ``apply``, ``status``, ``promote``.
 
 File formats: documents are XML carrying node identifiers in an ``id``
 attribute; DTDs use classic ``<!ELEMENT …>`` declarations; annotations
@@ -42,6 +46,7 @@ from .engine import ViewEngine
 from .errors import ReproError
 from .registry import default_registry
 from .repair import compare_with_propagation
+from .replication import FileSpoolTransport, StandbyStore, WalShipper, replicate
 from .store import FSYNC_POLICIES, DocumentStore
 from .views import Annotation
 from .xmltree import tree_from_xml, tree_to_xml
@@ -303,10 +308,14 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
 
 def _cmd_store_recover(args: argparse.Namespace) -> int:
     store = _open_store(args)
-    recovered = store.recover(args.id, repair=not args.no_repair)
+    recovered = store.recover(
+        args.id, repair=not args.no_repair, upto_seq=args.upto
+    )
+    point = "" if args.upto is None else f" (point-in-time: seq {args.upto})"
     print(
         f"recovered {args.id!r}: snapshot {recovered.snapshot_seq} + "
         f"{recovered.replayed} replayed records -> seq {recovered.last_seq}"
+        + point
         + (" (torn tail truncated)" if recovered.truncated_tail else ""),
         file=sys.stderr,
     )
@@ -322,6 +331,107 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     store = _open_store(args)
     payload = store.stats(args.id) if args.id else store.stats()
     _emit(args, json.dumps(payload, indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Replication subcommands
+# ---------------------------------------------------------------------------
+
+
+def _open_standby(args: argparse.Namespace, *, create: bool = False) -> "StandbyStore":
+    return StandbyStore(
+        args.standby,
+        create=create,
+        primary_root=getattr(args, "primary", None),
+    )
+
+
+def _replica_doc_ids(args: argparse.Namespace) -> "list[str] | None":
+    return args.id if getattr(args, "id", None) else None
+
+
+def _cmd_replica_init(args: argparse.Namespace) -> int:
+    primary = DocumentStore(args.primary)
+    standby = StandbyStore.init(args.standby, primary_root=args.primary)
+    out = replicate(primary, standby, doc_ids=_replica_doc_ids(args))
+    print(
+        f"initialised standby at {standby.root} following {primary.root}: "
+        f"{out['applied']} frames applied, positions {out['positions']}"
+    )
+    return 0
+
+
+def _cmd_replica_ship(args: argparse.Namespace) -> int:
+    primary = DocumentStore(args.primary)
+    standby = _open_standby(args)
+    out = replicate(primary, standby, doc_ids=_replica_doc_ids(args))
+    print(
+        f"shipped {out['shipped']} frames ({out['applied']} applied, "
+        f"{out['skipped']} duplicates); positions {out['positions']}"
+    )
+    return 0
+
+
+def _cmd_replica_spool(args: argparse.Namespace) -> int:
+    primary = DocumentStore(args.primary)
+    transport = FileSpoolTransport(args.spool, fsync=args.fsync_spool)
+    shipper = WalShipper(primary, transport, doc_ids=_replica_doc_ids(args))
+    if args.after is not None:
+        if not args.id or len(args.id) != 1:
+            print(
+                "error: --after resumes one document; pass exactly one --id",
+                file=sys.stderr,
+            )
+            return 1
+        shipper.resume_from({args.id[0]: args.after})
+    sent = shipper.ship_all()
+    print(
+        f"spooled {sent} frames to {args.spool} "
+        f"(positions {shipper.stats['positions']})"
+    )
+    return 0
+
+
+def _cmd_replica_apply(args: argparse.Namespace) -> int:
+    from .store.store import _STORE_MARKER
+
+    standby = (
+        _open_standby(args)
+        if (Path(args.standby) / _STORE_MARKER).is_file()
+        else StandbyStore.init(
+            args.standby, primary_root=getattr(args, "primary", None)
+        )
+    )
+    transport = FileSpoolTransport(args.spool)
+    outcome = standby.apply_frames(transport.drain())
+    positions = standby.positions()
+    print(
+        f"applied {outcome['applied']} frames "
+        f"({outcome['skipped']} duplicates); positions {positions}"
+    )
+    return 0
+
+
+def _cmd_replica_status(args: argparse.Namespace) -> int:
+    standby = _open_standby(args)
+    payload = standby.stats()["replication"]
+    _emit(args, json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_replica_promote(args: argparse.Namespace) -> int:
+    standby = _open_standby(args)
+    summary = standby.promote(fence=not args.no_fence)
+    fenced = ", ".join(summary["fenced"]) or "none"
+    print(f"promoted {standby.root} to primary; fenced leases: {fenced}")
+    if summary["unreachable"]:
+        print(
+            "warning: old primary unreachable for: "
+            + ", ".join(summary["unreachable"])
+            + " (it is fenced implicitly — it can no longer ship here)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -509,6 +619,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit only: do not truncate a torn log tail",
     )
+    s_recover.add_argument(
+        "--upto",
+        type=int,
+        default=None,
+        metavar="SEQ",
+        help="point-in-time recovery: rebuild the document exactly as it "
+        "stood after log record SEQ (0 = genesis); the target must be "
+        "covered by a retained snapshot + the log",
+    )
     s_recover.add_argument("--out")
     s_recover.set_defaults(handler=_cmd_store_recover)
 
@@ -519,6 +638,96 @@ def build_parser() -> argparse.ArgumentParser:
     s_stats.add_argument("--id", help="one document (default: whole store)")
     s_stats.add_argument("--out")
     s_stats.set_defaults(handler=_cmd_store_stats)
+
+    replica = commands.add_parser(
+        "replica",
+        help="WAL-shipping replication: standbys, lag, promotion",
+    )
+    replica_commands = replica.add_subparsers(dest="replica_command", required=True)
+
+    def replica_docs(sub):
+        sub.add_argument(
+            "--id",
+            action="append",
+            help="document to replicate (repeatable; default: all)",
+        )
+
+    r_init = replica_commands.add_parser(
+        "init", help="create a standby store and bootstrap it from a primary"
+    )
+    r_init.add_argument("--primary", required=True, help="primary store directory")
+    r_init.add_argument("--standby", required=True, help="standby store directory")
+    replica_docs(r_init)
+    r_init.set_defaults(handler=_cmd_replica_init)
+
+    r_ship = replica_commands.add_parser(
+        "ship",
+        help="one replication pass: ship pending WAL records from the "
+        "primary and apply them at the standby",
+    )
+    r_ship.add_argument("--primary", required=True)
+    r_ship.add_argument("--standby", required=True)
+    replica_docs(r_ship)
+    r_ship.set_defaults(handler=_cmd_replica_ship)
+
+    r_spool = replica_commands.add_parser(
+        "spool",
+        help="ship frames into an append-only spool file (apply them "
+        "elsewhere with `replica apply`)",
+    )
+    r_spool.add_argument("--primary", required=True)
+    r_spool.add_argument("--spool", required=True, help="spool file to append to")
+    replica_docs(r_spool)
+    r_spool.add_argument(
+        "--after",
+        type=int,
+        default=None,
+        metavar="SEQ",
+        help="resume one document's stream after SEQ instead of "
+        "bootstrapping (requires exactly one --id)",
+    )
+    r_spool.add_argument(
+        "--fsync-spool",
+        action="store_true",
+        help="fsync the spool after every frame",
+    )
+    r_spool.set_defaults(handler=_cmd_replica_spool)
+
+    r_apply = replica_commands.add_parser(
+        "apply",
+        help="apply a spool file's complete frames to a standby "
+        "(creates the standby store if missing; duplicates are skipped, "
+        "so replaying a spool is always safe)",
+    )
+    r_apply.add_argument("--standby", required=True)
+    r_apply.add_argument("--spool", required=True)
+    r_apply.add_argument(
+        "--primary",
+        help="record the primary's directory in the standby (enables lag "
+        "measurement and lease fencing at promotion when it is reachable)",
+    )
+    r_apply.set_defaults(handler=_cmd_replica_apply)
+
+    r_status = replica_commands.add_parser(
+        "status",
+        help="replication positions and lag of a standby as JSON",
+    )
+    r_status.add_argument("--standby", required=True)
+    r_status.add_argument("--out")
+    r_status.set_defaults(handler=_cmd_replica_status)
+
+    r_promote = replica_commands.add_parser(
+        "promote",
+        help="promote a standby to primary, fencing the old primary's "
+        "per-document write leases",
+    )
+    r_promote.add_argument("--standby", required=True)
+    r_promote.add_argument(
+        "--no-fence",
+        action="store_true",
+        help="flip the role without touching the old primary's leases",
+    )
+    r_promote.set_defaults(handler=_cmd_replica_promote)
 
     return parser
 

@@ -33,7 +33,7 @@ from ..graphutil import min_distances
 from ..inversion import InversionGraphs, inversion_graphs
 from ..views import Annotation
 from ..xmltree import NodeId, NodeIds, Tree
-from .choosers import CheapestPathChooser, PathChooser, PreferenceChooser
+from .choosers import PathChooser
 from .optimal import OptimalPropagationGraph
 from .propagation_graph import (
     EdgeKind,

@@ -17,7 +17,7 @@ side-effect-freeness.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from ..errors import InvalidScriptError
 from ..xmltree import NodeId, Tree, parse_term

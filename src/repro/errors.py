@@ -35,7 +35,11 @@ __all__ = [
     "WALCorruptError",
     "SnapshotCorruptError",
     "RecoveryError",
+    "LeaseFencedError",
     "StoreSchemaMismatchError",
+    "ReplicationError",
+    "ReadOnlyReplicaError",
+    "ReplicationLagError",
 ]
 
 
@@ -255,6 +259,20 @@ class RecoveryError(StoreError):
     """
 
 
+class LeaseFencedError(StoreError):
+    """A writer lost its per-document lease to a newer writer.
+
+    Every :class:`repro.store.DurableSession` acquires the document's
+    lease (``lease.json``, a monotonically increasing epoch plus an
+    owner token) when it opens, and re-verifies it before every journal
+    append. A second writer — another session, or a promoted standby
+    (:meth:`repro.replication.StandbyStore.promote`) — acquires the
+    lease by bumping the epoch, after which the fenced writer's next
+    append raises this error instead of splitting the document's
+    history into two divergent logs.
+    """
+
+
 class StoreSchemaMismatchError(StoreError, StaleSessionError):
     """A stored document was opened under a different ``(DTD, Annotation)``.
 
@@ -265,3 +283,37 @@ class StoreSchemaMismatchError(StoreError, StaleSessionError):
     session from stale caches — the mismatch is refused (this error is
     also a :class:`StaleSessionError`).
     """
+
+
+# ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(StoreError):
+    """Base class for :mod:`repro.replication` failures.
+
+    Raised for damaged ship frames in the interior of a stream (a torn
+    *final* frame is the expected signature of a shipper killed
+    mid-record and is simply not applied), for a record that does not
+    extend the standby's log contiguously when no checkpoint frame can
+    bridge the gap, and for bootstrap/checkpoint payloads that disagree
+    with the standby's recorded schema.
+    """
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A write path was invoked on an unpromoted standby.
+
+    Standby stores serve reads only — their documents advance
+    exclusively by applying shipped WAL records, so a local write would
+    fork the history away from the primary's. Promote the standby
+    (:meth:`repro.replication.StandbyStore.promote`) to make it
+    writable, which also fences the old primary's lease.
+    """
+
+
+class ReplicationLagError(ReplicationError):
+    """A bounded-lag read found the standby further behind the primary
+    than the caller allows (:meth:`repro.replication.ReplicaSession.read`
+    with ``max_lag=``)."""

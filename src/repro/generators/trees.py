@@ -17,7 +17,7 @@ from typing import Iterator, Sequence
 from ..automata import NFA, min_completion_costs
 from ..dtd import DTD, minimal_sizes
 from ..errors import UnknownLabelError
-from ..xmltree import NodeId, NodeIds, Tree
+from ..xmltree import NodeIds, Tree
 from ..dtd.minimal import Shape, shape_to_tree
 
 __all__ = [

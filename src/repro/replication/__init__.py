@@ -1,0 +1,62 @@
+"""WAL-shipping replication: standby stores, replica reads, promotion.
+
+The durable store (:mod:`repro.store`) already treats the translated
+edit script as the unit of truth — propagation is deterministic and
+side-effect-free, so the write-ahead log *is* a complete replication
+stream. This subpackage ships it:
+
+* :mod:`repro.replication.transport` — CRC-framed ship messages over
+  pluggable carriers (in-process queue, OS socket stream, append-only
+  spool file), all sharing the WAL's torn-tail/interior-corruption
+  failure model;
+* :mod:`repro.replication.shipper` — :class:`WalShipper` streams WAL
+  records (plus snapshots for bootstrap and compaction-gap bridging)
+  from a primary :class:`~repro.store.DocumentStore`;
+  :func:`replicate` is the one-call pass for reachable standbys;
+* :mod:`repro.replication.standby` — :class:`StandbyStore` applies
+  frames append-only (byte-identical log ⇒ byte-identical documents and
+  views at every acknowledged sequence number), refuses local writes
+  until :meth:`StandbyStore.promote` flips its role and fences the old
+  primary's per-document lease; :class:`ReplicaSession` serves warm,
+  incrementally refreshed, bounded-lag reads.
+
+Quickstart::
+
+    from repro.replication import StandbyStore, replicate
+
+    standby = StandbyStore.init("replica", primary_root="catalog-store")
+    replicate(primary, standby)                  # bootstrap + catch up
+
+    reader = standby.replica_session("acme", max_lag=5)
+    view = reader.read()                         # refreshed, lag-checked
+
+    # primary lost? take over:
+    standby.promote()                            # fences the old lease
+    session = standby.open_session("acme")       # now writable
+"""
+
+from .shipper import WalShipper, replicate
+from .standby import ReplicaSession, StandbyStore
+from .transport import (
+    FileSpoolTransport,
+    Frame,
+    QueueTransport,
+    ReplicationTransport,
+    SocketTransport,
+    decode_frames,
+    encode_frame,
+)
+
+__all__ = [
+    "WalShipper",
+    "replicate",
+    "StandbyStore",
+    "ReplicaSession",
+    "ReplicationTransport",
+    "QueueTransport",
+    "SocketTransport",
+    "FileSpoolTransport",
+    "Frame",
+    "encode_frame",
+    "decode_frames",
+]

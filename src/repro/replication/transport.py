@@ -1,0 +1,301 @@
+"""Replication transports: CRC-framed ship streams, pluggable carriers.
+
+What travels between a primary and its standbys is exactly the durable
+artifact the store already trusts — WAL records (translated source edit
+scripts) plus snapshot payloads for bootstrap. The wire framing
+therefore mirrors the WAL's own discipline::
+
+    F <kind> <length> <crc32>\\n
+    <length bytes of JSON payload>\\n
+
+Frames are self-checking and self-delimiting, so every carrier shares
+one failure model, the same one the log has:
+
+* an **incomplete final frame** — a shipper killed mid-record, a spool
+  file truncated by a crash, a socket that died mid-send — is simply
+  *not yet received*: the decoder stops in front of it and reports the
+  clean prefix (the bytes stay buffered/spooled; when the rest arrives
+  the frame completes);
+* a **damaged interior frame** — checksum failure with further data
+  after it — means acknowledged ship traffic was corrupted in flight or
+  at rest, and raises :class:`~repro.errors.ReplicationError` rather
+  than silently skipping history.
+
+Three carriers implement the same two-ended interface
+(:class:`ReplicationTransport`: ``send`` frames in, ``drain`` complete
+frames out):
+
+* :class:`QueueTransport` — an in-process queue; the zero-configuration
+  topology for standbys in the same process (tests, embedded replicas);
+* :class:`SocketTransport` — a real OS byte stream
+  (:func:`socket.socketpair`); partial reads and torn sends behave
+  exactly as a TCP link would, without binding ports. A networked
+  deployment swaps the pair for a connected socket — the framing and
+  drain loop are unchanged;
+* :class:`FileSpoolTransport` — an append-only spool file; the
+  crash-tolerant carrier (ship and apply survive kills at any byte, and
+  the spool doubles as an audit trail of everything ever shipped).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import re
+import socket
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReplicationError
+
+__all__ = [
+    "Frame",
+    "encode_frame",
+    "decode_frames",
+    "ReplicationTransport",
+    "QueueTransport",
+    "SocketTransport",
+    "FileSpoolTransport",
+]
+
+_FRAME_RE = re.compile(rb"F ([a-z_]+) (\d+) (\d+)")
+
+FRAME_KINDS = ("bootstrap", "checkpoint", "record")
+"""What ships: a full document (schema + snapshot), a snapshot alone
+(re-basing a standby past a compacted prefix), one WAL record."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded ship message."""
+
+    kind: str
+    payload: dict
+
+
+def encode_frame(kind: str, payload: dict) -> bytes:
+    """The exact bytes a transport carries for (*kind*, *payload*)."""
+    if kind not in FRAME_KINDS:
+        raise ReplicationError(
+            f"unknown frame kind {kind!r}; ship one of {FRAME_KINDS}"
+        )
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    header = f"F {kind} {len(body)} {zlib.crc32(body)}\n".encode("ascii")
+    return header + body + b"\n"
+
+
+def decode_frames(data: bytes) -> "tuple[list[Frame], int]":
+    """Parse the complete frames at the front of *data*.
+
+    Returns ``(frames, consumed)`` where *consumed* is the byte offset
+    just past the last complete frame — an incomplete final frame stays
+    unconsumed for the caller to retry once more bytes arrive. A frame
+    that is provably damaged (checksum or header failure with further
+    data after it) raises :class:`~repro.errors.ReplicationError`.
+    """
+    frames: "list[Frame]" = []
+    pos = 0
+    while pos < len(data):
+        header_end = data.find(b"\n", pos)
+        if header_end < 0:
+            break  # header still in flight
+        match = _FRAME_RE.fullmatch(data[pos:header_end])
+        if match is None:
+            raise ReplicationError(
+                f"malformed ship frame header at byte {pos} — the stream "
+                "is not a replication feed or was corrupted"
+            )
+        kind = match.group(1).decode("ascii")
+        length, crc = int(match.group(2)), int(match.group(3))
+        body_start = header_end + 1
+        body_end = body_start + length
+        if body_end + 1 > len(data):
+            break  # body (or trailing newline) still in flight
+        body = data[body_start:body_end]
+        intact = data[body_end:body_end + 1] == b"\n" and zlib.crc32(body) == crc
+        if not intact:
+            if body_end + 1 == len(data):
+                break  # torn final frame: treat as in flight
+            raise ReplicationError(
+                f"ship frame at byte {pos} fails its checksum with further "
+                "data after it — interior corruption, refusing to apply "
+                "anything past it"
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ReplicationError(
+                f"ship frame at byte {pos} carries an unreadable payload "
+                f"({error})"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ReplicationError(
+                f"ship frame at byte {pos} payload is not an object"
+            )
+        frames.append(Frame(kind=kind, payload=payload))
+        pos = body_end + 1
+    return frames, pos
+
+
+class ReplicationTransport:
+    """The two-ended carrier interface: a shipper ``send``\\ s frames, an
+    applier ``drain``\\ s whatever complete frames have arrived (never
+    blocking on a partial one)."""
+
+    def send(self, kind: str, payload: dict) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> "list[Frame]":
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        """Release carrier resources (sockets, file handles)."""
+
+
+class QueueTransport(ReplicationTransport):
+    """In-process carrier: frames ride a deque as encoded bytes.
+
+    Frames are still encoded/decoded — the queue carries the same bytes
+    a socket would, so framing bugs cannot hide behind object passing.
+    """
+
+    def __init__(self) -> None:
+        self._queue: "deque[bytes]" = deque()
+        self.sent = 0
+        self.received = 0
+
+    def send(self, kind: str, payload: dict) -> None:
+        self._queue.append(encode_frame(kind, payload))
+        self.sent += 1
+
+    def drain(self) -> "list[Frame]":
+        frames: "list[Frame]" = []
+        while self._queue:
+            decoded, consumed = decode_frames(self._queue.popleft())
+            frames.extend(decoded)
+        self.received += len(frames)
+        return frames
+
+
+class SocketTransport(ReplicationTransport):
+    """A real OS byte stream between shipper and applier.
+
+    Built on :func:`socket.socketpair`, so it exercises everything a TCP
+    link would — partial reads, frames split across ``recv`` calls, a
+    sender that dies mid-frame — without ports or network flakiness. The
+    applier side buffers bytes across ``drain`` calls and only yields
+    complete frames.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self) -> None:
+        self._send_sock, self._recv_sock = socket.socketpair()
+        self._recv_sock.setblocking(False)
+        self._buffer = bytearray()
+        self.sent = 0
+        self.received = 0
+
+    def send(self, kind: str, payload: dict) -> None:
+        self._send_sock.sendall(encode_frame(kind, payload))
+        self.sent += 1
+
+    def drain(self) -> "list[Frame]":
+        while True:
+            try:
+                chunk = self._recv_sock.recv(self._CHUNK)
+            except OSError as error:
+                if error.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    break
+                raise
+            if not chunk:
+                break  # sender closed
+            self._buffer.extend(chunk)
+        frames, consumed = decode_frames(bytes(self._buffer))
+        del self._buffer[:consumed]
+        self.received += len(frames)
+        return frames
+
+    def close(self) -> None:
+        self._send_sock.close()
+        self._recv_sock.close()
+
+
+class FileSpoolTransport(ReplicationTransport):
+    """An append-only spool file as the carrier.
+
+    The shipper appends frames (flushed, optionally fsynced); the
+    applier reads complete frames past its high-water offset. A shipper
+    killed mid-append leaves a torn final frame that the applier simply
+    does not see — when shipping resumes (or re-runs), the spool is
+    truncated back to its last complete frame first, exactly like a WAL
+    torn tail. Because appliers skip already-applied sequence numbers,
+    replaying the whole spool from byte 0 is always safe: the spool is
+    idempotent by construction.
+    """
+
+    def __init__(self, path: "Path | str", *, fsync: bool = False) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        self._offset = 0
+        self._tail_repaired = False
+        self.sent = 0
+        self.received = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn final frame before appending after it —
+        otherwise the new frame would be glued onto garbage and read as
+        interior corruption forever. Once per transport: only a frame a
+        *previous* shipper died inside can be torn; this instance's own
+        appends are written whole."""
+        try:
+            data = self._path.read_bytes()
+        except FileNotFoundError:
+            return
+        _, consumed = decode_frames(data)
+        if consumed < len(data):
+            with open(self._path, "r+b") as handle:
+                handle.truncate(consumed)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def send(self, kind: str, payload: dict) -> None:
+        if not self._tail_repaired:
+            self._repair_tail()
+            self._tail_repaired = True
+        with open(self._path, "ab") as handle:
+            handle.write(encode_frame(kind, payload))
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self.sent += 1
+
+    def drain(self) -> "list[Frame]":
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() < self._offset:
+                    # the spool was rewritten shorter (a fresh shipping
+                    # run); start over — sequence-number skipping at the
+                    # applier makes that safe
+                    self._offset = 0
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        frames, consumed = decode_frames(data)
+        self._offset += consumed
+        self.received += len(frames)
+        return frames
+
+    def rewind(self) -> None:
+        """Re-read the spool from the start on the next drain (appliers
+        deduplicate by sequence number, so this is always safe)."""
+        self._offset = 0

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from .core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
 from .editing import EditScript, Op
@@ -123,6 +123,11 @@ class SessionStats:
     """Subtree-size entries reused unchanged across advances — work a
     per-request recomputation would have redone."""
 
+    scripts_replayed: int
+    """Already-translated source scripts applied via
+    :meth:`DocumentSession.apply_source_script` — recovery replay and
+    standby refresh traffic, as opposed to propagations served."""
+
 
 class DocumentSession:
     """One pinned source document served by a compiled engine.
@@ -152,6 +157,7 @@ class DocumentSession:
         "_inserted",
         "_deleted",
         "_carried",
+        "_replayed",
         "_journal",
     )
 
@@ -169,6 +175,7 @@ class DocumentSession:
         self._inserted = 0
         self._deleted = 0
         self._carried = 0
+        self._replayed = 0
         self._journal = journal
         self._pin(source, validate_source)
 
@@ -226,6 +233,7 @@ class DocumentSession:
             nodes_inserted=self._inserted,
             nodes_deleted=self._deleted,
             size_entries_carried=self._carried,
+            scripts_replayed=self._replayed,
         )
 
     def rebase(self, source: Tree, *, validate_source: bool = True) -> None:
@@ -391,6 +399,7 @@ class DocumentSession:
         self._walk_caches(script)
         self._source = script.output_tree
         self._view = self._engine.annotation.view(self._source)
+        self._replayed += 1
 
     def __repr__(self) -> str:
         return (

@@ -32,8 +32,16 @@ Quickstart::
     doc = store.load("acme")                        # byte-identical
 """
 
+from .lease import (
+    Lease,
+    acquire_lease,
+    lease_path,
+    read_lease,
+    release_lease,
+    verify_lease,
+)
 from .snapshot import Snapshot, list_snapshots, read_snapshot, write_snapshot
-from .store import DocumentStore, DurableSession, RecoveredDocument
+from .store import DocumentStore, DurableSession, RecoveredDocument, TimeTravelView
 from .wal import (
     FSYNC_POLICIES,
     GroupCommitCoordinator,
@@ -42,12 +50,20 @@ from .wal import (
     WalWriter,
     create_wal,
     scan_wal,
+    scan_wal_tail,
 )
 
 __all__ = [
     "DocumentStore",
     "DurableSession",
     "RecoveredDocument",
+    "TimeTravelView",
+    "Lease",
+    "lease_path",
+    "read_lease",
+    "acquire_lease",
+    "release_lease",
+    "verify_lease",
     "FSYNC_POLICIES",
     "GroupCommitCoordinator",
     "WalRecord",
@@ -55,6 +71,7 @@ __all__ = [
     "WalWriter",
     "create_wal",
     "scan_wal",
+    "scan_wal_tail",
     "Snapshot",
     "list_snapshots",
     "read_snapshot",

@@ -56,6 +56,15 @@ from ..errors import (
 from ..registry import EngineRegistry, default_registry, schema_fingerprint
 from ..views import Annotation
 from ..xmltree import Tree
+from .lease import (
+    Lease,
+    acquire_lease,
+    lease_path,
+    owner_token,
+    read_lease,
+    release_lease,
+    verify_lease,
+)
 from .snapshot import Snapshot, list_snapshots, read_snapshot, write_snapshot
 from .wal import (
     FSYNC_POLICIES,
@@ -72,7 +81,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine import ViewEngine
     from ..session import DocumentSession
 
-__all__ = ["DocumentStore", "DurableSession", "RecoveredDocument"]
+__all__ = [
+    "DocumentStore",
+    "DurableSession",
+    "RecoveredDocument",
+    "TimeTravelView",
+]
 
 def _write_file(path: Path, text: str) -> None:
     """Atomic, fsynced small-file write (schema files, metadata): after a
@@ -110,13 +124,39 @@ class RecoveredDocument:
     """Sequence number of the checkpoint recovery started from."""
 
     last_seq: int
-    """Sequence number of the last durable log record."""
+    """Sequence number the reconstructed tree reflects: the last durable
+    log record for a full recovery, the requested target for a
+    point-in-time recovery (``upto_seq=``)."""
 
     replayed: int
     """Log records applied on top of the snapshot."""
 
     truncated_tail: bool
     """Whether a torn final record was cut off the log."""
+
+
+@dataclass(frozen=True)
+class TimeTravelView:
+    """A read-only reconstruction of one historic document state
+    (:meth:`DocumentStore.time_travel`): the source and its view exactly
+    as they stood after log record *seq* was acknowledged."""
+
+    doc_id: str
+
+    seq: int
+    """The historic sequence number this object reconstructs."""
+
+    tree: Tree
+    """The source document after records ``1..seq``."""
+
+    view: Tree
+    """``A(tree)`` under the document's stored annotation."""
+
+    snapshot_seq: int
+    """Checkpoint the reconstruction replayed from."""
+
+    replayed: int
+    """Log records applied on top of that checkpoint."""
 
 
 class DocumentStore:
@@ -344,17 +384,31 @@ class DocumentStore:
         return dtd, annotation
 
     def _recovery_plan(
-        self, doc_id: str, *, repair: bool = True
+        self, doc_id: str, *, repair: bool = True, upto_seq: "int | None" = None
     ) -> "tuple[Snapshot, list[EditScript], WalScan, bool]":
         """The shared first half of recovery: scan the log, pick the
         newest usable snapshot, parse the tail scripts past it, truncate
         a torn final record when *repair* (default; pass ``False`` for a
-        read-only audit). Returns (snapshot, tail scripts, scan,
-        truncated)."""
+        read-only audit). With *upto_seq*, plan a point-in-time
+        reconstruction instead: the snapshot must sit at or before the
+        target and only records up to it are replayed. Returns
+        (snapshot, tail scripts, scan, truncated)."""
         directory = self._require_doc(doc_id)
         schema_hash = self.meta(doc_id)["schema"]
         scan = scan_wal(directory / _WAL_FILE)
-        snapshot = self._usable_snapshot(doc_id, directory, scan, schema_hash)
+        if upto_seq is not None:
+            if upto_seq < 0:
+                raise StoreError(
+                    f"upto_seq must be a sequence number, got {upto_seq}"
+                )
+            if upto_seq > scan.last_seq:
+                raise RecoveryError(
+                    f"document {doc_id!r}: cannot recover to seq {upto_seq} "
+                    f"— the durable log only reaches {scan.last_seq}"
+                )
+        snapshot = self._usable_snapshot(
+            doc_id, directory, scan, schema_hash, max_seq=upto_seq
+        )
         if snapshot.seq > scan.last_seq:
             raise RecoveryError(
                 f"document {doc_id!r}: snapshot {snapshot.seq} is ahead of "
@@ -365,6 +419,8 @@ class DocumentStore:
         for record in scan.records:
             if record.seq <= snapshot.seq:
                 continue
+            if upto_seq is not None and record.seq > upto_seq:
+                break
             try:
                 scripts.append(EditScript.parse(record.text))
             except (ScriptError, TreeError) as error:
@@ -377,7 +433,13 @@ class DocumentStore:
             truncated = truncate_torn_tail(directory / _WAL_FILE, scan)
         return snapshot, scripts, scan, truncated
 
-    def recover(self, doc_id: str, *, repair: bool = True) -> RecoveredDocument:
+    def recover(
+        self,
+        doc_id: str,
+        *,
+        repair: bool = True,
+        upto_seq: "int | None" = None,
+    ) -> RecoveredDocument:
         """Reconstruct the document: newest usable snapshot + log tail.
 
         Pure tree algebra — no engine is compiled (``open_session``
@@ -387,9 +449,18 @@ class DocumentStore:
         :class:`~repro.errors.WALCorruptError`; an unusable snapshot
         chain, a log that does not reach the snapshot, or a record that
         does not apply raises :class:`~repro.errors.RecoveryError`.
+
+        *upto_seq* is point-in-time recovery: reconstruct the document
+        exactly as it stood after log record *upto_seq* was acknowledged
+        (``upto_seq=0`` is the genesis state). The target must still be
+        reachable — at or past a retained snapshot and at or before the
+        last durable record; a target inside a compacted prefix (its
+        snapshot pruned, its records trimmed) raises
+        :class:`~repro.errors.RecoveryError`, because that history is
+        genuinely gone.
         """
         snapshot, scripts, scan, truncated = self._recovery_plan(
-            doc_id, repair=repair
+            doc_id, repair=repair, upto_seq=upto_seq
         )
         tree = snapshot.tree
         for script in scripts:
@@ -404,22 +475,54 @@ class DocumentStore:
             doc_id=doc_id,
             tree=tree,
             snapshot_seq=snapshot.seq,
-            last_seq=scan.last_seq,
+            last_seq=scan.last_seq if upto_seq is None else upto_seq,
             replayed=len(scripts),
             truncated_tail=truncated,
         )
 
+    def time_travel(self, doc_id: str, seq: int) -> TimeTravelView:
+        """A read-only view of the document as of log record *seq*.
+
+        Point-in-time recovery packaged for reads: the source is rebuilt
+        from the retained snapshot chain plus WAL replay (nothing on disk
+        is modified — a torn tail is left for a real recovery to
+        repair), and the view is extracted under the stored annotation.
+        The same reachability rules as ``recover(upto_seq=seq)`` apply.
+        """
+        recovered = self.recover(doc_id, repair=False, upto_seq=seq)
+        _, annotation = self.schema(doc_id)
+        return TimeTravelView(
+            doc_id=doc_id,
+            seq=seq,
+            tree=recovered.tree,
+            view=annotation.view(recovered.tree),
+            snapshot_seq=recovered.snapshot_seq,
+            replayed=recovered.replayed,
+        )
+
     def _usable_snapshot(
-        self, doc_id: str, directory: Path, scan: WalScan, schema_hash: str
+        self,
+        doc_id: str,
+        directory: Path,
+        scan: WalScan,
+        schema_hash: str,
+        *,
+        max_seq: "int | None" = None,
     ) -> Snapshot:
         """Newest snapshot that loads cleanly *and* the log can extend.
 
         A corrupt newer snapshot falls back to an older one only when the
         (possibly trimmed) log still starts at or before it; otherwise
-        the history is genuinely gone and recovery must say so.
+        the history is genuinely gone and recovery must say so. With
+        *max_seq* (point-in-time recovery), snapshots past the target are
+        skipped — replay can only move forward.
         """
         problems: "list[str]" = []
+        skipped_newer = 0
         for seq, path in reversed(list_snapshots(directory / _SNAP_DIR)):
+            if max_seq is not None and seq > max_seq:
+                skipped_newer += 1
+                continue
             try:
                 snapshot = read_snapshot(path, schema_hash=schema_hash)
             except SnapshotCorruptError as error:
@@ -438,9 +541,19 @@ class DocumentStore:
                 )
                 continue
             return snapshot
+        if max_seq is not None and skipped_newer and not problems:
+            raise RecoveryError(
+                f"document {doc_id!r}: seq {max_seq} lies inside the "
+                "compacted prefix — every retained snapshot is newer than "
+                f"the target and the records that led up to it were "
+                "trimmed away (compaction keeps the last "
+                f"{self._keep_snapshots} checkpoints; recover to "
+                f"{scan.base_seq} or later, or keep more snapshots)"
+            )
         detail = ("; ".join(problems)) or "no snapshot files found"
+        target = "" if max_seq is None else f" at or before seq {max_seq}"
         raise RecoveryError(
-            f"document {doc_id!r} has no usable snapshot: {detail}"
+            f"document {doc_id!r} has no usable snapshot{target}: {detail}"
         )
 
     def load(self, doc_id: str) -> Tree:
@@ -451,6 +564,49 @@ class DocumentStore:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+
+    def _replay_session(
+        self,
+        doc_id: str,
+        *,
+        engine: "ViewEngine | None" = None,
+        validate_source: bool = False,
+    ) -> "tuple[ViewEngine, DocumentSession, RecoveredDocument]":
+        """Recover *doc_id* through a warm :class:`DocumentSession`: pin
+        the snapshot, advance it along each logged script — the session
+        arrives with its view, size-table, and identifier caches already
+        warm. Shared by :meth:`open_session` (which wraps the result in
+        a write-ahead-logged :class:`DurableSession`) and the replica
+        tier's read-only :class:`~repro.replication.ReplicaSession`."""
+        recorded = self.meta(doc_id)["schema"]
+        if engine is None:
+            dtd, annotation = self.schema(doc_id)
+            engine = self._registry.get_or_compile(dtd, annotation)
+        elif engine.schema_hash != recorded:
+            raise StoreSchemaMismatchError(
+                f"document {doc_id!r} was stored under schema "
+                f"{recorded[:12]}… but the given engine is compiled for "
+                f"{engine.schema_hash[:12]}…"
+            )
+        snapshot, scripts, scan, truncated = self._recovery_plan(doc_id)
+        session = engine.session(snapshot.tree, validate_source=validate_source)
+        for script in scripts:
+            try:
+                session.apply_source_script(script)
+            except StaleSessionError as error:
+                raise RecoveryError(
+                    f"document {doc_id!r}: log record does not apply to "
+                    f"the recovered document state ({error})"
+                ) from error
+        recovered = RecoveredDocument(
+            doc_id=doc_id,
+            tree=session.source,
+            snapshot_seq=snapshot.seq,
+            last_seq=scan.last_seq,
+            replayed=len(scripts),
+            truncated_tail=truncated,
+        )
+        return engine, session, recovered
 
     def open_session(
         self,
@@ -473,37 +629,15 @@ class DocumentStore:
         *validate_source* re-validates the recovered tree against the
         DTD before serving (recovery already replays a history of
         schema-compliant propagations, so this is off by default).
+
+        Opening also acquires the document's **write lease**
+        (:mod:`repro.store.lease`): the lease epoch bumps, fencing any
+        still-live previous writer at its next append; this session is in
+        turn fenced if anyone — a later open, a promoted standby —
+        acquires the lease after it.
         """
-        recorded = self.meta(doc_id)["schema"]
-        if engine is None:
-            dtd, annotation = self.schema(doc_id)
-            engine = self._registry.get_or_compile(dtd, annotation)
-        elif engine.schema_hash != recorded:
-            raise StoreSchemaMismatchError(
-                f"document {doc_id!r} was stored under schema "
-                f"{recorded[:12]}… but the given engine is compiled for "
-                f"{engine.schema_hash[:12]}…"
-            )
-        # Replay through a DocumentSession: pin the snapshot, advance it
-        # along each logged script — the session arrives with its view,
-        # size-table, and identifier caches already warm for serving.
-        snapshot, scripts, scan, truncated = self._recovery_plan(doc_id)
-        session = engine.session(snapshot.tree, validate_source=validate_source)
-        for script in scripts:
-            try:
-                session.apply_source_script(script)
-            except StaleSessionError as error:
-                raise RecoveryError(
-                    f"document {doc_id!r}: log record does not apply to "
-                    f"the recovered document state ({error})"
-                ) from error
-        recovered = RecoveredDocument(
-            doc_id=doc_id,
-            tree=session.source,
-            snapshot_seq=snapshot.seq,
-            last_seq=scan.last_seq,
-            replayed=len(scripts),
-            truncated_tail=truncated,
+        engine, session, recovered = self._replay_session(
+            doc_id, engine=engine, validate_source=validate_source
         )
         return DurableSession(
             self,
@@ -573,6 +707,7 @@ class DocumentStore:
         directory = self._require_doc(doc_id)
         scan = scan_wal(directory / _WAL_FILE)
         snapshots = list_snapshots(directory / _SNAP_DIR)
+        lease = read_lease(lease_path(directory))
         return {
             "doc_id": doc_id,
             "schema": self.meta(doc_id)["schema"],
@@ -583,6 +718,7 @@ class DocumentStore:
             "wal_torn_tail": scan.torn_at is not None,
             "snapshots": [seq for seq, _ in snapshots],
             "snapshot_bytes": sum(path.stat().st_size for _, path in snapshots),
+            "lease": {"epoch": lease.epoch, "owner": lease.owner},
         }
 
     def __repr__(self) -> str:
@@ -619,6 +755,15 @@ class DurableSession:
         self._store = store
         self._engine = engine
         self._recovered = recovered
+        # Lease first, log second: once the epoch bump below is durable,
+        # a still-live previous writer is fenced at its next append, so
+        # the last_seq check that follows sees a quiescent log (modulo
+        # one append already past its own lease check — the advisory
+        # window documented in repro.store.lease).
+        self._lease_path = lease_path(store._doc_dir(recovered.doc_id))
+        self._lease: "Lease | None" = acquire_lease(
+            self._lease_path, owner_token()
+        )
         # The writer re-scans the log it is about to append to. That is
         # deliberate, not redundant: a record that appeared since the
         # recovery plan was read means a second writer is live.
@@ -630,6 +775,7 @@ class DurableSession:
         )
         if self._writer.last_seq != recovered.last_seq:
             self._writer.close(final_sync=False)
+            release_lease(self._lease_path, self._lease)
             raise StoreError(
                 f"document {recovered.doc_id!r}: log advanced from "
                 f"{recovered.last_seq} to {self._writer.last_seq} during "
@@ -644,6 +790,11 @@ class DurableSession:
         self._session = session
 
     def _journal(self, update: EditScript, script: EditScript) -> None:
+        # Fencing check first: a writer that lost its lease (another
+        # open, a promoted standby) must refuse *before* the record
+        # lands, or the document's history forks.
+        if self._lease is not None:
+            verify_lease(self._lease_path, self._lease)
         text = script.to_term()
         # Append only what replay can read back: a document whose node
         # identifiers fall outside term notation (spaces, commas — XML
@@ -700,12 +851,18 @@ class DurableSession:
         return self._recovered
 
     @property
+    def lease(self) -> "Lease | None":
+        """The write lease this session holds (``None`` after close)."""
+        return self._lease
+
+    @property
     def stats(self) -> dict:
         """JSON-serializable counters: the wrapped session's plus the
         log's."""
         return {
             "doc_id": self.doc_id,
             "fsync": self._writer.policy,
+            "lease_epoch": self._lease.epoch if self._lease else None,
             "last_seq": self._writer.last_seq,
             "wal_appends": self._writer.appended,
             "wal_syncs": self._writer.syncs,
@@ -749,6 +906,8 @@ class DurableSession:
         """Checkpoint the current document and trim the log; returns the
         checkpoint sequence number. The in-memory session keeps serving —
         only where recovery starts from changes."""
+        if self._lease is not None:
+            verify_lease(self._lease_path, self._lease)
         self._writer.sync()
         seq = self._writer.last_seq
         self._store.checkpoint(self.doc_id, self._session.source, seq)
@@ -756,8 +915,13 @@ class DurableSession:
         return seq
 
     def close(self) -> None:
-        """Flush pending records (per policy) and release the log."""
+        """Flush pending records (per policy), release the log, and give
+        the write lease back (a lease someone else already took over is
+        left to its new holder)."""
         self._writer.close()
+        if self._lease is not None:
+            release_lease(self._lease_path, self._lease)
+            self._lease = None
 
     def __enter__(self) -> "DurableSession":
         return self

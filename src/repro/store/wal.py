@@ -54,6 +54,7 @@ __all__ = [
     "WalRecord",
     "WalScan",
     "scan_wal",
+    "scan_wal_tail",
     "create_wal",
     "rewrite_wal",
     "WalWriter",
@@ -165,30 +166,16 @@ def create_wal(path: "Path | str", base_seq: int = 0) -> None:
     rewrite_wal(path, base_seq)
 
 
-def scan_wal(path: "Path | str") -> WalScan:
-    """Read the log, classifying its end (see the module docstring).
-
-    Raises :class:`WALCorruptError` for interior corruption — a broken
-    record with more data after it, a checksum failure before the tail,
-    or a sequence-number gap. A torn tail is *not* an error: it is
-    reported through :attr:`WalScan.torn_at` for the caller to truncate.
-    """
-    path = Path(path)
-    data = path.read_bytes()
-    newline = data.find(b"\n")
-    if newline < 0 or not _HEADER_RE.fullmatch(data[:newline]):
-        raise WALCorruptError(
-            f"{path.name}: missing or malformed WAL header "
-            "(the header is written and fsynced at creation; a bad one "
-            "means the file is not a WAL or was overwritten)"
-        )
-    base_seq = int(_HEADER_RE.fullmatch(data[:newline]).group(1))
-
+def _parse_records(
+    data: bytes, pos: int, expected: int, name: str
+) -> "tuple[list[WalRecord], int, int | None]":
+    """Parse contiguous records starting at byte *pos* with sequence
+    numbers from *expected*; returns (records, end_offset, torn_at).
+    The shared body of :func:`scan_wal` (whole file) and
+    :func:`scan_wal_tail` (bytes past a known-good prefix)."""
     records: list[WalRecord] = []
-    pos = newline + 1
     end_offset = pos
     torn_at: "int | None" = None
-    expected = base_seq + 1
     while pos < len(data):
         header_end = data.find(b"\n", pos)
         if header_end < 0:
@@ -200,7 +187,7 @@ def scan_wal(path: "Path | str") -> WalScan:
                 torn_at = pos  # garbage final line, nothing after it
                 break
             raise WALCorruptError(
-                f"{path.name}: malformed record header at byte {pos} "
+                f"{name}: malformed record header at byte {pos} "
                 "with further data after it"
             )
         seq, length, crc = (int(group) for group in match.groups())
@@ -223,24 +210,77 @@ def scan_wal(path: "Path | str") -> WalScan:
                 torn_at = pos  # classic torn write into the final record
                 break
             raise WALCorruptError(
-                f"{path.name}: record {seq} at byte {pos} fails its "
+                f"{name}: record {seq} at byte {pos} fails its "
                 "checksum but is not the final record — interior "
                 "corruption, refusing to replay past it"
             )
         if seq != expected:
             raise WALCorruptError(
-                f"{path.name}: expected record {expected} at byte {pos}, "
+                f"{name}: expected record {expected} at byte {pos}, "
                 f"found {seq} — records are missing or reordered"
             )
         records.append(WalRecord(seq, text))
         expected += 1
         pos = body_end + 1
         end_offset = pos
+    return records, end_offset, torn_at
+
+
+def scan_wal(path: "Path | str") -> WalScan:
+    """Read the log, classifying its end (see the module docstring).
+
+    Raises :class:`WALCorruptError` for interior corruption — a broken
+    record with more data after it, a checksum failure before the tail,
+    or a sequence-number gap. A torn tail is *not* an error: it is
+    reported through :attr:`WalScan.torn_at` for the caller to truncate.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    newline = data.find(b"\n")
+    if newline < 0 or not _HEADER_RE.fullmatch(data[:newline]):
+        raise WALCorruptError(
+            f"{path.name}: missing or malformed WAL header "
+            "(the header is written and fsynced at creation; a bad one "
+            "means the file is not a WAL or was overwritten)"
+        )
+    base_seq = int(_HEADER_RE.fullmatch(data[:newline]).group(1))
+    records, end_offset, torn_at = _parse_records(
+        data, newline + 1, base_seq + 1, path.name
+    )
     return WalScan(
         base_seq=base_seq,
         records=tuple(records),
         end_offset=end_offset,
         torn_at=torn_at,
+    )
+
+
+def scan_wal_tail(
+    path: "Path | str", *, offset: int, last_seq: int
+) -> WalScan:
+    """Scan only the bytes past *offset*, the end of a previously
+    scanned prefix whose final record was *last_seq* — O(new records)
+    instead of O(history), for pollers that track their position (a
+    replica session's refresh). The file having shrunk below *offset*
+    means it was rewritten under the caller (compaction, a checkpoint
+    re-base), reported as ``base_seq = -1``: positions are void, re-scan
+    from scratch. The returned scan's offsets are absolute."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size < offset:
+            return WalScan(
+                base_seq=-1, records=(), end_offset=offset, torn_at=None
+            )
+        handle.seek(offset)
+        data = handle.read()
+    records, end_offset, torn_at = _parse_records(data, 0, last_seq + 1, path.name)
+    return WalScan(
+        base_seq=last_seq,
+        records=tuple(records),
+        end_offset=offset + end_offset,
+        torn_at=None if torn_at is None else offset + torn_at,
     )
 
 

@@ -96,9 +96,7 @@ class TestViewDTDDerivationProperty:
     def test_view_words_have_preimages(self, seed):
         """Every accepted view word is the image of some source word —
         verified by a flat inversion-graph feasibility check."""
-        from repro.graphutil import min_distances
         from repro.inversion import inversion_graphs
-        from repro.views import Annotation
         from repro.xmltree import NodeIds, Tree
 
         rng = random.Random(1000 + seed)

@@ -21,7 +21,7 @@ from repro.dtd import DTD
 from repro.editing import EditScript
 from repro.generators import enumerate_trees
 from repro.views import Annotation
-from repro.xmltree import Tree, parse_term
+from repro.xmltree import parse_term
 
 
 # ---------------------------------------------------------------------------

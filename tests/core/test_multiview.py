@@ -7,7 +7,6 @@ from repro.dtd import DTD
 from repro.editing import EditScript, UpdateBuilder
 from repro.errors import ReproError
 from repro.multiview import (
-    ViewDisturbance,
     cross_view_report,
     propagate_min_disturbance,
     view_disturbance,

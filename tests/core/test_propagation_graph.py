@@ -6,8 +6,6 @@ from repro import paperdata
 from repro.core import EdgeKind, PVertex, propagation_graphs
 from repro.editing import EditScript
 from repro.errors import InvalidViewUpdateError
-from repro.xmltree import parse_term
-
 
 @pytest.fixture(scope="module")
 def collection():

@@ -9,7 +9,6 @@ from repro.core import (
     TypePreservingChooser,
     preserves_typing,
     propagate,
-    propagation_graphs,
 )
 from repro.dtd import DTD, EDTD
 from repro.editing import EditScript

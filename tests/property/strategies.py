@@ -43,7 +43,7 @@ def regexes(draw, max_depth: int = 4, labels=None) -> Regex:
 
     def build(depth: int) -> Regex:
         if depth >= max_depth:
-            return draw(st.sampled_from([Symbol(l) for l in labels] + [Epsilon()]))
+            return draw(st.sampled_from([Symbol(one) for one in labels] + [Epsilon()]))
         choice = draw(st.integers(0, 6))
         if choice == 0:
             return Epsilon()

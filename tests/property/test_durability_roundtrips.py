@@ -21,7 +21,7 @@ from repro.generators.dtds import random_annotation, random_dtd
 from repro.registry import schema_fingerprint
 from repro.store.wal import encode_record
 from repro.views import Annotation
-from repro.xmltree import Tree, tree_from_xml, tree_to_xml
+from repro.xmltree import tree_from_xml, tree_to_xml
 
 from .strategies import trees
 

@@ -1,6 +1,6 @@
 """Property-based tests for annotations, views, and editing scripts."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.editing import EditScript, Op
@@ -76,7 +76,7 @@ def scripts(draw) -> EditScript:
         label = draw(st.sampled_from(LABELS))
         target = None
         if op is Op.REN:
-            target = draw(st.sampled_from([l for l in LABELS if l != label]))
+            target = draw(st.sampled_from([one for one in LABELS if one != label]))
         if depth >= 3:
             children = []
         else:

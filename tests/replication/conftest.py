@@ -1,0 +1,65 @@
+"""Mark every test under ``tests/replication`` with both the
+``replication`` and ``store`` markers (CI's store job runs
+``-m "store or replication"``) and share primary/standby fixtures."""
+
+import pathlib
+import random
+
+import pytest
+
+from repro import ViewEngine
+from repro.generators.updates import random_view_update
+from repro.generators.workloads import running_example
+from repro.store import DocumentStore
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.replication)
+            item.add_marker(pytest.mark.store)
+
+
+@pytest.fixture
+def workload():
+    """The paper's running example, 4 groups — small but non-trivial."""
+    return running_example(4)
+
+
+@pytest.fixture
+def primary(tmp_path, workload):
+    """A primary store with one document and 5 served updates; returns
+    (store, doc_id, workload, states) where states[k] is the document
+    after k acknowledged records."""
+    store = DocumentStore.init(tmp_path / "primary", fsync="off")
+    store.put("doc", workload.source, workload.dtd, workload.annotation)
+    states = serve_updates(store, "doc", workload, steps=5)
+    return store, "doc", workload, states
+
+
+@pytest.fixture
+def standby(tmp_path):
+    from repro.replication import StandbyStore
+
+    return StandbyStore.init(
+        tmp_path / "standby", primary_root=tmp_path / "primary"
+    )
+
+
+def serve_updates(store, doc_id, workload, *, steps, seed=47):
+    """Serve *steps* random sequential updates durably; returns every
+    intermediate state (states[0] is the pre-stream document)."""
+    rng = random.Random(seed)
+    engine = ViewEngine(workload.dtd, workload.annotation)
+    with store.open_session(doc_id, engine=engine) as session:
+        states = [session.source]
+        for _ in range(steps):
+            update = random_view_update(
+                rng, workload.dtd, workload.annotation, session.source, n_ops=2
+            )
+            session.propagate(update)
+            states.append(session.source)
+    return states

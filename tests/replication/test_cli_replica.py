@@ -1,0 +1,155 @@
+"""The ``repro-xml replica …`` subcommands and ``store recover --upto``:
+the spool-ship → kill mid-record → apply → PITR-compare → resume →
+promote round trip the CI smoke scripts, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DTD_TEXT = """
+<!ELEMENT r (a,(b|c),d)*>
+<!ELEMENT d ((a|b),c)*>
+"""
+
+ANNOTATION_TEXT = """
+hide r b
+hide r c
+hide d a
+hide d b
+"""
+
+DOC_XML = (
+    '<r id="n0"><a id="n1"/><b id="n2"/>'
+    '<d id="n3"><a id="n7"/><c id="n8"/></d>'
+    '<a id="n4"/><c id="n5"/>'
+    '<d id="n6"><b id="n9"/><c id="n10"/></d></r>'
+)
+
+UPDATE_1 = (
+    "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+    "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+)
+UPDATE_2 = (
+    "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+    "Nop.d#u0(Nop.c#u1), Del.a#u2, Del.d#n6(Del.c#n10))"
+)
+
+
+@pytest.fixture
+def primary_root(tmp_path):
+    """A primary store with two acknowledged records."""
+    (tmp_path / "schema.dtd").write_text(DTD_TEXT)
+    (tmp_path / "policy.ann").write_text(ANNOTATION_TEXT)
+    (tmp_path / "doc.xml").write_text(DOC_XML)
+    root = tmp_path / "pri"
+    assert main(["store", "init", "--root", str(root)]) == 0
+    assert main([
+        "store", "put", "--root", str(root), "--id", "demo",
+        "--dtd", str(tmp_path / "schema.dtd"),
+        "--annotation", str(tmp_path / "policy.ann"),
+        "--doc", str(tmp_path / "doc.xml"),
+    ]) == 0
+    for index, term in enumerate((UPDATE_1, UPDATE_2)):
+        update = tmp_path / f"u{index}.term"
+        update.write_text(term + "\n")
+        assert main([
+            "store", "propagate", "--root", str(root), "--id", "demo",
+            "--update", str(update),
+            "--out", str(tmp_path / "ignored.xml"),
+        ]) == 0
+    return root
+
+
+def _status(tmp_path, standby):
+    out = tmp_path / "status.json"
+    assert main([
+        "replica", "status", "--standby", str(standby), "--out", str(out)
+    ]) == 0
+    return json.loads(out.read_text())
+
+
+def test_init_ship_status_round_trip(tmp_path, primary_root):
+    standby = tmp_path / "sby"
+    assert main([
+        "replica", "init", "--primary", str(primary_root),
+        "--standby", str(standby),
+    ]) == 0
+    status = _status(tmp_path, standby)
+    assert status["role"] == "standby"
+    assert status["positions"] == {"demo": 2}
+    assert status["lag"] == {"demo": 0}
+    # another pass ships nothing and stays converged
+    assert main([
+        "replica", "ship", "--primary", str(primary_root),
+        "--standby", str(standby),
+    ]) == 0
+    assert _status(tmp_path, standby)["positions"] == {"demo": 2}
+
+
+def test_spool_kill_apply_pitr_resume_promote(tmp_path, primary_root):
+    spool = tmp_path / "ship.spool"
+    standby = tmp_path / "sby"
+    assert main([
+        "replica", "spool", "--primary", str(primary_root),
+        "--spool", str(spool),
+    ]) == 0
+    # the kill: the shipper dies mid-final-record
+    spool.write_bytes(spool.read_bytes()[:-11])
+    assert main([
+        "replica", "apply", "--standby", str(standby),
+        "--spool", str(spool), "--primary", str(primary_root),
+    ]) == 0
+    acked = _status(tmp_path, standby)["positions"]["demo"]
+    assert acked == 1  # the torn record was not acknowledged
+
+    # the standby equals the primary's point-in-time state at the ack
+    mine, theirs = tmp_path / "standby.xml", tmp_path / "primary.xml"
+    assert main([
+        "store", "recover", "--root", str(standby), "--id", "demo",
+        "--view", "--out", str(mine),
+    ]) == 0
+    assert main([
+        "store", "recover", "--root", str(primary_root), "--id", "demo",
+        "--upto", str(acked), "--view", "--out", str(theirs),
+    ]) == 0
+    assert mine.read_text() == theirs.read_text()
+
+    # resume after the ack; duplicates are skipped; heads converge
+    assert main([
+        "replica", "spool", "--primary", str(primary_root),
+        "--spool", str(spool), "--id", "demo", "--after", str(acked),
+    ]) == 0
+    assert main([
+        "replica", "apply", "--standby", str(standby), "--spool", str(spool),
+    ]) == 0
+    assert _status(tmp_path, standby)["positions"] == {"demo": 2}
+    assert main([
+        "store", "recover", "--root", str(standby), "--id", "demo",
+        "--view", "--out", str(mine),
+    ]) == 0
+    assert main([
+        "store", "recover", "--root", str(primary_root), "--id", "demo",
+        "--view", "--out", str(theirs),
+    ]) == 0
+    assert mine.read_text() == theirs.read_text()
+
+    # promotion fences the old primary (sticky: even a fresh open fails)
+    assert main(["replica", "promote", "--standby", str(standby)]) == 0
+    update = tmp_path / "u0.term"
+    assert main([
+        "store", "propagate", "--root", str(primary_root), "--id", "demo",
+        "--update", str(update),
+    ]) == 1  # LeaseFencedError -> CLI error exit
+
+
+def test_recover_upto_error_paths(tmp_path, primary_root):
+    assert main([
+        "store", "recover", "--root", str(primary_root), "--id", "demo",
+        "--upto", "9",
+    ]) == 1  # past the durable head: typed RecoveryError -> exit 1
+    assert main([
+        "replica", "spool", "--primary", str(primary_root),
+        "--spool", str(tmp_path / "s.spool"), "--after", "1",
+    ]) == 1  # --after without exactly one --id

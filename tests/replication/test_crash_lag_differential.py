@@ -1,0 +1,256 @@
+"""Crash/lag differential suite (the PR's acceptance criterion).
+
+For generated (DTD, annotation, document, update-stream) workloads the
+standby must be **byte-identical** to the primary at every acknowledged
+sequence number — document, view, and the WAL bytes themselves — under:
+
+* continuous shipping (ship after every acknowledged record);
+* a shipper killed mid-record (the spool truncated at every byte of its
+  final frame region): the standby applies exactly the clean prefix and
+  is byte-identical to ``primary.recover(upto_seq=acked)``;
+* shipping resumed after the kill (convergence to the head);
+* a primary compaction while the standby is dark (checkpoint bridging);
+* promotion (the standby's history *is* the primary's at takeover).
+"""
+
+import random
+
+import pytest
+
+from repro import ViewEngine
+from repro.errors import LeaseFencedError
+from repro.generators.dtds import random_annotation, random_dtd
+from repro.generators.trees import random_tree
+from repro.generators.updates import random_view_update
+from repro.replication import (
+    FileSpoolTransport,
+    StandbyStore,
+    WalShipper,
+    replicate,
+)
+from repro.store import DocumentStore
+from repro.xmltree import tree_to_xml
+
+
+def _random_workload(seed, steps):
+    """(dtd, annotation, source, updates, states): ``states[k]`` is the
+    in-memory document after serving ``updates[:k]``."""
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_labels=rng.randint(3, 5))
+    annotation = random_annotation(rng, dtd)
+    source = random_tree(dtd, rng, root_label="l0", size_hint=rng.randint(4, 12))
+    engine = ViewEngine(dtd, annotation).warm_up()
+    session = engine.session(source)
+    updates, states = [], [source]
+    for _ in range(steps):
+        update = random_view_update(rng, dtd, annotation, session.source, n_ops=2)
+        updates.append(update)
+        session.propagate(update)
+        states.append(session.source)
+    return dtd, annotation, source, updates, states
+
+
+def _assert_identical_at(primary, standby, doc_id, annotation, acked):
+    """Document, view, and log bytes agree at the acknowledged seq."""
+    mine = standby.recover(doc_id, upto_seq=acked)
+    theirs = primary.recover(doc_id, upto_seq=acked)
+    assert tree_to_xml(mine.tree) == tree_to_xml(theirs.tree)
+    assert tree_to_xml(annotation.view(mine.tree)) == tree_to_xml(
+        annotation.view(theirs.tree)
+    )
+
+
+@pytest.mark.parametrize("seed", [2, 19, 83, 311])
+def test_standby_identical_at_every_acknowledged_seq(tmp_path, seed):
+    """Ship after every acknowledged record; at each step the standby's
+    recovered document and view — and its WAL bytes — are the primary's."""
+    steps = 4
+    dtd, annotation, source, updates, states = _random_workload(seed, steps)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off")
+    primary.put("d", source, dtd, annotation)
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    replicate(primary, standby)
+    primary_wal = primary.root / "docs" / "d" / "wal.log"
+    standby_wal = standby.root / "docs" / "d" / "wal.log"
+    with primary.open_session("d") as session:
+        for k, update in enumerate(updates, start=1):
+            session.propagate(update)
+            replicate(primary, standby)
+            acked = standby.applied_seq("d")
+            assert acked == k
+            assert standby.recover("d").tree.to_term() == states[k].to_term()
+            _assert_identical_at(primary, standby, "d", annotation, acked)
+            # the replicated log is the same byte stream
+            assert standby_wal.read_bytes() == primary_wal.read_bytes()
+
+
+@pytest.mark.parametrize("seed", [7, 131])
+def test_kill_mid_ship_applies_exactly_the_clean_prefix(tmp_path, seed):
+    """Truncate the spool at *every byte offset* of its tail region: the
+    standby acknowledges exactly the records whose frames completed, and
+    is byte-identical to the primary's point-in-time state there."""
+    steps = 3
+    dtd, annotation, source, updates, states = _random_workload(seed, steps)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off")
+    primary.put("d", source, dtd, annotation)
+    with primary.open_session("d") as session:
+        for update in updates:
+            session.propagate(update)
+    spool_path = tmp_path / "ship.spool"
+    WalShipper(primary, FileSpoolTransport(spool_path)).ship_all()
+    intact = spool_path.read_bytes()
+
+    # every truncation point across the final two frames, plus a sweep
+    # of earlier offsets — cheap enough at this workload size
+    cuts = sorted(set(range(0, len(intact), 7)) | set(range(len(intact) - 40, len(intact) + 1)))
+    for index, cut in enumerate(c for c in cuts if 0 <= c <= len(intact)):
+        spool_path.write_bytes(intact[:cut])
+        standby = StandbyStore.init(
+            tmp_path / f"s{index}", primary_root=tmp_path / "p"
+        )
+        frames = FileSpoolTransport(spool_path).drain()
+        if not frames or frames[0].kind != "bootstrap":
+            continue  # the kill beheaded the bootstrap: nothing to apply
+        standby.apply_frames(frames)
+        acked = standby.applied_seq("d")
+        assert 0 <= acked <= steps
+        assert standby.recover("d").tree.to_term() == states[acked].to_term()
+        _assert_identical_at(primary, standby, "d", annotation, acked)
+    spool_path.write_bytes(intact)
+
+
+@pytest.mark.parametrize("seed", [37])
+def test_standby_killed_mid_append_heals_on_restart(tmp_path, seed):
+    """An *applier* killed mid-WAL-append leaves a torn record in the
+    standby's log. A restarted standby must truncate it before applying
+    the re-shipped copy — appending after torn bytes would read as
+    interior corruption forever (regression: the original apply path
+    glued the record after the tear and bricked the replica)."""
+    dtd, annotation, source, updates, states = _random_workload(seed, 3)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off")
+    primary.put("d", source, dtd, annotation)
+    with primary.open_session("d") as session:
+        for update in updates[:2]:
+            session.propagate(update)
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    replicate(primary, standby)
+    wal = standby.root / "docs" / "d" / "wal.log"
+    # the kill: half of record 3's bytes land, then the applier dies
+    wal.write_bytes(wal.read_bytes() + b"R 3 999 1\nhalf a rec")
+    with primary.open_session("d") as session:
+        session.propagate(updates[2])
+    restarted = StandbyStore(tmp_path / "s")  # fresh process: empty caches
+    out = replicate(primary, restarted)
+    assert out["applied"] == 1
+    assert restarted.applied_seq("d") == 3
+    # the log is clean — every read path still works, byte-identical
+    assert restarted.recover("d").tree.to_term() == states[3].to_term()
+    _assert_identical_at(primary, restarted, "d", annotation, 3)
+
+
+@pytest.mark.parametrize("seed", [71])
+def test_replica_session_refresh_reads_only_the_tail(tmp_path, seed):
+    """After the first refresh establishes the byte position, refresh
+    replays new records without a full-history rescan — and survives the
+    log being rewritten under it (compaction re-base)."""
+    dtd, annotation, source, updates, states = _random_workload(seed, 4)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off", keep_snapshots=1)
+    primary.put("d", source, dtd, annotation)
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    replicate(primary, standby)
+    reader = standby.replica_session("d")
+    assert reader.refresh() == 0          # establishes the position
+    with primary.open_session("d") as session:
+        session.propagate(updates[0])
+        replicate(primary, standby)
+        assert reader.refresh() == 1      # tail-scan path
+        assert reader.source.to_term() == states[1].to_term()
+        for update in updates[1:]:
+            session.propagate(update)
+        session.compact()                 # primary trims; next ship re-bases
+    replicate(primary, standby)
+    reader.refresh()                      # rewritten log: falls back, rebuilds
+    assert reader.applied_seq == 4
+    assert reader.source.to_term() == states[4].to_term()
+    replicate(primary, standby)
+    assert reader.refresh() == 0          # position re-established after that
+
+
+@pytest.mark.parametrize("seed", [23])
+def test_resumed_shipping_converges_after_the_kill(tmp_path, seed):
+    dtd, annotation, source, updates, states = _random_workload(seed, 4)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off")
+    primary.put("d", source, dtd, annotation)
+    with primary.open_session("d") as session:
+        for update in updates:
+            session.propagate(update)
+    spool_path = tmp_path / "ship.spool"
+    WalShipper(primary, FileSpoolTransport(spool_path)).ship_all()
+    spool_path.write_bytes(spool_path.read_bytes()[:-19])  # the kill
+
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    standby.apply_frames(FileSpoolTransport(spool_path).drain())
+    acked = standby.applied_seq("d")
+    assert acked < 4  # the kill cost at least the torn record
+
+    # resume: a fresh shipper spools from the standby's position; the
+    # spool's torn tail is repaired before the new frames land
+    resumed = FileSpoolTransport(spool_path)
+    WalShipper(primary, resumed).resume_from(standby).ship_all()
+    reader = FileSpoolTransport(spool_path)
+    standby.apply_frames(reader.drain())
+    assert standby.applied_seq("d") == 4
+    assert standby.recover("d").tree.to_term() == states[4].to_term()
+    # and replaying the whole spool from byte 0 changes nothing
+    reader.rewind()
+    outcome = standby.apply_frames(reader.drain())
+    assert outcome["applied"] == 0
+
+
+@pytest.mark.parametrize("seed", [43])
+def test_dark_standby_bridged_over_a_compacted_prefix(tmp_path, seed):
+    dtd, annotation, source, updates, states = _random_workload(seed, 4)
+    primary = DocumentStore.init(
+        tmp_path / "p", fsync="off", keep_snapshots=1
+    )
+    primary.put("d", source, dtd, annotation)
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    replicate(primary, standby)  # standby sees the genesis state
+    with primary.open_session("d") as session:
+        for index, update in enumerate(updates):
+            session.propagate(update)
+            if index == 2:
+                session.compact()  # trims records 1..3 behind the snapshot
+    out = replicate(primary, standby)
+    assert out["applied"] >= 2  # checkpoint + the post-compaction record(s)
+    assert standby.applied_seq("d") == 4
+    assert standby.recover("d").tree.to_term() == states[4].to_term()
+    assert tree_to_xml(annotation.view(standby.recover("d").tree)) == tree_to_xml(
+        annotation.view(primary.recover("d").tree)
+    )
+
+
+@pytest.mark.parametrize("seed", [59])
+def test_promotion_hands_over_an_identical_history(tmp_path, seed):
+    dtd, annotation, source, updates, states = _random_workload(seed, 3)
+    primary = DocumentStore.init(tmp_path / "p", fsync="off")
+    primary.put("d", source, dtd, annotation)
+    standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+    live = primary.open_session("d")
+    for update in updates[:-1]:
+        live.propagate(update)
+    replicate(primary, standby)
+    standby.promote()
+    # the old primary can no longer extend the history...
+    with pytest.raises(LeaseFencedError):
+        live.propagate(updates[-1])
+    # ...and the standby serves from exactly the acknowledged state
+    assert standby.recover("d").tree.to_term() == states[2].to_term()
+    with standby.open_session("d") as session:
+        session.propagate(updates[-1])
+    assert standby.recover("d").tree.to_term() == states[3].to_term()
+    # the new primary's log bytes extend the old primary's acknowledged
+    # prefix record for record
+    old = (primary.root / "docs" / "d" / "wal.log").read_bytes()
+    new = (standby.root / "docs" / "d" / "wal.log").read_bytes()
+    assert new[: len(old)] == old

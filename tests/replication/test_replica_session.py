@@ -1,0 +1,183 @@
+"""Standby read-only discipline, replica sessions, lag, promotion."""
+
+import pytest
+
+from repro.errors import (
+    LeaseFencedError,
+    ReadOnlyReplicaError,
+    ReplicationError,
+    ReplicationLagError,
+)
+from repro.replication import ReplicaSession, StandbyStore, replicate
+from repro.store import DocumentStore
+from repro.xmltree import tree_to_xml
+
+from .conftest import serve_updates
+
+
+class TestReadOnlyDiscipline:
+    def test_standby_refuses_local_writes(self, primary, standby, workload):
+        store, doc_id, _, _ = primary
+        replicate(store, standby)
+        with pytest.raises(ReadOnlyReplicaError):
+            standby.put("x", workload.source, workload.dtd, workload.annotation)
+        with pytest.raises(ReadOnlyReplicaError):
+            standby.open_session(doc_id)
+        with pytest.raises(ReadOnlyReplicaError):
+            standby.compact(doc_id)
+
+    def test_plain_store_directory_is_not_a_replica(self, tmp_path):
+        DocumentStore.init(tmp_path / "plain")
+        with pytest.raises(ReplicationError, match="not a replica"):
+            StandbyStore(tmp_path / "plain")
+
+    def test_replica_session_refuses_propagation(self, primary, standby):
+        store, doc_id, _, _ = primary
+        replicate(store, standby)
+        reader = standby.replica_session(doc_id)
+        with pytest.raises(ReadOnlyReplicaError):
+            reader.propagate(None)
+
+
+class TestReplicaSession:
+    def test_serves_the_replicated_view(self, primary, standby):
+        store, doc_id, workload, states = primary
+        replicate(store, standby)
+        reader = standby.replica_session(doc_id)
+        assert reader.applied_seq == 5
+        assert reader.source.to_term() == states[-1].to_term()
+        assert (
+            tree_to_xml(reader.view)
+            == tree_to_xml(workload.annotation.view(states[-1]))
+        )
+
+    def test_refresh_is_incremental(self, primary, standby):
+        store, doc_id, workload, _ = primary
+        replicate(store, standby)
+        reader = standby.replica_session(doc_id)
+        assert reader.refresh() == 0
+        serve_updates(store, doc_id, workload, steps=3, seed=7)
+        replicate(store, standby)
+        assert reader.refresh() == 3
+        assert reader.applied_seq == 8
+        assert reader.stats["records_applied"] == 3
+        assert reader.stats["session"]["scripts_replayed"] >= 3
+        assert reader.source.to_term() == store.recover(doc_id).tree.to_term()
+
+    def test_lag_is_observable(self, primary, standby):
+        store, doc_id, workload, _ = primary
+        replicate(store, standby)
+        reader = standby.replica_session(doc_id)
+        assert reader.lag() == 0
+        serve_updates(store, doc_id, workload, steps=2, seed=9)
+        assert reader.lag() == 2          # primary advanced, nothing shipped
+        replicate(store, standby)
+        assert reader.lag() == 2          # shipped but not yet refreshed...
+        reader.refresh()
+        assert reader.lag() == 0          # ...now applied
+
+    def test_bounded_read_enforces_max_lag(self, primary, standby):
+        store, doc_id, workload, _ = primary
+        replicate(store, standby)
+        reader = standby.replica_session(doc_id, max_lag=1)
+        reader.read()  # fresh: fine
+        serve_updates(store, doc_id, workload, steps=3, seed=13)
+        # the primary ran ahead and nothing was shipped: refresh finds
+        # nothing locally, the bound is exceeded
+        with pytest.raises(ReplicationLagError, match="3 records behind"):
+            reader.read()
+        assert reader.read(max_lag=5) is not None  # looser per-call bound
+        replicate(store, standby)
+        assert (
+            tree_to_xml(reader.read())
+            == tree_to_xml(workload.annotation.view(store.recover(doc_id).tree))
+        )
+
+    def test_bound_without_reachable_primary_is_an_error(self, primary, tmp_path):
+        store, doc_id, _, _ = primary
+        dark = StandbyStore.init(tmp_path / "dark")  # no primary_root
+        replicate(store, dark)
+        reader = dark.replica_session(doc_id)
+        assert reader.lag() is None
+        with pytest.raises(ReplicationError, match="unmeasurable"):
+            reader.read(max_lag=0)
+        reader.read()  # unbounded reads still serve
+
+    def test_refresh_survives_a_checkpoint_rebase(self, tmp_path, workload):
+        store = DocumentStore.init(tmp_path / "p", fsync="off", keep_snapshots=1)
+        store.put("doc", workload.source, workload.dtd, workload.annotation)
+        serve_updates(store, "doc", workload, steps=2)
+        standby = StandbyStore.init(tmp_path / "s", primary_root=tmp_path / "p")
+        replicate(store, standby)
+        reader = standby.replica_session("doc")
+        serve_updates(store, "doc", workload, steps=3, seed=31)
+        store.compact("doc")
+        serve_updates(store, "doc", workload, steps=1, seed=32)
+        replicate(store, standby)  # ships a checkpoint + the tail record
+        reader.refresh()
+        assert reader.applied_seq == 6
+        assert reader.source.to_term() == store.recover("doc").tree.to_term()
+
+    def test_invalid_max_lag_is_refused(self, primary, standby):
+        store, doc_id, _, _ = primary
+        replicate(store, standby)
+        with pytest.raises(ReplicationError, match="max_lag"):
+            ReplicaSession(standby, doc_id, max_lag=-1)
+
+
+class TestPromotion:
+    def test_promote_fences_and_enables_writes(self, primary, standby, workload):
+        store, doc_id, _, _ = primary
+        replicate(store, standby)
+        live = store.open_session(doc_id)
+        summary = standby.promote()
+        assert summary == {
+            "role": "primary",
+            "fenced": [doc_id],
+            "unreachable": [],
+        }
+        # the old primary's live session is fenced mid-flight...
+        import random
+
+        from repro.generators.updates import random_view_update
+
+        update = random_view_update(
+            random.Random(3), workload.dtd, workload.annotation, live.source, n_ops=2
+        )
+        with pytest.raises(LeaseFencedError):
+            live.propagate(update)
+        # ...and a fresh open over there is refused, stickily
+        with pytest.raises(LeaseFencedError):
+            store.open_session(doc_id)
+        # the promoted standby serves writes now
+        serve_updates(standby, doc_id, workload, steps=2, seed=77)
+        assert standby.recover(doc_id).last_seq == 7
+
+    def test_promoted_store_stops_applying_frames(self, primary, standby):
+        store, doc_id, _, _ = primary
+        replicate(store, standby)
+        standby.promote()
+        from repro.replication import QueueTransport, WalShipper
+
+        queue = QueueTransport()
+        WalShipper(store, queue).ship_all()
+        with pytest.raises(ReplicationError, match="promoted"):
+            standby.apply_frames(queue.drain())
+
+    def test_promote_without_reachable_primary_reports_it(self, primary, tmp_path):
+        store, doc_id, _, _ = primary
+        dark = StandbyStore.init(tmp_path / "dark")
+        replicate(store, dark)
+        summary = dark.promote()
+        assert summary["fenced"] == []
+        assert summary["unreachable"] == [doc_id]
+        # implicit fencing: the old primary is untouched and still serves
+        store.open_session(doc_id).close()
+
+    def test_role_survives_reopening_the_directory(self, primary, standby):
+        store, _, _, _ = primary
+        replicate(store, standby)
+        standby.promote(fence=False)
+        reopened = StandbyStore(standby.root)
+        assert reopened.role == "primary"
+        assert "replication" in reopened.stats()

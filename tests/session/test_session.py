@@ -16,7 +16,6 @@ from repro import (
 from repro.errors import (
     DTDError,
     InvalidViewUpdateError,
-    ReproError,
     StaleSessionError,
 )
 from repro.generators.dtds import random_annotation, random_dtd

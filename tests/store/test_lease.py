@@ -1,0 +1,121 @@
+"""Per-document write leases: acquisition, fencing, release, stickiness.
+
+The PR-3 two-writer guard was open-time only; these tests pin the
+durable version: every :class:`~repro.store.DurableSession` holds the
+document's lease, verifies it before each journal append, and loses it
+— typed :class:`~repro.errors.LeaseFencedError`, no record written —
+the moment anyone else acquires it.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import LeaseFencedError, StoreError
+from repro.generators.updates import random_view_update
+from repro.store import (
+    Lease,
+    acquire_lease,
+    lease_path,
+    read_lease,
+    release_lease,
+    verify_lease,
+)
+
+
+def _an_update(workload, source, seed=5):
+    return random_view_update(
+        random.Random(seed), workload.dtd, workload.annotation, source, n_ops=2
+    )
+
+
+class TestLeaseFile:
+    def test_missing_file_reads_as_never_acquired(self, tmp_path):
+        lease = read_lease(tmp_path / "lease.json")
+        assert lease == Lease(epoch=0, owner=None)
+        assert not lease.held
+
+    def test_acquire_bumps_epoch_monotonically(self, tmp_path):
+        path = tmp_path / "lease.json"
+        first = acquire_lease(path, "alice")
+        second = acquire_lease(path, "bob")
+        assert (first.epoch, second.epoch) == (1, 2)
+        assert read_lease(path) == second
+
+    def test_verify_passes_for_holder_and_fences_the_loser(self, tmp_path):
+        path = tmp_path / "lease.json"
+        mine = acquire_lease(path, "alice")
+        verify_lease(path, mine)  # no raise
+        acquire_lease(path, "bob")
+        with pytest.raises(LeaseFencedError, match="lease lost"):
+            verify_lease(path, mine)
+
+    def test_release_is_conditional_on_still_holding(self, tmp_path):
+        path = tmp_path / "lease.json"
+        mine = acquire_lease(path, "alice")
+        assert release_lease(path, mine)
+        assert read_lease(path) == Lease(epoch=1, owner=None)
+        # a stale release after a takeover must not clobber the new holder
+        mine = acquire_lease(path, "alice")
+        theirs = acquire_lease(path, "bob")
+        assert not release_lease(path, mine)
+        assert read_lease(path) == theirs
+
+    def test_sticky_fence_refuses_ordinary_acquisition(self, tmp_path):
+        path = tmp_path / "lease.json"
+        acquire_lease(path, "promoted:standby", fence=True)
+        with pytest.raises(LeaseFencedError, match="promoted standby"):
+            acquire_lease(path, "old-primary")
+        # the deliberate operator reclaim still works
+        reclaimed = acquire_lease(path, "operator", force=True)
+        assert reclaimed.epoch == 2 and not reclaimed.fenced
+
+    def test_unreadable_lease_file_is_an_error(self, tmp_path):
+        path = tmp_path / "lease.json"
+        path.write_text("not json at all")
+        with pytest.raises(StoreError, match="unreadable lease"):
+            read_lease(path)
+        path.write_text('{"epoch": "seven"}')
+        with pytest.raises(StoreError):
+            read_lease(path)
+
+
+class TestDurableSessionFencing:
+    def test_open_acquires_and_close_releases(self, stored_doc):
+        store, doc_id, _ = stored_doc
+        path = lease_path(store.root / "docs" / doc_id)
+        with store.open_session(doc_id) as session:
+            held = read_lease(path)
+            assert held.held and held.epoch == 1
+            assert session.lease == held
+        after = read_lease(path)
+        assert not after.held and after.epoch == 1
+
+    def test_second_open_fences_the_first_before_any_append(self, stored_doc):
+        store, doc_id, workload = stored_doc
+        first = store.open_session(doc_id)
+        second = store.open_session(doc_id)
+        update = _an_update(workload, first.source)
+        with pytest.raises(LeaseFencedError):
+            first.propagate(update)
+        # nothing was journalled by the fenced writer; the new holder
+        # serves from the same state the first one saw
+        assert second.last_seq == first.recovered.last_seq
+        second.propagate(update)
+        assert second.last_seq == first.recovered.last_seq + 1
+        second.close()
+
+    def test_fenced_compact_is_refused(self, stored_doc):
+        store, doc_id, _ = stored_doc
+        first = store.open_session(doc_id)
+        store.open_session(doc_id).close()
+        with pytest.raises(LeaseFencedError):
+            first.compact()
+
+    def test_stats_surface_the_lease(self, stored_doc):
+        store, doc_id, _ = stored_doc
+        with store.open_session(doc_id) as session:
+            assert session.stats["lease_epoch"] == 1
+            payload = store.stats(doc_id)
+            assert payload["lease"]["epoch"] == 1
+            assert payload["lease"]["owner"] == session.lease.owner

@@ -1,0 +1,135 @@
+"""Point-in-time recovery: ``recover(upto_seq=N)`` and ``time_travel``.
+
+The satellite edge cases the PR pins down: replay to seq 0, to a seq
+inside a compacted prefix (typed :class:`~repro.errors.RecoveryError`),
+and to the exact snapshot boundary — plus the general property that
+``upto_seq=k`` reproduces the in-memory document after serving exactly
+``k`` updates, byte for byte.
+"""
+
+import random
+
+import pytest
+
+from repro import ViewEngine
+from repro.errors import RecoveryError, StoreError
+from repro.generators.updates import random_view_update
+from repro.store import DocumentStore
+from repro.xmltree import tree_to_xml
+
+
+def _served_states(store, doc_id, workload, steps, seed=29):
+    """Serve *steps* random updates; returns states[k] = the document
+    after k acknowledged records."""
+    rng = random.Random(seed)
+    engine = ViewEngine(workload.dtd, workload.annotation)
+    states = [workload.source]
+    with store.open_session(doc_id, engine=engine) as session:
+        for _ in range(steps):
+            update = random_view_update(
+                rng, workload.dtd, workload.annotation, session.source, n_ops=2
+            )
+            session.propagate(update)
+            states.append(session.source)
+    return states
+
+
+def test_upto_reproduces_every_prefix(stored_doc):
+    store, doc_id, workload = stored_doc
+    states = _served_states(store, doc_id, workload, steps=4)
+    for k, expected in enumerate(states):
+        recovered = store.recover(doc_id, upto_seq=k)
+        assert recovered.last_seq == k
+        assert recovered.tree.to_term() == expected.to_term()
+        assert tree_to_xml(recovered.tree) == tree_to_xml(expected)
+
+
+def test_upto_zero_is_the_genesis_document(stored_doc):
+    store, doc_id, workload = stored_doc
+    _served_states(store, doc_id, workload, steps=3)
+    recovered = store.recover(doc_id, upto_seq=0)
+    assert recovered.last_seq == 0
+    assert recovered.snapshot_seq == 0
+    assert recovered.replayed == 0
+    assert recovered.tree.to_term() == workload.source.to_term()
+
+
+def test_upto_exact_snapshot_boundary_replays_nothing(stored_doc):
+    store, doc_id, workload = stored_doc
+    _served_states(store, doc_id, workload, steps=4)
+    boundary = store.compact(doc_id)
+    assert boundary == 4
+    recovered = store.recover(doc_id, upto_seq=boundary)
+    assert recovered.snapshot_seq == boundary
+    assert recovered.replayed == 0
+    assert recovered.last_seq == boundary
+
+
+def test_upto_inside_compacted_prefix_raises_typed_error(tmp_path, workload):
+    store = DocumentStore.init(tmp_path / "s", keep_snapshots=1)
+    store.put("doc", workload.source, workload.dtd, workload.annotation)
+    _served_states(store, "doc", workload, steps=4)
+    store.compact("doc")  # keep_snapshots=1: only the seq-4 snapshot survives
+    # seqs 0..3 predate the only retained snapshot and their records are
+    # trimmed; that history is gone and recovery must say so, typed.
+    for target in (0, 1, 3):
+        with pytest.raises(RecoveryError, match="compacted prefix"):
+            store.recover("doc", upto_seq=target)
+    # the boundary itself (and past it) stays recoverable
+    assert store.recover("doc", upto_seq=4).last_seq == 4
+
+
+def test_upto_past_the_log_head_raises(stored_doc):
+    store, doc_id, workload = stored_doc
+    _served_states(store, doc_id, workload, steps=2)
+    with pytest.raises(RecoveryError, match="only reaches"):
+        store.recover(doc_id, upto_seq=3)
+
+
+def test_upto_negative_is_refused(stored_doc):
+    store, doc_id, _ = stored_doc
+    with pytest.raises(StoreError, match="sequence number"):
+        store.recover(doc_id, upto_seq=-1)
+
+
+def test_upto_before_oldest_retained_snapshot_with_records(tmp_path, workload):
+    """With keep_snapshots=2 the genesis snapshot survives one
+    compaction, so every prefix is still reachable — including targets
+    between the two retained snapshots."""
+    store = DocumentStore.init(tmp_path / "s", keep_snapshots=2)
+    store.put("doc", workload.source, workload.dtd, workload.annotation)
+    states = _served_states(store, "doc", workload, steps=4)
+    store.compact("doc")  # snapshots {0, 4}; log still starts after 0
+    for k, expected in enumerate(states):
+        recovered = store.recover("doc", upto_seq=k)
+        assert recovered.tree.to_term() == expected.to_term(), f"seq {k}"
+
+
+def test_time_travel_serves_source_and_view(stored_doc):
+    store, doc_id, workload = stored_doc
+    states = _served_states(store, doc_id, workload, steps=3)
+    for k, expected in enumerate(states):
+        shot = store.time_travel(doc_id, k)
+        assert shot.seq == k
+        assert shot.tree.to_term() == expected.to_term()
+        assert (
+            tree_to_xml(shot.view)
+            == tree_to_xml(workload.annotation.view(expected))
+        )
+
+
+def test_time_travel_does_not_repair_the_log(stored_doc):
+    """Time travel is a read: a torn tail must be left for a real
+    recovery to truncate."""
+    store, doc_id, workload = stored_doc
+    _served_states(store, doc_id, workload, steps=2)
+    wal = store.root / "docs" / doc_id / "wal.log"
+    torn = wal.read_bytes() + b"R 3 999 1\nhalf a rec"
+    wal.write_bytes(torn)
+    shot = store.time_travel(doc_id, 1)
+    assert shot.seq == 1
+    assert wal.read_bytes() == torn  # untouched
+    # a repairing recovery still truncates it afterwards
+    recovered = store.recover(doc_id)
+    assert recovered.truncated_tail
+    assert wal.read_bytes() != torn

@@ -13,7 +13,6 @@ from repro.errors import (
     WALCorruptError,
 )
 from repro.generators.updates import random_view_update
-from repro.registry import schema_fingerprint
 from repro.store import DocumentStore, create_wal, scan_wal
 from repro.store.snapshot import list_snapshots
 

@@ -9,7 +9,7 @@ identity updates, recursive schemas) must behave.
 import pytest
 
 from repro import errors
-from repro.core import propagate, propagation_graphs, validate_view_update, verify_propagation
+from repro.core import propagate, validate_view_update, verify_propagation
 from repro.dtd import DTD, InsertletPackage
 from repro.editing import EditScript, UpdateBuilder
 from repro.errors import (
