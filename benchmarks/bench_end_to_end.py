@@ -34,13 +34,17 @@ import time
 import pytest
 
 from repro.core import InsertletPackage, propagate, verify_propagation
+from repro.editing import UpdateBuilder
 from repro.engine import ViewEngine
 from repro.generators.updates import random_view_update
+from repro.sharding import ShardedDocument
 from repro.store import DocumentStore
+from repro.xmltree import parse_term
 from repro.generators.workloads import (
     catalog,
     deep_document,
     hospital,
+    huge_document,
     positional,
     running_example,
     wide_schema,
@@ -405,6 +409,122 @@ class TestProcessPoolServing:
 
 
 # ---------------------------------------------------------------------------
+# Sharded streaming: one huge document split at the spine across workers.
+# The claim under test is **size independence** — with `splice=False` and
+# dirty hints, serving an interior edit costs the touched shard, not the
+# document, so per-edit latency at 100k nodes must stay within 2x of the
+# 10k-node latency. (Unsharded sessions scan per update: their per-edit
+# cost grows with the document.) Byte-identity of the spliced script is
+# spot-checked against an unsharded session at the small size.
+# ---------------------------------------------------------------------------
+
+
+def _huge_interior_stream(workload, length, seed=29):
+    """Pregenerate *length* sequential interior edits (one new paragraph
+    each, rotating over chapters) plus their dirty hints. Untimed."""
+    rng = random.Random(seed)
+    chapters = list(workload.source.children(workload.source.root))
+    view = workload.annotation.view(workload.source)
+    forbidden = set(workload.source.nodes())
+    updates, hints = [], []
+    for index in range(length):
+        chapter = chapters[rng.randrange(len(chapters))]
+        section = next(
+            kid
+            for kid in view.children(chapter)
+            if view.label(kid) == "section"
+        )
+        builder = UpdateBuilder(view, forbidden_ids=forbidden)
+        node = f"q{index}"
+        builder.insert(section, parse_term(f"para#{node}"), index=0)
+        update = builder.script()
+        updates.append(update)
+        hints.append([node])
+        forbidden.add(node)
+        view = update.output_tree
+    return updates, hints
+
+
+def _sharded_latency_ms(engine, workload, updates, hints):
+    """Median per-edit latency (ms) of no-splice hinted sharded serving."""
+    doc = ShardedDocument(engine, workload.source, depth=1, validate_source=False)
+    times = []
+    try:
+        for update, hint in zip(updates, hints):
+            start = time.perf_counter()
+            doc.propagate(update, dirty=hint, splice=False)
+            times.append(time.perf_counter() - start)
+    finally:
+        doc.close()
+    return statistics.median(times) * 1000
+
+
+def _sharded_streaming_modes(smoke: bool) -> dict:
+    small_n, large_n = (1_000, 4_000) if smoke else (10_000, 100_000)
+    length = 4 if smoke else 30
+    small = huge_document(small_n)
+    large = huge_document(large_n)
+    engine = ViewEngine(small.dtd, small.annotation).warm_up()
+
+    # byte-identity spot check (spliced) at the small size
+    check_updates, check_hints = _huge_interior_stream(small, min(length, 4))
+    session = engine.session(small.source)
+    with ShardedDocument(
+        engine, small.source, depth=1, validate_source=False
+    ) as doc:
+        for update, hint in zip(check_updates, check_hints):
+            sharded = doc.propagate(update, dirty=hint, splice=True)
+            assert sharded.to_term() == session.propagate(update).to_term()
+
+    small_updates, small_hints = _huge_interior_stream(small, length)
+    large_updates, large_hints = _huge_interior_stream(large, length)
+    small_ms = _sharded_latency_ms(engine, small, small_updates, small_hints)
+    large_ms = _sharded_latency_ms(engine, large, large_updates, large_hints)
+
+    # the unsharded comparison column at the small size only (at the
+    # large size it is exactly the O(|t|)-per-edit cost sharding removes)
+    unsharded = engine.session(small.source)
+    times = []
+    for update in small_updates:
+        start = time.perf_counter()
+        unsharded.propagate(update)
+        times.append(time.perf_counter() - start)
+    unsharded_small_ms = statistics.median(times) * 1000
+
+    return {
+        "small_nodes": small.source.size,
+        "large_nodes": large.source.size,
+        "stream_length": length,
+        "sharded_small_ms_per_update": small_ms,
+        "sharded_large_ms_per_update": large_ms,
+        "unsharded_small_ms_per_update": unsharded_small_ms,
+        # >= 0.5 is the acceptance line: the large document costs at
+        # most 2x the small one per edit
+        "size_independence": small_ms / large_ms if large_ms else 1.0,
+    }
+
+
+class TestShardedStreaming:
+    def test_sharded_latency_is_size_independent(self):
+        modes = _sharded_streaming_modes(SMOKE)
+        ratio = modes["size_independence"]
+        print(
+            f"\nsharded streaming ({modes['small_nodes']} vs "
+            f"{modes['large_nodes']} nodes, x{modes['stream_length']}): "
+            f"{modes['sharded_small_ms_per_update']:.2f} vs "
+            f"{modes['sharded_large_ms_per_update']:.2f} ms/edit "
+            f"(size independence {ratio:.2f}, unsharded small "
+            f"{modes['unsharded_small_ms_per_update']:.2f} ms/edit)"
+        )
+        if not SMOKE:
+            assert ratio >= 0.5, (
+                f"per-edit latency at {modes['large_nodes']} nodes is "
+                f"{1 / ratio:.1f}x the {modes['small_nodes']}-node latency "
+                "(acceptance: within 2x)"
+            )
+
+
+# ---------------------------------------------------------------------------
 # The machine-readable perf trajectory (python bench_end_to_end.py --json).
 # ---------------------------------------------------------------------------
 
@@ -608,6 +728,12 @@ def run_trajectory(smoke: bool) -> dict:
         workloads["wide_schema"]["replication"] = _replication_modes(
             families["wide_schema"], stream_length, tmp_root, rounds
         )
+    print("[huge_document] sharded streaming", flush=True)
+    sharded = _sharded_streaming_modes(smoke)
+    workloads["huge_document"] = {
+        "source_size": sharded["large_nodes"],
+        "sharded_streaming": sharded,
+    }
     return {
         "meta": {
             "generated_by": "benchmarks/bench_end_to_end.py --json",
@@ -639,17 +765,28 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for name, data in report["workloads"].items():
-        repeated = data["repeated_update"]
-        streaming = data["streaming"]
-        print(
-            f"{name}: cold {repeated['cold_ms']:.2f} / warm "
-            f"{repeated['warm_ms']:.2f} / memoized {repeated['memoized_ms']:.3f} "
-            f"/ process-pool {repeated['process_pool_ms']:.2f} ms/request; "
-            f"memo speedup {repeated['memoized_speedup_vs_warm']:.1f}x vs warm; "
-            f"streaming session {streaming['session_ms_per_update']:.2f} "
-            f"ms/update ({streaming['session_speedup_vs_transient']:.1f}x vs "
-            "transient)"
-        )
+        if "repeated_update" in data:
+            repeated = data["repeated_update"]
+            streaming = data["streaming"]
+            print(
+                f"{name}: cold {repeated['cold_ms']:.2f} / warm "
+                f"{repeated['warm_ms']:.2f} / memoized {repeated['memoized_ms']:.3f} "
+                f"/ process-pool {repeated['process_pool_ms']:.2f} ms/request; "
+                f"memo speedup {repeated['memoized_speedup_vs_warm']:.1f}x vs warm; "
+                f"streaming session {streaming['session_ms_per_update']:.2f} "
+                f"ms/update ({streaming['session_speedup_vs_transient']:.1f}x vs "
+                "transient)"
+            )
+        if "sharded_streaming" in data:
+            sharded = data["sharded_streaming"]
+            print(
+                f"{name}: sharded {sharded['sharded_small_ms_per_update']:.2f} "
+                f"ms/update at {sharded['small_nodes']} nodes / "
+                f"{sharded['sharded_large_ms_per_update']:.2f} ms/update at "
+                f"{sharded['large_nodes']} nodes (size independence "
+                f"{sharded['size_independence']:.2f}, unsharded small "
+                f"{sharded['unsharded_small_ms_per_update']:.2f} ms/update)"
+            )
     print(f"wrote {args.json}")
     return 0
 

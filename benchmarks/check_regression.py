@@ -25,6 +25,9 @@ import sys
 RATIO_METRICS = (
     ("repeated_update", "memoized_speedup_vs_warm"),
     ("streaming", "session_speedup_vs_transient"),
+    # sharded serving: small-document latency / large-document latency —
+    # 1.0 is perfect size independence, the PR-6 acceptance line is 0.5
+    ("sharded_streaming", "size_independence"),
 )
 
 # Smoke workloads are microsecond-scale, so even their *ratios* wobble
@@ -36,6 +39,7 @@ RATIO_METRICS = (
 SMOKE_EXPECTATION_CAPS = {
     "memoized_speedup_vs_warm": 10.0,
     "session_speedup_vs_transient": 1.0,
+    "size_independence": 0.5,
 }
 
 

@@ -52,7 +52,9 @@ Subpackages: :mod:`repro.xmltree` (trees), :mod:`repro.automata`,
 point-in-time recovery, per-document write leases),
 :mod:`repro.replication` (WAL-shipping replication: standby stores,
 bounded-lag replica reads, promotion with lease fencing),
-:mod:`repro.repair`
+:mod:`repro.sharding` (horizontal scale-out: one huge document split
+at a spine depth across per-shard workers, plus consistent-hash
+placement of many documents), :mod:`repro.repair`
 (the Section 6.2 baseline), :mod:`repro.generators` (random workloads),
 :mod:`repro.paperdata` (every figure of the paper).
 """
@@ -89,6 +91,16 @@ from .registry import (
 )
 from .replication import ReplicaSession, StandbyStore, WalShipper, replicate
 from .session import DocumentSession, SessionStats
+from .sharding import (
+    ShardedDocument,
+    ShardedPropagation,
+    ShardMap,
+    ShardPlan,
+    ShardRouter,
+    partition,
+    reassemble,
+    rebalance,
+)
 from .store import DocumentStore, DurableSession, RecoveredDocument, TimeTravelView
 from .inversion import (
     count_min_inversions,
@@ -150,6 +162,15 @@ __all__ = [
     "replicate",
     "StandbyStore",
     "ReplicaSession",
+    # sharding (horizontal scale-out)
+    "ShardedDocument",
+    "ShardRouter",
+    "ShardedPropagation",
+    "ShardPlan",
+    "ShardMap",
+    "partition",
+    "reassemble",
+    "rebalance",
     # propagation (Sections 4-5)
     "propagate",
     "propagation_graphs",

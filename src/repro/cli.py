@@ -18,7 +18,11 @@ Subcommands (``repro-xml <command> --help`` for details):
   recovery), ``stats``;
 * ``replica …`` — WAL-shipping replication
   (:mod:`repro.replication`): ``init``, ``ship``, ``spool``,
-  ``apply``, ``status``, ``promote``.
+  ``apply``, ``status``, ``promote``;
+* ``shard …``   — one huge document sharded across workers
+  (:mod:`repro.sharding`): ``init`` (partition into a durable
+  per-shard store), ``status`` (per-shard metrics as JSON),
+  ``propagate`` (route view updates across the shard boundary).
 
 File formats: documents are XML carrying node identifiers in an ``id``
 attribute; DTDs use classic ``<!ELEMENT …>`` declarations; annotations
@@ -47,6 +51,7 @@ from .errors import ReproError
 from .registry import default_registry
 from .repair import compare_with_propagation
 from .replication import FileSpoolTransport, StandbyStore, WalShipper, replicate
+from .sharding import ShardedDocument
 from .store import FSYNC_POLICIES, DocumentStore
 from .views import Annotation
 from .xmltree import tree_from_xml, tree_to_xml
@@ -331,6 +336,71 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     store = _open_store(args)
     payload = store.stats(args.id) if args.id else store.stats()
     _emit(args, json.dumps(payload, indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Sharding subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_shard_init(args: argparse.Namespace) -> int:
+    dtd, annotation = _load_common(args)
+    source = tree_from_xml(_read(args.doc))
+    doc = ShardedDocument.create(
+        args.root, source, dtd, annotation, depth=args.depth
+    )
+    try:
+        print(
+            f"sharded {source.size} nodes at spine depth {doc.depth} into "
+            f"{len(doc.shard_roots)} shards under {args.root}"
+        )
+    finally:
+        doc.close()
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    doc = ShardedDocument.open(args.root)
+    try:
+        _emit(args, json.dumps(doc.stats_payload(), indent=2))
+    finally:
+        doc.close()
+    return 0
+
+
+def _cmd_shard_propagate(args: argparse.Namespace) -> int:
+    chooser = PreferenceChooser(_PREFERENCES[args.prefer])
+    text = _read(args.update)
+    updates = (
+        _parse_update_stream(text)
+        if args.stream
+        else [EditScript.parse(text.strip())]
+    )
+    if not updates:
+        print("error: no update scripts in the stream", file=sys.stderr)
+        return 1
+    doc = ShardedDocument.open(args.root, fsync=args.fsync, chooser=chooser)
+    try:
+        scripts = []
+        for index, update in enumerate(updates):
+            result = doc.propagate(update, splice=True)
+            scripts.append(result)
+            print(f"update {index}: cost {result.cost}", file=sys.stderr)
+        edits = doc.stats_payload()["edits"]
+        print(
+            f"served {len(scripts)} updates across "
+            f"{len(doc.shard_roots)} shards "
+            f"(fast {edits['fast']}, boundary {edits['boundary']}, "
+            f"identity {edits['identity']})",
+            file=sys.stderr,
+        )
+        if args.script:
+            _emit(args, "\n".join(script.to_term() for script in scripts))
+        else:
+            _emit(args, tree_to_xml(doc.source))
+    finally:
+        doc.close()
     return 0
 
 
@@ -638,6 +708,67 @@ def build_parser() -> argparse.ArgumentParser:
     s_stats.add_argument("--id", help="one document (default: whole store)")
     s_stats.add_argument("--out")
     s_stats.set_defaults(handler=_cmd_store_stats)
+
+    shard = commands.add_parser(
+        "shard",
+        help="one huge document sharded at a spine depth across workers",
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+
+    sh_init = shard_commands.add_parser(
+        "init",
+        help="partition a document at a spine depth into a durable "
+        "per-shard store (one WAL + lease per shard)",
+    )
+    sh_init.add_argument("--root", required=True, help="store directory")
+    sh_init.add_argument("--dtd", required=True)
+    sh_init.add_argument("--annotation", required=True)
+    sh_init.add_argument("--doc", required=True, help="source XML document")
+    sh_init.add_argument(
+        "--depth",
+        type=int,
+        default=1,
+        help="spine depth: subtrees rooted this far below the root become "
+        "shards (default: 1)",
+    )
+    sh_init.set_defaults(handler=_cmd_shard_init)
+
+    sh_status = shard_commands.add_parser(
+        "status",
+        help="router counters and per-shard WAL/lease metrics as JSON",
+    )
+    sh_status.add_argument("--root", required=True, help="store directory")
+    sh_status.add_argument("--out")
+    sh_status.set_defaults(handler=_cmd_shard_status)
+
+    sh_prop = shard_commands.add_parser(
+        "propagate",
+        help="route view updates across the shard boundary: shard-local "
+        "scripts in parallel, spliced byte-identically to unsharded serving",
+    )
+    sh_prop.add_argument("--root", required=True, help="store directory")
+    sh_prop.add_argument("--update", required=True, help="update script file")
+    sh_prop.add_argument(
+        "--stream",
+        action="store_true",
+        help="blank-line-separated sequential scripts, one sharded document",
+    )
+    sh_prop.add_argument(
+        "--prefer", choices=sorted(_PREFERENCES), default="nop"
+    )
+    sh_prop.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help="per-shard log durability policy (default: 'always')",
+    )
+    sh_prop.add_argument(
+        "--script",
+        action="store_true",
+        help="print the spliced propagation scripts instead of the document",
+    )
+    sh_prop.add_argument("--out")
+    sh_prop.set_defaults(handler=_cmd_shard_propagate)
 
     replica = commands.add_parser(
         "replica",

@@ -317,3 +317,23 @@ class ReplicationLagError(ReplicationError):
     """A bounded-lag read found the standby further behind the primary
     than the caller allows (:meth:`repro.replication.ReplicaSession.read`
     with ``max_lag=``)."""
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+class ShardingError(ReproError):
+    """Base class for :mod:`repro.sharding` failures: invalid spine
+    depths, partitions of empty documents, inconsistent shard layouts,
+    or modes the sharded serving tier cannot combine (per-shard
+    durability across process boundaries, for instance)."""
+
+
+class ShardWorkerError(ShardingError):
+    """A shard worker failed or answered a dispatch with an error.
+
+    For process-mode workers the original exception cannot cross the
+    pipe; its type name and message are carried in this error's text.
+    """

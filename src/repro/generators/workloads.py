@@ -33,6 +33,7 @@ __all__ = [
     "positional",
     "deep_document",
     "wide_schema",
+    "huge_document",
 ]
 
 
@@ -259,6 +260,66 @@ def positional(n_entries: int = 4) -> Workload:
     builder = UpdateBuilder(view, forbidden_ids=source.nodes())
     builder.insert("m0", parse_term("c#u0"), index=1)
     return Workload("positional", dtd, annotation, source, builder.script())
+
+
+def huge_document(n_nodes: int = 10_000) -> Workload:
+    """A book with a wide spine of fixed-size chapters — the sharding
+    workload.
+
+    ``book → chapter*``, ``chapter → title·meta·section*``,
+    ``section → para*·note?``, with chapter metadata and section notes
+    hidden. Every chapter subtree holds ~35 nodes regardless of
+    *n_nodes* — scaling the document grows the **number** of depth-1
+    subtrees, not their size — which is exactly the shape where
+    per-edit cost should depend on the touched chapter, never on the
+    book (:mod:`repro.sharding` partitions it at spine depth 1).
+
+    Fully deterministic (size variation is arithmetic, not random):
+    the same *n_nodes* always builds the identical tree, identifiers
+    included — at least *n_nodes* nodes, overshooting by at most one
+    chapter. The bundled update edits paragraphs inside the middle
+    chapter: one deletion, one insertion — the interior single-shard
+    case.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    dtd = DTD(
+        {
+            "book": "chapter*",
+            "chapter": "title,meta,section*",
+            "section": "para*,note?",
+            "title": "",
+            "meta": "",
+            "para": "",
+            "note": "",
+        }
+    )
+    annotation = Annotation.hiding(("chapter", "meta"), ("section", "note"))
+    chapters = []
+    count = 1  # the book root
+    ci = 0
+    while count < n_nodes:
+        kids = [Tree.leaf("title", f"c{ci}t"), Tree.leaf("meta", f"c{ci}m")]
+        count += 3  # chapter + title + meta
+        for si in range(4 + ci % 3):
+            paras = [
+                Tree.leaf("para", f"c{ci}s{si}p{pi}")
+                for pi in range(3 + (ci + si) % 5)
+            ]
+            section_kids = list(paras)
+            if (ci + si) % 2 == 0:
+                section_kids.append(Tree.leaf("note", f"c{ci}s{si}n"))
+            kids.append(Tree.build("section", f"c{ci}s{si}", section_kids))
+            count += 1 + len(section_kids)
+        chapters.append(Tree.build("chapter", f"c{ci}", kids))
+        ci += 1
+    source = Tree.build("book", "b0", chapters)
+    view = annotation.view(source)
+    builder = UpdateBuilder(view, forbidden_ids=source.nodes())
+    mid = ci // 2
+    builder.delete(f"c{mid}s0p0")
+    builder.insert(f"c{mid}s1", parse_term(f"para#u{mid}"), index=0)
+    return Workload("huge_document", dtd, annotation, source, builder.script())
 
 
 def deep_document(depth: int = 6, seed: int = 3) -> Workload:

@@ -16,10 +16,10 @@ to *processes* instead:
   method it typically *inherits* the parent's already-compiled registry
   and the warm-up is a cache hit), then serves every chunk assigned to
   it;
-* the batch is dispatched in contiguous **chunks** (several per worker,
-  so a slow chunk does not straggle the whole batch) and reassembled in
-  order; documents, updates, and result scripts are plain picklable
-  trees.
+* the batch is dispatched in size-balanced **chunks** (several per
+  worker, weighted by document + update size so one huge request cannot
+  straggle the batch) and reassembled by original index; documents,
+  updates, and result scripts are plain picklable trees.
 
 Results are byte-identical to serial serving: workers run the same
 deterministic ``_propagate_batch`` the engine runs locally, and fresh
@@ -30,6 +30,7 @@ families are supported (:func:`~repro.core.choosers.chooser_from_key`).
 
 from __future__ import annotations
 
+import heapq
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
@@ -43,7 +44,7 @@ from .xmltree import Tree
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import ViewEngine
 
-__all__ = ["propagate_batch_processes", "engine_spec"]
+__all__ = ["propagate_batch_processes", "engine_spec", "balanced_chunk_indices"]
 
 
 class ProcessServingError(ReproError):
@@ -122,11 +123,45 @@ def _worker_init(spec: tuple) -> None:
 def _serve_chunk(
     payload: "tuple[list[tuple[Tree, EditScript]], tuple, bool, bool, bool]",
 ) -> "list[EditScript]":
-    """Serve one contiguous chunk inside a worker process."""
+    """Serve one chunk inside a worker process."""
     pairs, chooser_key, optimal, validate, memo = payload
     engine = _WORKER_ENGINE["engine"]
     chooser = chooser_from_key(chooser_key)
     return engine._propagate_batch(pairs, chooser, optimal, validate, memo)
+
+
+def balanced_chunk_indices(
+    weights: "Sequence[int]", target_chunks: int
+) -> "list[list[int]]":
+    """Partition request indices into size-balanced chunks (greedy LPT).
+
+    Contiguous slicing balances chunk *counts*, not chunk *work*: a
+    skewed batch (one huge document amid hundreds of small ones) lands
+    the heavy requests in one slice and that worker straggles the whole
+    batch. Here each request carries a weight (its serving cost proxy)
+    and longest-processing-time greedy assignment places every request,
+    heaviest first, into the currently lightest chunk — a classic
+    2-approximation of the optimal makespan.
+
+    Deterministic: ties break on chunk index, equal weights keep batch
+    order. Each returned chunk lists the requests' **original indices**
+    in ascending order; callers reassemble results by index. Empty
+    chunks are dropped, so fewer than *target_chunks* lists may return.
+    """
+    if target_chunks < 1:
+        raise ValueError("target_chunks must be at least 1")
+    bins: "list[list[int]]" = [[] for _ in range(min(target_chunks, len(weights)))]
+    if not bins:
+        return []
+    heap = [(0, b) for b in range(len(bins))]  # (load, chunk index)
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for i in order:
+        load, b = heapq.heappop(heap)
+        bins[b].append(i)
+        heapq.heappush(heap, (load + weights[i], b))
+    for chunk in bins:
+        chunk.sort()
+    return [chunk for chunk in bins if chunk]
 
 
 def propagate_batch_processes(
@@ -156,19 +191,22 @@ def propagate_batch_processes(
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, len(pairs)))
-    # Contiguous chunks, several per worker: order-preserving reassembly
-    # with enough pieces that one slow chunk cannot straggle the batch.
+    # Size-balanced chunks, several per worker: request weight is the
+    # work proxy (propagation is roughly linear in document + update
+    # size), so a skewed batch spreads its heavy documents instead of
+    # parking them all in one straggler slice.
     target_chunks = min(len(pairs), workers * 4)
-    chunk_size = -(-len(pairs) // target_chunks)  # ceil division
-    chunks = [
-        list(pairs[start:start + chunk_size])
-        for start in range(0, len(pairs), chunk_size)
+    weights = [source.size + update.tree.size for source, update in pairs]
+    assignment = balanced_chunk_indices(weights, target_chunks)
+    payloads = [
+        ([pairs[i] for i in chunk], key, optimal, validate, memo)
+        for chunk in assignment
     ]
-    payloads = [(chunk, key, optimal, validate, memo) for chunk in chunks]
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init, initargs=(spec,)
     ) as pool:
-        results: "list[EditScript]" = []
-        for chunk_scripts in pool.map(_serve_chunk, payloads):
-            results.extend(chunk_scripts)
+        results: "list[EditScript | None]" = [None] * len(pairs)
+        for chunk, chunk_scripts in zip(assignment, pool.map(_serve_chunk, payloads)):
+            for i, script in zip(chunk, chunk_scripts):
+                results[i] = script
     return results

@@ -226,6 +226,14 @@ class DocumentSession:
         self._journal = hook
 
     @property
+    def fresh_suffix_max(self) -> int:
+        """Largest numeric ``f``-suffix among the current source's node
+        identifiers (``-1`` when none) — the session's running index, so
+        reading it never rescans the document. The sharding router polls
+        this per shard to maintain the document-global fresh floor."""
+        return self._suffixes.max()
+
+    @property
     def stats(self) -> SessionStats:
         return SessionStats(
             updates_served=self._served,
@@ -259,6 +267,7 @@ class DocumentSession:
         validate: bool = True,
         advance: bool = True,
         verify: bool = False,
+        fresh_floor: "int | None" = None,
     ) -> EditScript:
         """Serve one view update of the current view; advance the session.
 
@@ -273,7 +282,12 @@ class DocumentSession:
         stale caches); *advance* moves the session to the propagated
         document (pass ``False`` to preview alternatives — e.g. different
         choosers — without committing); *verify* re-checks schema
-        compliance and side-effect-freeness before advancing.
+        compliance and side-effect-freeness before advancing;
+        *fresh_floor* raises the starting point of the fresh
+        ``f``-numbering (it can never lower it below the collision-safe
+        default) — the sharding router passes the document-global floor
+        here so a shard-local propagation numbers its fresh nodes in the
+        globally reserved range.
         """
         if source is not None and source != self._source:
             raise StaleSessionError(
@@ -289,7 +303,9 @@ class DocumentSession:
         if chooser is None:
             chooser = PreferenceChooser() if optimal else CheapestPathChooser()
         script = collection.build_script(
-            chooser, self._fresh_ids(update), optimal_only=optimal
+            chooser,
+            self._fresh_ids(update, floor=fresh_floor),
+            optimal_only=optimal,
         )
         if verify and not self._engine.verify(self._source, update, script):
             raise ReproError(
@@ -307,7 +323,9 @@ class DocumentSession:
         """Serve a whole stream of sequential updates; returns all scripts."""
         return [self.propagate(update) for update in updates]
 
-    def _fresh_ids(self, update: EditScript) -> Callable[[], NodeId]:
+    def _fresh_ids(
+        self, update: EditScript, floor: "int | None" = None
+    ) -> Callable[[], NodeId]:
         """Fresh identifiers, byte-compatible with the cold path.
 
         A cold :meth:`PropagationGraphs.build_script` scans every source
@@ -316,11 +334,18 @@ class DocumentSession:
         side from its suffix index, so only the update is scanned. The
         first candidate exceeds every live suffix, hence no candidate can
         collide and the emitted sequence is identical.
+
+        *floor* (when given) raises the starting point: a sharded
+        document numbers fresh nodes from a document-global floor that
+        is at least the shard-local safe start, so the produced sequence
+        stays consecutive from the floor and collision-free.
         """
         start = 1 + max(
             self._suffixes.max(),
             max_numeric_suffix(update.nodes(), _FRESH_PREFIX),
         )
+        if floor is not None and floor > start:
+            start = floor
         return NodeIds(_FRESH_PREFIX, start).fresh
 
     # ------------------------------------------------------------------
@@ -400,6 +425,32 @@ class DocumentSession:
         self._source = script.output_tree
         self._view = self._engine.annotation.view(self._source)
         self._replayed += 1
+
+    def advance_script(self, update: EditScript, script: EditScript) -> None:
+        """Advance the session along an externally chosen propagation.
+
+        The commit half of a two-phase serve: a caller previews a
+        propagation (``propagate(..., advance=False)``), possibly
+        post-processes the script — the sharding router renumbers a
+        shard's fresh identifiers into their document-global slots —
+        and then commits the final ``(update, script)`` pair here. The
+        journal hook fires with the committed script (so a durable
+        shard's write-ahead log records what replay must re-apply), the
+        caches walk it, and the view becomes ``Out(update)`` exactly as
+        a direct :meth:`propagate` would have left it.
+
+        The script must still apply to the pinned source
+        (``In(S′) = source``); otherwise :class:`StaleSessionError` is
+        raised before any state moves.
+        """
+        if script.input_tree != self._source:
+            raise StaleSessionError(
+                "committed script does not apply to the session's pinned "
+                "source — preview and commit disagree on the document"
+            )
+        if self._journal is not None:
+            self._journal(update, script)
+        self._advance(update, script)
 
     def __repr__(self) -> str:
         return (

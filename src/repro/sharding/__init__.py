@@ -1,0 +1,33 @@
+"""Horizontal scale-out: shard one huge document across workers.
+
+The package splits a document at a configurable spine depth
+(:mod:`~repro.sharding.partition`), hands each shard to a worker with
+its own session (:mod:`~repro.sharding.worker`), routes every view
+update across the boundary (:mod:`~repro.sharding.router`), and wraps
+the whole thing — optionally durably — in a
+:class:`~repro.sharding.ShardedDocument`
+(:mod:`~repro.sharding.document`). Fleet-level placement of many
+documents lives in :mod:`~repro.sharding.placement`.
+"""
+
+from .document import SHARDING_FILE, ShardedDocument
+from .partition import ShardPlan, partition, reassemble
+from .placement import RebalanceMove, ShardMap, placement_payload, rebalance
+from .router import ShardedPropagation, ShardRouter
+from .worker import LocalShardPool, ProcessShardPool
+
+__all__ = [
+    "ShardedDocument",
+    "SHARDING_FILE",
+    "ShardPlan",
+    "partition",
+    "reassemble",
+    "ShardRouter",
+    "ShardedPropagation",
+    "LocalShardPool",
+    "ProcessShardPool",
+    "ShardMap",
+    "RebalanceMove",
+    "rebalance",
+    "placement_payload",
+]

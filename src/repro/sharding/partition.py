@@ -1,0 +1,130 @@
+"""Boundary-split partitioning: one document, a spine, many shards.
+
+A sharded document is cut at a configurable **spine depth** ``d``: every
+*visible* node at depth ``d`` roots one shard (the full source subtree,
+hidden descendants included), and everything above — the visible nodes
+at depths ``< d`` plus the hidden subtrees hanging off them — forms the
+**spine**, kept locally by the router. Shard roots stay in the spine as
+leaves, so reattaching the shard trees at their identifiers reassembles
+the original document exactly.
+
+Two properties of the paper's model make this cut safe:
+
+* visibility is upward closed and an annotation only consults the
+  *parent* label, so a shard subtree's visibility (and hence its view)
+  is exactly what it was inside the whole document;
+* since every visible node's source depth equals its view depth, the
+  shard roots are the depth-``d`` nodes of the *view* too — node-id
+  stability then lets the router map view-update nodes to shards by
+  walking ancestors in the update tree alone.
+
+The partition is purely structural: no propagation semantics live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ShardingError
+from ..views import Annotation
+from ..xmltree import NodeId, Tree
+
+__all__ = ["ShardPlan", "partition", "reassemble"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One partition of a document at a fixed spine depth."""
+
+    depth: int
+    """The spine depth ``d``: shard roots are the visible depth-``d`` nodes."""
+
+    spine: Tree
+    """Visible nodes above the boundary plus their hidden subtrees;
+    shard roots appear as leaves."""
+
+    shard_roots: tuple
+    """Shard root identifiers in document order."""
+
+    shards: Mapping[NodeId, Tree]
+    """Shard root → full source subtree (ids preserved)."""
+
+
+def partition(source: Tree, annotation: Annotation, depth: int) -> ShardPlan:
+    """Cut *source* at visible depth *depth* into a :class:`ShardPlan`.
+
+    A depth beyond the document's visible height yields a plan with no
+    shards (the spine is the whole document) — legal, if pointless.
+    """
+    if depth < 1:
+        raise ShardingError(f"spine depth must be at least 1, got {depth}")
+    if source.is_empty:
+        raise ShardingError("cannot shard an empty document")
+
+    labels: "dict[NodeId, str]" = {}
+    children: "dict[NodeId, tuple[NodeId, ...]]" = {}
+    parents: "dict[NodeId, NodeId]" = {}
+    shard_roots: "list[NodeId]" = []
+    shards: "dict[NodeId, Tree]" = {}
+
+    def absorb(node: NodeId) -> None:
+        # a hidden subtree off the spine belongs to the spine wholesale
+        for current in source.descendants_or_self(node):
+            labels[current] = source.label(current)
+            kids = source.children(current)
+            if kids:
+                children[current] = kids
+                for kid in kids:
+                    parents[kid] = current
+
+    root = source.root
+    stack: "list[tuple[NodeId, int]]" = [(root, 0)]
+    while stack:
+        node, node_depth = stack.pop()
+        label = source.label(node)
+        labels[node] = label
+        kids = source.children(node)
+        if not kids:
+            continue
+        children[node] = kids
+        spine_kids: "list[tuple[NodeId, int]]" = []
+        for kid in kids:
+            parents[kid] = node
+            if annotation.hides(label, source.label(kid)):
+                absorb(kid)
+            elif node_depth + 1 == depth:
+                # visible boundary node: a shard root, a leaf of the spine
+                labels[kid] = source.label(kid)
+                shard_roots.append(kid)
+                shards[kid] = source.subtree(kid)
+            else:
+                spine_kids.append((kid, node_depth + 1))
+        stack.extend(reversed(spine_kids))
+
+    spine = Tree._from_parts(root, labels, children, parents)
+    return ShardPlan(depth, spine, tuple(shard_roots), shards)
+
+
+def reassemble(spine: Tree, shards: "Mapping[NodeId, Tree]") -> Tree:
+    """Reattach *shards* at their leaf identifiers in *spine*.
+
+    The inverse of :func:`partition` (``reassemble(plan.spine,
+    plan.shards)`` equals the original document, identifiers and all) —
+    also how the router materialises the current document from live
+    shard sessions when a boundary-crossing update needs it.
+    """
+    labels = dict(spine._labels)
+    children = dict(spine._children)
+    parents = dict(spine._parents)
+    for sid, tree in shards.items():
+        if sid not in labels:
+            raise ShardingError(f"shard root {sid!r} is not a spine node")
+        if tree.is_empty or tree.root != sid:
+            raise ShardingError(f"shard tree for {sid!r} is not rooted at it")
+        labels.update(tree._labels)
+        children.update(tree._children)
+        # the shard root keeps its spine parent; a shard tree has no
+        # parent entry for its own root, so this never clobbers it
+        parents.update(tree._parents)
+    return Tree._from_parts(spine.root, labels, children, parents)

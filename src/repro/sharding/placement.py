@@ -1,0 +1,175 @@
+"""Consistent-hash placement of many documents across a worker fleet.
+
+Sharding one huge document (the router) and placing many documents
+(this module) compose: a fleet runs one :class:`ShardMap`, each worker
+serves the documents hashed to it, and each document may itself be a
+:class:`~repro.sharding.ShardedDocument`.
+
+:class:`ShardMap` is a classic consistent-hash ring with virtual nodes:
+every worker owns ``vnodes`` points on the ring, a key is served by the
+first worker point at or after its hash, and adding or removing a
+worker moves only the keys whose arc changed — about ``1/n`` of them —
+instead of rehashing the world.
+
+Rebalancing is **gated by the write leases** of the PR-5 durable store:
+moving a document to its new owner acquires the document's lease for
+that owner, which bumps the fencing epoch — a still-live previous
+writer is fenced at its next append (`verify_lease` fails), so at every
+point exactly one owner can write a shard. A stickily *fenced* lease
+(a promoted standby holds the document) refuses the move unless forced,
+exactly like any other acquisition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..errors import ShardingError
+from ..store.lease import acquire_lease, lease_path, read_lease
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import DocumentStore
+
+__all__ = ["ShardMap", "RebalanceMove", "rebalance", "placement_payload"]
+
+
+def _point(text: str) -> int:
+    return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardMap:
+    """A consistent-hash ring assigning document keys to workers."""
+
+    __slots__ = ("_workers", "_vnodes", "_ring", "_points")
+
+    def __init__(self, workers: "Iterable[str]", *, vnodes: int = 64) -> None:
+        names = list(dict.fromkeys(workers))
+        if not names:
+            raise ShardingError("a shard map needs at least one worker")
+        if vnodes < 1:
+            raise ShardingError("vnodes must be at least 1")
+        self._workers = tuple(names)
+        self._vnodes = vnodes
+        ring = sorted(
+            (_point(f"{worker}#{i}"), worker)
+            for worker in names
+            for i in range(vnodes)
+        )
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+
+    @property
+    def workers(self) -> "tuple[str, ...]":
+        return self._workers
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def place(self, key: str) -> str:
+        """The worker serving *key*: the first ring point at or after
+        the key's hash (wrapping around)."""
+        index = bisect_right(self._points, _point(str(key))) % len(self._ring)
+        return self._ring[index][1]
+
+    def assignments(self, keys: "Iterable[str]") -> "dict[str, list[str]]":
+        """Worker → keys it serves (workers with no keys included)."""
+        out: "dict[str, list[str]]" = {worker: [] for worker in self._workers}
+        for key in keys:
+            out[self.place(key)].append(key)
+        return out
+
+    def with_worker(self, worker: str) -> "ShardMap":
+        """A new map with *worker* added (minimal key movement)."""
+        return ShardMap([*self._workers, worker], vnodes=self._vnodes)
+
+    def without_worker(self, worker: str) -> "ShardMap":
+        """A new map with *worker* removed; its keys spread to the rest."""
+        remaining = [name for name in self._workers if name != worker]
+        return ShardMap(remaining, vnodes=self._vnodes)
+
+    def moves(
+        self, keys: "Iterable[str]", target: "ShardMap"
+    ) -> "dict[str, tuple[str, str]]":
+        """Keys whose placement differs under *target*:
+        ``{key: (old_worker, new_worker)}``."""
+        out: "dict[str, tuple[str, str]]" = {}
+        for key in keys:
+            old, new = self.place(key), target.place(key)
+            if old != new:
+                out[key] = (old, new)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ShardMap(workers={list(self._workers)}, vnodes={self._vnodes})"
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One document handed to a new owner during rebalancing."""
+
+    doc_id: str
+    source: str
+    """The worker that served the document under the old map."""
+    target: str
+    """The worker that owns it now (and holds its lease)."""
+    epoch: int
+    """The lease epoch the target now holds; every older holder is
+    fenced at its next append."""
+
+
+def rebalance(
+    store: "DocumentStore",
+    doc_ids: "Sequence[str]",
+    current: ShardMap,
+    target: ShardMap,
+    *,
+    force: bool = False,
+) -> "list[RebalanceMove]":
+    """Move lease ownership for every document whose placement changes.
+
+    For each moving document the *target* worker acquires the store
+    document's write lease — the epoch bump is what retires the old
+    owner (its next journal append fails ``verify_lease``), so a
+    half-finished rebalance never yields two writers. Documents whose
+    lease is stickily fenced (a promoted standby owns them) raise
+    :class:`~repro.errors.LeaseFencedError` unless *force*.
+    """
+    moves: "list[RebalanceMove]" = []
+    for doc_id in doc_ids:
+        change = current.moves([doc_id], target).get(doc_id)
+        if change is None:
+            continue
+        old_worker, new_worker = change
+        path = lease_path(store._doc_dir(doc_id))
+        taken = acquire_lease(path, new_worker, force=force)
+        moves.append(RebalanceMove(doc_id, old_worker, new_worker, taken.epoch))
+    return moves
+
+
+def placement_payload(
+    store: "DocumentStore", shard_map: ShardMap, doc_ids: "Sequence[str] | None" = None
+) -> dict:
+    """JSON-serializable placement report: per worker, its documents and
+    their current lease holders (flagging documents whose lease owner
+    disagrees with the map)."""
+    ids = list(doc_ids) if doc_ids is not None else store.documents()
+    report: "dict[str, list[dict]]" = {worker: [] for worker in shard_map.workers}
+    for doc_id in ids:
+        worker = shard_map.place(doc_id)
+        lease = read_lease(lease_path(store._doc_dir(doc_id)))
+        report[worker].append(
+            {
+                "doc_id": doc_id,
+                "lease_owner": lease.owner,
+                "lease_epoch": lease.epoch,
+                "fenced": lease.fenced,
+                "owned_elsewhere": bool(
+                    lease.owner is not None and lease.owner != worker
+                ),
+            }
+        )
+    return {"vnodes": shard_map.vnodes, "workers": report}

@@ -1,0 +1,448 @@
+"""The shard router: split a view update at the boundary, dispatch,
+splice.
+
+Serving a sharded document is a two-phase protocol built on node-id
+stability (update nodes carry the view's identifiers, and a visible
+node's view depth equals its source depth):
+
+1. **Classify.** Every edited (non-``Nop``) node of the update is
+   mapped to its depth-``d`` ancestor inside the update tree — its
+   shard. If every edit lands strictly inside shard interiors, the
+   update is *interior* and takes the fast path; an edit at or above
+   the boundary (rename/delete of a shard root, an insertion creating
+   or removing whole shards, anything touching the spine) is a
+   *boundary* update and takes the slow path.
+2. **Fast path.** The router reserves a document-global fresh floor
+   ``g`` — one past the largest ``f``-suffix anywhere in the document
+   or among inserted update nodes — and dispatches each touched
+   shard's subscript as a preview (``advance=False``) with
+   ``fresh_floor=g``. Each shard reports how many fresh identifiers it
+   consumed; the router assigns disjoint consecutive ranges in
+   *document order* (prefix sums), and each shard renumbers and
+   commits. Because each per-shard propagation graph equals the
+   corresponding subgraph of the whole-document propagation (graphs
+   are node-local, and subtree sizes below the boundary coincide), and
+   because the untouched remainder of the document is pristine — the
+   whole-document optimal propagation is ``Nop`` everywhere outside
+   the touched shards — splicing the shard scripts over a ``Nop``
+   spine reproduces the unsharded script **byte for byte**, fresh
+   identifiers included.
+3. **Slow path.** The router reassembles the full document from the
+   live shards, runs one ordinary local propagation (same chooser,
+   same fresh numbering as an unsharded session — trivially
+   byte-identical), re-partitions the output, and redistributes: kept
+   shards advance along their subscripts (their WALs journal exactly
+   what replay needs), deleted shards are dropped, new depth-``d``
+   subtrees are adopted as fresh shards.
+
+Per-edit cost on the fast path is proportional to the touched shards,
+not the document — pass ``splice=False`` to also skip materialising
+the whole-document script (the shards have advanced either way), which
+is what keeps serving latency independent of document size.
+
+The router trusts updates to be well-formed view updates against the
+current view (the product of an :class:`~repro.editing.UpdateBuilder`);
+validation runs per touched shard on the fast path and in full on the
+slow path. A caller-supplied ``dirty`` hint (the roots of the edited
+regions, which every update builder knows) skips the only remaining
+whole-update scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
+from ..editing import EditScript, Op
+from ..editing.ops import EditLabel
+from ..errors import ShardingError
+from ..xmltree import NodeId, NodeIds, Tree
+from ..xmltree.nodeid import max_numeric_suffix, numeric_suffix
+from .partition import ShardPlan, partition, reassemble
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import ViewEngine
+
+__all__ = ["ShardRouter", "ShardedPropagation"]
+
+_FRESH = "f"
+
+
+@dataclass(frozen=True)
+class ShardedPropagation:
+    """One served update, as the router saw it."""
+
+    script: "EditScript | None"
+    """The full spliced source script (``None`` when ``splice=False``)."""
+
+    cost: int
+    """Cost of the (possibly unmaterialised) whole-document script."""
+
+    touched: tuple
+    """Shard roots whose workers propagated, in document order."""
+
+    boundary: bool
+    """Whether the slow (boundary/re-partition) path ran."""
+
+    fresh_used: int
+    """Fresh identifiers consumed document-wide by this update."""
+
+
+class ShardRouter:
+    """Split updates at the shard boundary; dispatch; splice.
+
+    Owns the spine and the boundary bookkeeping; shard state lives in
+    the *pool*. Not thread-safe — one document stream per router, like
+    the sessions underneath.
+    """
+
+    def __init__(
+        self,
+        engine: "ViewEngine",
+        plan: ShardPlan,
+        pool,
+        *,
+        chooser: "PathChooser | None" = None,
+        optimal: bool = True,
+        on_reshard=None,
+    ) -> None:
+        if chooser is None:
+            chooser = PreferenceChooser() if optimal else CheapestPathChooser()
+        self._engine = engine
+        self._pool = pool
+        self._chooser = chooser
+        self._optimal = optimal
+        self._on_reshard = on_reshard
+        self._depth = plan.depth
+        self._install(plan)
+        self._assembled: "Tree | None" = None
+        self._fast = 0
+        self._boundary_count = 0
+        self._identity = 0
+        self._dispatched = 0
+        self._remapped = 0
+
+    def _install(self, plan: ShardPlan) -> None:
+        self._spine = plan.spine
+        self._shard_roots: "list[NodeId]" = list(plan.shard_roots)
+        self._order = {sid: i for i, sid in enumerate(plan.shard_roots)}
+        self._spine_suffix = plan.spine.max_suffix(_FRESH)
+        self._shard_suffix: "dict[NodeId, int]" = {}
+        self._high: "int | None" = None
+
+    # ------------------------------------------------------------------
+    # Fresh-floor bookkeeping
+    # ------------------------------------------------------------------
+
+    def note_suffix(self, shard_id: NodeId, value: int) -> None:
+        """Record a shard's current max ``f``-suffix (pool adoption and
+        every commit report one)."""
+        old = self._shard_suffix.get(shard_id, -1)
+        self._shard_suffix[shard_id] = value
+        if self._high is not None:
+            if value > self._high:
+                self._high = value
+            elif old == self._high and value < old:
+                self._high = None  # the max's witness shrank; rescan lazily
+
+    def _forget_suffix(self, shard_id: NodeId) -> None:
+        old = self._shard_suffix.pop(shard_id, -1)
+        if self._high is not None and old == self._high:
+            self._high = None
+
+    def _floor(self, ins_max: int) -> int:
+        high = self._high
+        if high is None:
+            high = self._spine_suffix
+            for value in self._shard_suffix.values():
+                if value > high:
+                    high = value
+            self._high = high
+        return 1 + max(high, ins_max)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def shard_roots(self) -> tuple:
+        return tuple(self._shard_roots)
+
+    @property
+    def spine(self) -> Tree:
+        return self._spine
+
+    def assembled_source(self) -> Tree:
+        """The whole current document, reassembled from live shards.
+
+        ``O(|t|)``; cached until the next advancing propagation. The
+        slow path starts here, and it is also how ``.source`` on the
+        facade answers.
+        """
+        if self._assembled is None:
+            shards = {sid: self._pool.fetch(sid) for sid in self._shard_roots}
+            self._assembled = reassemble(self._spine, shards)
+        return self._assembled
+
+    def stats_payload(self) -> dict:
+        """JSON-serializable router counters plus per-shard session stats."""
+        return {
+            "depth": self._depth,
+            "mode": self._pool.mode,
+            "shards": len(self._shard_roots),
+            "spine_size": self._spine.size,
+            "edits": {
+                "fast": self._fast,
+                "boundary": self._boundary_count,
+                "identity": self._identity,
+            },
+            "shards_dispatched": self._dispatched,
+            "fresh_remapped": self._remapped,
+            "per_shard": {
+                str(sid): self._pool.stats(sid) for sid in self._shard_roots
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def propagate(
+        self,
+        update: EditScript,
+        *,
+        dirty: "Iterable[NodeId] | None" = None,
+        splice: bool = True,
+        validate: bool = True,
+    ) -> ShardedPropagation:
+        """Serve one view update against the sharded document.
+
+        *dirty*, when given, must cover the roots of every edited
+        (non-``Nop``) region of the update — the router then skips its
+        own whole-update scan. *splice* materialises the full source
+        script (``O(|t|)``); pass ``False`` for latency-critical
+        serving where the advanced shards are the product.
+        """
+        tree = update.tree
+        if tree.is_empty:
+            raise ShardingError("cannot serve an empty update against a sharded document")
+        labels = tree._labels
+        parents = tree._parents
+        hinted = dirty is not None
+        if hinted:
+            dirty_nodes = [
+                n for n in dirty if n in labels and labels[n].op is not Op.NOP
+            ]
+        else:
+            dirty_nodes = [n for n, lab in labels.items() if lab.op is not Op.NOP]
+
+        boundary = False
+        touched: "set[NodeId]" = set()
+        ins_max = -1
+        for node in dirty_nodes:
+            # climb to the root inside the update tree to find the
+            # node's depth and its depth-d ancestor (its shard)
+            path = [node]
+            current = node
+            while True:
+                parent = parents.get(current)
+                if parent is None:
+                    break
+                path.append(parent)
+                current = parent
+            depth = len(path) - 1
+            if depth <= self._depth:
+                # spine edit, or a shard root renamed/deleted/inserted
+                boundary = True
+                break
+            shard_root = path[depth - self._depth]
+            if shard_root not in self._order or labels[shard_root].op is not Op.NOP:
+                # an edit inside a freshly inserted depth-d subtree (a
+                # shard being born), or an unknown boundary node
+                boundary = True
+                break
+            touched.add(shard_root)
+            label = labels[node]
+            if label.op is Op.INS:
+                suffix = numeric_suffix(node, _FRESH)
+                if suffix is not None and suffix > ins_max:
+                    ins_max = suffix
+                if hinted:
+                    # a hint names region roots only; the whole inserted
+                    # fragment participates in the fresh numbering
+                    for inner in tree.descendants(node):
+                        suffix = numeric_suffix(inner, _FRESH)
+                        if suffix is not None and suffix > ins_max:
+                            ins_max = suffix
+
+        if boundary:
+            return self._propagate_boundary(update, splice=splice, validate=validate)
+        if not touched:
+            return self._propagate_identity(update, splice=splice)
+        return self._propagate_fast(
+            update,
+            sorted(touched, key=self._order.__getitem__),
+            ins_max,
+            splice=splice,
+            validate=validate,
+        )
+
+    # -- fast path -----------------------------------------------------
+
+    def _propagate_fast(
+        self,
+        update: EditScript,
+        touched: "list[NodeId]",
+        ins_max: int,
+        *,
+        splice: bool,
+        validate: bool,
+    ) -> ShardedPropagation:
+        floor = self._floor(ins_max)
+        requests = [(sid, update.subscript(sid), floor) for sid in touched]
+        previews = self._pool.preview(
+            requests,
+            chooser=self._chooser,
+            optimal=self._optimal,
+            validate=validate,
+        )
+        offsets: "dict[NodeId, int]" = {}
+        running = 0
+        for sid in touched:
+            offsets[sid] = running
+            running += previews[sid][1]
+        committed = self._pool.commit(offsets, want_script=splice)
+        total_cost = 0
+        shard_scripts: "dict[NodeId, EditScript]" = {}
+        for sid in touched:
+            total_cost += previews[sid][0]
+            new_suffix, script_part = committed[sid]
+            self.note_suffix(sid, new_suffix)
+            if splice:
+                shard_scripts[sid] = script_part
+            if offsets[sid]:
+                self._remapped += previews[sid][1]
+        self._assembled = None
+        self._fast += 1
+        self._dispatched += len(touched)
+        script = self._splice(shard_scripts) if splice else None
+        return ShardedPropagation(script, total_cost, tuple(touched), False, running)
+
+    def _propagate_identity(
+        self, update: EditScript, *, splice: bool
+    ) -> ShardedPropagation:
+        # an all-Nop update: nothing to dispatch, nothing advances
+        self._identity += 1
+        script = self._splice({}) if splice else None
+        return ShardedPropagation(script, 0, (), False, 0)
+
+    def _splice(self, shard_scripts: "dict[NodeId, EditScript]") -> EditScript:
+        """The whole-document script: ``Nop`` everywhere except the
+        touched shards' committed scripts, grafted at their roots."""
+        spine = self._spine
+        labels: "dict[NodeId, EditLabel]" = {}
+        children = dict(spine._children)
+        parents = dict(spine._parents)
+        nop_cache: "dict[str, EditLabel]" = {}
+
+        def nop(symbol: str) -> EditLabel:
+            label = nop_cache.get(symbol)
+            if label is None:
+                label = nop_cache[symbol] = EditLabel(Op.NOP, symbol)
+            return label
+
+        for node, symbol in spine._labels.items():
+            labels[node] = nop(symbol)
+        for sid in self._shard_roots:
+            part = shard_scripts.get(sid)
+            if part is None:
+                shard_tree = self._pool.fetch(sid)
+                for node, symbol in shard_tree._labels.items():
+                    labels[node] = nop(symbol)
+                children.update(shard_tree._children)
+                parents.update(shard_tree._parents)
+            else:
+                part_tree = part.tree
+                labels.update(part_tree._labels)
+                children.update(part_tree._children)
+                parents.update(part_tree._parents)
+        return EditScript._trusted(
+            Tree._from_parts(spine.root, labels, children, parents)
+        )
+
+    # -- slow path -----------------------------------------------------
+
+    def _propagate_boundary(
+        self, update: EditScript, *, splice: bool, validate: bool
+    ) -> ShardedPropagation:
+        source = self.assembled_source()
+        if validate:
+            self._engine.validate(source, update)
+        collection = self._engine.propagation_graphs(
+            source, update, validate=False, subtree_sizes=source.subtree_sizes()
+        )
+        start = 1 + max(
+            source.max_suffix(_FRESH),
+            max_numeric_suffix(update.nodes(), _FRESH),
+        )
+        script = collection.build_script(
+            self._chooser, NodeIds(_FRESH, start).fresh, optimal_only=self._optimal
+        )
+        new_source = script.output_tree
+        if new_source.is_empty:
+            raise ShardingError(
+                "the propagation deletes the whole document; a sharded "
+                "document cannot become empty"
+            )
+        plan = partition(new_source, self._engine.annotation, self._depth)
+        old_roots = set(self._order)
+        new_roots = set(plan.shard_roots)
+        added: "list[NodeId]" = []
+        applied: "list[NodeId]" = []
+        removed = [sid for sid in self._shard_roots if sid not in new_roots]
+
+        suffixes: "dict[NodeId, int]" = {}
+        for sid in plan.shard_roots:
+            if sid not in old_roots:
+                continue
+            sub_script = script.subscript(sid)
+            if sub_script.is_identity():
+                # untouched by this update: the worker's session (and a
+                # durable shard's WAL) need not move at all
+                suffixes[sid] = self._shard_suffix.get(
+                    sid, self._pool.suffix_max(sid)
+                )
+                continue
+            suffixes[sid] = self._pool.apply(sid, update.subscript(sid), sub_script)
+            applied.append(sid)
+        for sid in removed:
+            self._pool.drop(sid)
+        for sid in plan.shard_roots:
+            if sid not in old_roots:
+                suffixes[sid] = self._pool.adopt(sid, plan.shards[sid])
+                added.append(sid)
+
+        self._install(plan)
+        self._shard_suffix = suffixes
+        self._assembled = new_source
+        self._boundary_count += 1
+        self._dispatched += len(applied)
+        if self._on_reshard is not None:
+            self._on_reshard(plan, tuple(added), tuple(removed))
+        fresh_used = 0
+        for node in script.tree._labels:
+            suffix = numeric_suffix(node, _FRESH)
+            if suffix is not None and suffix >= start:
+                fresh_used += 1
+        return ShardedPropagation(
+            script if splice else None,
+            script.cost,
+            tuple(applied),
+            True,
+            fresh_used,
+        )

@@ -1,0 +1,58 @@
+"""Size-aware chunk balancing for process-pool batches.
+
+The PR-4 pool sliced batches contiguously, balancing chunk *counts*:
+a skewed batch (a few huge documents amid many small ones) parked the
+heavy requests in one slice and that worker straggled the whole batch.
+These tests pin the LPT replacement — weight-balanced chunks, original
+order restored on reassembly.
+"""
+
+import pytest
+
+from repro.parallel import balanced_chunk_indices
+
+
+class TestBalancedChunkIndices:
+    def test_partitions_every_index_exactly_once(self):
+        weights = [3, 1, 4, 1, 5, 9, 2, 6]
+        chunks = balanced_chunk_indices(weights, 3)
+        flat = sorted(i for chunk in chunks for i in chunk)
+        assert flat == list(range(len(weights)))
+
+    def test_skewed_batch_does_not_straggle(self):
+        # one giant request and many tiny ones: contiguous slicing puts
+        # the giant plus neighbours in one slice; LPT isolates it
+        weights = [1000] + [1] * 15
+        chunks = balanced_chunk_indices(weights, 4)
+        loads = sorted(sum(weights[i] for i in chunk) for chunk in chunks)
+        assert loads[-1] == 1000  # the giant rides alone
+        assert loads[0] >= 5  # the small ones spread across the rest
+
+    def test_never_worse_than_twice_optimal(self):
+        # the classic LPT bound: makespan <= 2 * optimal
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            weights = [rng.randint(1, 100) for _ in range(rng.randint(1, 40))]
+            bins = rng.randint(1, 8)
+            chunks = balanced_chunk_indices(weights, bins)
+            makespan = max(sum(weights[i] for i in chunk) for chunk in chunks)
+            optimal_floor = max(max(weights), sum(weights) / min(bins, len(weights)))
+            assert makespan <= 2 * optimal_floor
+
+    def test_deterministic_and_order_preserving_within_chunks(self):
+        weights = [5, 5, 5, 5, 5, 5]
+        first = balanced_chunk_indices(weights, 3)
+        second = balanced_chunk_indices(weights, 3)
+        assert first == second
+        for chunk in first:
+            assert chunk == sorted(chunk)
+
+    def test_more_chunks_than_items_collapses(self):
+        assert balanced_chunk_indices([7, 7], 10) == [[0], [1]]
+        assert balanced_chunk_indices([], 3) == []
+
+    def test_rejects_non_positive_targets(self):
+        with pytest.raises(ValueError):
+            balanced_chunk_indices([1], 0)

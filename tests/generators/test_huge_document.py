@@ -1,0 +1,53 @@
+"""The ``huge_document`` workload: the sharding benchmark's shape."""
+
+import pytest
+
+from repro.generators.workloads import huge_document
+from repro.registry import default_registry
+
+
+class TestHugeDocument:
+    def test_is_valid_and_hits_the_size_target(self):
+        for target in (100, 2_000, 10_000):
+            w = huge_document(target)
+            assert w.source.size >= target
+            assert w.source.size <= target + 50  # at most one extra chapter
+            assert w.dtd.validates(w.source)
+
+    def test_scaling_grows_chapter_count_not_chapter_size(self):
+        small = huge_document(1_000)
+        large = huge_document(10_000)
+        small_chapters = small.source.children(small.source.root)
+        large_chapters = large.source.children(large.source.root)
+        assert len(large_chapters) > 5 * len(small_chapters)
+        biggest = max(
+            large.source.subtree(c).size for c in large_chapters
+        )
+        assert biggest < 60  # chapters stay bounded as the book grows
+
+    def test_deterministic(self):
+        assert (
+            huge_document(3_000).source.to_term()
+            == huge_document(3_000).source.to_term()
+        )
+        assert (
+            huge_document(3_000).update.to_term()
+            == huge_document(3_000).update.to_term()
+        )
+
+    def test_update_is_interior_and_valid(self):
+        w = huge_document(2_000)
+        engine = default_registry().get_or_compile(w.dtd, w.annotation)
+        script = engine.session(w.source).propagate(w.update)
+        assert script.cost > 0
+
+    def test_hides_metadata_and_notes(self):
+        w = huge_document(500)
+        view = w.annotation.view(w.source)
+        labels = {view.label(n) for n in view.nodes()}
+        assert "meta" not in labels and "note" not in labels
+        assert {"book", "chapter", "section", "para", "title"} <= labels
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            huge_document(1)

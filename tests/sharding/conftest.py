@@ -1,0 +1,39 @@
+"""Mark every test under ``tests/sharding`` with the ``shard`` marker
+(so CI can run the sharding suite with ``-m shard``) and share fixtures."""
+
+import pathlib
+
+import pytest
+
+from repro.generators.workloads import hospital, running_example
+from repro.registry import default_registry
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.shard)
+
+
+@pytest.fixture
+def workload():
+    """The paper's running example, 4 groups — shardable at depth 1."""
+    return running_example(4)
+
+
+@pytest.fixture
+def deep_workload():
+    """Hospital records: 3 levels of visible structure, shardable at
+    depth 1 (wards) or 2 (patients)."""
+    return hospital()
+
+
+@pytest.fixture
+def engine_for():
+    def _engine(workload):
+        return default_registry().get_or_compile(workload.dtd, workload.annotation)
+
+    return _engine

@@ -1,0 +1,134 @@
+"""The differential property suite: sharded vs unsharded, byte for byte.
+
+Random spine depths, random update streams (interior edits,
+boundary-crossing deletes/inserts, occasional identity scripts), every
+workload family — after every single update the sharded document's
+spliced script must equal the unsharded session's script **on
+``to_term()``**, and the materialised sources must stay equal too.
+This is the pin that makes the sharding tier trustworthy: not
+"equivalent output", the same bytes.
+"""
+
+import random
+
+import pytest
+
+from repro.editing import UpdateBuilder
+from repro.generators.updates import random_view_update
+from repro.generators.workloads import (
+    catalog,
+    deep_document,
+    hospital,
+    huge_document,
+    positional,
+    running_example,
+)
+from repro.registry import default_registry
+from repro.sharding import ShardedDocument
+
+FAMILIES = [
+    lambda: running_example(4),
+    hospital,
+    catalog,
+    positional,
+    lambda: deep_document(5),
+    lambda: huge_document(400),
+]
+
+
+def _differential_stream(workload, depth, seed, steps):
+    engine = default_registry().get_or_compile(workload.dtd, workload.annotation)
+    session = engine.session(workload.source)
+    rng = random.Random(seed)
+    with ShardedDocument(
+        engine, workload.source, depth=depth, validate_source=False
+    ) as doc:
+        for step in range(steps):
+            update = random_view_update(
+                rng,
+                workload.dtd,
+                workload.annotation,
+                session.source,
+                n_ops=rng.randint(1, 3),
+            )
+            expected = session.propagate(update)
+            actual = doc.propagate(update)
+            assert actual.to_term() == expected.to_term(), (
+                workload.name,
+                depth,
+                seed,
+                step,
+            )
+        assert doc.source.to_term() == session.source.to_term()
+        return doc.stats_payload()["edits"]
+
+
+@pytest.mark.parametrize("family_index", range(len(FAMILIES)))
+@pytest.mark.parametrize("seed", [1, 2])
+def test_random_streams_are_byte_identical(family_index, seed):
+    workload = FAMILIES[family_index]()
+    rng = random.Random(1000 * family_index + seed)
+    depth = rng.randint(1, 3)
+    _differential_stream(workload, depth, seed=seed, steps=6)
+
+
+def test_streams_cross_both_paths():
+    """Across the matrix both router paths must actually run — a suite
+    that only ever hits the fast path would pin nothing about
+    boundaries."""
+    totals = {"fast": 0, "boundary": 0, "identity": 0}
+    for family_index, family in enumerate(FAMILIES[:4]):
+        edits = _differential_stream(family(), 1, seed=family_index, steps=6)
+        for key in totals:
+            totals[key] += edits[key]
+    assert totals["fast"] > 0 and totals["boundary"] > 0
+
+
+class TestBoundaryEdits:
+    """Targeted boundary-crossing edits, not left to the random stream."""
+
+    def _check(self, workload, depth, mutate):
+        engine = default_registry().get_or_compile(
+            workload.dtd, workload.annotation
+        )
+        session = engine.session(workload.source)
+        view = engine.view(workload.source)
+        edit = UpdateBuilder(view, forbidden_ids=workload.source.nodes())
+        mutate(edit, view)
+        update = edit.script()
+        with ShardedDocument(engine, workload.source, depth=depth) as doc:
+            assert (
+                doc.propagate(update).to_term()
+                == session.propagate(update).to_term()
+            )
+            assert doc.source.to_term() == session.source.to_term()
+
+    def test_delete_at_the_boundary(self):
+        self._check(
+            hospital(), 2, lambda edit, view: edit.delete("p5")
+        )
+
+    def test_insert_at_the_boundary(self):
+        from repro.xmltree import parse_term
+
+        def mutate(edit, view):
+            edit.insert(
+                "w",
+                parse_term("patient#u0(name#u1, admission#u2)"),
+                index=3,
+            )
+
+        self._check(hospital(), 2, mutate)
+
+    def test_mixed_interior_and_boundary_in_one_update(self):
+        from repro.xmltree import parse_term
+
+        def mutate(edit, view):
+            edit.delete("p7")  # shard root
+            edit.delete("e9_2")  # interior of another shard
+            edit.insert("p1", parse_term("symptom#u0"), index=2)
+
+        self._check(hospital(), 2, mutate)
+
+    def test_identity_update_is_a_byte_identical_nop(self):
+        self._check(hospital(), 2, lambda edit, view: None)

@@ -1,0 +1,84 @@
+"""Boundary-split partitioning: the spine/shard cut and its inverse."""
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.generators.workloads import deep_document, hospital, running_example
+from repro.sharding import partition, reassemble
+from repro.xmltree import Tree, parse_term
+from repro.views import Annotation
+
+
+class TestPartition:
+    def test_round_trips_at_every_depth(self):
+        for workload in (running_example(4), hospital(), deep_document(5)):
+            height = max(
+                len(list(_ancestors(workload.source, n)))
+                for n in workload.source.nodes()
+            )
+            for depth in range(1, height + 2):
+                plan = partition(workload.source, workload.annotation, depth)
+                rebuilt = reassemble(plan.spine, plan.shards)
+                assert rebuilt.to_term() == workload.source.to_term(), (
+                    workload.name,
+                    depth,
+                )
+
+    def test_shard_roots_are_visible_depth_d_nodes_in_document_order(self):
+        w = hospital()
+        plan = partition(w.source, w.annotation, 2)
+        view = w.annotation.view(w.source)
+        expected = [
+            n
+            for n in view.nodes()  # preorder == document order
+            if len(list(_ancestors(view, n))) == 2
+        ]
+        assert list(plan.shard_roots) == expected
+
+    def test_shards_carry_hidden_descendants(self):
+        w = hospital()  # admission subtrees are hidden under patients
+        plan = partition(w.source, w.annotation, 2)
+        shard_nodes = set()
+        for tree in plan.shards.values():
+            shard_nodes.update(tree.nodes())
+        hidden = set(w.source.nodes()) - set(w.annotation.view(w.source).nodes())
+        assert hidden & shard_nodes, "hidden content should live inside shards"
+        rebuilt = reassemble(plan.spine, plan.shards)
+        assert set(rebuilt.nodes()) == set(w.source.nodes())
+
+    def test_hidden_subtrees_at_the_boundary_stay_in_the_spine(self):
+        annotation = Annotation.hiding(("r", "h"))
+        source = parse_term("r#n0(h#n1(x#n2), a#n3(x#n4))")
+        plan = partition(source, annotation, 1)
+        assert plan.shard_roots == ("n3",)
+        assert "n1" in plan.spine.nodes() and "n2" in plan.spine.nodes()
+
+    def test_depth_beyond_height_yields_no_shards(self):
+        w = running_example(2)
+        plan = partition(w.source, w.annotation, 99)
+        assert plan.shard_roots == ()
+        assert plan.spine.to_term() == w.source.to_term()
+
+    def test_invalid_depth_and_empty_document_raise(self):
+        w = running_example(2)
+        with pytest.raises(ShardingError):
+            partition(w.source, w.annotation, 0)
+        with pytest.raises(ShardingError):
+            partition(Tree.empty(), w.annotation, 1)
+
+    def test_reassemble_rejects_foreign_and_misrooted_shards(self):
+        w = running_example(2)
+        plan = partition(w.source, w.annotation, 1)
+        sid = plan.shard_roots[0]
+        with pytest.raises(ShardingError):
+            reassemble(plan.spine, {"nope": plan.shards[sid]})
+        other = plan.shards[plan.shard_roots[1]]
+        with pytest.raises(ShardingError):
+            reassemble(plan.spine, {sid: other})
+
+
+def _ancestors(tree, node):
+    current = tree.parent(node)
+    while current is not None:
+        yield current
+        current = tree.parent(current)

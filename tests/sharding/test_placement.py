@@ -1,0 +1,110 @@
+"""Consistent-hash placement and lease-gated rebalancing."""
+
+import pytest
+
+from repro.errors import LeaseFencedError, ShardingError
+from repro.sharding import ShardMap, placement_payload, rebalance
+from repro.store import DocumentStore
+from repro.store.lease import acquire_lease, lease_path, read_lease, verify_lease
+
+KEYS = [f"doc-{i:03d}" for i in range(200)]
+
+
+class TestShardMap:
+    def test_placement_is_deterministic_and_total(self):
+        a = ShardMap(["w1", "w2", "w3"])
+        b = ShardMap(["w1", "w2", "w3"])
+        for key in KEYS:
+            assert a.place(key) == b.place(key)
+            assert a.place(key) in a.workers
+
+    def test_assignments_cover_every_key_once(self):
+        shard_map = ShardMap(["w1", "w2", "w3"])
+        assignments = shard_map.assignments(KEYS)
+        flattened = [k for keys in assignments.values() for k in keys]
+        assert sorted(flattened) == sorted(KEYS)
+
+    def test_virtual_nodes_spread_the_load(self):
+        shard_map = ShardMap(["w1", "w2", "w3", "w4"], vnodes=64)
+        counts = {
+            w: len(keys) for w, keys in shard_map.assignments(KEYS).items()
+        }
+        assert all(count > 0 for count in counts.values())
+
+    def test_adding_a_worker_moves_about_one_nth(self):
+        old = ShardMap(["w1", "w2", "w3"])
+        new = old.with_worker("w4")
+        moves = old.moves(KEYS, new)
+        # every move lands on the new worker, and only ~1/4 of keys move
+        assert all(target == "w4" for _, target in moves.values())
+        assert 0 < len(moves) < len(KEYS) // 2
+
+    def test_removing_a_worker_moves_only_its_keys(self):
+        old = ShardMap(["w1", "w2", "w3"])
+        new = old.without_worker("w2")
+        owned = set(old.assignments(KEYS)["w2"])
+        moves = old.moves(KEYS, new)
+        assert set(moves) == owned
+
+    def test_guards(self):
+        with pytest.raises(ShardingError):
+            ShardMap([])
+        with pytest.raises(ShardingError):
+            ShardMap(["w1"], vnodes=0)
+
+
+class TestRebalance:
+    @pytest.fixture
+    def store_with_docs(self, tmp_path, workload):
+        store = DocumentStore.init(tmp_path / "fleet")
+        doc_ids = [f"doc-{i:02d}" for i in range(8)]
+        for doc_id in doc_ids:
+            store.put(doc_id, workload.source, workload.dtd, workload.annotation)
+        return store, doc_ids
+
+    def test_rebalance_hands_leases_to_new_owners(self, store_with_docs):
+        store, doc_ids = store_with_docs
+        current = ShardMap(["w1", "w2"])
+        target = current.with_worker("w3")
+        moves = rebalance(store, doc_ids, current, target)
+        assert moves, "adding a worker should move at least one document"
+        for move in moves:
+            assert move.target == "w3"
+            lease = read_lease(lease_path(store._doc_dir(move.doc_id)))
+            assert lease.owner == "w3" and lease.epoch == move.epoch
+
+    def test_rebalance_fences_the_previous_writer(self, store_with_docs):
+        store, doc_ids = store_with_docs
+        current = ShardMap(["w1", "w2"])
+        target = current.with_worker("w3")
+        moving = next(iter(current.moves(doc_ids, target)))
+        path = lease_path(store._doc_dir(moving))
+        held = acquire_lease(path, "w1")  # the old owner holds it
+        rebalance(store, doc_ids, current, target)
+        with pytest.raises(LeaseFencedError):
+            verify_lease(path, held)  # the old owner is fenced
+
+    def test_fenced_leases_refuse_unless_forced(self, store_with_docs):
+        store, doc_ids = store_with_docs
+        current = ShardMap(["w1", "w2"])
+        target = current.with_worker("w3")
+        moving = next(iter(current.moves(doc_ids, target)))
+        path = lease_path(store._doc_dir(moving))
+        acquire_lease(path, "promoted-standby", fence=True)
+        with pytest.raises(LeaseFencedError):
+            rebalance(store, doc_ids, current, target)
+        moves = rebalance(store, doc_ids, current, target, force=True)
+        assert any(m.doc_id == moving for m in moves)
+
+    def test_placement_payload_flags_disagreements(self, store_with_docs):
+        store, doc_ids = store_with_docs
+        shard_map = ShardMap(["w1", "w2"])
+        some_doc = doc_ids[0]
+        owner = shard_map.place(some_doc)
+        other = next(w for w in shard_map.workers if w != owner)
+        acquire_lease(lease_path(store._doc_dir(some_doc)), other)
+        payload = placement_payload(store, shard_map, doc_ids)
+        entry = next(
+            e for e in payload["workers"][owner] if e["doc_id"] == some_doc
+        )
+        assert entry["owned_elsewhere"] and entry["lease_owner"] == other
