@@ -702,6 +702,125 @@ def _replication_modes(workload, length: int, tmp_root, rounds: int) -> dict:
     }
 
 
+def _served_streaming_modes(workload, length: int, tmp_root, rounds: int) -> dict:
+    """ms/update for in-process durable streaming vs the same stream
+    served over the wire (framed TCP to an in-process ReproServer).
+
+    The differential is strict: the scripts coming back over the wire
+    must be byte-identical to in-process serving. The ratio column
+    ``served_efficiency`` (in-process time / served time, higher is
+    better) is what the bench-smoke gate tracks — the wire adds JSON
+    framing, checksums, event-loop dispatch, and executor hops per
+    update, and this column keeps that overhead honest.
+    """
+    import asyncio
+    import threading
+    from pathlib import Path
+
+    from repro.server import ReproServer, ServeClient
+
+    dtd, annotation = workload.dtd, workload.annotation
+    updates = _sequential_stream(workload, length)
+    terms = [update.to_term() for update in updates]
+    engine = ViewEngine(dtd, annotation).warm_up()
+
+    # -- in-process baseline: a durable session, fsync off --
+    inproc_times = []
+    inproc_scripts = None
+    for round_index in range(rounds):
+        store = DocumentStore.init(
+            Path(tmp_root) / f"served-inproc-{round_index}", fsync="off"
+        )
+        store.put("doc", workload.source, dtd, annotation)
+        with store.open_session("doc", engine=engine) as durable:
+            start = time.perf_counter()
+            scripts = durable.serve(updates)
+            inproc_times.append(time.perf_counter() - start)
+        store.close()
+        inproc_scripts = [script.to_term() for script in scripts]
+    inproc = statistics.median(inproc_times)
+
+    # -- served: same stream over framed TCP, one document per round --
+    served_root = Path(tmp_root) / "served-server"
+    store = DocumentStore.init(served_root, fsync="off")
+    store.put("warmup", workload.source, dtd, annotation)
+    for round_index in range(rounds):
+        store.put(f"doc{round_index}", workload.source, dtd, annotation)
+    store.close()
+
+    server = ReproServer(store_root=served_root, fsync="off")
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    address = {}
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            address["hp"] = await server.start()
+            started.set()
+
+        loop.create_task(boot())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    assert started.wait(30), "server failed to start"
+    host, port = address["hp"]
+    served_times = []
+    served_scripts = None
+    try:
+        with ServeClient(host, port) as client:
+            client.propagate("warmup", terms[0])  # untimed schema warm-up
+            for round_index in range(rounds):
+                doc_id = f"doc{round_index}"
+                start = time.perf_counter()
+                scripts = [
+                    client.propagate(doc_id, term)["script"] for term in terms
+                ]
+                served_times.append(time.perf_counter() - start)
+                served_scripts = scripts
+    finally:
+        asyncio.run_coroutine_threadsafe(server.drain(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+    served = statistics.median(served_times)
+
+    assert served_scripts == inproc_scripts, (
+        "wire-served scripts diverged from in-process serving"
+    )
+    per_update = 1000 / len(updates)
+    return {
+        "stream_length": len(updates),
+        "in_process_ms_per_update": inproc * per_update,
+        "served_ms_per_update": served * per_update,
+        "served_overhead_ms_per_update": (served - inproc) * per_update,
+        "served_efficiency": inproc / served,
+    }
+
+
+class TestServedStreaming:
+    def test_served_stream_matches_in_process_and_bounds_overhead(
+        self, tmp_path
+    ):
+        workload = wide_schema(12 if SMOKE else 24, sections=8)
+        modes = _served_streaming_modes(
+            workload, STREAM_LENGTH, tmp_path, 2 if SMOKE else 3
+        )
+        print(
+            f"\nserved streaming (x{modes['stream_length']}): in-process "
+            f"{modes['in_process_ms_per_update']:.2f} vs served "
+            f"{modes['served_ms_per_update']:.2f} ms/update (overhead "
+            f"{modes['served_overhead_ms_per_update']:.2f} ms, efficiency "
+            f"{modes['served_efficiency']:.2f})"
+        )
+        # byte-identity is asserted inside; in full mode also keep the
+        # wire from costing more than ~20x the in-process path
+        if not SMOKE:
+            assert modes["served_efficiency"] >= 0.05
+
+
 def run_trajectory(smoke: bool) -> dict:
     """The full perf trajectory as one JSON-serializable report."""
     repeats = 4 if smoke else 16
@@ -726,6 +845,10 @@ def run_trajectory(smoke: bool) -> dict:
             families["wide_schema"], stream_length, tmp_root, rounds
         )
         workloads["wide_schema"]["replication"] = _replication_modes(
+            families["wide_schema"], stream_length, tmp_root, rounds
+        )
+        print("[wide_schema] served streaming", flush=True)
+        workloads["wide_schema"]["served_streaming"] = _served_streaming_modes(
             families["wide_schema"], stream_length, tmp_root, rounds
         )
     print("[huge_document] sharded streaming", flush=True)
@@ -776,6 +899,14 @@ def main(argv=None) -> int:
                 f"streaming session {streaming['session_ms_per_update']:.2f} "
                 f"ms/update ({streaming['session_speedup_vs_transient']:.1f}x vs "
                 "transient)"
+            )
+        if "served_streaming" in data:
+            served = data["served_streaming"]
+            print(
+                f"{name}: served {served['served_ms_per_update']:.2f} vs "
+                f"in-process {served['in_process_ms_per_update']:.2f} ms/update "
+                f"(overhead {served['served_overhead_ms_per_update']:.2f} ms, "
+                f"efficiency {served['served_efficiency']:.2f})"
             )
         if "sharded_streaming" in data:
             sharded = data["sharded_streaming"]

@@ -47,7 +47,7 @@ from .core import (
 from .dtd import parse_dtd, serialize_dtd
 from .editing import EditScript
 from .engine import ViewEngine
-from .errors import ReproError
+from .errors import ReproError, error_code, exit_code
 from .registry import default_registry
 from .repair import compare_with_propagation
 from .replication import FileSpoolTransport, StandbyStore, WalShipper, replicate
@@ -505,6 +505,42 @@ def _cmd_replica_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .server import ReproServer
+
+    async def run() -> int:
+        server = ReproServer(
+            store_root=args.root,
+            standby_root=args.standby_root,
+            shard_root=args.shard_root,
+            host=args.host,
+            port=args.port,
+            fsync=args.fsync,
+            max_lag=args.max_lag,
+        )
+        host, port = await server.start()
+        # machine-parsable and flushed: launchers (tests, CI) wait on it
+        print(f"serving on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def request_drain() -> None:
+            asyncio.ensure_future(server.drain())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_drain)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        await server.serve_forever()
+        print("drained: sessions closed, leases released", flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -770,6 +806,40 @@ def build_parser() -> argparse.ArgumentParser:
     sh_prop.add_argument("--out")
     sh_prop.set_defaults(handler=_cmd_shard_propagate)
 
+    serve = commands.add_parser(
+        "serve",
+        help="the asyncio serving front-end: framed JSON requests plus "
+        "HTTP /metrics, /healthz, /stats on one port; SIGTERM drains "
+        "(in-flight requests finish, sessions close, leases release)",
+    )
+    serve.add_argument("--root", help="primary document store directory")
+    serve.add_argument(
+        "--standby-root",
+        help="standby store serving bounded-staleness `view` reads "
+        "(primary fallback when the lag budget cannot be honoured)",
+    )
+    serve.add_argument(
+        "--shard-root", help="sharded document directory for shard_propagate"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (printed)"
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help="override the store's WAL durability policy",
+    )
+    serve.add_argument(
+        "--max-lag",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help="server-wide staleness budget for replica-routed reads",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     replica = commands.add_parser(
         "replica",
         help="WAL-shipping replication: standbys, lag, promotion",
@@ -869,8 +939,12 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         return args.handler(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        # One shared table (repro.errors._ERROR_TABLE) maps typed
+        # errors to stable codes: scripts can switch on the exit code
+        # instead of scraping tracebacks, and the server ships the same
+        # code in its error payloads.
+        print(f"error[{error_code(error)}]: {error}", file=sys.stderr)
+        return exit_code(error)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -40,6 +40,11 @@ __all__ = [
     "ReplicationError",
     "ReadOnlyReplicaError",
     "ReplicationLagError",
+    "ServerError",
+    "ProtocolError",
+    "error_code",
+    "exit_code",
+    "error_payload",
 ]
 
 
@@ -337,3 +342,99 @@ class ShardWorkerError(ShardingError):
     For process-mode workers the original exception cannot cross the
     pipe; its type name and message are carried in this error's text.
     """
+
+
+# ---------------------------------------------------------------------------
+# Serving front-end
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for :mod:`repro.server` failures: a request names an
+    unknown operation or document root, a handler is invoked while the
+    server is draining, or an endpoint was asked to serve a mode its
+    backing store does not provide."""
+
+
+class ProtocolError(ServerError):
+    """A framed message stream is damaged in its interior.
+
+    The wire protocol reuses the WAL's framing discipline: a torn
+    **final** message is the expected signature of a peer that went
+    away mid-write and simply never completes, but a message that fails
+    its checksum or declares an unreadable header with further bytes
+    behind it means the stream is corrupt and the connection must be
+    dropped rather than resynchronised by guesswork.
+    """
+
+
+# ---------------------------------------------------------------------------
+# The error-mapping table shared by the CLI and the server
+# ---------------------------------------------------------------------------
+#
+# One table, first-isinstance-match wins, most specific classes first.
+# The CLI turns a caught error into a process exit code; the server
+# turns the same error into a structured payload whose ``code`` a
+# remote client can switch on (and whose ``exit_code`` a remote CLI
+# could faithfully re-raise). Exit code 1 stays the generic library
+# failure, 2 stays reserved for argparse usage errors and the
+# repair-compare "plans differ" verdict.
+
+_ERROR_TABLE: "tuple[tuple[type, str, int], ...]" = (
+    (WALCorruptError, "wal_corrupt", 3),
+    (SnapshotCorruptError, "snapshot_corrupt", 4),
+    (RecoveryError, "recovery_failed", 5),
+    (LeaseFencedError, "lease_fenced", 6),
+    (ReadOnlyReplicaError, "read_only_replica", 7),
+    (ReplicationLagError, "replication_lag", 8),
+    (ReplicationError, "replication_failed", 9),
+    (StoreSchemaMismatchError, "schema_mismatch", 10),
+    (UnknownDocumentError, "unknown_document", 11),
+    (DocumentExistsError, "document_exists", 12),
+    (StoreError, "store_failed", 13),
+    (StaleSessionError, "stale_session", 14),
+    (ShardWorkerError, "shard_worker_failed", 15),
+    (ShardingError, "sharding_failed", 15),
+    (InvalidViewUpdateError, "invalid_view_update", 16),
+    (InvalidScriptError, "invalid_script", 17),
+    (ScriptError, "script_failed", 18),
+    (NoInversionError, "no_inversion", 19),
+    (NoPropagationError, "no_propagation", 20),
+    (ProtocolError, "protocol_violation", 21),
+    (ServerError, "server_failed", 22),
+    (ReproError, "error", 1),
+)
+
+
+def _lookup(error: BaseException) -> "tuple[str, int]":
+    for cls, code, exit_ in _ERROR_TABLE:
+        if isinstance(error, cls):
+            return code, exit_
+    return "error", 1
+
+
+def error_code(error: BaseException) -> str:
+    """The stable machine-readable code for *error* (``"error"`` for an
+    unclassified :class:`ReproError`)."""
+    return _lookup(error)[0]
+
+
+def exit_code(error: BaseException) -> int:
+    """The process exit code the CLI maps *error* to."""
+    return _lookup(error)[1]
+
+
+def error_payload(error: BaseException) -> dict:
+    """The structured payload the server ships for *error*.
+
+    ``code`` is the stable identifier clients switch on, ``type`` the
+    Python class name for humans, ``exit_code`` what a faithful remote
+    CLI would exit with.
+    """
+    code, exit_ = _lookup(error)
+    return {
+        "code": code,
+        "type": type(error).__name__,
+        "message": str(error),
+        "exit_code": exit_,
+    }

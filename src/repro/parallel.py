@@ -186,10 +186,17 @@ def propagate_batch_processes(
             "cache_key (the shipped PreferenceChooser/CheapestPathChooser); "
             f"got {type(chooser).__name__}"
         )
+    if not pairs:
+        # An empty batch has no chunks: dispatching would ask
+        # balanced_chunk_indices for zero target chunks (a ValueError)
+        # and spin up a pool with nothing to serve.
+        return []
     key = chooser_key()
     spec = engine_spec(engine)
     if workers is None:
         workers = os.cpu_count() or 1
+    # A pool wider than the batch would submit empty chunks (or idle
+    # workers paying the full engine-compile initializer for nothing).
     workers = max(1, min(workers, len(pairs)))
     # Size-balanced chunks, several per worker: request weight is the
     # work proxy (propagation is roughly linear in document + update
@@ -198,6 +205,13 @@ def propagate_batch_processes(
     target_chunks = min(len(pairs), workers * 4)
     weights = [source.size + update.tree.size for source, update in pairs]
     assignment = balanced_chunk_indices(weights, target_chunks)
+    if any(not chunk for chunk in assignment) or sorted(
+        i for chunk in assignment for i in chunk
+    ) != list(range(len(pairs))):
+        raise ProcessServingError(
+            f"chunk assignment does not cover the batch exactly: "
+            f"{len(pairs)} requests across {len(assignment)} chunks"
+        )
     payloads = [
         ([pairs[i] for i in chunk], key, optimal, validate, memo)
         for chunk in assignment
@@ -207,6 +221,16 @@ def propagate_batch_processes(
     ) as pool:
         results: "list[EditScript | None]" = [None] * len(pairs)
         for chunk, chunk_scripts in zip(assignment, pool.map(_serve_chunk, payloads)):
+            if len(chunk_scripts) != len(chunk):
+                raise ProcessServingError(
+                    f"worker returned {len(chunk_scripts)} scripts for a "
+                    f"{len(chunk)}-request chunk"
+                )
             for i, script in zip(chunk, chunk_scripts):
                 results[i] = script
+    missing = [i for i, script in enumerate(results) if script is None]
+    if missing:
+        raise ProcessServingError(
+            f"reassembly left request(s) {missing} unanswered"
+        )
     return results

@@ -583,10 +583,12 @@ class ReplicaSession:
         Refreshes first (pass ``refresh=False`` to serve the current
         position), then enforces the lag bound — *max_lag* here, falling
         back to the session-wide bound. Exceeding it raises
-        :class:`~repro.errors.ReplicationLagError`; a bound given while
-        the primary is unreachable raises
-        :class:`~repro.errors.ReplicationError` (an unmeasurable lag is
-        not a satisfied one).
+        :class:`~repro.errors.ReplicationLagError`, as does a bound
+        given while the primary is unreachable (wire-only shipping, no
+        primary marker): bounded-staleness reads fail **closed** — an
+        unmeasurable lag is treated as unbounded, never as zero — so
+        callers can fall back to the primary with one ``except``
+        clause.
         """
         if refresh:
             self.refresh()
@@ -594,9 +596,11 @@ class ReplicaSession:
         if bound is not None:
             lag = self.lag()
             if lag is None:
-                raise ReplicationError(
-                    "cannot enforce max_lag: the primary's log is not "
-                    "reachable from this standby, so the lag is unmeasurable"
+                raise ReplicationLagError(
+                    f"replica of {self._doc_id!r} cannot bound its lag: the "
+                    "primary's log is not reachable from this standby, and "
+                    "an unmeasurable lag is not a satisfied one — read "
+                    "without a bound, or route to the primary"
                 )
             if lag > bound:
                 raise ReplicationLagError(

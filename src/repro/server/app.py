@@ -1,0 +1,407 @@
+"""The asyncio serving front-end: one port, framed JSON plus HTTP.
+
+:class:`ReproServer` fronts the whole stack — durable document
+sessions from a :class:`~repro.store.DocumentStore`, bounded-staleness
+reads from a :class:`~repro.replication.StandbyStore`, stateless
+process-pool batches through the engine registry, and a
+:class:`~repro.sharding.ShardedDocument` — behind the framed protocol
+of :mod:`repro.server.protocol`. The same port speaks just enough
+HTTP/1.1 for observability: ``GET /metrics`` (Prometheus text),
+``GET /healthz``, ``GET /stats`` (JSON); the first line of each
+connection decides which protocol it is.
+
+Concurrency model: the event loop only frames and dispatches.
+Propagation is pure-Python CPU work and runs in executor threads, with
+a per-document asyncio lock serialising each pinned session's stream
+(sessions are not thread-safe and their caches advance with their
+document); requests for different documents overlap freely.
+
+Shutdown is a **drain**: stop accepting, let in-flight requests finish
+and flush their responses, then close sessions (releasing write
+leases), the sharded document, and the stores — in that order. The
+``serve`` CLI wires SIGTERM/SIGINT to exactly this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from ..errors import ProtocolError, ServerError, UnknownDocumentError
+from ..registry import EngineRegistry, default_registry
+from . import handlers
+from .metrics import EndpointMetrics, render_metrics
+from .protocol import read_message, write_message
+
+__all__ = ["ReproServer"]
+
+
+class ReproServer:
+    """The serving front-end over a store, a standby, and/or shards.
+
+    All three roots are optional — a server may be a pure primary, a
+    read replica, a shard front, or any combination; endpoints that
+    need a missing root answer with a typed
+    :class:`~repro.errors.ServerError` payload.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_root=None,
+        standby_root=None,
+        shard_root=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fsync: "str | None" = None,
+        max_lag: "int | None" = None,
+        registry: "EngineRegistry | None" = None,
+    ) -> None:
+        self._store_root = store_root
+        self._standby_root = standby_root
+        self._shard_root = shard_root
+        self.host = host
+        self.port = port
+        self._fsync = fsync
+        self.max_lag = max_lag
+        self.registry = registry if registry is not None else default_registry()
+        self.endpoint_metrics = EndpointMetrics()
+        self._store = None
+        self._standby = None
+        self._shard = None
+        self._sessions: dict = {}
+        self._replicas: dict = {}
+        self._locks: dict = {}
+        self._open_lock = threading.Lock()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._inflight = 0
+        self._idle = None  # asyncio.Event set whenever _inflight == 0
+        self._draining = False
+        self._drained = None  # asyncio.Event set once drain completed
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self.replica_fallbacks: "dict[str, int]" = {}
+        self.drain_log: "list[str]" = []
+
+    # ------------------------------------------------------------------
+    # Backing resources (opened lazily, closed by drain)
+    # ------------------------------------------------------------------
+
+    @property
+    def has_primary(self) -> bool:
+        return self._store_root is not None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def store(self):
+        if self._store_root is None:
+            raise ServerError("this server has no primary store configured")
+        with self._open_lock:
+            if self._store is None:
+                from ..store import DocumentStore
+
+                self._store = DocumentStore(
+                    self._store_root,
+                    fsync=self._fsync or "always",
+                    registry=self.registry,
+                )
+            return self._store
+
+    def standby(self):
+        if self._standby_root is None:
+            return None
+        with self._open_lock:
+            if self._standby is None:
+                from ..replication import StandbyStore
+
+                self._standby = StandbyStore(self._standby_root)
+            return self._standby
+
+    def shard(self):
+        if self._shard_root is None:
+            raise ServerError("this server has no sharded document configured")
+        with self._open_lock:
+            if self._shard is None:
+                from ..sharding import ShardedDocument
+
+                self._shard = ShardedDocument.open(
+                    self._shard_root,
+                    registry=self.registry,
+                    fsync=self._fsync or "always",
+                )
+            return self._shard
+
+    def session(self, doc_id: str):
+        """The document's pinned durable session (opened once, reused
+        for every request; the open acquires the write lease)."""
+        store = self.store()
+        with self._open_lock:
+            session = self._sessions.get(doc_id)
+            if session is None:
+                session = store.open_session(doc_id, fsync=self._fsync)
+                self._sessions[doc_id] = session
+            return session
+
+    def replica(self, doc_id: str):
+        """The document's replica session, or ``None`` when reads must
+        go to the primary (no standby, or the standby lacks the doc and
+        a primary exists to serve it instead)."""
+        standby = self.standby()
+        if standby is None:
+            return None
+        with self._open_lock:
+            replica = self._replicas.get(doc_id)
+            if replica is None:
+                try:
+                    replica = standby.replica_session(doc_id)
+                except UnknownDocumentError:
+                    if self.has_primary:
+                        return None
+                    raise
+                self._replicas[doc_id] = replica
+            return replica
+
+    def note_replica_fallback(self, doc_id: str, error: Exception) -> None:
+        """Count a bounded read the replica refused (lag budget blown or
+        unmeasurable) that the primary served instead."""
+        self.replica_fallbacks[doc_id] = self.replica_fallbacks.get(doc_id, 0) + 1
+
+    def doc_lock(self, doc_id: str) -> "asyncio.Lock":
+        lock = self._locks.get(doc_id)
+        if lock is None:
+            lock = self._locks.setdefault(doc_id, asyncio.Lock())
+        return lock
+
+    async def run_blocking(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _document_stats(self) -> "dict[str, dict]":
+        return {doc_id: session.stats for doc_id, session in self._sessions.items()}
+
+    def _replica_stats(self) -> "dict[str, dict]":
+        return {doc_id: replica.stats for doc_id, replica in self._replicas.items()}
+
+    def stats_payload(self) -> dict:
+        """Everything the server knows, as one JSON object."""
+        payload = {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "inflight": self._inflight,
+                "draining": self._draining,
+                "endpoints": self.endpoint_metrics.snapshot(),
+                "replica_fallbacks": dict(self.replica_fallbacks),
+            },
+            "registry": self.registry.stats_payload(),
+            "documents": self._document_stats(),
+            "replicas": self._replica_stats(),
+        }
+        if self._shard is not None:
+            payload["shard"] = self._shard.stats_payload()
+        return payload
+
+    def metrics_text(self) -> str:
+        return render_metrics(
+            endpoints=self.endpoint_metrics,
+            registry=self.registry.stats_payload(),
+            documents=self._document_stats(),
+            replicas=self._replica_stats(),
+            shards=self._shard.stats_payload() if self._shard is not None else None,
+            inflight=self._inflight,
+            draining=self._draining,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start accepting; returns ``(host, port)`` (the port
+        resolved when 0 was requested)."""
+        if self._server is not None:
+            raise ServerError("server already started")
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`drain` completes (idempotent to cancel)."""
+        if self._server is None:
+            await self.start()
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, then release
+        everything — the SIGTERM path.
+
+        Ordering is the contract: (1) stop accepting and refuse new
+        requests, (2) wait for in-flight requests to finish and their
+        responses to flush, (3) close pinned sessions — leases release
+        here — and the sharded document, (4) close the stores.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.drain_log.append("refusing_new_requests")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        self.drain_log.append("requests_drained")
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.run_blocking(self._close_backends)
+        self.drain_log.append("stores_closed")
+        self._drained.set()
+
+    def _close_backends(self) -> None:
+        with self._open_lock:
+            for session in self._sessions.values():
+                session.close()
+            self._sessions.clear()
+            self.drain_log.append("sessions_closed")
+            if self._shard is not None:
+                self._shard.close()
+                self._shard = None
+                self.drain_log.append("shard_closed")
+            self._replicas.clear()
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+            if self._standby is not None:
+                self._standby.close()
+                self._standby = None
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            try:
+                first = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if first[:2] == b"M ":
+                await self._serve_framed(reader, writer, first)
+            else:
+                await self._serve_http(reader, writer, first)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    def _begin_request(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def _serve_framed(self, reader, writer, first_header: bytes) -> None:
+        header: "bytes | None" = first_header
+        while True:
+            try:
+                request = await read_message(reader, header=header)
+            except ProtocolError as error:
+                # interior damage: answer once, then drop the connection
+                # — resynchronising a corrupt stream by guesswork would
+                # serve someone else's bytes as a request
+                from ..errors import error_payload
+
+                await write_message(
+                    writer, {"ok": False, "error": error_payload(error)}
+                )
+                return
+            header = None
+            if request is None:
+                return
+            self._begin_request()
+            try:
+                response = await handlers.handle(self, request)
+                await write_message(writer, response)
+            finally:
+                self._end_request()
+
+    async def _serve_http(self, reader, writer, first_line: bytes) -> None:
+        """Just enough HTTP/1.1 for scrapes: GET, close after answering."""
+        try:
+            parts = first_line.decode("latin-1").split()
+            method, path = parts[0], parts[1]
+        except (UnicodeDecodeError, IndexError):
+            writer.write(b"HTTP/1.1 400 Bad Request\r\ncontent-length: 0\r\n\r\n")
+            await writer.drain()
+            return
+        while True:  # drain request headers
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if line in (b"\r\n", b"\n"):
+                break
+        self._begin_request()
+        try:
+            status, content_type, body = self._http_answer(method, path)
+        finally:
+            self._end_request()
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"content-type: {content_type}\r\n"
+            f"content-length: {len(payload)}\r\n"
+            "connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + payload)
+        await writer.drain()
+
+    def _http_answer(self, method: str, path: str) -> "tuple[str, str, str]":
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", "GET only\n"
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.metrics_text(),
+            )
+        if path == "/healthz":
+            status = "draining" if self._draining else "ok"
+            return "200 OK", "text/plain", status + "\n"
+        if path == "/stats":
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(self.stats_payload(), sort_keys=True, default=str) + "\n",
+            )
+        return "404 Not Found", "text/plain", f"no route {path}\n"

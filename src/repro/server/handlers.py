@@ -1,0 +1,205 @@
+"""Request handlers: one function per wire operation.
+
+Each handler receives the running :class:`~repro.server.app.ReproServer`
+and the decoded request object, and returns the JSON-serializable
+result payload; typed library errors propagate out and the connection
+loop maps them through :func:`repro.errors.error_payload` — the same
+table the CLI's exit codes come from, so a remote client sees exactly
+the failure the local operator would.
+
+Sessions are pinned per document and **sequential**: a per-document
+asyncio lock serialises propagations (the session's caches advance with
+its document; interleaving two streams would corrupt both), while
+requests for *different* documents run concurrently in executor
+threads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ..editing import EditScript
+from ..errors import ReplicationLagError, ServerError, error_payload
+from ..xmltree import tree_to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .app import ReproServer
+
+__all__ = ["handle", "HANDLERS"]
+
+
+async def _ping(server: "ReproServer", request: dict) -> dict:
+    return {"pong": True}
+
+
+def _required(request: dict, field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise ServerError(
+            f"request op {request.get('op')!r} needs a {field!r} string field"
+        )
+    return value
+
+
+async def _propagate(server: "ReproServer", request: dict) -> dict:
+    """Serve one view update onto the document's pinned session."""
+    doc_id = _required(request, "doc")
+    update = EditScript.parse(_required(request, "update"))
+    async with server.doc_lock(doc_id):
+        session = await server.run_blocking(server.session, doc_id)
+        script = await server.run_blocking(session.propagate, update)
+        last_seq = getattr(session, "last_seq", None)
+    return {
+        "doc": doc_id,
+        "seq": last_seq,
+        "cost": script.cost,
+        "script": script.to_term(),
+    }
+
+
+async def _view(server: "ReproServer", request: dict) -> dict:
+    """A bounded-staleness read: replica first, primary fallback.
+
+    With a standby configured, the read goes to a
+    :class:`~repro.replication.ReplicaSession` under the request's
+    ``max_lag`` (falling back to the server-wide budget). A replica
+    that cannot honour the bound — too far behind, or its lag is
+    unmeasurable (the fail-closed case) — raises
+    :class:`~repro.errors.ReplicationLagError`, and the read falls back
+    to the primary, which is fresh by definition.
+    """
+    doc_id = _required(request, "doc")
+    max_lag = request.get("max_lag", server.max_lag)
+    replica = server.replica(doc_id)
+    if replica is not None:
+        try:
+            view = await server.run_blocking(
+                lambda: replica.read(max_lag=max_lag)
+            )
+            return {
+                "doc": doc_id,
+                "served_by": "replica",
+                "lag": replica.lag(),
+                "view": tree_to_xml(view),
+            }
+        except ReplicationLagError as error:
+            if not server.has_primary:
+                raise
+            server.note_replica_fallback(doc_id, error)
+    async with server.doc_lock(doc_id):
+        session = await server.run_blocking(server.session, doc_id)
+        view = session.view
+    return {
+        "doc": doc_id,
+        "served_by": "primary",
+        "lag": 0,
+        "view": tree_to_xml(view),
+    }
+
+
+async def _batch(server: "ReproServer", request: dict) -> dict:
+    """A stateless many-document batch through the engine registry.
+
+    The request ships its own schema (DTD + annotation text) and a list
+    of ``{"source": xml, "update": term}`` entries; the engine comes
+    from the server's registry (compiled once per schema across
+    requests) and ``parallel="process"`` fans the batch out across
+    worker processes exactly as the library call would.
+    """
+    from ..dtd import parse_dtd
+    from ..views import Annotation
+    from ..xmltree import tree_from_xml
+
+    dtd = parse_dtd(_required(request, "dtd"))
+    annotation = Annotation.parse(_required(request, "annotation"))
+    entries = request.get("requests")
+    if not isinstance(entries, list):
+        raise ServerError("request op 'batch' needs a 'requests' list")
+    pairs = [
+        (
+            tree_from_xml(_required(entry, "source")),
+            EditScript.parse(_required(entry, "update")),
+        )
+        for entry in entries
+    ]
+    parallel = request.get("parallel", False)
+    workers = request.get("workers")
+
+    def run():
+        engine = server.registry.get_or_compile(dtd, annotation, warm=True)
+        return engine.propagate_many(pairs, parallel=parallel, workers=workers)
+
+    scripts = await server.run_blocking(run)
+    return {
+        "count": len(scripts),
+        "scripts": [script.to_term() for script in scripts],
+        "costs": [script.cost for script in scripts],
+    }
+
+
+async def _shard_propagate(server: "ReproServer", request: dict) -> dict:
+    """Front the sharded document: route one update across shards."""
+    update = EditScript.parse(_required(request, "update"))
+    splice = bool(request.get("splice", True))
+    dirty = request.get("dirty")
+    sharded = server.shard()
+    async with server.doc_lock("__shard__"):
+        result = await server.run_blocking(
+            lambda: sharded.propagate(update, dirty=dirty, splice=splice)
+        )
+    if splice:
+        return {"spliced": True, "cost": result.cost, "script": result.to_term()}
+    return {"spliced": False, "summary": result.stats()}
+
+
+async def _stats(server: "ReproServer", request: dict) -> dict:
+    return server.stats_payload()
+
+
+async def _metrics(server: "ReproServer", request: dict) -> dict:
+    return {"content_type": "text/plain; version=0.0.4", "text": server.metrics_text()}
+
+
+HANDLERS = {
+    "ping": _ping,
+    "propagate": _propagate,
+    "view": _view,
+    "batch": _batch,
+    "shard_propagate": _shard_propagate,
+    "stats": _stats,
+    "metrics": _metrics,
+}
+
+
+async def handle(server: "ReproServer", request: dict) -> dict:
+    """Dispatch one request; returns the full response envelope.
+
+    The envelope is ``{"ok": true, "result": …}`` or ``{"ok": false,
+    "error": error_payload(...)}`` with the request's ``id`` echoed when
+    present; latency and errors land in the server's endpoint metrics
+    either way.
+    """
+    op = request.get("op")
+    start = time.perf_counter()
+    endpoint = op if isinstance(op, str) else "unknown"
+    try:
+        handler = HANDLERS.get(op)
+        if handler is None:
+            raise ServerError(
+                f"unknown op {op!r}; serve one of {sorted(HANDLERS)}"
+            )
+        if server.draining:
+            raise ServerError("server is draining; no new requests")
+        result = await handler(server, request)
+        response = {"ok": True, "result": result}
+        server.endpoint_metrics.observe(endpoint, time.perf_counter() - start)
+    except Exception as error:  # typed payloads for library errors too
+        payload = error_payload(error)
+        response = {"ok": False, "error": payload}
+        server.endpoint_metrics.observe(
+            endpoint, time.perf_counter() - start, error_code=payload["code"]
+        )
+    if "id" in request:
+        response["id"] = request["id"]
+    return response

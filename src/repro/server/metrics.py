@@ -1,0 +1,301 @@
+"""Prometheus-text metrics for the serving front-end.
+
+No client library and no background collection: the stack already
+counts everything worth exporting — :class:`~repro.engine.EngineStats`
+counters per compiled engine, registry hit rates, per-document WAL
+append/fsync counts, replication lag, per-shard router counters — and
+this module renders those live numbers into the Prometheus text
+exposition format at scrape time. The server adds its own per-endpoint
+request, error, and latency counters (:class:`EndpointMetrics`).
+
+All counters reset with the process, which is exactly the Prometheus
+counter contract (``rate()`` handles restarts).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["EndpointMetrics", "render_metrics"]
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(**labels) -> str:
+    inner = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}" if inner else ""
+
+
+class EndpointMetrics:
+    """Per-endpoint request/error/latency counters.
+
+    Thread-safe: handlers run on the event loop but blocking work is
+    pushed to executor threads, and the scrape path reads whatever is
+    current without stopping the world.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: "dict[str, int]" = {}
+        self._errors: "dict[tuple[str, str], int]" = {}
+        self._latency_sum: "dict[str, float]" = {}
+        self._latency_count: "dict[str, int]" = {}
+        self._latency_max: "dict[str, float]" = {}
+
+    def observe(
+        self, endpoint: str, seconds: float, error_code: "str | None" = None
+    ) -> None:
+        """Record one served request (latency always; the error code
+        only when the request failed)."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            self._latency_sum[endpoint] = (
+                self._latency_sum.get(endpoint, 0.0) + seconds
+            )
+            self._latency_count[endpoint] = (
+                self._latency_count.get(endpoint, 0) + 1
+            )
+            if seconds > self._latency_max.get(endpoint, 0.0):
+                self._latency_max[endpoint] = seconds
+            if error_code is not None:
+                key = (endpoint, error_code)
+                self._errors[key] = self._errors.get(key, 0) + 1
+
+    def snapshot(self) -> dict:
+        """A consistent copy of every counter (for ``stats`` payloads)."""
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "errors": {
+                    f"{endpoint}:{code}": count
+                    for (endpoint, code), count in self._errors.items()
+                },
+                "latency_seconds_sum": dict(self._latency_sum),
+                "latency_seconds_max": dict(self._latency_max),
+            }
+
+    def render(self) -> "list[str]":
+        """The per-endpoint metric lines."""
+        with self._lock:
+            lines = [
+                "# HELP repro_server_requests_total Requests served per endpoint.",
+                "# TYPE repro_server_requests_total counter",
+            ]
+            for endpoint in sorted(self._requests):
+                lines.append(
+                    f"repro_server_requests_total{_labels(endpoint=endpoint)} "
+                    f"{self._requests[endpoint]}"
+                )
+            lines += [
+                "# HELP repro_server_errors_total Failed requests per endpoint and error code.",
+                "# TYPE repro_server_errors_total counter",
+            ]
+            for endpoint, code in sorted(self._errors):
+                lines.append(
+                    "repro_server_errors_total"
+                    f"{_labels(endpoint=endpoint, code=code)} "
+                    f"{self._errors[(endpoint, code)]}"
+                )
+            lines += [
+                "# HELP repro_server_request_seconds Request latency per endpoint.",
+                "# TYPE repro_server_request_seconds summary",
+            ]
+            for endpoint in sorted(self._latency_count):
+                labels = _labels(endpoint=endpoint)
+                lines.append(
+                    f"repro_server_request_seconds_sum{labels} "
+                    f"{self._latency_sum[endpoint]:.9f}"
+                )
+                lines.append(
+                    f"repro_server_request_seconds_count{labels} "
+                    f"{self._latency_count[endpoint]}"
+                )
+            lines += [
+                "# HELP repro_server_request_seconds_max Slowest request per endpoint.",
+                "# TYPE repro_server_request_seconds_max gauge",
+            ]
+            for endpoint in sorted(self._latency_max):
+                lines.append(
+                    f"repro_server_request_seconds_max{_labels(endpoint=endpoint)} "
+                    f"{self._latency_max[endpoint]:.9f}"
+                )
+            return lines
+
+
+def _registry_lines(registry_payload: dict) -> "list[str]":
+    """Engine-registry and per-engine EngineStats counters."""
+    stats = registry_payload.get("registry", {})
+    lines = [
+        "# HELP repro_registry_hits_total Engine cache hits.",
+        "# TYPE repro_registry_hits_total counter",
+        f"repro_registry_hits_total {stats.get('hits', 0)}",
+        "# HELP repro_registry_misses_total Engine cache misses (compiles).",
+        "# TYPE repro_registry_misses_total counter",
+        f"repro_registry_misses_total {stats.get('misses', 0)}",
+        "# HELP repro_registry_evictions_total Engines evicted from the LRU.",
+        "# TYPE repro_registry_evictions_total counter",
+        f"repro_registry_evictions_total {stats.get('evictions', 0)}",
+        "# HELP repro_registry_hit_rate Engine cache hit rate.",
+        "# TYPE repro_registry_hit_rate gauge",
+        f"repro_registry_hit_rate {stats.get('hit_rate', 0.0):.6f}",
+    ]
+    engines = registry_payload.get("engines", [])
+    if engines:
+        lines += [
+            "# HELP repro_engine_counter EngineStats counters per compiled engine.",
+            "# TYPE repro_engine_counter counter",
+        ]
+        for engine in engines:
+            schema = str(engine.get("schema_hash", ""))[:12]
+            for counter in (
+                "views",
+                "validations",
+                "inversions",
+                "propagations",
+                "memo_hits",
+                "memo_misses",
+                "memo_evictions",
+                "memo_bypass",
+            ):
+                lines.append(
+                    "repro_engine_counter"
+                    f"{_labels(schema=schema, counter=counter)} "
+                    f"{engine.get(counter, 0)}"
+                )
+    return lines
+
+
+def _document_lines(documents: "dict[str, dict]") -> "list[str]":
+    """Per-document WAL and session counters (DurableSession.stats)."""
+    if not documents:
+        return []
+    lines = [
+        "# HELP repro_wal_appends_total Records appended to the document's WAL.",
+        "# TYPE repro_wal_appends_total counter",
+        "# HELP repro_wal_syncs_total fsync batches issued for the document's WAL.",
+        "# TYPE repro_wal_syncs_total counter",
+        "# HELP repro_wal_pending_records Appended records not yet fsynced.",
+        "# TYPE repro_wal_pending_records gauge",
+        "# HELP repro_wal_last_seq The document's last journalled sequence number.",
+        "# TYPE repro_wal_last_seq gauge",
+        "# HELP repro_session_propagations_total Updates served by the pinned session.",
+        "# TYPE repro_session_propagations_total counter",
+    ]
+    for doc_id in sorted(documents):
+        stats = documents[doc_id]
+        labels = _labels(doc=doc_id)
+        lines.append(f"repro_wal_appends_total{labels} {stats.get('wal_appends', 0)}")
+        lines.append(f"repro_wal_syncs_total{labels} {stats.get('wal_syncs', 0)}")
+        lines.append(f"repro_wal_pending_records{labels} {stats.get('wal_pending', 0)}")
+        lines.append(f"repro_wal_last_seq{labels} {stats.get('last_seq', 0)}")
+        session = stats.get("session", {})
+        lines.append(
+            f"repro_session_propagations_total{labels} "
+            f"{session.get('propagations', 0)}"
+        )
+    return lines
+
+
+def _replica_lines(replicas: "dict[str, dict]") -> "list[str]":
+    """Per-replica position and lag (ReplicaSession.stats). An
+    unmeasurable lag (``None`` — no reachable primary) is *omitted*, not
+    exported as zero: absence is the honest value for fail-closed
+    bounded reads."""
+    if not replicas:
+        return []
+    lines = [
+        "# HELP repro_replica_applied_seq Records this replica session has applied.",
+        "# TYPE repro_replica_applied_seq gauge",
+        "# HELP repro_replica_lag Records the replica is behind the primary.",
+        "# TYPE repro_replica_lag gauge",
+        "# HELP repro_replica_refreshes_total Refresh passes run by the replica session.",
+        "# TYPE repro_replica_refreshes_total counter",
+    ]
+    for doc_id in sorted(replicas):
+        stats = replicas[doc_id]
+        labels = _labels(doc=doc_id)
+        lines.append(
+            f"repro_replica_applied_seq{labels} {stats.get('applied_seq', 0)}"
+        )
+        lag = stats.get("lag")
+        if lag is not None:
+            lines.append(f"repro_replica_lag{labels} {lag}")
+        lines.append(
+            f"repro_replica_refreshes_total{labels} {stats.get('refreshes', 0)}"
+        )
+    return lines
+
+
+def _shard_lines(shard_payload: "dict | None") -> "list[str]":
+    """Router and per-shard counters (ShardedDocument.stats_payload)."""
+    if not shard_payload:
+        return []
+    lines = [
+        "# HELP repro_shard_edits_total Routed edits by path (fast/boundary/identity).",
+        "# TYPE repro_shard_edits_total counter",
+    ]
+    for path, count in sorted(shard_payload.get("edits", {}).items()):
+        lines.append(f"repro_shard_edits_total{_labels(path=path)} {count}")
+    per_shard = shard_payload.get("per_shard", {})
+    lines += [
+        "# HELP repro_shard_count Shards the router currently serves.",
+        "# TYPE repro_shard_count gauge",
+        f"repro_shard_count {shard_payload.get('shards', len(per_shard))}",
+    ]
+    if per_shard:
+        lines += [
+            "# HELP repro_shard_wal_appends_total WAL appends per shard.",
+            "# TYPE repro_shard_wal_appends_total counter",
+            "# HELP repro_shard_last_seq Last journalled sequence per shard.",
+            "# TYPE repro_shard_last_seq gauge",
+        ]
+        for shard_id in sorted(per_shard):
+            stats = per_shard[shard_id]
+            labels = _labels(shard=shard_id)
+            lines.append(
+                f"repro_shard_wal_appends_total{labels} "
+                f"{stats.get('wal_appends', 0)}"
+            )
+            lines.append(
+                f"repro_shard_last_seq{labels} {stats.get('last_seq', 0)}"
+            )
+    return lines
+
+
+def render_metrics(
+    *,
+    endpoints: "EndpointMetrics | None" = None,
+    registry: "dict | None" = None,
+    documents: "dict[str, dict] | None" = None,
+    replicas: "dict[str, dict] | None" = None,
+    shards: "dict | None" = None,
+    inflight: int = 0,
+    draining: bool = False,
+) -> str:
+    """Assemble the full ``/metrics`` document from live counters."""
+    lines = [
+        "# HELP repro_server_inflight_requests Requests currently being served.",
+        "# TYPE repro_server_inflight_requests gauge",
+        f"repro_server_inflight_requests {inflight}",
+        "# HELP repro_server_draining Whether the server is draining for shutdown.",
+        "# TYPE repro_server_draining gauge",
+        f"repro_server_draining {int(draining)}",
+    ]
+    if endpoints is not None:
+        lines += endpoints.render()
+    if registry is not None:
+        lines += _registry_lines(registry)
+    lines += _document_lines(documents or {})
+    lines += _replica_lines(replicas or {})
+    lines += _shard_lines(shards)
+    return "\n".join(lines) + "\n"

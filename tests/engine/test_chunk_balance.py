@@ -56,3 +56,61 @@ class TestBalancedChunkIndices:
     def test_rejects_non_positive_targets(self):
         with pytest.raises(ValueError):
             balanced_chunk_indices([1], 0)
+
+    def test_never_emits_empty_chunks(self):
+        # every returned chunk must carry work: an empty chunk would be
+        # submitted to a worker that pays the engine-compile initializer
+        # for nothing (and zip-reassembly would silently skip it)
+        for n_items in range(0, 6):
+            for target in range(1, 9):
+                chunks = balanced_chunk_indices([1] * n_items, target)
+                assert all(chunks), (n_items, target)
+                flat = sorted(i for chunk in chunks for i in chunk)
+                assert flat == list(range(n_items)), (n_items, target)
+
+
+class TestProcessDispatchEdges:
+    """Regressions: the wire hands the pool empty and tiny batches."""
+
+    def _engine_and_batch(self):
+        from repro.editing import EditScript
+        from repro.engine import ViewEngine
+        from repro.paperdata.figures import a0, d0
+        from repro.xmltree import parse_term
+
+        engine = ViewEngine(d0(), a0())
+        source = parse_term(
+            "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+        )
+        update = EditScript.parse(
+            "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+            "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+        )
+        return engine, [(source, update)]
+
+    def test_empty_batch_returns_empty(self):
+        # used to crash: target_chunks = min(0, workers*4) = 0 raised
+        # ValueError out of balanced_chunk_indices before any pool work
+        from repro.core import CheapestPathChooser
+        from repro.parallel import propagate_batch_processes
+
+        engine, _ = self._engine_and_batch()
+        scripts = propagate_batch_processes(
+            engine, [], CheapestPathChooser(), True, True, workers=4
+        )
+        assert scripts == []
+
+    def test_empty_batch_via_propagate_many(self):
+        engine, _ = self._engine_and_batch()
+        assert engine.propagate_many([], parallel="process", workers=4) == []
+
+    def test_more_workers_than_requests_reassembles_exactly(self):
+        # oversubscribed pool: the dispatch must clamp to one chunk per
+        # request (no empty submissions) and return exactly one script
+        # per request, in batch order
+        engine, batch = self._engine_and_batch()
+        serial = engine.propagate_many(list(batch))
+        pooled = engine.propagate_many(
+            list(batch), parallel="process", workers=8
+        )
+        assert [s.to_term() for s in pooled] == [s.to_term() for s in serial]

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import LeaseFencedError, RecoveryError, exit_code
 
 DTD_TEXT = """
 <!ELEMENT r (a,(b|c),d)*>
@@ -141,14 +142,14 @@ def test_spool_kill_apply_pitr_resume_promote(tmp_path, primary_root):
     assert main([
         "store", "propagate", "--root", str(primary_root), "--id", "demo",
         "--update", str(update),
-    ]) == 1  # LeaseFencedError -> CLI error exit
+    ]) == exit_code(LeaseFencedError())  # typed CLI error exit
 
 
 def test_recover_upto_error_paths(tmp_path, primary_root):
     assert main([
         "store", "recover", "--root", str(primary_root), "--id", "demo",
         "--upto", "9",
-    ]) == 1  # past the durable head: typed RecoveryError -> exit 1
+    ]) == exit_code(RecoveryError())  # past the durable head: typed exit
     assert main([
         "replica", "spool", "--primary", str(primary_root),
         "--spool", str(tmp_path / "s.spool"), "--after", "1",

@@ -99,9 +99,27 @@ class TestReplicaSession:
         replicate(store, dark)
         reader = dark.replica_session(doc_id)
         assert reader.lag() is None
-        with pytest.raises(ReplicationError, match="unmeasurable"):
+        with pytest.raises(ReplicationError, match="cannot bound its lag"):
             reader.read(max_lag=0)
         reader.read()  # unbounded reads still serve
+
+    def test_unmeasurable_lag_fails_closed_as_lag_error(self, primary, tmp_path):
+        # Regression: wire-only shipping (no primary marker) makes lag()
+        # return None; a bounded read must raise the *typed*
+        # ReplicationLagError — not a generic ReplicationError — so the
+        # serving tier can catch one exception type to fall back to the
+        # primary. An unmeasurable lag never satisfies any bound, not
+        # even a huge one.
+        store, doc_id, _, _ = primary
+        dark = StandbyStore.init(tmp_path / "dark")
+        replicate(store, dark)
+        reader = dark.replica_session(doc_id)
+        with pytest.raises(ReplicationLagError):
+            reader.read(max_lag=10**9)
+        # the session-wide bound fails closed the same way
+        bounded = dark.replica_session(doc_id, max_lag=5)
+        with pytest.raises(ReplicationLagError):
+            bounded.read()
 
     def test_refresh_survives_a_checkpoint_rebase(self, tmp_path, workload):
         store = DocumentStore.init(tmp_path / "p", fsync="off", keep_snapshots=1)

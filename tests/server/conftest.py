@@ -1,0 +1,94 @@
+"""Mark every test under ``tests/server`` with the ``server`` marker
+(CI's server job runs ``-m server``) and share workload/store fixtures
+plus the in-process server harness."""
+
+import asyncio
+import pathlib
+import random
+import threading
+
+import pytest
+
+from repro.generators.updates import random_view_update
+from repro.generators.workloads import running_example
+from repro.store import DocumentStore
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.server)
+
+
+@pytest.fixture
+def workload():
+    """The paper's running example, 4 groups — small but non-trivial."""
+    return running_example(4)
+
+
+@pytest.fixture
+def store_root(tmp_path, workload):
+    """A store directory holding documents doc0..doc3 (one workload)."""
+    store = DocumentStore.init(tmp_path / "store", fsync="off")
+    for index in range(4):
+        store.put(
+            f"doc{index}", workload.source, workload.dtd, workload.annotation
+        )
+    store.close()
+    return tmp_path / "store"
+
+
+def sequential_updates(workload, length, seed=11):
+    """A chain of *length* sequential view updates (each built against
+    the view the previous one produced), as term strings."""
+    from repro.engine import ViewEngine
+
+    rng = random.Random(seed)
+    engine = ViewEngine(workload.dtd, workload.annotation)
+    session = engine.session(workload.source)
+    terms = []
+    for _ in range(length):
+        update = random_view_update(
+            rng, workload.dtd, workload.annotation, session.source, n_ops=2
+        )
+        terms.append(update.to_term())
+        session.propagate(update)
+    return terms
+
+
+def run_with_server(server, client_work, *, after=None):
+    """Start *server*, run blocking *client_work(host, port)* in a
+    thread, then drain. Returns ``client_work``'s result.
+
+    *after* is an optional async hook run between client completion and
+    the drain (for tests that need the still-running server).
+    """
+
+    async def main():
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, client_work, host, port)
+        if after is not None:
+            await after(server)
+        await server.drain()
+        return result
+
+    return asyncio.run(main())
+
+
+def in_thread(fn, *args):
+    """Run *fn(*args)* in a thread; returns (thread, result_box)."""
+    box = {}
+
+    def target():
+        try:
+            box["result"] = fn(*args)
+        except BaseException as error:  # surfaced by the caller's join
+            box["error"] = error
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    return thread, box

@@ -1,0 +1,184 @@
+"""Endpoint routing: replica reads with staleness budgets, stateless
+process-pool batches, and the sharded-document front."""
+
+import pytest
+
+from repro.replication import StandbyStore, replicate
+from repro.server import ReproServer, RemoteServingError, ServeClient
+from repro.store import DocumentStore
+
+from .conftest import run_with_server, sequential_updates
+
+
+class TestViewRouting:
+    def test_fresh_replica_serves_bounded_reads(
+        self, tmp_path, store_root, workload
+    ):
+        store = DocumentStore(store_root, fsync="off")
+        standby = StandbyStore.init(tmp_path / "standby", primary_root=store_root)
+        replicate(store, standby)
+        store.close()
+        standby.close()
+        server = ReproServer(
+            store_root=store_root, standby_root=tmp_path / "standby", fsync="off"
+        )
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                return client.view("doc0", max_lag=0)
+
+        result = run_with_server(server, client_work)
+        assert result["served_by"] == "replica"
+        assert result["lag"] == 0
+        assert result["view"].startswith("<")
+
+    def test_unmeasurable_lag_falls_back_to_primary(
+        self, tmp_path, store_root, workload
+    ):
+        """The satellite-1 semantics end to end: a wire-only standby (no
+        primary marker) cannot measure its lag; the fail-closed
+        ReplicationLagError routes the bounded read to the primary."""
+        store = DocumentStore(store_root, fsync="off")
+        dark = StandbyStore.init(tmp_path / "dark")  # no primary_root
+        replicate(store, dark)
+        store.close()
+        dark.close()
+        server = ReproServer(
+            store_root=store_root, standby_root=tmp_path / "dark", fsync="off"
+        )
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                bounded = client.view("doc0", max_lag=0)
+                unbounded = client.view("doc0")
+            return bounded, unbounded
+
+        bounded, unbounded = run_with_server(server, client_work)
+        assert bounded["served_by"] == "primary"
+        # no bound: the replica serves (staleness unconstrained)
+        assert unbounded["served_by"] == "replica"
+        assert server.replica_fallbacks == {"doc0": 1}
+
+    def test_replica_only_server_surfaces_lag_error(
+        self, tmp_path, store_root, workload
+    ):
+        """No primary to fall back to: the typed replication_lag payload
+        reaches the client instead of a traceback."""
+        store = DocumentStore(store_root, fsync="off")
+        dark = StandbyStore.init(tmp_path / "dark")
+        replicate(store, dark)
+        store.close()
+        dark.close()
+        server = ReproServer(standby_root=tmp_path / "dark")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                with pytest.raises(RemoteServingError) as caught:
+                    client.view("doc0", max_lag=0)
+            return caught.value
+
+        error = run_with_server(server, client_work)
+        assert error.code == "replication_lag"
+        assert error.remote_exit_code == 8
+
+
+class TestBatchEndpoint:
+    def test_stateless_batch_matches_library(self, workload):
+        from repro.editing import EditScript
+        from repro.engine import ViewEngine
+        from repro.dtd import serialize_dtd
+        from repro.xmltree import tree_to_xml
+
+        terms = [sequential_updates(workload, 1, seed=s)[0] for s in (1, 2, 3)]
+        engine = ViewEngine(workload.dtd, workload.annotation)
+        expected = [
+            script.to_term()
+            for script in engine.propagate_many(
+                [(workload.source, EditScript.parse(term)) for term in terms]
+            )
+        ]
+        server = ReproServer()  # no roots: batch is stateless
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                return client.request(
+                    "batch",
+                    dtd=serialize_dtd(workload.dtd),
+                    annotation=workload.annotation.serialize(),
+                    requests=[
+                        {
+                            "source": tree_to_xml(workload.source),
+                            "update": term,
+                        }
+                        for term in terms
+                    ],
+                )
+
+        result = run_with_server(server, client_work)
+        assert result["count"] == 3
+        assert result["scripts"] == expected
+
+    def test_empty_batch_is_served_not_crashed(self, workload):
+        """The satellite-3 edge over the wire: an empty request list
+        (with the process pool requested) answers [] instead of dying
+        in balanced_chunk_indices."""
+        from repro.dtd import serialize_dtd
+
+        server = ReproServer()
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                return client.request(
+                    "batch",
+                    dtd=serialize_dtd(workload.dtd),
+                    annotation=workload.annotation.serialize(),
+                    requests=[],
+                    parallel="process",
+                    workers=4,
+                )
+
+        result = run_with_server(server, client_work)
+        assert result == {"count": 0, "scripts": [], "costs": []}
+
+
+class TestShardEndpoint:
+    def test_shard_propagate_fronts_the_sharded_document(
+        self, tmp_path, workload
+    ):
+        from repro.editing import EditScript
+        from repro.engine import ViewEngine
+        from repro.generators.workloads import huge_document
+        from repro.sharding import ShardedDocument
+
+        big = huge_document(300)
+        doc = ShardedDocument.create(
+            tmp_path / "shards", big.source, big.dtd, big.annotation,
+            depth=1, fsync="off",
+        )
+        doc.close()
+
+        # one sequential update against the huge document's view
+        import random
+
+        from repro.generators.updates import random_view_update
+
+        update = random_view_update(
+            random.Random(9), big.dtd, big.annotation, big.source, n_ops=1
+        )
+        term = update.to_term()
+        expected = (
+            ViewEngine(big.dtd, big.annotation)
+            .session(big.source)
+            .propagate(update)
+            .to_term()
+        )
+
+        server = ReproServer(shard_root=tmp_path / "shards", fsync="off")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                return client.request("shard_propagate", update=term)
+
+        result = run_with_server(server, client_work)
+        assert result["spliced"] is True
+        assert result["script"] == expected

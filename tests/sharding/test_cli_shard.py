@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.dtd import serialize_dtd
+from repro.errors import DocumentExistsError, StoreError, exit_code
 from repro.editing import UpdateBuilder
 from repro.generators.workloads import hospital
 from repro.registry import default_registry
@@ -72,7 +73,7 @@ class TestShardCli:
                     str(tmp_path / "doc.xml"),
                 ]
             )
-            == 1
+            == exit_code(DocumentExistsError())
         )
 
     def test_status_emits_per_shard_json(self, initialised, tmp_path):
@@ -151,5 +152,6 @@ class TestShardCli:
 
     def test_missing_layout_is_a_clean_error(self, tmp_path):
         assert (
-            main(["shard", "status", "--root", str(tmp_path / "nowhere")]) == 1
+            main(["shard", "status", "--root", str(tmp_path / "nowhere")])
+            == exit_code(StoreError())
         )

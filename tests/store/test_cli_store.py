@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import WALCorruptError, exit_code
 from repro.store import DocumentStore, scan_wal
 
 DTD_TEXT = """
@@ -176,8 +177,10 @@ class TestStoreCli:
         root, _ = populated
         wal = root / "docs" / "demo" / "wal.log"
         wal.write_bytes(b"not a wal at all\n")
-        assert main(["store", "recover", "--root", str(root), "--id", "demo"]) == 1
-        assert "error:" in capsys.readouterr().err
+        assert main(
+            ["store", "recover", "--root", str(root), "--id", "demo"]
+        ) == exit_code(WALCorruptError())
+        assert "error[wal_corrupt]:" in capsys.readouterr().err
 
 
 class TestStatsCli:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.errors import InvalidViewUpdateError, NoInversionError, exit_code
 
 DTD_TEXT = """
 <!ELEMENT r (a,(b|c),d)*>
@@ -117,8 +118,10 @@ class TestInvert:
             "invert", "--dtd", str(dtd), "--annotation", str(annotation),
             "--view-doc", str(bad),
         ])
-        assert code == 1
-        assert "error" in capsys.readouterr().err
+        assert code == exit_code(NoInversionError())
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "no_inversion" in err
 
 
 class TestPropagate:
@@ -229,7 +232,9 @@ class TestPropagateStream:
             "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
             "--doc", str(doc), "--update", str(stream), "--stream",
         ])
-        assert code == 1
+        # the second update is validated against the advanced view and
+        # rejected as an invalid view update (not a generic exit 1)
+        assert code == exit_code(InvalidViewUpdateError())
         assert "error" in capsys.readouterr().err
 
     def test_invalid_update_reports_error(self, files, tmp_path, capsys):
@@ -240,8 +245,10 @@ class TestPropagateStream:
             "propagate", "--dtd", str(dtd), "--annotation", str(annotation),
             "--doc", str(doc), "--update", str(bad),
         ])
-        assert code == 1
-        assert "error" in capsys.readouterr().err
+        assert code == exit_code(InvalidViewUpdateError())
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "invalid_view_update" in err
 
 
 class TestRepairCompare:

@@ -27,8 +27,31 @@ from repro.xmltree import Tree, parse_term
 class TestErrorHierarchy:
     def test_every_error_is_a_repro_error(self):
         for name in errors.__all__:
-            cls = getattr(errors, name)
-            assert issubclass(cls, ReproError)
+            exported = getattr(errors, name)
+            if isinstance(exported, type):
+                assert issubclass(exported, ReproError)
+            else:
+                # the error table helpers (error_code / exit_code /
+                # error_payload) are the only non-class exports
+                assert callable(exported)
+
+    def test_error_table_covers_every_exported_class(self):
+        from repro.errors import error_code, error_payload, exit_code
+
+        for name in errors.__all__:
+            exported = getattr(errors, name)
+            if not isinstance(exported, type):
+                continue
+            error = exported("boom")
+            # every class maps: specifically when in the table, to the
+            # generic "error"/1 fallback otherwise — never a KeyError
+            code = error_code(error)
+            assert code
+            assert exit_code(error) >= 1
+            payload = error_payload(error)
+            assert payload["code"] == code
+            assert payload["type"] == exported.__name__
+            assert payload["exit_code"] == exit_code(error)
 
     def test_key_errors_double_as_keyerror(self):
         from repro.errors import NodeNotFoundError, UnknownLabelError
