@@ -746,6 +746,7 @@ def _served_streaming_modes(workload, length: int, tmp_root, rounds: int) -> dic
     store.put("warmup", workload.source, dtd, annotation)
     for round_index in range(rounds):
         store.put(f"doc{round_index}", workload.source, dtd, annotation)
+        store.put(f"tdoc{round_index}", workload.source, dtd, annotation)
     store.close()
 
     server = ReproServer(store_root=served_root, fsync="off")
@@ -768,7 +769,9 @@ def _served_streaming_modes(workload, length: int, tmp_root, rounds: int) -> dic
     assert started.wait(30), "server failed to start"
     host, port = address["hp"]
     served_times = []
+    traced_times = []
     served_scripts = None
+    traced_scripts = None
     try:
         with ServeClient(host, port) as client:
             client.propagate("warmup", terms[0])  # untimed schema warm-up
@@ -780,15 +783,37 @@ def _served_streaming_modes(workload, length: int, tmp_root, rounds: int) -> dic
                 ]
                 served_times.append(time.perf_counter() - start)
                 served_scripts = scripts
+            # -- the same stream with full request tracing on: the
+            # per-span perf_counter/contextvar cost the obs layer adds
+            # when someone is actually watching --
+            from repro.obs import configure as obs_configure
+
+            obs_configure(enabled=True, sample_rate=1.0)
+            try:
+                for round_index in range(rounds):
+                    doc_id = f"tdoc{round_index}"
+                    start = time.perf_counter()
+                    scripts = [
+                        client.propagate(doc_id, term)["script"]
+                        for term in terms
+                    ]
+                    traced_times.append(time.perf_counter() - start)
+                    traced_scripts = scripts
+            finally:
+                obs_configure(enabled=False)
     finally:
         asyncio.run_coroutine_threadsafe(server.drain(), loop).result(30)
         loop.call_soon_threadsafe(loop.stop)
         thread.join(10)
         loop.close()
     served = statistics.median(served_times)
+    traced = statistics.median(traced_times)
 
     assert served_scripts == inproc_scripts, (
         "wire-served scripts diverged from in-process serving"
+    )
+    assert traced_scripts == inproc_scripts, (
+        "traced serving diverged from in-process serving"
     )
     per_update = 1000 / len(updates)
     return {
@@ -797,6 +822,11 @@ def _served_streaming_modes(workload, length: int, tmp_root, rounds: int) -> dic
         "served_ms_per_update": served * per_update,
         "served_overhead_ms_per_update": (served - inproc) * per_update,
         "served_efficiency": inproc / served,
+        "traced_ms_per_update": traced * per_update,
+        # untraced served time / traced served time — 1.0 means tracing
+        # every span costs nothing; the bench-smoke gate keeps this from
+        # silently decaying
+        "tracing_enabled_efficiency": served / traced,
     }
 
 
@@ -813,7 +843,9 @@ class TestServedStreaming:
             f"{modes['in_process_ms_per_update']:.2f} vs served "
             f"{modes['served_ms_per_update']:.2f} ms/update (overhead "
             f"{modes['served_overhead_ms_per_update']:.2f} ms, efficiency "
-            f"{modes['served_efficiency']:.2f})"
+            f"{modes['served_efficiency']:.2f}); traced "
+            f"{modes['traced_ms_per_update']:.2f} ms/update (tracing "
+            f"efficiency {modes['tracing_enabled_efficiency']:.2f})"
         )
         # byte-identity is asserted inside; in full mode also keep the
         # wire from costing more than ~20x the in-process path
@@ -906,7 +938,9 @@ def main(argv=None) -> int:
                 f"{name}: served {served['served_ms_per_update']:.2f} vs "
                 f"in-process {served['in_process_ms_per_update']:.2f} ms/update "
                 f"(overhead {served['served_overhead_ms_per_update']:.2f} ms, "
-                f"efficiency {served['served_efficiency']:.2f})"
+                f"efficiency {served['served_efficiency']:.2f}; traced "
+                f"{served['traced_ms_per_update']:.2f} ms/update, tracing "
+                f"efficiency {served['tracing_enabled_efficiency']:.2f})"
             )
         if "sharded_streaming" in data:
             sharded = data["sharded_streaming"]

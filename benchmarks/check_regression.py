@@ -31,6 +31,9 @@ RATIO_METRICS = (
     # served streaming: in-process time / wire-served time — bounds the
     # per-update overhead the serving front-end adds (PR-7)
     ("served_streaming", "served_efficiency"),
+    # untraced served time / fully-traced served time — bounds the cost
+    # of turning request tracing on (PR-8)
+    ("served_streaming", "tracing_enabled_efficiency"),
 )
 
 # Smoke workloads are microsecond-scale, so even their *ratios* wobble
@@ -47,6 +50,9 @@ SMOKE_EXPECTATION_CAPS = {
     # costs; only require the served path to stay within ~20x of the
     # in-process path (full mode compares the real ratio, uncapped)
     "served_efficiency": 0.05,
+    # tracing's per-span cost is nanoseconds against microsecond-noise
+    # smoke rounds; only require traced serving within 2x of untraced
+    "tracing_enabled_efficiency": 0.5,
 }
 
 

@@ -48,6 +48,7 @@ from .dtd import parse_dtd, serialize_dtd
 from .editing import EditScript
 from .engine import ViewEngine
 from .errors import ReproError, error_code, exit_code
+from .obs import configure as obs_configure, default_tracer, enable_json_logs
 from .registry import default_registry
 from .repair import compare_with_propagation
 from .replication import FileSpoolTransport, StandbyStore, WalShipper, replicate
@@ -222,6 +223,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     registry.
     """
     payload = default_registry().stats_payload()
+    payload["tracing"] = default_tracer().stats_payload()
     _emit(args, json.dumps(payload, indent=None if args.compact else 2))
     return 0
 
@@ -510,6 +512,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .server import ReproServer
+
+    if args.log_json:
+        enable_json_logs()
+    if args.trace:
+        obs_configure(
+            enabled=True,
+            sample_rate=args.trace_sample,
+            slow_threshold=args.trace_slow_ms / 1000.0,
+            keep=args.trace_keep,
+            log_spans=args.log_json,
+        )
 
     async def run() -> int:
         server = ReproServer(
@@ -809,7 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="the asyncio serving front-end: framed JSON requests plus "
-        "HTTP /metrics, /healthz, /stats on one port; SIGTERM drains "
+        "HTTP /metrics, /healthz, /stats (and, with --trace, "
+        "/debug/traces + /debug/slow) on one port; SIGTERM drains "
         "(in-flight requests finish, sessions close, leases release)",
     )
     serve.add_argument("--root", help="primary document store directory")
@@ -837,6 +851,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RECORDS",
         help="server-wide staleness budget for replica-routed reads",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing: per-stage spans, /debug/traces "
+        "and /debug/slow, trace_id echoed in every response envelope",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling rate in [0,1]; errors and over-threshold "
+        "requests are always kept (default: keep everything)",
+    )
+    serve.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="requests at or over this duration land in /debug/slow "
+        "and bypass sampling (default: 100)",
+    )
+    serve.add_argument(
+        "--trace-keep",
+        type=int,
+        default=256,
+        metavar="N",
+        help="completed traces retained in the /debug/traces ring "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="structured one-line JSON logs on stderr, trace_id-"
+        "correlated; with --trace also logs one line per span",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -58,6 +58,7 @@ from .dtd import (
 )
 from .editing import EditScript
 from .graphutil import cheapest_path
+from .obs import span as _span
 from .inversion import InversionGraphs, inversion_graphs
 from .inversion.graph import InversionGraph, InversionPath
 from .views import Annotation
@@ -542,8 +543,15 @@ class ViewEngine:
         chooser_key = self._chooser_key(chooser) if memo and fresh is None else None
         if chooser_key is None or self._memo is None:
             self._counters["memo_bypass"] += 1
-            collection = self.propagation_graphs(source, update, validate=validate)
-            return collection.build_script(chooser, fresh, optimal_only=optimal)
+            with _span("engine.propagate", memo="bypass"):
+                with _span("graphs", validate=validate):
+                    collection = self.propagation_graphs(
+                        source, update, validate=validate
+                    )
+                with _span("script"):
+                    return collection.build_script(
+                        chooser, fresh, optimal_only=optimal
+                    )
         return self._memo_propagate(
             source, update, chooser, chooser_key, optimal, validate, None
         )
@@ -576,31 +584,39 @@ class ViewEngine:
         if entry is None:
             entry = _MemoEntry()
             self._memo[key] = entry
-        if validate and not entry.validated:
-            self._counters["validations"] += 1
-            validate_view_update(
-                self._dtd,
-                self._annotation,
-                source,
-                update,
-                derived_view_dtd=self.view_dtd,
-                source_view=view_supplier() if view_supplier is not None else None,
-            )
-            entry.validated = True
-        script_key = (chooser_key, optimal)
-        script = entry.scripts.get(script_key)
-        if script is not None:
-            self._counters["memo_hits"] += 1
+        with _span("engine.propagate") as sp:
+            if validate and not entry.validated:
+                self._counters["validations"] += 1
+                with _span("validate"):
+                    validate_view_update(
+                        self._dtd,
+                        self._annotation,
+                        source,
+                        update,
+                        derived_view_dtd=self.view_dtd,
+                        source_view=(
+                            view_supplier() if view_supplier is not None else None
+                        ),
+                    )
+                entry.validated = True
+            script_key = (chooser_key, optimal)
+            script = entry.scripts.get(script_key)
+            if script is not None:
+                self._counters["memo_hits"] += 1
+                sp.set(memo="hit")
+                return script
+            self._counters["memo_misses"] += 1
+            sp.set(memo="miss")
+            graphs = entry.graphs
+            if graphs is None:
+                with _span("graphs"):
+                    graphs = entry.graphs = self.propagation_graphs(
+                        source, update, validate=False
+                    )
+            with _span("script"):
+                script = graphs.build_script(chooser, None, optimal_only=optimal)
+            entry.scripts[script_key] = script
             return script
-        self._counters["memo_misses"] += 1
-        graphs = entry.graphs
-        if graphs is None:
-            graphs = entry.graphs = self.propagation_graphs(
-                source, update, validate=False
-            )
-        script = graphs.build_script(chooser, None, optimal_only=optimal)
-        entry.scripts[script_key] = script
-        return script
 
     def propagate_many(
         self,
@@ -711,12 +727,20 @@ class ViewEngine:
                 )
                 continue
             self._counters["memo_bypass"] += 1
-            if validate:
-                self.validate(doc, update, source_view=view_of(doc))
-            collection = self.propagation_graphs(doc, update, validate=False)
-            results.append(
-                collection.build_script(chooser, None, optimal_only=optimal)
-            )
+            with _span("engine.propagate", memo="bypass"):
+                if validate:
+                    with _span("validate"):
+                        self.validate(doc, update, source_view=view_of(doc))
+                with _span("graphs"):
+                    collection = self.propagation_graphs(
+                        doc, update, validate=False
+                    )
+                with _span("script"):
+                    results.append(
+                        collection.build_script(
+                            chooser, None, optimal_only=optimal
+                        )
+                    )
         return results
 
     def _propagate_batch_parallel(

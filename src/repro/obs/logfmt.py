@@ -1,0 +1,79 @@
+"""One-line JSON log records, correlated to the current trace.
+
+``JsonLogFormatter`` is a standard :class:`logging.Formatter`: any
+record passing through it becomes a single JSON object with timestamp,
+level, logger, message, the ambient ``trace_id``/``span_id`` (when a
+span is open on the emitting thread/task), and whatever extra fields
+the caller attached via ``logger.info(..., extra={...})``.  Nothing
+here imports beyond the standard library, and the rest of the code
+never assumes the handler is installed — ``--log-json`` flips it on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+from .trace import current_span
+
+__all__ = ["JsonLogFormatter", "enable_json_logs"]
+
+# Fields every LogRecord carries; anything else was caller-supplied
+# via ``extra=`` and belongs in the JSON line.
+_STANDARD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        span = current_span()
+        if span is not None and span.recording:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_FIELDS and key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def enable_json_logs(
+    *,
+    level: int = logging.INFO,
+    stream=None,
+    logger: Optional[logging.Logger] = None,
+) -> logging.Handler:
+    """Install a JSON handler on *logger* (default: root) and return it.
+
+    Idempotent per logger: an existing handler with a
+    :class:`JsonLogFormatter` is reused rather than duplicated.
+    """
+    target = logger if logger is not None else logging.getLogger()
+    for handler in target.handlers:
+        if isinstance(handler.formatter, JsonLogFormatter):
+            target.setLevel(min(target.level or level, level))
+            return handler
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler.setLevel(level)
+    target.addHandler(handler)
+    if target.level == 0 or target.level > level:
+        target.setLevel(level)
+    return handler

@@ -39,6 +39,7 @@ from .core.choosers import PathChooser, chooser_from_key
 from .dtd import InsertletPackage, MinimalTreeFactory, serialize_dtd
 from .editing import EditScript
 from .errors import ReproError
+from .obs import configure as _obs_configure, span as _span, trace as _trace, tracing_enabled
 from .xmltree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -121,13 +122,30 @@ def _worker_init(spec: tuple) -> None:
 
 
 def _serve_chunk(
-    payload: "tuple[list[tuple[Tree, EditScript]], tuple, bool, bool, bool]",
-) -> "list[EditScript]":
-    """Serve one chunk inside a worker process."""
-    pairs, chooser_key, optimal, validate, memo = payload
+    payload: "tuple[list[tuple[Tree, EditScript]], tuple, bool, bool, bool, bool]",
+) -> "tuple[list[EditScript], dict | None]":
+    """Serve one chunk inside a worker process.
+
+    Returns ``(scripts, exported span tree | None)`` — when the parent
+    had tracing on, the worker records its own ``process_pool.chunk``
+    trace and ships the serialized span tree home in the result
+    envelope, where the batch span adopts it.
+    """
+    pairs, chooser_key, optimal, validate, memo, traced = payload
     engine = _WORKER_ENGINE["engine"]
     chooser = chooser_from_key(chooser_key)
-    return engine._propagate_batch(pairs, chooser, optimal, validate, memo)
+    if not traced:
+        return engine._propagate_batch(pairs, chooser, optimal, validate, memo), None
+    # Under ``spawn`` the worker's default tracer starts disabled (under
+    # ``fork`` it inherits the parent's); flip it on so the engine's
+    # stage spans record. Keep everything — sampling was decided by the
+    # parent when it kept (or dropped) the enclosing request.
+    if not tracing_enabled():
+        _obs_configure(enabled=True, sample_rate=1.0)
+    root = _trace("process_pool.chunk", requests=len(pairs), pid=os.getpid())
+    with root:
+        scripts = engine._propagate_batch(pairs, chooser, optimal, validate, memo)
+    return scripts, root.export()
 
 
 def balanced_chunk_indices(
@@ -212,20 +230,26 @@ def propagate_batch_processes(
             f"chunk assignment does not cover the batch exactly: "
             f"{len(pairs)} requests across {len(assignment)} chunks"
         )
+    traced = tracing_enabled()
     payloads = [
-        ([pairs[i] for i in chunk], key, optimal, validate, memo)
+        ([pairs[i] for i in chunk], key, optimal, validate, memo, traced)
         for chunk in assignment
     ]
-    with ProcessPoolExecutor(
+    with _span(
+        "process_pool.batch", chunks=len(assignment), workers=workers
+    ) as batch_span, ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init, initargs=(spec,)
     ) as pool:
         results: "list[EditScript | None]" = [None] * len(pairs)
-        for chunk, chunk_scripts in zip(assignment, pool.map(_serve_chunk, payloads)):
+        for chunk, (chunk_scripts, chunk_spans) in zip(
+            assignment, pool.map(_serve_chunk, payloads)
+        ):
             if len(chunk_scripts) != len(chunk):
                 raise ProcessServingError(
                     f"worker returned {len(chunk_scripts)} scripts for a "
                     f"{len(chunk)}-request chunk"
                 )
+            batch_span.adopt(chunk_spans)
             for i, script in zip(chunk, chunk_scripts):
                 results[i] = script
     missing = [i for i, script in enumerate(results) if script is None]

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..errors import ReplicationError, UnknownDocumentError
+from ..obs import span as _span
 from ..store import DocumentStore
 from ..store.snapshot import list_snapshots, read_snapshot
 from ..store.store import _ANN_FILE, _DTD_FILE, _META, _SNAP_DIR, _WAL_FILE
@@ -69,6 +70,7 @@ class WalShipper:
         transport: ReplicationTransport,
         *,
         doc_ids: "Iterable[str] | None" = None,
+        label: "str | None" = None,
     ) -> None:
         self._primary = primary
         self._transport = transport
@@ -77,6 +79,7 @@ class WalShipper:
         self._bootstraps = 0
         self._checkpoints = 0
         self._records = 0
+        self._label = label
 
     # ------------------------------------------------------------------
     # Positions
@@ -94,6 +97,10 @@ class WalShipper:
         """Adopt a standby's acknowledged positions as the resume point
         (pass the standby itself, or any ``{doc_id: seq}`` mapping).
         Returns self, for chaining."""
+        if self._label is None:
+            root = getattr(acknowledged, "root", None)
+            if root is not None:
+                self._label = str(root)
         if hasattr(acknowledged, "positions"):
             acknowledged = acknowledged.positions()
         self._positions.update(acknowledged)
@@ -128,6 +135,12 @@ class WalShipper:
         ``checkpoint`` frame; then WAL records follow in order. Safe to
         re-run at any time — standbys deduplicate by sequence number.
         """
+        with _span("replication.ship", doc=doc_id) as sp:
+            sent = self._ship(doc_id)
+            sp.set(frames=sent)
+        return sent
+
+    def _ship(self, doc_id: str) -> int:
         directory = self._doc_dir(doc_id)
         schema_hash = self._primary.meta(doc_id)["schema"]
         scan = scan_wal(directory / _WAL_FILE)
@@ -193,10 +206,46 @@ class WalShipper:
     # ------------------------------------------------------------------
 
     @property
+    def label(self) -> str:
+        """A stable name for the standby this shipper feeds — the
+        standby root adopted by :meth:`resume_from`, an explicit
+        ``label=``, or the transport's repr as a last resort."""
+        return self._label or type(self._transport).__name__
+
+    def lag(self) -> "dict[str, int]":
+        """Records at the primary's log head not yet shipped, per
+        tracked document — the ``repro_shipper_lag`` gauge.
+
+        A document never shipped reports its full log depth (everything
+        after the newest snapshot still has to travel); reading the
+        position map alone cannot tell that apart from "caught up".
+        """
+        doc_ids = (
+            self._doc_ids
+            if self._doc_ids is not None
+            else self._primary.documents()
+        )
+        lag: "dict[str, int]" = {}
+        for doc_id in doc_ids:
+            try:
+                directory = self._doc_dir(doc_id)
+                scan = scan_wal(directory / _WAL_FILE)
+            except (UnknownDocumentError, OSError):
+                continue
+            position = self._positions.get(doc_id)
+            if position is None:
+                # records span base_seq + 1 .. last_seq, all unshipped
+                position = scan.base_seq
+            lag[doc_id] = max(0, scan.last_seq - position)
+        return lag
+
+    @property
     def stats(self) -> dict:
         """JSON-serializable shipping counters and positions."""
         return {
+            "label": self.label,
             "positions": dict(self._positions),
+            "lag": self.lag(),
             "bootstraps": self._bootstraps,
             "checkpoints": self._checkpoints,
             "records_shipped": self._records,

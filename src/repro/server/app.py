@@ -7,7 +7,9 @@ process-pool batches through the engine registry, and a
 :class:`~repro.sharding.ShardedDocument` — behind the framed protocol
 of :mod:`repro.server.protocol`. The same port speaks just enough
 HTTP/1.1 for observability: ``GET /metrics`` (Prometheus text),
-``GET /healthz``, ``GET /stats`` (JSON); the first line of each
+``GET /healthz``, ``GET /stats`` (JSON), and the tracing surfaces
+``GET /debug/traces`` (recent ring; ``?trace_id=`` looks one up) and
+``GET /debug/slow`` (over-threshold traces); the first line of each
 connection decides which protocol it is.
 
 Concurrency model: the event loop only frames and dispatches.
@@ -25,10 +27,13 @@ leases), the sharded document, and the stores — in that order. The
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+from urllib.parse import parse_qs
 
 from ..errors import ProtocolError, ServerError, UnknownDocumentError
+from ..obs import Tracer, default_tracer
 from ..registry import EngineRegistry, default_registry
 from . import handlers
 from .metrics import EndpointMetrics, render_metrics
@@ -57,6 +62,7 @@ class ReproServer:
         fsync: "str | None" = None,
         max_lag: "int | None" = None,
         registry: "EngineRegistry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._store_root = store_root
         self._standby_root = standby_root
@@ -66,7 +72,9 @@ class ReproServer:
         self._fsync = fsync
         self.max_lag = max_lag
         self.registry = registry if registry is not None else default_registry()
+        self.tracer = tracer if tracer is not None else default_tracer()
         self.endpoint_metrics = EndpointMetrics()
+        self._shippers: list = []
         self._store = None
         self._standby = None
         self._shard = None
@@ -175,8 +183,12 @@ class ReproServer:
         return lock
 
     async def run_blocking(self, fn, *args):
+        # run_in_executor does NOT propagate contextvars — carry the
+        # request's ambient trace context into the worker thread, or
+        # every span opened there would start a trace of its own
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, fn, *args)
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(None, lambda: ctx.run(fn, *args))
 
     # ------------------------------------------------------------------
     # Observability
@@ -187,6 +199,11 @@ class ReproServer:
 
     def _replica_stats(self) -> "dict[str, dict]":
         return {doc_id: replica.stats for doc_id, replica in self._replicas.items()}
+
+    def attach_shipper(self, shipper) -> None:
+        """Register a :class:`~repro.replication.WalShipper` so its
+        per-standby shipped-lag shows up in ``/metrics`` and ``/stats``."""
+        self._shippers.append(shipper)
 
     def stats_payload(self) -> dict:
         """Everything the server knows, as one JSON object."""
@@ -202,7 +219,10 @@ class ReproServer:
             "registry": self.registry.stats_payload(),
             "documents": self._document_stats(),
             "replicas": self._replica_stats(),
+            "tracing": self.tracer.stats_payload(),
         }
+        if self._shippers:
+            payload["shippers"] = [shipper.stats for shipper in self._shippers]
         if self._shard is not None:
             payload["shard"] = self._shard.stats_payload()
         return payload
@@ -216,6 +236,8 @@ class ReproServer:
             shards=self._shard.stats_payload() if self._shard is not None else None,
             inflight=self._inflight,
             draining=self._draining,
+            tracer=self.tracer,
+            shippers=self._shippers,
         )
 
     # ------------------------------------------------------------------
@@ -388,7 +410,8 @@ class ReproServer:
     def _http_answer(self, method: str, path: str) -> "tuple[str, str, str]":
         if method != "GET":
             return "405 Method Not Allowed", "text/plain", "GET only\n"
-        path = path.split("?", 1)[0]
+        path, _, query_string = path.partition("?")
+        query = parse_qs(query_string)
         if path == "/metrics":
             return (
                 "200 OK",
@@ -404,4 +427,42 @@ class ReproServer:
                 "application/json",
                 json.dumps(self.stats_payload(), sort_keys=True, default=str) + "\n",
             )
+        if path == "/debug/traces":
+            return "200 OK", "application/json", self._debug_traces(query)
+        if path == "/debug/slow":
+            return "200 OK", "application/json", self._debug_slow(query)
         return "404 Not Found", "text/plain", f"no route {path}\n"
+
+    @staticmethod
+    def _query_limit(query: dict) -> "int | None":
+        raw = query.get("limit", [None])[0]
+        try:
+            return max(1, int(raw)) if raw is not None else None
+        except ValueError:
+            return None
+
+    def _debug_traces(self, query: dict) -> str:
+        """The recent-trace ring as JSON; ``?trace_id=`` looks one up."""
+        trace_id = query.get("trace_id", [None])[0]
+        if trace_id:
+            record = self.tracer.find(trace_id)
+            payload = {
+                "trace": record,
+                "found": record is not None,
+                "tracing": self.tracer.stats_payload(),
+            }
+        else:
+            payload = {
+                "traces": self.tracer.recent(self._query_limit(query)),
+                "tracing": self.tracer.stats_payload(),
+            }
+        return json.dumps(payload, sort_keys=True, default=str) + "\n"
+
+    def _debug_slow(self, query: dict) -> str:
+        """Over-threshold traces, full span trees, newest first."""
+        payload = {
+            "slow": self.tracer.slow(self._query_limit(query)),
+            "threshold_ms": self.tracer.slow_threshold * 1000.0,
+            "tracing": self.tracer.stats_payload(),
+        }
+        return json.dumps(payload, sort_keys=True, default=str) + "\n"

@@ -25,9 +25,11 @@ class RemoteServingError(ServerError):
         self.code = payload.get("code", "error")
         self.remote_type = payload.get("type", "ReproError")
         self.remote_exit_code = payload.get("exit_code", 1)
+        self.trace_id = payload.get("trace_id")
         super().__init__(
             f"server answered {self.code}[{self.remote_type}]: "
             f"{payload.get('message', '')}"
+            + (f" (trace {self.trace_id})" if self.trace_id else "")
         )
         self.payload = payload
 
@@ -38,6 +40,10 @@ class ServeClient:
     def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._buffer = bytearray()
+        #: ``trace_id`` of the last answered request (``None`` when the
+        #: server traces nothing and the caller supplied none) — look it
+        #: up in the server's ``/debug/traces`` to see where time went.
+        self.last_trace_id: "str | None" = None
 
     def close(self) -> None:
         self._sock.close()
@@ -66,6 +72,7 @@ class ServeClient:
         :class:`RemoteServingError` with the server's error."""
         self._sock.sendall(encode_message({"op": op, **fields}))
         response = self._read_response()
+        self.last_trace_id = response.get("trace_id")
         if response.get("ok"):
             return response.get("result", {})
         raise RemoteServingError(response.get("error", {}))

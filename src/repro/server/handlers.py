@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from ..editing import EditScript
 from ..errors import ReplicationLagError, ServerError, error_payload
+from ..obs import trace as _trace
 from ..xmltree import tree_to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -179,27 +180,45 @@ async def handle(server: "ReproServer", request: dict) -> dict:
     "error": error_payload(...)}`` with the request's ``id`` echoed when
     present; latency and errors land in the server's endpoint metrics
     either way.
+
+    With tracing enabled every request runs under a ``request`` root
+    span; its ``trace_id`` rides in the response envelope (and inside
+    error payloads), so a slow or failed answer can be looked up in
+    ``/debug/traces`` verbatim. A client-supplied ``trace_id`` is
+    adopted instead of minting one — and echoed even with tracing off,
+    so correlation never depends on server configuration.
     """
     op = request.get("op")
     start = time.perf_counter()
     endpoint = op if isinstance(op, str) else "unknown"
-    try:
-        handler = HANDLERS.get(op)
-        if handler is None:
-            raise ServerError(
-                f"unknown op {op!r}; serve one of {sorted(HANDLERS)}"
+    client_trace_id = request.get("trace_id")
+    if not isinstance(client_trace_id, str) or not client_trace_id:
+        client_trace_id = None
+    root = _trace("request", trace_id=client_trace_id, op=endpoint)
+    trace_id = root.trace_id or client_trace_id
+    with root:
+        try:
+            handler = HANDLERS.get(op)
+            if handler is None:
+                raise ServerError(
+                    f"unknown op {op!r}; serve one of {sorted(HANDLERS)}"
+                )
+            if server.draining:
+                raise ServerError("server is draining; no new requests")
+            result = await handler(server, request)
+            response = {"ok": True, "result": result}
+            server.endpoint_metrics.observe(endpoint, time.perf_counter() - start)
+        except Exception as error:  # typed payloads for library errors too
+            payload = error_payload(error)
+            if trace_id is not None:
+                payload["trace_id"] = trace_id
+            root.mark_error(payload["code"])
+            response = {"ok": False, "error": payload}
+            server.endpoint_metrics.observe(
+                endpoint, time.perf_counter() - start, error_code=payload["code"]
             )
-        if server.draining:
-            raise ServerError("server is draining; no new requests")
-        result = await handler(server, request)
-        response = {"ok": True, "result": result}
-        server.endpoint_metrics.observe(endpoint, time.perf_counter() - start)
-    except Exception as error:  # typed payloads for library errors too
-        payload = error_payload(error)
-        response = {"ok": False, "error": payload}
-        server.endpoint_metrics.observe(
-            endpoint, time.perf_counter() - start, error_code=payload["code"]
-        )
+    if trace_id is not None:
+        response["trace_id"] = trace_id
     if "id" in request:
         response["id"] = request["id"]
     return response

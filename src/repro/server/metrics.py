@@ -14,9 +14,30 @@ counter contract (``rate()`` handles restarts).
 
 from __future__ import annotations
 
+import bisect
 import threading
 
-__all__ = ["EndpointMetrics", "render_metrics"]
+__all__ = ["EndpointMetrics", "LATENCY_BUCKETS", "render_metrics"]
+
+#: Fixed histogram bucket upper bounds (seconds) for
+#: ``repro_server_latency_seconds``. Stable across releases by contract:
+#: dashboards and alerts key on ``le`` values, so changing them is a
+#: breaking change. Spans 1 ms (memo-hit serving) to 5 s (huge-document
+#: boundary splits); everything slower lands in ``+Inf``.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
 
 
 def _escape(value: str) -> str:
@@ -51,6 +72,9 @@ class EndpointMetrics:
         self._latency_sum: "dict[str, float]" = {}
         self._latency_count: "dict[str, int]" = {}
         self._latency_max: "dict[str, float]" = {}
+        # one count per LATENCY_BUCKETS entry plus +Inf, non-cumulative;
+        # the render path cumsums into the Prometheus `le` convention
+        self._latency_buckets: "dict[str, list[int]]" = {}
 
     def observe(
         self, endpoint: str, seconds: float, error_code: "str | None" = None
@@ -67,6 +91,12 @@ class EndpointMetrics:
             )
             if seconds > self._latency_max.get(endpoint, 0.0):
                 self._latency_max[endpoint] = seconds
+            buckets = self._latency_buckets.get(endpoint)
+            if buckets is None:
+                buckets = self._latency_buckets[endpoint] = [0] * (
+                    len(LATENCY_BUCKETS) + 1
+                )
+            buckets[bisect.bisect_left(LATENCY_BUCKETS, seconds)] += 1
             if error_code is not None:
                 key = (endpoint, error_code)
                 self._errors[key] = self._errors.get(key, 0) + 1
@@ -119,6 +149,34 @@ class EndpointMetrics:
                 lines.append(
                     f"repro_server_request_seconds_count{labels} "
                     f"{self._latency_count[endpoint]}"
+                )
+            lines += [
+                "# HELP repro_server_latency_seconds Request latency histogram per endpoint (stable buckets).",
+                "# TYPE repro_server_latency_seconds histogram",
+            ]
+            for endpoint in sorted(self._latency_buckets):
+                cumulative = 0
+                for bound, count in zip(
+                    LATENCY_BUCKETS, self._latency_buckets[endpoint]
+                ):
+                    cumulative += count
+                    lines.append(
+                        "repro_server_latency_seconds_bucket"
+                        f'{_labels(endpoint=endpoint, le=repr(bound))} '
+                        f"{cumulative}"
+                    )
+                cumulative += self._latency_buckets[endpoint][-1]
+                lines.append(
+                    "repro_server_latency_seconds_bucket"
+                    f'{_labels(endpoint=endpoint, le="+Inf")} {cumulative}'
+                )
+                labels = _labels(endpoint=endpoint)
+                lines.append(
+                    f"repro_server_latency_seconds_sum{labels} "
+                    f"{self._latency_sum.get(endpoint, 0.0):.9f}"
+                )
+                lines.append(
+                    f"repro_server_latency_seconds_count{labels} {cumulative}"
                 )
             lines += [
                 "# HELP repro_server_request_seconds_max Slowest request per endpoint.",
@@ -272,6 +330,64 @@ def _shard_lines(shard_payload: "dict | None") -> "list[str]":
     return lines
 
 
+def _tracing_lines(tracer) -> "list[str]":
+    """Trace retention counters and per-stage duration series."""
+    if tracer is None:
+        return []
+    stats = tracer.stats_payload()
+    lines = [
+        "# HELP repro_tracing_enabled Whether request tracing is on.",
+        "# TYPE repro_tracing_enabled gauge",
+        f"repro_tracing_enabled {int(stats['enabled'])}",
+        "# HELP repro_traces_total Traces by retention outcome.",
+        "# TYPE repro_traces_total counter",
+        f"repro_traces_total{_labels(outcome='started')} {stats['started']}",
+        f"repro_traces_total{_labels(outcome='kept')} {stats['kept']}",
+        f"repro_traces_total{_labels(outcome='dropped')} {stats['dropped']}",
+        f"repro_traces_total{_labels(outcome='error')} {stats['errors']}",
+        f"repro_traces_total{_labels(outcome='slow')} {stats['slow']}",
+        "# HELP repro_trace_slow_log_size Over-threshold traces currently buffered.",
+        "# TYPE repro_trace_slow_log_size gauge",
+        f"repro_trace_slow_log_size {stats['slow_log_size']}",
+    ]
+    stages = tracer.stage_seconds()
+    if stages:
+        lines += [
+            "# HELP repro_trace_stage_seconds Time spent per pipeline stage, across all kept-or-not spans.",
+            "# TYPE repro_trace_stage_seconds summary",
+        ]
+        for stage in sorted(stages):
+            count, total = stages[stage]
+            labels = _labels(stage=stage)
+            lines.append(f"repro_trace_stage_seconds_sum{labels} {total:.9f}")
+            lines.append(f"repro_trace_stage_seconds_count{labels} {count}")
+    return lines
+
+
+def _shipper_lines(shippers) -> "list[str]":
+    """Per-standby shipped-lag gauges (WalShipper.lag), labelled by the
+    standby root the shipper resumes from."""
+    if not shippers:
+        return []
+    lines = [
+        "# HELP repro_shipper_lag Primary WAL records not yet shipped to the standby.",
+        "# TYPE repro_shipper_lag gauge",
+        "# HELP repro_shipper_records_total WAL records shipped to the standby.",
+        "# TYPE repro_shipper_records_total counter",
+    ]
+    for shipper in shippers:
+        standby = shipper.label
+        for doc_id, lag in sorted(shipper.lag().items()):
+            lines.append(
+                f"repro_shipper_lag{_labels(standby=standby, doc=doc_id)} {lag}"
+            )
+        lines.append(
+            f"repro_shipper_records_total{_labels(standby=standby)} "
+            f"{shipper.stats['records_shipped']}"
+        )
+    return lines
+
+
 def render_metrics(
     *,
     endpoints: "EndpointMetrics | None" = None,
@@ -281,6 +397,8 @@ def render_metrics(
     shards: "dict | None" = None,
     inflight: int = 0,
     draining: bool = False,
+    tracer=None,
+    shippers=None,
 ) -> str:
     """Assemble the full ``/metrics`` document from live counters."""
     lines = [
@@ -298,4 +416,6 @@ def render_metrics(
     lines += _document_lines(documents or {})
     lines += _replica_lines(replicas or {})
     lines += _shard_lines(shards)
+    lines += _shipper_lines(shippers)
+    lines += _tracing_lines(tracer)
     return "\n".join(lines) + "\n"

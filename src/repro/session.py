@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from .core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
 from .editing import EditScript, Op
 from .errors import ReproError, StaleSessionError
+from .obs import span as _span
 from .xmltree import NodeId, NodeIds, Tree
 from .xmltree.nodeid import max_numeric_suffix, numeric_suffix
 
@@ -295,22 +296,29 @@ class DocumentSession:
                 "rebase() the session (or open a new one) instead of "
                 "serving from stale caches"
             )
-        if validate:
-            self._engine.validate(self._source, update, source_view=self._view)
-        collection = self._engine.propagation_graphs(
-            self._source, update, validate=False, subtree_sizes=self._sizes
-        )
-        if chooser is None:
-            chooser = PreferenceChooser() if optimal else CheapestPathChooser()
-        script = collection.build_script(
-            chooser,
-            self._fresh_ids(update, floor=fresh_floor),
-            optimal_only=optimal,
-        )
-        if verify and not self._engine.verify(self._source, update, script):
-            raise ReproError(
-                "propagation failed verification; session not advanced"
-            )
+        with _span("engine.propagate", kind="session"):
+            if validate:
+                with _span("validate"):
+                    self._engine.validate(
+                        self._source, update, source_view=self._view
+                    )
+            with _span("graphs"):
+                collection = self._engine.propagation_graphs(
+                    self._source, update, validate=False,
+                    subtree_sizes=self._sizes,
+                )
+            if chooser is None:
+                chooser = PreferenceChooser() if optimal else CheapestPathChooser()
+            with _span("script"):
+                script = collection.build_script(
+                    chooser,
+                    self._fresh_ids(update, floor=fresh_floor),
+                    optimal_only=optimal,
+                )
+            if verify and not self._engine.verify(self._source, update, script):
+                raise ReproError(
+                    "propagation failed verification; session not advanced"
+                )
         if advance and self._journal is not None:
             self._journal(update, script)
         self._served += 1

@@ -57,6 +57,7 @@ from ..core.choosers import CheapestPathChooser, PathChooser, PreferenceChooser
 from ..editing import EditScript, Op
 from ..editing.ops import EditLabel
 from ..errors import ShardingError
+from ..obs import span as _span
 from ..xmltree import NodeId, NodeIds, Tree
 from ..xmltree.nodeid import max_numeric_suffix, numeric_suffix
 from .partition import ShardPlan, partition, reassemble
@@ -281,16 +282,21 @@ class ShardRouter:
                             ins_max = suffix
 
         if boundary:
-            return self._propagate_boundary(update, splice=splice, validate=validate)
+            with _span("shard.route", path="boundary"):
+                return self._propagate_boundary(
+                    update, splice=splice, validate=validate
+                )
         if not touched:
-            return self._propagate_identity(update, splice=splice)
-        return self._propagate_fast(
-            update,
-            sorted(touched, key=self._order.__getitem__),
-            ins_max,
-            splice=splice,
-            validate=validate,
-        )
+            with _span("shard.route", path="identity"):
+                return self._propagate_identity(update, splice=splice)
+        with _span("shard.route", path="fast", shards=len(touched)):
+            return self._propagate_fast(
+                update,
+                sorted(touched, key=self._order.__getitem__),
+                ins_max,
+                splice=splice,
+                validate=validate,
+            )
 
     # -- fast path -----------------------------------------------------
 
@@ -305,18 +311,20 @@ class ShardRouter:
     ) -> ShardedPropagation:
         floor = self._floor(ins_max)
         requests = [(sid, update.subscript(sid), floor) for sid in touched]
-        previews = self._pool.preview(
-            requests,
-            chooser=self._chooser,
-            optimal=self._optimal,
-            validate=validate,
-        )
+        with _span("shard.fanout", shards=len(requests)):
+            previews = self._pool.preview(
+                requests,
+                chooser=self._chooser,
+                optimal=self._optimal,
+                validate=validate,
+            )
         offsets: "dict[NodeId, int]" = {}
         running = 0
         for sid in touched:
             offsets[sid] = running
             running += previews[sid][1]
-        committed = self._pool.commit(offsets, want_script=splice)
+        with _span("shard.commit", shards=len(offsets)):
+            committed = self._pool.commit(offsets, want_script=splice)
         total_cost = 0
         shard_scripts: "dict[NodeId, EditScript]" = {}
         for sid in touched:

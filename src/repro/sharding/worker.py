@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from ..core.choosers import PathChooser
 from ..editing import EditScript
 from ..errors import ShardingError, ShardWorkerError
+from ..obs import current_span, span as _span
 from ..xmltree import NodeId, Tree, parse_term
 from ..xmltree.nodeid import numeric_suffix
 
@@ -161,18 +162,24 @@ class LocalShardPool:
         ``{shard_id: (cost, fresh_consumed)}`` and parks the previewed
         pairs for :meth:`commit`."""
 
+        # pool threads do not inherit the ambient context — hand each
+        # per-shard span the dispatching request's span explicitly, so
+        # stragglers show up as children of the fan-out, not as orphans
+        parent = current_span()
+
         def one(request: "tuple[NodeId, EditScript, int]"):
             shard_id, update, floor = request
-            session = self._session(shard_id)
-            script = session.propagate(
-                update,
-                chooser=chooser,
-                optimal=optimal,
-                validate=validate,
-                advance=False,
-                fresh_floor=floor,
-            )
-            consumed = consumed_fresh(script, floor)
+            with _span("shard.propagate", parent=parent, shard=str(shard_id)):
+                session = self._session(shard_id)
+                script = session.propagate(
+                    update,
+                    chooser=chooser,
+                    optimal=optimal,
+                    validate=validate,
+                    advance=False,
+                    fresh_floor=floor,
+                )
+                consumed = consumed_fresh(script, floor)
             return shard_id, (update, script, consumed, floor)
 
         if len(requests) == 1:

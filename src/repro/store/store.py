@@ -53,6 +53,7 @@ from ..errors import (
     TreeError,
     UnknownDocumentError,
 )
+from ..obs import span as _span
 from ..registry import EngineRegistry, default_registry, schema_fingerprint
 from ..views import Annotation
 from ..xmltree import Tree
@@ -790,29 +791,30 @@ class DurableSession:
         self._session = session
 
     def _journal(self, update: EditScript, script: EditScript) -> None:
-        # Fencing check first: a writer that lost its lease (another
-        # open, a promoted standby) must refuse *before* the record
-        # lands, or the document's history forks.
-        if self._lease is not None:
-            verify_lease(self._lease_path, self._lease)
-        text = script.to_term()
-        # Append only what replay can read back: a document whose node
-        # identifiers fall outside term notation (spaces, commas — XML
-        # attributes allow them) must fail *here*, before the update is
-        # acknowledged, not at recovery time.
-        try:
-            reparsed = EditScript.parse(text)
-        except (ScriptError, TreeError) as error:
-            raise StoreError(
-                "refusing to journal a propagation whose script does not "
-                f"survive the term-notation round trip ({error})"
-            ) from error
-        if reparsed != script:
-            raise StoreError(
-                "refusing to journal a propagation whose script re-parses "
-                "differently — node identifiers are not term-notation-safe"
-            )
-        self._writer.append(text)
+        with _span("session.journal", doc=self.doc_id):
+            # Fencing check first: a writer that lost its lease (another
+            # open, a promoted standby) must refuse *before* the record
+            # lands, or the document's history forks.
+            if self._lease is not None:
+                verify_lease(self._lease_path, self._lease)
+            text = script.to_term()
+            # Append only what replay can read back: a document whose node
+            # identifiers fall outside term notation (spaces, commas — XML
+            # attributes allow them) must fail *here*, before the update is
+            # acknowledged, not at recovery time.
+            try:
+                reparsed = EditScript.parse(text)
+            except (ScriptError, TreeError) as error:
+                raise StoreError(
+                    "refusing to journal a propagation whose script does not "
+                    f"survive the term-notation round trip ({error})"
+                ) from error
+            if reparsed != script:
+                raise StoreError(
+                    "refusing to journal a propagation whose script re-parses "
+                    "differently — node identifiers are not term-notation-safe"
+                )
+            self._writer.append(text)
 
     # ------------------------------------------------------------------
     # State

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..errors import StoreError, WALCorruptError
+from ..obs import child_span as _child_span
 
 __all__ = [
     "WalRecord",
@@ -523,18 +524,20 @@ class WalWriter:
         """
         self._raise_deferred()
         seq = self._seq + 1
-        with self._sync_lock:
-            self._handle.write(encode_record(seq, text))
-            self._handle.flush()
-            self._seq = seq
-            self._appended += 1
-            self._pending += 1
+        with _child_span("wal.append", seq=seq, policy=self._policy):
+            with self._sync_lock:
+                self._handle.write(encode_record(seq, text))
+                self._handle.flush()
+                self._seq = seq
+                self._appended += 1
+                self._pending += 1
         if self._policy == "always":
             self.sync()
         elif self._policy == "batch":
-            delegated = (
-                self._group is not None and self._group.schedule(self)
-            )
+            with _child_span("group_commit.schedule"):
+                delegated = (
+                    self._group is not None and self._group.schedule(self)
+                )
             if not delegated and self._pending >= self._interval:
                 # no coordinator (or a closed one): plain interval fsyncs
                 self.sync()
@@ -557,11 +560,12 @@ class WalWriter:
     def sync(self) -> None:
         """Force everything appended so far onto stable storage."""
         self._raise_deferred()
-        with self._sync_lock:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._pending = 0
-            self._syncs += 1
+        with _child_span("fsync", pending=self._pending):
+            with self._sync_lock:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._pending = 0
+                self._syncs += 1
 
     def close(self, *, final_sync: "bool | None" = None) -> None:
         """Flush and close; fsyncs pending records unless policy ``off``

@@ -1,0 +1,37 @@
+"""Mark every test under ``tests/obs`` with the ``obs`` marker (CI's
+server job runs ``-m "server or obs"``) and share a configured-tracer
+fixture that always restores the disabled default."""
+
+import pathlib
+
+import pytest
+
+from repro import obs
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = getattr(item, "path", None) or getattr(item, "fspath", None)
+        if path is not None and _HERE in pathlib.Path(str(path)).parents:
+            item.add_marker(pytest.mark.obs)
+
+
+@pytest.fixture
+def tracer():
+    """The default tracer, enabled with keep-everything sampling; reset
+    and disabled again afterwards so the library's zero-cost default
+    holds for every other test."""
+    t = obs.configure(
+        enabled=True,
+        sample_rate=1.0,
+        slow_threshold=60.0,
+        keep=256,
+        slow_keep=64,
+        log_spans=False,
+    )
+    t.reset()
+    yield t
+    t.reset()
+    obs.configure(enabled=False)

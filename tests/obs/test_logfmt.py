@@ -1,0 +1,110 @@
+"""Structured JSON logs: one parseable line, trace-correlated."""
+
+import io
+import json
+import logging
+
+from repro import obs
+from repro.obs import JsonLogFormatter, enable_json_logs
+
+
+def fresh_logger(name, stream):
+    logger = logging.getLogger(name)
+    logger.propagate = False
+    handler = enable_json_logs(stream=stream, logger=logger)
+    return logger, handler
+
+
+class TestJsonLogFormatter:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger, handler = fresh_logger("t.obs.basic", stream)
+        try:
+            logger.info("served %d docs", 3)
+            logger.warning("slow")
+        finally:
+            logger.removeHandler(handler)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["msg"] == "served 3 docs"
+        assert first["level"] == "info"
+        assert first["logger"] == "t.obs.basic"
+        assert second["level"] == "warning"
+        assert "ts" in first and "iso" in first
+
+    def test_extra_fields_land_in_the_payload(self):
+        stream = io.StringIO()
+        logger, handler = fresh_logger("t.obs.extra", stream)
+        try:
+            logger.info("journalled", extra={"doc": "doc0", "seq": 7})
+        finally:
+            logger.removeHandler(handler)
+        payload = json.loads(stream.getvalue())
+        assert payload["doc"] == "doc0" and payload["seq"] == 7
+
+    def test_trace_correlation_when_a_span_is_open(self, tracer):
+        stream = io.StringIO()
+        logger, handler = fresh_logger("t.obs.corr", stream)
+        try:
+            with obs.trace("req") as root:
+                with obs.span("stage") as stage:
+                    logger.info("inside")
+            logger.info("outside")
+        finally:
+            logger.removeHandler(handler)
+        inside, outside = (
+            json.loads(line) for line in stream.getvalue().strip().splitlines()
+        )
+        assert inside["trace_id"] == root.trace_id
+        assert inside["span_id"] == stage.span_id
+        assert "trace_id" not in outside
+
+    def test_exceptions_are_rendered_inline(self):
+        stream = io.StringIO()
+        logger, handler = fresh_logger("t.obs.exc", stream)
+        try:
+            try:
+                raise RuntimeError("kaboom")
+            except RuntimeError:
+                logger.exception("failed")
+        finally:
+            logger.removeHandler(handler)
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "error"
+        assert "RuntimeError: kaboom" in payload["exc"]
+
+    def test_enable_is_idempotent_per_logger(self):
+        stream = io.StringIO()
+        logger = logging.getLogger("t.obs.idem")
+        logger.propagate = False
+        first = enable_json_logs(stream=stream, logger=logger)
+        second = enable_json_logs(stream=stream, logger=logger)
+        try:
+            assert first is second
+            assert sum(
+                isinstance(h.formatter, JsonLogFormatter)
+                for h in logger.handlers
+            ) == 1
+        finally:
+            logger.removeHandler(first)
+
+    def test_span_logging_emits_one_line_per_span(self, tracer):
+        stream = io.StringIO()
+        logger = logging.getLogger("repro.trace")
+        logger.propagate = False
+        handler = enable_json_logs(stream=stream, logger=logger)
+        tracer.configure(log_spans=True)
+        try:
+            with obs.trace("req") as root:
+                with obs.span("stage.a"):
+                    pass
+        finally:
+            tracer.configure(log_spans=False)
+            logger.removeHandler(handler)
+        lines = [json.loads(line) for line in stream.getvalue().strip().splitlines()]
+        assert len(lines) == 2  # stage.a, then the root
+        assert lines[0]["span"] == "stage.a"
+        assert lines[1]["span"] == "req"
+        assert all(line["trace"] == root.trace_id for line in lines)
+        assert all("duration_ms" in line for line in lines)

@@ -1,0 +1,71 @@
+"""Property: a span's interval provably nests inside its parent's.
+
+Spans time with ``perf_counter`` and a child is entered after and
+exited before its parent by construction, so for every generated tree
+shape the serialized offsets must satisfy strict containment — no
+epsilon, no clock skew excuses.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+
+pytestmark = pytest.mark.property
+
+# arbitrary finite tree shapes: each node is a list of child shapes
+shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=12,
+)
+
+
+def open_spans(shape, index=0):
+    """Enter one span per node, depth-first, doing a little work in
+    each so durations are non-trivial."""
+    with obs.span(f"n{index}"):
+        acc = sum(range(50))
+        for offset, child in enumerate(shape):
+            open_spans(child, index * 10 + offset + 1)
+        return acc
+
+
+def assert_nested(node):
+    start = node["offset_ms"]
+    end = start + node["duration_ms"]
+    assert node["duration_ms"] >= 0.0
+    previous_start = start
+    for child in node.get("children", []):
+        child_start = child["offset_ms"]
+        child_end = child_start + child["duration_ms"]
+        assert start <= child_start, "child started before its parent"
+        assert child_end <= end, "child outlived its parent"
+        assert previous_start <= child_start, "siblings out of order"
+        previous_start = child_start
+        assert_nested(child)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes)
+def test_every_span_interval_nests_inside_its_parent(shape):
+    tracer = obs.configure(enabled=True, sample_rate=1.0, slow_threshold=60.0)
+    tracer.reset()
+    try:
+        with obs.trace("root") as root:
+            open_spans(shape)
+        record = tracer.find(root.trace_id)
+        assert record is not None
+        assert_nested(record["root"])
+        # the whole tree serialized: one span per generated node + root
+
+        def count(node):
+            return 1 + sum(count(c) for c in node.get("children", []))
+
+        def shape_count(s):
+            return 1 + sum(shape_count(c) for c in s)
+
+        assert count(record["root"]) == 1 + shape_count(shape)
+    finally:
+        tracer.reset()
+        obs.configure(enabled=False)

@@ -241,6 +241,15 @@ class TestMetricsScrape:
         assert 'repro_server_request_seconds_sum{endpoint="propagate"}' in text
         assert 'repro_server_request_seconds_count{endpoint="propagate"} 2' in text
         assert 'repro_server_request_seconds_max{endpoint="propagate"}' in text
+        # the fixed-bucket latency histogram rides alongside the summary
+        assert "# TYPE repro_server_latency_seconds histogram" in text
+        assert 'repro_server_latency_seconds_bucket{endpoint="propagate",le="0.001"}' in text
+        assert 'repro_server_latency_seconds_bucket{endpoint="propagate",le="+Inf"} 2' in text
+        assert 'repro_server_latency_seconds_sum{endpoint="propagate"}' in text
+        assert 'repro_server_latency_seconds_count{endpoint="propagate"} 2' in text
+        # tracing retention counters export even while tracing is off
+        assert "repro_tracing_enabled" in text
+        assert 'repro_traces_total{outcome="kept"}' in text
         # registry and engine counters
         assert "repro_registry_hit_rate" in text
         assert 'counter="propagations"' in text

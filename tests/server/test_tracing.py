@@ -1,0 +1,206 @@
+"""Served tracing: trace_id round trips, the /debug surfaces, and the
+per-standby shipped-lag gauge."""
+
+import json
+import random
+
+import pytest
+
+from repro import obs
+from repro.engine import ViewEngine
+from repro.generators.updates import random_view_update
+from repro.replication import QueueTransport, StandbyStore, WalShipper
+from repro.server import RemoteServingError, ReproServer, ServeClient
+from repro.store import DocumentStore
+
+from .conftest import run_with_server, sequential_updates
+
+
+def _scrape(host, port, path):
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def tracer():
+    """The process default tracer (the one handlers record to),
+    enabled for the test and restored to disabled afterwards."""
+    t = obs.configure(
+        enabled=True, sample_rate=1.0, slow_threshold=60.0, keep=64
+    )
+    t.reset()
+    yield t
+    t.reset()
+    obs.configure(enabled=False)
+
+
+def span_names(span_dict, depth=0):
+    yield depth, span_dict["name"]
+    for child in span_dict.get("children", []):
+        yield from span_names(child, depth + 1)
+
+
+class TestServedTraces:
+    def test_propagate_trace_tree_is_retrievable_by_trace_id(
+        self, tracer, tmp_path, workload
+    ):
+        # fsync="always" so the journal subtree shows a real fsync span
+        store = DocumentStore.init(tmp_path / "traced", fsync="always")
+        store.put("doc0", workload.source, workload.dtd, workload.annotation)
+        store.close()
+        terms = sequential_updates(workload, 1, seed=3)
+        server = ReproServer(store_root=tmp_path / "traced", fsync="always")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                client.propagate("doc0", terms[0])
+                trace_id = client.last_trace_id
+            assert trace_id
+            status, body = _scrape(
+                host, port, f"/debug/traces?trace_id={trace_id}"
+            )
+            assert status == 200
+            return trace_id, json.loads(body)
+
+        trace_id, payload = run_with_server(server, client_work)
+        assert payload["found"] is True
+        record = payload["trace"]
+        assert record["trace_id"] == trace_id
+        tree = list(span_names(record["root"]))
+        names = [name for _, name in tree]
+        # the acceptance tree: request → engine.propagate → stages,
+        # and the journal's WAL spans
+        assert tree[0] == (0, "request")
+        engine_depth = next(d for d, n in tree if n == "engine.propagate")
+        for stage in ("validate", "graphs", "script"):
+            assert (engine_depth + 1, stage) in tree
+        journal_depth = next(d for d, n in tree if n == "session.journal")
+        assert (journal_depth + 1, "wal.append") in tree
+        assert (journal_depth + 1, "fsync") in tree
+        assert "seq" not in names  # sanity: names, not attrs
+
+    def test_client_trace_id_round_trips_through_the_error_envelope(
+        self, tracer, store_root
+    ):
+        server = ReproServer(store_root=store_root, fsync="off")
+        supplied = "deadbeefdeadbeef"
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                with pytest.raises(RemoteServingError) as excinfo:
+                    client.view("ghost", trace_id=supplied)
+                return client.last_trace_id, excinfo.value
+
+        envelope_id, error = run_with_server(server, client_work)
+        assert envelope_id == supplied
+        assert error.trace_id == supplied
+        assert error.payload["trace_id"] == supplied
+        assert supplied in str(error)
+        # the failed request was kept (errors escape sampling) and is
+        # findable under the *client's* id
+        record = tracer.find(supplied)
+        assert record is not None and record["error"] is not None
+
+    def test_trace_id_echo_survives_tracing_disabled(self, store_root):
+        assert not obs.tracing_enabled()
+        server = ReproServer(store_root=store_root, fsync="off")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                client.ping()
+                untraced = client.last_trace_id
+                client.request("ping", trace_id="cafe0001cafe0001")
+                return untraced, client.last_trace_id
+
+        untraced, echoed = run_with_server(server, client_work)
+        assert untraced is None  # no tracer, no id invented
+        assert echoed == "cafe0001cafe0001"  # correlation still works
+
+    def test_debug_slow_surfaces_over_threshold_requests(
+        self, tracer, store_root, workload
+    ):
+        tracer.configure(slow_threshold=0.0)  # everything is "slow"
+        terms = sequential_updates(workload, 1, seed=9)
+        server = ReproServer(store_root=store_root, fsync="off")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                client.propagate("doc1", terms[0])
+            status, body = _scrape(host, port, "/debug/slow?limit=5")
+            assert status == 200
+            return json.loads(body)
+
+        payload = run_with_server(server, client_work)
+        assert payload["threshold_ms"] == 0.0
+        assert payload["slow"], "over-threshold trace missing from /debug/slow"
+        assert payload["slow"][0]["slow"] is True
+        assert payload["tracing"]["slow"] >= 1
+
+    def test_stats_gain_a_tracing_section(self, tracer, store_root, workload):
+        terms = sequential_updates(workload, 1, seed=13)
+        server = ReproServer(store_root=store_root, fsync="off")
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                client.propagate("doc3", terms[0])
+                framed = client.stats()
+            status, body = _scrape(host, port, "/stats")
+            assert status == 200
+            return framed, json.loads(body)
+
+        framed, http_stats = run_with_server(server, client_work)
+        for payload in (framed, http_stats):
+            tracing = payload["tracing"]
+            assert tracing["enabled"] is True
+            assert tracing["kept"] >= 1
+            assert {"started", "dropped", "slow_log_size"} <= set(tracing)
+
+
+class TestShippedLagGauge:
+    def _primary_with_updates(self, tmp_path, workload, steps=3):
+        store = DocumentStore.init(tmp_path / "primary", fsync="off")
+        store.put("doc", workload.source, workload.dtd, workload.annotation)
+        rng = random.Random(31)
+        engine = ViewEngine(workload.dtd, workload.annotation)
+        with store.open_session("doc", engine=engine) as session:
+            for _ in range(steps):
+                session.propagate(
+                    random_view_update(
+                        rng, workload.dtd, workload.annotation,
+                        session.source, n_ops=2,
+                    )
+                )
+        return store
+
+    def test_metrics_export_per_standby_lag(self, tmp_path, workload):
+        store = self._primary_with_updates(tmp_path, workload)
+        standby = StandbyStore.init(
+            tmp_path / "standby", primary_root=tmp_path / "primary"
+        )
+        shipper = WalShipper(store, QueueTransport()).resume_from(standby)
+        assert shipper.lag() == {"doc": 3}  # nothing shipped yet
+
+        server = ReproServer(store_root=tmp_path / "primary", fsync="off")
+        server.attach_shipper(shipper)
+        label = str(standby.root)
+        text = server.metrics_text()
+        assert (
+            f'repro_shipper_lag{{doc="doc",standby="{label}"}} 3' in text
+        )
+        assert f'repro_shipper_records_total{{standby="{label}"}} 0' in text
+
+        shipper.ship_all()
+        text = server.metrics_text()
+        assert (
+            f'repro_shipper_lag{{doc="doc",standby="{label}"}} 0' in text
+        )
+        assert "shippers" in server.stats_payload()
+        standby.close()
+        store.close()
