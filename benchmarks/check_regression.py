@@ -4,7 +4,7 @@ CI's ``bench-smoke`` job runs::
 
     python benchmarks/bench_end_to_end.py --json /tmp/bench.json --smoke
     python benchmarks/check_regression.py \\
-        --baseline BENCH_PR4.json --candidate /tmp/bench.json
+        --baseline BENCH_PR9.json --candidate /tmp/bench.json
 
 Absolute times are machine-bound and useless across runners, so only
 **ratio** metrics are compared — the memoized-vs-warm speedup of
@@ -34,6 +34,9 @@ RATIO_METRICS = (
     # untraced served time / fully-traced served time — bounds the cost
     # of turning request tracing on (PR-8)
     ("served_streaming", "tracing_enabled_efficiency"),
+    # cold first-propagation time / disk-warm first-propagation time —
+    # the persistent cache tier's restart win (PR-9)
+    ("cold_start", "warm_speedup"),
 )
 
 # Smoke workloads are microsecond-scale, so even their *ratios* wobble
@@ -53,6 +56,11 @@ SMOKE_EXPECTATION_CAPS = {
     # tracing's per-span cost is nanoseconds against microsecond-noise
     # smoke rounds; only require traced serving within 2x of untraced
     "tracing_enabled_efficiency": 0.5,
+    # smoke schemas compile in single-digit milliseconds, so the disk
+    # tier's restart win shrinks toward its fixed read cost; only
+    # require hydration to beat recompilation by 2x in CI (full mode
+    # demands the real, uncapped ratio)
+    "warm_speedup": 2.0,
 }
 
 

@@ -1,0 +1,30 @@
+"""On-disk, content-addressed cache tier for compiled engines and memos.
+
+See :mod:`repro.cache.tier` for the design; :class:`DiskCache` is the
+public entry point::
+
+    cache = DiskCache("/var/cache/repro")
+    registry = EngineRegistry()
+    registry.attach_disk_tier(cache)
+    cache.warm(registry)          # preload the manifest's hot schemas
+"""
+
+from .tier import (
+    DiskCache,
+    DiskCacheStats,
+    artifact_parts,
+    build_artifact_payload,
+    hydrate_engine,
+    lazy_artifact_supplier,
+    memo_script_key,
+)
+
+__all__ = [
+    "DiskCache",
+    "DiskCacheStats",
+    "artifact_parts",
+    "build_artifact_payload",
+    "hydrate_engine",
+    "lazy_artifact_supplier",
+    "memo_script_key",
+]

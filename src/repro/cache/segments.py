@@ -1,0 +1,300 @@
+"""Segment files: the disk cache's append-only, self-checking record log.
+
+The tier stores every cache entry as one framed record in a numbered
+segment file, reusing the WAL's CRC framing byte for byte:
+
+.. code-block:: text
+
+    CSEGv1 <segment_number>\\n      # file header, written once
+    R <seq> <length> <crc32>\\n     # one record header per append
+    <length bytes of JSON payload>\\n
+
+Unlike the WAL — whose records are acknowledged history, so interior
+corruption must *stop the world* — a cache record is always
+re-derivable: the worst a damaged segment may cost is a recompile. The
+failure model is therefore strictly miss-shaped:
+
+* a **torn tail** (final record cut short by a crash mid-append) is
+  ignored by scans and truncated the next time an appender holds the
+  exclusive file lock — the interrupted put simply never happened;
+* **interior corruption** (a bad checksum, malformed header, or
+  sequence gap with further data behind it) **quarantines the whole
+  segment**: its entries become misses and the file is renamed aside,
+  never read again. No code path raises into the serving tier and no
+  damaged payload is ever returned — :func:`read_payload` re-verifies
+  the CRC on every point read, so corruption that lands *after* the
+  initial scan is caught too.
+
+Segment numbers are monotonic; scans apply records in
+``(segment, seq)`` order, so rewritten entries (garbage collection
+copies live records into a fresh, higher-numbered segment before
+deleting the old ones) deterministically win over stale ones.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..store.wal import encode_record
+
+__all__ = [
+    "CacheRecord",
+    "SegmentScan",
+    "segment_path",
+    "segment_number",
+    "list_segments",
+    "create_segment",
+    "scan_segment",
+    "read_payload",
+    "append_records",
+]
+
+_MAGIC = b"CSEGv1"
+_HEADER_RE = re.compile(rb"CSEGv1 (\d+)")
+_RECORD_RE = re.compile(rb"R (\d+) (\d+) (\d+)")
+
+SEGMENT_SUFFIX = ".log"
+QUARANTINE_SUFFIX = ".bad"
+_SEGMENT_RE = re.compile(r"seg-(\d+)\.log$")
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One intact record: where its payload lives and how to verify it."""
+
+    segment: int
+    seq: int
+    offset: int
+    """Byte offset of the payload within the segment file."""
+    length: int
+    crc: int
+    text: str
+    """The payload (carried by scans; point reads re-fetch from disk)."""
+
+
+@dataclass
+class SegmentScan:
+    """Everything one pass over a segment (or its tail) learned."""
+
+    number: int
+    records: "list[CacheRecord]"
+    intact_end: int
+    """Byte offset just past the last intact record — appends resume
+    here, and bytes beyond it are torn-tail garbage."""
+    next_seq: int
+    torn: bool
+    """The file ends in an unfinished record (safe: ignore/truncate)."""
+    corrupt: bool
+    """Interior damage — the caller must quarantine the segment."""
+    reason: "str | None" = None
+
+
+def segment_path(root: "Path | str", number: int) -> Path:
+    return Path(root) / f"seg-{number}{SEGMENT_SUFFIX}"
+
+
+def segment_number(path: "Path | str") -> "int | None":
+    match = _SEGMENT_RE.search(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def list_segments(root: "Path | str") -> "list[tuple[int, Path]]":
+    """All live ``(number, path)`` segments under *root*, ascending."""
+    found = []
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _SEGMENT_RE.fullmatch(name)
+        if match:
+            found.append((int(match.group(1)), Path(root) / name))
+    found.sort()
+    return found
+
+
+def _fsync_fd(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def create_segment(path: "Path | str", number: int) -> int:
+    """Write a fresh segment header; returns the header's byte length."""
+    path = Path(path)
+    header = _MAGIC + f" {number}\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        _fsync_fd(handle)
+    _fsync_dir(path.parent)
+    return len(header)
+
+
+def scan_segment(
+    path: "Path | str", *, offset: int = 0, expected_seq: int = 1
+) -> SegmentScan:
+    """Scan a segment (or, with *offset* > 0, only its unseen tail).
+
+    Never raises on damage: header problems, checksum failures followed
+    by more data, and sequence gaps all come back as ``corrupt=True``
+    for the caller to quarantine; an unfinished final record comes back
+    as ``torn=True`` with everything before it intact.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            if offset:
+                handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return SegmentScan(-1, [], offset, expected_seq, False, True, "unreadable")
+    pos = 0
+    number = -1
+    if offset == 0:
+        header_end = data.find(b"\n")
+        if header_end < 0:
+            # a header shorter than one line is a torn creation
+            return SegmentScan(-1, [], 0, 1, True, False, "torn header")
+        match = _HEADER_RE.fullmatch(data[:header_end])
+        if match is None:
+            return SegmentScan(-1, [], 0, 1, False, True, "bad header")
+        number = int(match.group(1))
+        pos = header_end + 1
+    records: "list[CacheRecord]" = []
+    intact_end = pos
+    torn = False
+    corrupt = False
+    reason: "str | None" = None
+    seq = expected_seq
+    while pos < len(data):
+        header_end = data.find(b"\n", pos)
+        if header_end < 0:
+            torn, reason = True, "torn record header"
+            break
+        match = _RECORD_RE.fullmatch(data[pos:header_end])
+        if match is None:
+            if header_end == len(data) - 1 and data.find(b"\n", header_end + 1) < 0:
+                torn, reason = True, "garbage final line"
+                break
+            corrupt, reason = True, f"malformed record header at byte {offset + pos}"
+            break
+        rec_seq, length, crc = (int(group) for group in match.groups())
+        body_start = header_end + 1
+        body_end = body_start + length
+        if body_end + 1 > len(data):
+            torn, reason = True, "payload cut short"
+            break
+        payload = data[body_start:body_end]
+        is_last = body_end + 1 == len(data)
+        intact = (
+            data[body_end:body_end + 1] == b"\n" and zlib.crc32(payload) == crc
+        )
+        text: "str | None" = None
+        if intact:
+            try:
+                text = payload.decode("utf-8")
+            except UnicodeDecodeError:
+                intact = False
+        if not intact:
+            if is_last:
+                torn, reason = True, "torn final record"
+                break
+            corrupt, reason = True, f"checksum failure at byte {offset + pos}"
+            break
+        if rec_seq != seq:
+            corrupt, reason = (
+                True,
+                f"expected record {seq} at byte {offset + pos}, found {rec_seq}",
+            )
+            break
+        assert text is not None
+        records.append(
+            CacheRecord(number, rec_seq, offset + body_start, length, crc, text)
+        )
+        seq += 1
+        pos = body_end + 1
+        intact_end = pos
+    return SegmentScan(
+        number, records, offset + intact_end, seq, torn, corrupt, reason
+    )
+
+
+def read_payload(
+    path: "Path | str", offset: int, length: int, crc: int
+) -> "str | None":
+    """Point-read one payload, re-verifying frame and checksum.
+
+    Returns ``None`` on any damage (short read, missing trailing
+    newline, CRC mismatch, undecodable bytes, unreadable file) — the
+    caller treats that as corruption and quarantines the segment.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(length + 1)
+    except OSError:
+        return None
+    if len(data) != length + 1 or data[length:] != b"\n":
+        return None
+    payload = data[:length]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def append_records(
+    path: "Path | str",
+    texts: "list[str]",
+    first_seq: int,
+    *,
+    number: int,
+    fsync: bool = False,
+) -> "tuple[list[CacheRecord], int]":
+    """Append *texts* as consecutive records from *first_seq*.
+
+    Returns the appended records and the new end offset. The caller is
+    responsible for exclusion (the tier appends under its file lock)
+    and for having truncated any torn tail first — appends always land
+    at the current end of file.
+    """
+    path = Path(path)
+    records: "list[CacheRecord]" = []
+    with open(path, "ab") as handle:
+        end = handle.tell()
+        for index, text in enumerate(texts):
+            seq = first_seq + index
+            blob = encode_record(seq, text)
+            payload = text.encode("utf-8")
+            header_len = len(blob) - len(payload) - 1
+            records.append(
+                CacheRecord(
+                    number,
+                    seq,
+                    end + header_len,
+                    len(payload),
+                    zlib.crc32(payload),
+                    text,
+                )
+            )
+            handle.write(blob)
+            end += len(blob)
+        if fsync:
+            _fsync_fd(handle)
+    return records, end

@@ -144,6 +144,53 @@ class EditScript:
         raw = parse_term(text, id_prefix=id_prefix)
         return cls(raw.map_labels(parse_edit_label))
 
+    def to_packed(self) -> dict:
+        """A JSON-ready flat encoding: ``{"root", "nodes"}`` with one
+        ``[id, op, symbol, target, [child ids]]`` row per node, preorder.
+
+        Term notation stays the canonical interchange format; this form
+        exists because rebuilding a memoized script on a serving path
+        should cost a few dict inserts, not a character-level parse.
+        :meth:`from_packed` inverts it.
+        """
+        tree = self._tree
+        if tree.is_empty:
+            return {"root": None, "nodes": []}
+        nodes = []
+        for node in tree.nodes():
+            label = tree.label(node)
+            nodes.append(
+                [node, label.op.name, label.symbol, label.target,
+                 list(tree.children(node))]
+            )
+        return {"root": tree.root, "nodes": nodes}
+
+    @classmethod
+    def from_packed(cls, payload: dict) -> "EditScript":
+        """Rebuild a script from :meth:`to_packed` output.
+
+        Labels go through :class:`EditLabel` and the result through the
+        validating constructor, so a malformed payload raises rather
+        than yielding an ill-formed script.
+        """
+        root = payload["root"]
+        if root is None:
+            return cls(Tree.empty())
+        labels: "dict[NodeId, EditLabel]" = {}
+        children: "dict[NodeId, tuple[NodeId, ...]]" = {}
+        parents: "dict[NodeId, NodeId]" = {}
+        for node, op_name, symbol, target, kids in payload["nodes"]:
+            labels[node] = EditLabel(Op[op_name], symbol, target)
+            if kids:
+                kid_ids = tuple(kids)
+                children[node] = kid_ids
+                for kid in kid_ids:
+                    parents[kid] = node
+        if root not in labels or len(parents) != len(labels) - 1:
+            raise InvalidScriptError("packed script structure is inconsistent")
+        tree = Tree._from_parts(root, labels, children, parents)
+        return cls(tree)
+
     # ------------------------------------------------------------------
     # Structure access
     # ------------------------------------------------------------------

@@ -55,11 +55,14 @@ class ProcessServingError(ReproError):
 def engine_spec(engine: "ViewEngine") -> tuple:
     """The picklable envelope that reconstructs *engine* in a worker.
 
-    ``(dtd text, annotation text, insertlet terms | None, schema hash)``
-    — the schema hash rides along purely as a cross-process sanity
-    check: the worker's reconstructed engine must fingerprint
-    identically, otherwise serialization lost information and serving
-    would silently diverge.
+    ``(dtd text, annotation text, insertlet terms | None, schema hash,
+    disk-cache root | None)`` — the schema hash rides along purely as a
+    cross-process sanity check: the worker's reconstructed engine must
+    fingerprint identically, otherwise serialization lost information
+    and serving would silently diverge. The disk-cache root ships the
+    parent's :class:`~repro.cache.DiskCache` location so every worker
+    attaches the same shared tier (artifact hydration instead of a
+    recompile, memo entries shared across the pool).
     """
     factory = engine._factory
     insertlets: "dict[str, str] | None" = None
@@ -80,11 +83,13 @@ def engine_spec(engine: "ViewEngine") -> tuple:
             "(the default minimal factory or an InsertletPackage); got "
             f"{type(factory).__name__}"
         )
+    disk = engine.disk_tier
     return (
         serialize_dtd(engine.dtd),
         engine.annotation.serialize(),
         insertlets,
         engine.schema_hash,
+        str(disk.root) if disk is not None else None,
     )
 
 
@@ -103,7 +108,19 @@ def _worker_init(spec: tuple) -> None:
     from .registry import default_registry
     from .views import Annotation
 
-    dtd_text, annotation_text, insertlets, schema_hash = spec
+    dtd_text, annotation_text, insertlets, schema_hash, cache_root = (
+        spec if len(spec) >= 5 else (*spec, None)
+    )
+    if cache_root is not None and default_registry().disk_tier is None:
+        # share the parent's disk tier: a spawned worker hydrates its
+        # engine from the cached artifact instead of recompiling, and
+        # the pool's memo entries accumulate in one place
+        try:
+            from .cache import DiskCache
+
+            default_registry().attach_disk_tier(DiskCache(cache_root))
+        except Exception:
+            pass  # a damaged tier must never kill the pool
     dtd = parse_dtd(dtd_text)
     annotation = Annotation.parse(annotation_text)
     factory = None

@@ -174,6 +174,10 @@ class RegistryStats:
     capacity: int
     """Maximum engines kept."""
 
+    coalesced: int = 0
+    """Lookups that joined another thread's in-flight compile instead of
+    compiling a duplicate (counted in :attr:`hits` too)."""
+
     @property
     def hit_rate(self) -> float:
         """``hits / (hits + misses)``, 0.0 before any keyed lookup."""
@@ -185,6 +189,17 @@ class RegistryStats:
         payload: "dict[str, float | int]" = dataclasses.asdict(self)
         payload["hit_rate"] = self.hit_rate
         return payload
+
+
+class _InFlight:
+    """One in-progress engine build that racers block on (single-flight)."""
+
+    __slots__ = ("done", "engine", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.engine: "ViewEngine | None" = None
+        self.error: "BaseException | None" = None
 
 
 class EngineRegistry:
@@ -215,10 +230,13 @@ class EngineRegistry:
             self._engine_kwargs["inversion_cache_capacity"] = inversion_cache_capacity
         self._lock = threading.Lock()
         self._engines: "OrderedDict[tuple[str, str], ViewEngine]" = OrderedDict()
+        self._inflight: "dict[tuple[str, str], _InFlight]" = {}
+        self._disk = None
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._uncacheable = 0
+        self._coalesced = 0
 
     @property
     def capacity(self) -> int:
@@ -239,7 +257,26 @@ class EngineRegistry:
                 uncacheable=self._uncacheable,
                 currsize=len(self._engines),
                 capacity=self._capacity,
+                coalesced=self._coalesced,
             )
+
+    def attach_disk_tier(self, cache) -> "EngineRegistry":
+        """Attach a :class:`~repro.cache.DiskCache` beneath the registry.
+
+        Misses then consult the disk tier for a compiled-engine artifact
+        before compiling from scratch, every cached engine gets the tier
+        attached beneath its memo, and LRU eviction drops the evicted
+        schema's disk entries too (the tier mirrors the registry, it is
+        not a shadow copy of schemas the registry gave up on).
+        """
+        with self._lock:
+            self._disk = cache
+        return self
+
+    @property
+    def disk_tier(self):
+        """The attached :class:`~repro.cache.DiskCache`, or ``None``."""
+        return self._disk
 
     def get_or_compile(
         self,
@@ -259,6 +296,12 @@ class EngineRegistry:
         ``memo_capacity`` / ``inversion_cache_capacity`` overrides, so a
         multi-tenant server sizes every tenant's propagation memo in one
         place.
+
+        Concurrent misses on one key are **single-flight**: the first
+        caller builds (hydrating from the attached disk tier when it has
+        the artifact), every racer blocks on the same in-flight build and
+        shares its engine — N threads racing on a cold schema compile it
+        once, not N times (observable as :attr:`RegistryStats.coalesced`).
         """
         token = _factory_key(factory)
         if token is None:
@@ -269,24 +312,94 @@ class EngineRegistry:
             )
             return engine.warm_up() if warm else engine
         key = (schema_fingerprint(dtd, annotation), token)
-        fresh_engine: ViewEngine | None = None
-        with self._lock:
-            engine = self._engines.get(key)
-            if engine is not None:
-                self._hits += 1
-                self._engines.move_to_end(key)
+        while True:
+            with self._lock:
+                engine = self._engines.get(key)
+                if engine is not None:
+                    self._hits += 1
+                    self._engines.move_to_end(key)
+                    return engine
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    break  # we lead the build
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            if flight.engine is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._coalesced += 1
+                engine = flight.engine
+                if warm:
+                    engine.warm_up()
                 return engine
-            self._misses += 1
-            fresh_engine = ViewEngine(
-                dtd, annotation, factory=factory, **self._engine_kwargs
-            )
-            self._engines[key] = fresh_engine
-            while len(self._engines) > self._capacity:
-                self._engines.popitem(last=False)
-                self._evictions += 1
+            # leader vanished without a result (shouldn't happen): retry
+        evicted: "list[tuple[tuple[str, str], ViewEngine]]" = []
+        try:
+            engine = self._build_engine(dtd, annotation, factory, key)
+            with self._lock:
+                self._misses += 1
+                self._engines[key] = engine
+                while len(self._engines) > self._capacity:
+                    evicted.append(self._engines.popitem(last=False))
+                    self._evictions += 1
+            flight.engine = engine
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+        for (schema_hash, factory_token), _ in evicted:
+            self._drop_disk_entries(schema_hash, factory_token)
         if warm:
-            fresh_engine.warm_up()
-        return fresh_engine
+            engine.warm_up()
+        return engine
+
+    def _build_engine(
+        self,
+        dtd: DTD,
+        annotation: Annotation,
+        factory: "TreeFactory | None",
+        key: "tuple[str, str]",
+    ) -> ViewEngine:
+        """Build one engine for *key*, deferring the disk tier's artifact.
+
+        With a tier attached the engine gets a lazy artifact supplier
+        instead of an eager read: the artifact is only fetched, decoded
+        and validated when a request first needs a compiled table — a
+        fresh process answering a validated memo hit skips it entirely.
+        A supplier miss (no artifact, damage, mismatch) falls back to a
+        normal compile, also lazily.
+
+        Runs outside the registry lock (the single-flight entry protects
+        the key); separated out so tests can interpose slow builds.
+        """
+        schema_hash, token = key
+        disk = self._disk
+        engine = ViewEngine(dtd, annotation, factory=factory, **self._engine_kwargs)
+        if disk is not None:
+            from .cache import lazy_artifact_supplier
+
+            engine.attach_disk_tier(disk, token)
+            engine._schema_hash = schema_hash  # already fingerprinted for the key
+            engine._artifact_supplier = lazy_artifact_supplier(
+                disk, schema_hash, token, dtd
+            )
+        return engine
+
+    def _drop_disk_entries(self, schema_hash: str, factory_token: str) -> None:
+        """Mirror one LRU eviction into the disk tier (best effort)."""
+        disk = self._disk
+        if disk is None:
+            return
+        try:
+            disk.drop_tenant(schema_hash, factory_token)
+        except Exception:
+            pass
 
     def cached_keys(self) -> "list[tuple[str, str]]":
         """Cache keys from least- to most-recently used (for diagnostics)."""
@@ -307,9 +420,10 @@ class EngineRegistry:
         report — what ``repro-xml stats`` prints.
 
         Engine entries carry the schema fingerprint (the cache key), the
-        factory token, and the engine's request counters.
+        factory token, and the engine's request counters. With a disk
+        tier attached, its counters ride along as ``disk_cache``.
         """
-        return {
+        payload = {
             "registry": self.stats.as_dict(),
             "engines": [
                 {
@@ -320,12 +434,16 @@ class EngineRegistry:
                 for (schema_hash, factory_token), engine in self.cached_engines()
             ],
         }
+        if self._disk is not None:
+            payload["disk_cache"] = self._disk.stats_payload()
+        return payload
 
     def clear(self) -> None:
         """Drop every cached engine and reset the counters."""
         with self._lock:
             self._engines.clear()
             self._hits = self._misses = self._evictions = self._uncacheable = 0
+            self._coalesced = 0
 
     def __repr__(self) -> str:
         stats = self.stats

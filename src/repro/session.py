@@ -323,6 +323,10 @@ class DocumentSession:
             self._journal(update, script)
         self._served += 1
         self._total_cost += script.cost
+        # Sessions bypass the engine memo (incremental caches advance with
+        # the document), but the compiled artifact is still worth sharing:
+        # persist it so a restarted process skips compilation entirely.
+        self._engine._persist_artifact()
         if advance:
             self._advance(update, script)
         return script

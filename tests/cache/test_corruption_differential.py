@@ -1,0 +1,180 @@
+"""Corruption differential: a damaged cache is a miss, never a lie.
+
+Mirrors ``tests/property/test_durability_roundtrips.py``'s failure
+model for the disk cache tier: starting from one populated cache
+directory, every scenario damages the segment file — truncation at
+every record boundary, truncation mid-record, a flipped byte at the
+start / middle / end of every record, and a damaged header — then
+boots a completely fresh (DiskCache, EngineRegistry) stack over the
+wreckage and serves the known request. The differential contract:
+
+* no scenario raises into the serving tier;
+* every produced edit script is **byte-identical** to the cache-free
+  baseline (``ViewEngine`` with no tier attached);
+* a scenario either hit intact records or degraded to a clean miss —
+  there is no third outcome.
+"""
+
+import shutil
+
+import pytest
+
+from repro import EngineRegistry, ViewEngine
+from repro.cache import DiskCache
+from repro.cache.segments import scan_segment
+from repro.editing import EditScript
+from repro.paperdata.figures import a0, d0
+from repro.xmltree import parse_term
+
+pytestmark = pytest.mark.cache
+
+SOURCE_TERM = "r#n0(a#n1, b#n2, d#n3(a#n7, c#n8), a#n4, c#n5, d#n6(b#n9, c#n10))"
+UPDATE_TERM = (
+    "Nop.r#n0(Nop.a#n1, Nop.d#n3(Nop.c#n8), Nop.a#n4, "
+    "Ins.d#u0(Ins.c#u1), Ins.a#u2, Nop.d#n6(Nop.c#n10))"
+)
+
+
+def _schema():
+    return d0(), a0()
+
+
+def _request():
+    return parse_term(SOURCE_TERM), EditScript.parse(UPDATE_TERM)
+
+
+@pytest.fixture(scope="module")
+def baseline_term():
+    source, update = _request()
+    return ViewEngine(*_schema()).propagate(source, update).to_term()
+
+
+@pytest.fixture(scope="module")
+def populated_root(tmp_path_factory):
+    """One cache directory holding the compiled artifact and the memo
+    entry for the known request — the substrate every scenario damages
+    its own copy of."""
+    root = tmp_path_factory.mktemp("cache-substrate")
+    disk = DiskCache(root)
+    registry = EngineRegistry()
+    registry.attach_disk_tier(disk)
+    source, update = _request()
+    registry.get_or_compile(*_schema()).propagate(source, update)
+    assert len(disk) >= 2  # artifact + memo landed
+    return root
+
+
+def _segment(root):
+    segments = sorted(root.glob("seg-*.log"))
+    assert len(segments) == 1
+    return segments[0]
+
+
+def _damage_points(root):
+    """Every (name, damage function) scenario for the substrate's one
+    segment: truncations at and inside every record boundary, byte
+    flips across every record, and header damage."""
+    seg = _segment(root)
+    scan = scan_segment(seg)
+    size = seg.stat().st_size
+    boundaries = [0] + [r.offset for r in scan.records] + [scan.intact_end]
+
+    def truncate(at):
+        def apply(path):
+            with open(path, "r+b") as handle:
+                handle.truncate(at)
+
+        return apply
+
+    def flip(at):
+        def apply(path):
+            data = bytearray(path.read_bytes())
+            data[at] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+        return apply
+
+    scenarios = []
+    for boundary in sorted(set(boundaries)):
+        scenarios.append((f"truncate@{boundary}", truncate(boundary)))
+        if boundary + 7 < size:  # mid-record: a few bytes past the boundary
+            scenarios.append((f"truncate@{boundary}+7", truncate(boundary + 7)))
+    for record in scan.records:
+        for name, at in (
+            ("start", record.offset),
+            ("mid", record.offset + record.length // 2),
+            ("end", record.offset + record.length - 2),
+        ):
+            scenarios.append((f"flip-r{record.seq}-{name}", flip(at)))
+    scenarios.append(("flip-header", flip(2)))
+    return scenarios
+
+
+def _serve_over(root):
+    """Boot a fresh stack over *root* and serve the known request."""
+    disk = DiskCache(root)
+    registry = EngineRegistry()
+    registry.attach_disk_tier(disk)
+    source, update = _request()
+    engine = registry.get_or_compile(*_schema())
+    return disk, engine, engine.propagate(source, update)
+
+
+class TestCorruptionDifferential:
+    def test_substrate_serves_warm(self, populated_root, baseline_term, tmp_path):
+        """Sanity: the undamaged substrate actually warm-serves (the
+        differential below would be vacuous otherwise)."""
+        copy = tmp_path / "intact"
+        shutil.copytree(populated_root, copy)
+        disk, engine, script = _serve_over(copy)
+        assert engine.stats.disk_memo_hits == 1
+        assert script.to_term() == baseline_term
+        # a validated memo hit never reads the artifact; forcing a
+        # compiled table proves it still hydrates from disk
+        assert engine.visible_table is not None
+        assert disk.stats.artifact_hits >= 1
+
+    def test_every_damage_is_a_clean_miss(
+        self, populated_root, baseline_term, tmp_path
+    ):
+        scenarios = _damage_points(populated_root)
+        assert len(scenarios) > 10  # boundaries + interiors + flips
+        outcomes = []
+        for index, (name, damage) in enumerate(scenarios):
+            copy = tmp_path / f"case-{index}"
+            shutil.copytree(populated_root, copy)
+            damage(_segment(copy))
+            disk, engine, script = _serve_over(copy)
+            # the differential: byte-identical output, damage or not
+            assert script.to_term() == baseline_term, name
+            stats = disk.stats
+            served_from_disk = engine.stats.disk_memo_hits == 1
+            rebuilt = engine.stats.memo_misses == 1
+            assert served_from_disk != rebuilt, name  # exactly one path
+            outcomes.append((name, served_from_disk, stats.quarantines))
+        # at least one scenario of each outcome class materialized:
+        # intact-enough hits, clean misses, and quarantines
+        assert any(hit for _, hit, _ in outcomes)
+        assert any(not hit for _, hit, _ in outcomes)
+        assert any(quarantines for _, _, quarantines in outcomes)
+
+    def test_damage_after_warm_boot_degrades_midflight(
+        self, populated_root, baseline_term, tmp_path
+    ):
+        """Damage landing *after* the index was built (point-read CRC
+        failure) also degrades to a rebuild, not an exception."""
+        copy = tmp_path / "midflight"
+        shutil.copytree(populated_root, copy)
+        disk = DiskCache(copy)
+        registry = EngineRegistry()
+        registry.attach_disk_tier(disk)
+        assert len(disk) >= 2  # index built from intact files
+        seg = _segment(copy)
+        data = bytearray(seg.read_bytes())
+        for at in range(len(data) // 4, len(data), len(data) // 4):
+            data[at] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        source, update = _request()
+        engine = registry.get_or_compile(*_schema())
+        script = engine.propagate(source, update)
+        assert script.to_term() == baseline_term

@@ -251,6 +251,97 @@ class TestThreadSafety:
         assert registry.stats.misses == len(schemas)
 
 
+class TestSingleFlight:
+    """Concurrent misses on one key coalesce into one build: N threads
+    racing on a cold schema compile it once, not N times."""
+
+    def test_racing_threads_share_one_slow_build(self, monkeypatch):
+        import threading
+
+        registry = EngineRegistry()
+        dtd, annotation = _schema()
+        builds = []
+        release = threading.Event()
+        entered = threading.Barrier(9)  # 8 racers + the main thread
+        original = EngineRegistry._build_engine
+
+        def slow_build(self, *args, **kwargs):
+            builds.append(threading.get_ident())
+            # hold the build until every racer has been released into
+            # get_or_compile — the single-flight window is guaranteed
+            # open, so the assertion below is deterministic-ish
+            release.wait(timeout=10)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(EngineRegistry, "_build_engine", slow_build)
+        results = [None] * 8
+        errors = []
+
+        def fetch(index):
+            try:
+                entered.wait(timeout=10)
+                results[index] = registry.get_or_compile(dtd, annotation)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=fetch, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        entered.wait(timeout=10)
+        # give the racers a moment to pile onto the in-flight build,
+        # then let the leader finish
+        import time
+
+        deadline = time.monotonic() + 5
+        while not builds and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert len(builds) == 1  # exactly one compile, 7 racers coalesced
+        assert all(engine is results[0] for engine in results)
+        stats = registry.stats
+        assert stats.misses == 1
+        assert stats.hits == 7
+        assert stats.coalesced >= 1
+
+    def test_failed_build_propagates_to_every_racer(self, monkeypatch):
+        import threading
+
+        registry = EngineRegistry()
+        dtd, annotation = _schema()
+
+        class Boom(RuntimeError):
+            pass
+
+        def failing_build(self, *args, **kwargs):
+            raise Boom("compile failed")
+
+        monkeypatch.setattr(EngineRegistry, "_build_engine", failing_build)
+        errors = []
+
+        def fetch():
+            try:
+                registry.get_or_compile(dtd, annotation)
+            except Boom as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(errors) == 4  # everyone saw the failure, nobody hung
+        assert len(registry) == 0  # nothing poisonous was cached
+        # and the failure is not sticky: a working build succeeds after
+        monkeypatch.undo()
+        assert registry.get_or_compile(dtd, annotation) is not None
+
+
 class TestDefaultRegistryRouting:
     """The free-wrapper footgun fix: repeat calls stop recompiling."""
 
