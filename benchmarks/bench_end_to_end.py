@@ -334,6 +334,59 @@ class TestReplicationShipping:
         )
 
 
+class TestReplicationFollowing:
+    def test_replication_follow_daemon_bounds_live_lag(self, tmp_path):
+        """The follow daemon over real TCP: every propagation lands on
+        the standby without a manual ship, and the steady-state lag is
+        zero once the stream stops — the live analogue of the one-shot
+        shipping column."""
+        from repro.errors import UnknownDocumentError
+        from repro.replication import FollowerServer, ShipperDaemon, StandbyStore
+
+        def applied(standby_store):
+            try:
+                return standby_store.applied_seq("doc")
+            except UnknownDocumentError:
+                return -1  # bootstrap not durably applied yet
+
+        workload = wide_schema(8 if SMOKE else 24, sections=8)
+        dtd, annotation = workload.dtd, workload.annotation
+        updates = _sequential_stream(workload, STREAM_LENGTH)
+        engine = ViewEngine(dtd, annotation).warm_up()
+
+        primary = DocumentStore.init(tmp_path / "primary", fsync="off")
+        primary.put("doc", workload.source, dtd, annotation)
+        standby = StandbyStore.init(
+            tmp_path / "standby", primary_root=tmp_path / "primary"
+        )
+        latencies = []
+        with FollowerServer(standby, listen=("127.0.0.1", 0)) as follower:
+            with ShipperDaemon(
+                primary, connect=[follower.address], poll_interval=0.05
+            ) as daemon:
+                assert daemon.wait_caught_up(timeout=30)
+                with primary.open_session("doc", engine=engine) as session:
+                    for index, update in enumerate(updates, start=1):
+                        session.propagate(update)
+                        start = time.perf_counter()
+                        while applied(standby) < index:
+                            if time.perf_counter() - start > 30:
+                                raise AssertionError(
+                                    f"standby never applied seq {index}"
+                                )
+                            time.sleep(0.001)
+                        latencies.append(time.perf_counter() - start)
+                (link,) = daemon.links
+                assert not any(link.shipper.lag().values())  # zero lag
+        primary_wal = (tmp_path / "primary/docs/doc/wal.log").read_bytes()
+        assert (tmp_path / "standby/docs/doc/wal.log").read_bytes() == primary_wal
+        print(
+            f"\nreplication follow x{len(updates)} updates: ship latency "
+            f"median {statistics.median(latencies) * 1000:.2f} ms/update, "
+            "steady lag 0"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Memoization: the same (source, update) request arriving again and again —
 # retries, idempotent replays, many clients making the same change. A warm
@@ -758,10 +811,58 @@ def _replication_modes(workload, length: int, tmp_root, rounds: int) -> dict:
     reader = standby.replica_session("doc")
     rebuild = _median_seconds(lambda: standby.replica_session("doc"), rounds)
     refresh = _median_seconds(reader.refresh, rounds)
+
+    # -- followed standby: the live daemon over real TCP ----------------
+    # per-update ship latency = propagate acknowledged -> standby durably
+    # applied, with the daemon's append hook doing the waking; the gated
+    # ratio follow_lag_bounded = 1/(1+final_lag) is 1.0 exactly when the
+    # feed converged to zero lag (a correctness gate dressed as a ratio,
+    # immune to machine speed)
+    from repro.errors import UnknownDocumentError
+    from repro.replication import FollowerServer, ShipperDaemon
+
+    def applied(standby_store):
+        # the bootstrap frame may not have durably applied yet — the doc
+        # simply does not exist on the standby until it does
+        try:
+            return standby_store.applied_seq("doc")
+        except UnknownDocumentError:
+            return -1
+
+    follow_primary = DocumentStore.init(
+        Path(tmp_root) / "follow-primary", fsync="off"
+    )
+    follow_primary.put("doc", workload.source, dtd, annotation)
+    followed = StandbyStore.init(
+        Path(tmp_root) / "follow-standby", primary_root=follow_primary.root
+    )
+    follow_latencies = []
+    with FollowerServer(followed, listen=("127.0.0.1", 0)) as follower:
+        with ShipperDaemon(
+            follow_primary, connect=[follower.address], poll_interval=0.05
+        ) as daemon:
+            daemon.wait_caught_up(timeout=30)
+            with follow_primary.open_session("doc", engine=engine) as session:
+                for index, update in enumerate(updates, start=1):
+                    session.propagate(update)
+                    start = time.perf_counter()
+                    deadline = start + 30.0
+                    while time.perf_counter() < deadline:
+                        if applied(followed) >= index:
+                            break
+                        time.sleep(0.001)
+                    follow_latencies.append(time.perf_counter() - start)
+            final_lag = sum(daemon.links[0].shipper.lag().values())
+    followed.close()
+    follow_primary.close()
+
     return {
         "ship_ms_per_record": ship_elapsed / len(updates) * 1000,
         "replica_rebuild_ms": rebuild * 1000,
         "replica_noop_refresh_ms": refresh * 1000,
+        "follow_ship_ms_per_update": statistics.median(follow_latencies) * 1000,
+        "follow_steady_lag": final_lag,
+        "follow_lag_bounded": 1.0 / (1.0 + final_lag),
     }
 
 

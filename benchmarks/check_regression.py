@@ -37,6 +37,9 @@ RATIO_METRICS = (
     # cold first-propagation time / disk-warm first-propagation time —
     # the persistent cache tier's restart win (PR-9)
     ("cold_start", "warm_speedup"),
+    # 1/(1 + steady-state lag) of a followed standby after the stream
+    # stops — 1.0 iff the live feed converged to zero lag (PR-10)
+    ("replication", "follow_lag_bounded"),
 )
 
 # Smoke workloads are microsecond-scale, so even their *ratios* wobble
@@ -61,6 +64,9 @@ SMOKE_EXPECTATION_CAPS = {
     # require hydration to beat recompilation by 2x in CI (full mode
     # demands the real, uncapped ratio)
     "warm_speedup": 2.0,
+    # convergence is binary — a followed standby must reach zero lag in
+    # smoke runs too, so the cap changes nothing and stays at 1.0
+    "follow_lag_bounded": 1.0,
 }
 
 

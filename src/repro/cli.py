@@ -17,8 +17,10 @@ Subcommands (``repro-xml <command> --help`` for details):
   ``compact``, ``recover`` (``--upto SEQ`` for point-in-time
   recovery), ``stats``;
 * ``replica …`` — WAL-shipping replication
-  (:mod:`repro.replication`): ``init``, ``ship``, ``spool``,
-  ``apply``, ``status``, ``promote``;
+  (:mod:`repro.replication`): ``init``, ``ship`` (``--follow`` runs
+  the continuous shipping daemon over live TCP feeds), ``follow``
+  (the applier end of a feed), ``spool``, ``apply``, ``status``,
+  ``promote``;
 * ``shard …``   — one huge document sharded across workers
   (:mod:`repro.sharding`): ``init`` (partition into a durable
   per-shard store), ``status`` (per-shard metrics as JSON),
@@ -439,6 +441,15 @@ def _cmd_replica_init(args: argparse.Namespace) -> int:
 
 
 def _cmd_replica_ship(args: argparse.Namespace) -> int:
+    if args.follow:
+        return _cmd_replica_ship_follow(args)
+    if not args.standby:
+        print(
+            "error: a one-shot ship needs --standby (or pass --follow "
+            "with --connect/--listen for a live feed)",
+            file=sys.stderr,
+        )
+        return 2
     primary = DocumentStore(args.primary)
     standby = _open_standby(args)
     out = replicate(primary, standby, doc_ids=_replica_doc_ids(args))
@@ -446,6 +457,163 @@ def _cmd_replica_ship(args: argparse.Namespace) -> int:
         f"shipped {out['shipped']} frames ({out['applied']} applied, "
         f"{out['skipped']} duplicates); positions {out['positions']}"
     )
+    return 0
+
+
+def _foreground() -> None:
+    """Block the CLI's main thread until SIGTERM/SIGINT (the daemon
+    commands' serve loop); prints nothing — callers already announced
+    themselves."""
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, request_stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    stop.wait()
+
+
+def _cmd_replica_ship_follow(args: argparse.Namespace) -> int:
+    """The continuous shipping daemon: tail the primary's WAL and feed
+    every ``--connect``/``--listen`` standby over live TCP until
+    SIGTERM."""
+    from .replication import ShipperDaemon
+
+    if args.standby:
+        print(
+            "error: --follow streams over TCP; replace --standby with "
+            "--connect host:port per applier (or --listen to accept them)",
+            file=sys.stderr,
+        )
+        return 2
+    targets = args.connect or []
+    if not targets and not args.listen:
+        print(
+            "error: --follow needs at least one --connect host:port "
+            "(a listening `replica follow` applier) or a --listen address",
+            file=sys.stderr,
+        )
+        return 2
+    primary = DocumentStore(args.primary)
+    metrics_server, metrics_loop = None, None
+    if args.metrics_port is not None:
+        metrics_server, metrics_loop = _start_metrics_server(args.metrics_port)
+    daemon = ShipperDaemon(
+        primary,
+        connect=targets,
+        listen=args.listen,
+        doc_ids=_replica_doc_ids(args),
+        poll_interval=args.poll_interval,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+        on_shipper=(
+            metrics_server.attach_shipper if metrics_server is not None else None
+        ),
+        on_shipper_closed=(
+            metrics_server.detach_shipper if metrics_server is not None else None
+        ),
+    )
+    daemon.start()
+    try:
+        # machine-parsable and flushed: launchers (tests, CI) wait on these
+        if targets:
+            print(f"following {len(targets)} standbys", flush=True)
+        if daemon.listen_address is not None:
+            host, port = daemon.listen_address
+            print(f"accepting standbys on {host}:{port}", flush=True)
+        if metrics_server is not None:
+            print(
+                f"metrics on {metrics_server.host}:{metrics_server.port}",
+                flush=True,
+            )
+        _foreground()
+    finally:
+        daemon.stop()
+        if metrics_loop is not None:
+            import asyncio
+
+            asyncio.run_coroutine_threadsafe(
+                metrics_server.drain(), metrics_loop
+            ).result(timeout=10)
+        primary.close()
+    print("follow daemon stopped: links closed", flush=True)
+    return 0
+
+
+def _start_metrics_server(port: int):
+    """An observability-only :class:`~repro.server.ReproServer` (no
+    roots) on its own event-loop thread: ``/metrics``, ``/stats`` and
+    ``/healthz`` for the follow daemon, with each link's shipper
+    attached so ``repro_shipper_lag`` and ``repro_follower_connected``
+    cover followed standbys."""
+    import asyncio
+    import threading
+
+    from .server import ReproServer
+
+    server = ReproServer(host="127.0.0.1", port=port)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run_loop() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def go() -> None:
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        loop.run_until_complete(go())
+
+    thread = threading.Thread(target=run_loop, name="metrics-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise ReproError("metrics server did not start")
+    return server, loop
+
+
+def _cmd_replica_follow(args: argparse.Namespace) -> int:
+    """The applier end of a live feed: accept (or dial) the follow
+    daemon, apply shipped frames durably, acknowledge positions."""
+    from .replication import FollowerServer
+    from .store.store import _STORE_MARKER
+
+    if (args.listen is None) == (args.connect is None):
+        print(
+            "error: pass exactly one of --listen host:port (wait for the "
+            "daemon) or --connect host:port (dial a --listen daemon)",
+            file=sys.stderr,
+        )
+        return 2
+    standby = (
+        _open_standby(args)
+        if (Path(args.standby) / _STORE_MARKER).is_file()
+        else StandbyStore.init(
+            args.standby, primary_root=getattr(args, "primary", None)
+        )
+    )
+    follower = FollowerServer(standby, listen=args.listen, connect=args.connect)
+    address = follower.bind()
+    if address is not None:
+        # machine-parsable and flushed: launchers (tests, CI) wait on it
+        print(f"feeding {standby.root} on {address[0]}:{address[1]}", flush=True)
+    else:
+        print(f"feeding {standby.root} via {args.connect}", flush=True)
+    follower.start()
+    try:
+        _foreground()
+    finally:
+        follower.stop()
+        standby.close()
+    positions = standby.positions()
+    print(f"follower stopped; positions {positions}", flush=True)
     return 0
 
 
@@ -492,7 +660,22 @@ def _cmd_replica_apply(args: argparse.Namespace) -> int:
 def _cmd_replica_status(args: argparse.Namespace) -> int:
     standby = _open_standby(args)
     payload = standby.stats()["replication"]
-    _emit(args, json.dumps(payload, indent=2))
+    if getattr(args, "table", False):
+        lines = [
+            f"role: {payload['role']}   primary: {payload['primary_root']}",
+            f"{'DOC':<24} {'APPLIED':>8} {'LAG':>6}",
+        ]
+        for doc_id in sorted(payload["positions"]):
+            lag = payload["lag"].get(doc_id)
+            # an unmeasurable lag prints as "?" — absence is the honest
+            # value when the primary's log is not reachable from here
+            lag_text = "?" if lag is None else str(lag)
+            lines.append(
+                f"{doc_id:<24} {payload['positions'][doc_id]:>8} {lag_text:>6}"
+            )
+        _emit(args, "\n".join(lines))
+    else:
+        _emit(args, json.dumps(payload, indent=2))
     return 0
 
 
@@ -867,8 +1050,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--root", help="primary document store directory")
     serve.add_argument(
         "--standby-root",
+        action="append",
         help="standby store serving bounded-staleness `view` reads "
-        "(primary fallback when the lag budget cannot be honoured)",
+        "(primary fallback when the lag budget cannot be honoured); "
+        "repeatable — with several, reads route to the freshest "
+        "standby within the budget",
     )
     serve.add_argument(
         "--shard-root", help="sharded document directory for shard_propagate"
@@ -1002,12 +1188,92 @@ def build_parser() -> argparse.ArgumentParser:
     r_ship = replica_commands.add_parser(
         "ship",
         help="one replication pass: ship pending WAL records from the "
-        "primary and apply them at the standby",
+        "primary and apply them at the standby; --follow keeps shipping "
+        "continuously over live TCP feeds until SIGTERM",
     )
     r_ship.add_argument("--primary", required=True)
-    r_ship.add_argument("--standby", required=True)
+    r_ship.add_argument(
+        "--standby", help="standby store directory (one-shot mode)"
+    )
     replica_docs(r_ship)
+    r_ship.add_argument(
+        "--follow",
+        action="store_true",
+        help="run as the continuous shipping daemon: tail the primary's "
+        "WAL (wake on append, bounded poll fallback) and stream frames "
+        "to every --connect/--listen standby, reconnecting with backoff "
+        "and resuming from each standby's acknowledged positions",
+    )
+    r_ship.add_argument(
+        "--connect",
+        action="append",
+        metavar="HOST:PORT",
+        help="with --follow: a listening `replica follow` applier to "
+        "feed (repeatable — one live link per standby)",
+    )
+    r_ship.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="with --follow: accept applier connections here instead "
+        "(the reverse topology; port 0 picks a free port, printed)",
+    )
+    r_ship.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="with --follow: the bounded poll fallback for appends made "
+        "by other processes (default: 0.2)",
+    )
+    r_ship.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="with --follow: first reconnect delay, doubling per failed "
+        "attempt (default: 0.05)",
+    )
+    r_ship.add_argument(
+        "--backoff-max",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="with --follow: reconnect delay ceiling (default: 2.0)",
+    )
+    r_ship.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with --follow: serve HTTP /metrics, /stats and /healthz "
+        "on 127.0.0.1:PORT with every link's shipper attached "
+        "(repro_shipper_lag, repro_follower_connected)",
+    )
     r_ship.set_defaults(handler=_cmd_replica_ship)
+
+    r_follow = replica_commands.add_parser(
+        "follow",
+        help="the applier end of a live feed: accept (or dial) a "
+        "`replica ship --follow` daemon, apply shipped frames durably, "
+        "acknowledge positions; survives kill -9 at any byte",
+    )
+    r_follow.add_argument("--standby", required=True)
+    r_follow.add_argument(
+        "--primary",
+        help="record the primary's directory in the standby (enables "
+        "lag measurement and lease fencing at promotion when reachable)",
+    )
+    r_follow.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="wait for the daemon here (port 0 picks a free port, printed)",
+    )
+    r_follow.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="dial a `replica ship --follow --listen` daemon instead",
+    )
+    r_follow.set_defaults(handler=_cmd_replica_follow)
 
     r_spool = replica_commands.add_parser(
         "spool",
@@ -1049,9 +1315,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     r_status = replica_commands.add_parser(
         "status",
-        help="replication positions and lag of a standby as JSON",
+        help="replication positions and lag of a standby as JSON "
+        "(--table for aligned DOC/APPLIED/LAG columns)",
     )
     r_status.add_argument("--standby", required=True)
+    r_status.add_argument(
+        "--table",
+        action="store_true",
+        help="print aligned per-document columns instead of JSON "
+        "(an unmeasurable lag shows as '?')",
+    )
     r_status.add_argument("--out")
     r_status.set_defaults(handler=_cmd_replica_status)
 

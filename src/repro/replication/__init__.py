@@ -13,6 +13,11 @@ stream. This subpackage ships it:
   records (plus snapshots for bootstrap and compaction-gap bridging)
   from a primary :class:`~repro.store.DocumentStore`;
   :func:`replicate` is the one-call pass for reachable standbys;
+* :mod:`repro.replication.daemon` — :class:`ShipperDaemon` keeps the
+  shipper *running*: real-TCP feeds (``replica ship --follow``) that
+  tail the primary's WAL continuously, reconnect with backoff, and
+  resume statelessly from each standby's acknowledged positions;
+  :class:`FollowerServer` is the applier end of the live feed;
 * :mod:`repro.replication.standby` — :class:`StandbyStore` applies
   frames append-only (byte-identical log ⇒ byte-identical documents and
   views at every acknowledged sequence number), refuses local writes
@@ -35,6 +40,7 @@ Quickstart::
     session = standby.open_session("acme")       # now writable
 """
 
+from .daemon import FollowerServer, ShipperDaemon, parse_address
 from .shipper import WalShipper, replicate
 from .standby import ReplicaSession, StandbyStore
 from .transport import (
@@ -50,6 +56,9 @@ from .transport import (
 __all__ = [
     "WalShipper",
     "replicate",
+    "ShipperDaemon",
+    "FollowerServer",
+    "parse_address",
     "StandbyStore",
     "ReplicaSession",
     "ReplicationTransport",

@@ -80,6 +80,9 @@ class WalShipper:
         self._checkpoints = 0
         self._records = 0
         self._label = label
+        #: ``None`` for one-shot shippers; the follow daemon flips this
+        #: per link so ``repro_follower_connected`` can be rendered.
+        self.connected: "bool | None" = None
 
     # ------------------------------------------------------------------
     # Positions
@@ -105,6 +108,17 @@ class WalShipper:
             acknowledged = acknowledged.positions()
         self._positions.update(acknowledged)
         return self
+
+    def restart_from(
+        self, acknowledged: "Mapping[str, int] | StandbyStore"
+    ) -> "WalShipper":
+        """Like :meth:`resume_from`, but the standby's word replaces any
+        in-memory positions instead of merging over them — the follow
+        daemon's re-handshake path, where a standby that was wiped and
+        re-seeded must get a fresh bootstrap, not a resume past history
+        it no longer holds."""
+        self._positions.clear()
+        return self.resume_from(acknowledged)
 
     # ------------------------------------------------------------------
     # Shipping

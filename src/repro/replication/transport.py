@@ -183,27 +183,58 @@ class QueueTransport(ReplicationTransport):
 class SocketTransport(ReplicationTransport):
     """A real OS byte stream between shipper and applier.
 
-    Built on :func:`socket.socketpair`, so it exercises everything a TCP
-    link would — partial reads, frames split across ``recv`` calls, a
-    sender that dies mid-frame — without ports or network flakiness. The
-    applier side buffers bytes across ``drain`` calls and only yields
-    complete frames.
+    Built on :func:`socket.socketpair` by default, so it exercises
+    everything a TCP link would — partial reads, frames split across
+    ``recv`` calls, a sender that dies mid-frame — without ports or
+    network flakiness. The applier side buffers bytes across ``drain``
+    calls and only yields complete frames.
+
+    A networked deployment passes already-connected sockets instead:
+    the follow daemon binds its end with ``SocketTransport(send_sock=
+    conn)`` and the remote applier binds ``SocketTransport(recv_sock=
+    conn)`` — same framing, same drain loop, real TCP underneath. An
+    end the transport was not given is simply absent (``send``/``drain``
+    on it raises), because over TCP the other end lives in a different
+    process. ``eof`` flips once the peer closes its write side, so a
+    long-running applier can tell "no bytes yet" from "feed is gone";
+    bytes of a torn final frame stay buffered and are never applied —
+    a sender killed mid-frame is indistinguishable from one that never
+    sent the frame at all.
     """
 
     _CHUNK = 65536
 
-    def __init__(self) -> None:
-        self._send_sock, self._recv_sock = socket.socketpair()
-        self._recv_sock.setblocking(False)
+    def __init__(
+        self,
+        send_sock: "socket.socket | None" = None,
+        recv_sock: "socket.socket | None" = None,
+    ) -> None:
+        if send_sock is None and recv_sock is None:
+            send_sock, recv_sock = socket.socketpair()
+        self._send_sock = send_sock
+        self._recv_sock = recv_sock
+        if self._recv_sock is not None:
+            self._recv_sock.setblocking(False)
         self._buffer = bytearray()
         self.sent = 0
         self.received = 0
+        self.eof = False
 
     def send(self, kind: str, payload: dict) -> None:
+        if self._send_sock is None:
+            raise ReplicationError(
+                "this transport end only receives — the sender lives in "
+                "another process"
+            )
         self._send_sock.sendall(encode_frame(kind, payload))
         self.sent += 1
 
     def drain(self) -> "list[Frame]":
+        if self._recv_sock is None:
+            raise ReplicationError(
+                "this transport end only sends — the receiver lives in "
+                "another process"
+            )
         while True:
             try:
                 chunk = self._recv_sock.recv(self._CHUNK)
@@ -212,6 +243,7 @@ class SocketTransport(ReplicationTransport):
                     break
                 raise
             if not chunk:
+                self.eof = True
                 break  # sender closed
             self._buffer.extend(chunk)
         frames, consumed = decode_frames(bytes(self._buffer))
@@ -220,8 +252,10 @@ class SocketTransport(ReplicationTransport):
         return frames
 
     def close(self) -> None:
-        self._send_sock.close()
-        self._recv_sock.close()
+        if self._send_sock is not None:
+            self._send_sock.close()
+        if self._recv_sock is not None and self._recv_sock is not self._send_sock:
+            self._recv_sock.close()
 
 
 class FileSpoolTransport(ReplicationTransport):

@@ -43,12 +43,18 @@ __all__ = ["ReproServer"]
 
 
 class ReproServer:
-    """The serving front-end over a store, a standby, and/or shards.
+    """The serving front-end over a store, standbys, and/or shards.
 
     All three roots are optional — a server may be a pure primary, a
     read replica, a shard front, or any combination; endpoints that
     need a missing root answer with a typed
     :class:`~repro.errors.ServerError` payload.
+
+    ``standby_root`` accepts one root or a list of them: with several
+    followed standbys registered, ``view`` reads go to the *freshest*
+    replica that honours the request's ``max_lag`` budget (unmeasurable
+    lag sorts last and still fails closed; the primary remains the
+    final fallback).
     """
 
     def __init__(
@@ -66,7 +72,12 @@ class ReproServer:
         cache_root=None,
     ) -> None:
         self._store_root = store_root
-        self._standby_root = standby_root
+        if standby_root is None:
+            self._standby_roots: list = []
+        elif isinstance(standby_root, (list, tuple)):
+            self._standby_roots = list(standby_root)
+        else:
+            self._standby_roots = [standby_root]
         self._shard_root = shard_root
         self.host = host
         self.port = port
@@ -85,10 +96,10 @@ class ReproServer:
         self.endpoint_metrics = EndpointMetrics()
         self._shippers: list = []
         self._store = None
-        self._standby = None
+        self._standbys: "list | None" = None
         self._shard = None
         self._sessions: dict = {}
-        self._replicas: dict = {}
+        self._replicas: dict = {}  # (standby index, doc_id) -> ReplicaSession
         self._locks: dict = {}
         self._open_lock = threading.Lock()
         self._server: "asyncio.base_events.Server | None" = None
@@ -126,15 +137,24 @@ class ReproServer:
                 )
             return self._store
 
-    def standby(self):
-        if self._standby_root is None:
-            return None
+    def standbys(self) -> list:
+        """Every configured standby store, opened lazily, in the order
+        their roots were registered."""
+        if not self._standby_roots:
+            return []
         with self._open_lock:
-            if self._standby is None:
+            if self._standbys is None:
                 from ..replication import StandbyStore
 
-                self._standby = StandbyStore(self._standby_root)
-            return self._standby
+                self._standbys = [
+                    StandbyStore(root) for root in self._standby_roots
+                ]
+            return self._standbys
+
+    def standby(self):
+        """The first configured standby (single-standby callers)."""
+        stores = self.standbys()
+        return stores[0] if stores else None
 
     def shard(self):
         if self._shard_root is None:
@@ -161,24 +181,44 @@ class ReproServer:
                 self._sessions[doc_id] = session
             return session
 
-    def replica(self, doc_id: str):
-        """The document's replica session, or ``None`` when reads must
-        go to the primary (no standby, or the standby lacks the doc and
-        a primary exists to serve it instead)."""
-        standby = self.standby()
-        if standby is None:
-            return None
+    def replicas(self, doc_id: str) -> list:
+        """The document's replica sessions as ``(standby_index,
+        session)`` pairs, one per configured standby that carries it, in
+        registration order — the index names the standby root as
+        configured, so routing answers stay meaningful even when some
+        standbys never bootstrapped the document.
+
+        Empty when no standby has the document and a primary exists to
+        serve it; a replica-only server with *no* standby carrying the
+        document raises :class:`~repro.errors.UnknownDocumentError`
+        instead — there is nowhere to serve it from.
+        """
+        stores = self.standbys()
+        if not stores:
+            return []
+        sessions = []
+        missing: "Exception | None" = None
         with self._open_lock:
-            replica = self._replicas.get(doc_id)
-            if replica is None:
-                try:
-                    replica = standby.replica_session(doc_id)
-                except UnknownDocumentError:
-                    if self.has_primary:
-                        return None
-                    raise
-                self._replicas[doc_id] = replica
-            return replica
+            for index, standby in enumerate(stores):
+                replica = self._replicas.get((index, doc_id))
+                if replica is None:
+                    try:
+                        replica = standby.replica_session(doc_id)
+                    except UnknownDocumentError as error:
+                        missing = error
+                        continue
+                    self._replicas[(index, doc_id)] = replica
+                sessions.append((index, replica))
+        if not sessions and not self.has_primary and missing is not None:
+            raise missing
+        return sessions
+
+    def replica(self, doc_id: str):
+        """The document's first replica session, or ``None`` when reads
+        must go to the primary (no standby, or no standby carries the
+        doc and a primary exists to serve it instead)."""
+        sessions = self.replicas(doc_id)
+        return sessions[0][1] if sessions else None
 
     def note_replica_fallback(self, doc_id: str, error: Exception) -> None:
         """Count a bounded read the replica refused (lag budget blown or
@@ -207,12 +247,26 @@ class ReproServer:
         return {doc_id: session.stats for doc_id, session in self._sessions.items()}
 
     def _replica_stats(self) -> "dict[str, dict]":
-        return {doc_id: replica.stats for doc_id, replica in self._replicas.items()}
+        # single standby keeps the bare doc label (dashboard compat);
+        # several get doc@index so per-standby series stay distinct
+        single = len(self._standby_roots) <= 1
+        return {
+            (doc_id if single else f"{doc_id}@{index}"): replica.stats
+            for (index, doc_id), replica in self._replicas.items()
+        }
 
     def attach_shipper(self, shipper) -> None:
         """Register a :class:`~repro.replication.WalShipper` so its
         per-standby shipped-lag shows up in ``/metrics`` and ``/stats``."""
         self._shippers.append(shipper)
+
+    def detach_shipper(self, shipper) -> None:
+        """Forget an attached shipper (a followed standby's link died
+        and will come back as a fresh registration)."""
+        try:
+            self._shippers.remove(shipper)
+        except ValueError:
+            pass
 
     def stats_payload(self) -> dict:
         """Everything the server knows, as one JSON object."""
@@ -327,9 +381,10 @@ class ReproServer:
             if self._store is not None:
                 self._store.close()
                 self._store = None
-            if self._standby is not None:
-                self._standby.close()
-                self._standby = None
+            if self._standbys is not None:
+                for standby in self._standbys:
+                    standby.close()
+                self._standbys = None
 
     async def __aenter__(self) -> "ReproServer":
         await self.start()

@@ -59,28 +59,57 @@ async def _propagate(server: "ReproServer", request: dict) -> dict:
     }
 
 
-async def _view(server: "ReproServer", request: dict) -> dict:
-    """A bounded-staleness read: replica first, primary fallback.
+def _read_freshest(replicas: list, max_lag) -> "tuple":
+    """Refresh every replica, order them freshest first, and serve from
+    the first that honours *max_lag*.
 
-    With a standby configured, the read goes to a
-    :class:`~repro.replication.ReplicaSession` under the request's
-    ``max_lag`` (falling back to the server-wide budget). A replica
-    that cannot honour the bound — too far behind, or its lag is
-    unmeasurable (the fail-closed case) — raises
-    :class:`~repro.errors.ReplicationLagError`, and the read falls back
-    to the primary, which is fresh by definition.
+    Freshness is the measured post-refresh lag; an unmeasurable lag
+    (``None``) sorts last and still fails **closed** under a bound —
+    preferring it would route bounded reads to the one standby that
+    cannot prove anything. Ties keep registration order, so routing is
+    deterministic. Raises the last bound violation when no replica
+    qualifies (the caller decides about the primary).
+    """
+    ranked = []
+    for index, replica in replicas:
+        replica.refresh()
+        lag = replica.lag()
+        ranked.append((lag if lag is not None else float("inf"), index, replica))
+    ranked.sort(key=lambda entry: entry[:2])
+    last_error = None
+    for lag, index, replica in ranked:
+        try:
+            return replica.read(max_lag=max_lag, refresh=False), replica, index
+        except ReplicationLagError as error:
+            last_error = error
+    raise last_error
+
+
+async def _view(server: "ReproServer", request: dict) -> dict:
+    """A bounded-staleness read: freshest replica first, primary
+    fallback.
+
+    With standbys configured, the read goes to the *freshest*
+    :class:`~repro.replication.ReplicaSession` that honours the
+    request's ``max_lag`` (falling back to the server-wide budget) —
+    several followed standbys are ranked by measured post-refresh lag.
+    A replica that cannot honour the bound — too far behind, or its lag
+    is unmeasurable (the fail-closed case) — is passed over; when none
+    qualifies the read falls back to the primary, which is fresh by
+    definition.
     """
     doc_id = _required(request, "doc")
     max_lag = request.get("max_lag", server.max_lag)
-    replica = server.replica(doc_id)
-    if replica is not None:
+    replicas = server.replicas(doc_id)
+    if replicas:
         try:
-            view = await server.run_blocking(
-                lambda: replica.read(max_lag=max_lag)
+            view, replica, index = await server.run_blocking(
+                lambda: _read_freshest(replicas, max_lag)
             )
             return {
                 "doc": doc_id,
                 "served_by": "replica",
+                "standby": index,
                 "lag": replica.lag(),
                 "view": tree_to_xml(view),
             }

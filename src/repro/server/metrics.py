@@ -412,6 +412,21 @@ def _shipper_lines(shippers) -> "list[str]":
             f"repro_shipper_records_total{_labels(standby=standby)} "
             f"{shipper.stats['records_shipped']}"
         )
+    followed = [
+        shipper
+        for shipper in shippers
+        if getattr(shipper, "connected", None) is not None
+    ]
+    if followed:
+        lines += [
+            "# HELP repro_follower_connected Whether the follow daemon's live feed to the standby is up.",
+            "# TYPE repro_follower_connected gauge",
+        ]
+        for shipper in followed:
+            lines.append(
+                f"repro_follower_connected{_labels(standby=shipper.label)} "
+                f"{int(shipper.connected)}"
+            )
     return lines
 
 

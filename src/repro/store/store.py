@@ -215,6 +215,7 @@ class DocumentStore:
             GroupCommitCoordinator(group_window) if group_commit else None
         )
         self._registry = registry if registry is not None else default_registry()
+        self._append_listeners: "list" = []
         marker = self._root / _STORE_MARKER
         if not marker.is_file():
             if not create:
@@ -280,6 +281,37 @@ class DocumentStore:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Append notifications
+    # ------------------------------------------------------------------
+
+    def on_append(self, callback) -> "callable":
+        """Register ``callback(doc_id, seq)`` to fire after every WAL
+        append through this store handle (same process, same handle — a
+        follower in another process still needs its poll fallback).
+
+        The record is already durable per the session's fsync policy when
+        the callback runs, so a shipper woken by it will find the bytes
+        on disk. Returns an unsubscribe callable. Listener exceptions are
+        swallowed: a broken wake-up must never fail a committed write.
+        """
+        self._append_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._append_listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify_append(self, doc_id: str, seq: int) -> None:
+        for callback in list(self._append_listeners):
+            try:
+                callback(doc_id, seq)
+            except Exception:  # noqa: BLE001 - wake-ups are best-effort
+                pass
 
     def _doc_dir(self, doc_id: str) -> Path:
         return self._root / "docs" / doc_id
@@ -815,6 +847,7 @@ class DurableSession:
                     "differently — node identifiers are not term-notation-safe"
                 )
             self._writer.append(text)
+        self._store._notify_append(self.doc_id, self._writer.last_seq)
 
     # ------------------------------------------------------------------
     # State

@@ -1,0 +1,179 @@
+"""Follow-daemon crash differential (the PR's acceptance criterion).
+
+The live feed must tolerate a ``kill -9`` of either end **at every
+byte of the stream**. The suite captures the exact frame bytes an
+uninterrupted feed sends, then for every frame boundary — and for cuts
+*inside* each frame — replays that truncated prefix to a real
+:class:`FollowerServer` over TCP, hard-closes the socket (the daemon's
+death), restarts shipping with a real :class:`ShipperDaemon`, and
+asserts the resumed standby's WAL is byte-identical to the
+uninterrupted run's. The applier-side kill is the dual: the standby's
+WAL truncated mid-append, healed by the next handshake.
+"""
+
+import socket
+
+import pytest
+
+from repro.replication import (
+    FollowerServer,
+    ShipperDaemon,
+    SocketTransport,
+    StandbyStore,
+    WalShipper,
+)
+from repro.replication.transport import decode_frames, encode_frame
+
+from .test_daemon import converged, wait_until, wal_bytes
+
+
+def capture_stream(store, doc_id):
+    """The exact bytes an uninterrupted bootstrap-from-nothing feed
+    sends: raw F-frames off a socketpair-backed shipper pass."""
+    transport = SocketTransport()
+    try:
+        WalShipper(store, transport, doc_ids=[doc_id]).ship_all()
+        transport._recv_sock.setblocking(False)
+        raw = b""
+        while True:
+            try:
+                chunk = transport._recv_sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            if not chunk:
+                break
+            raw += chunk
+    finally:
+        transport.close()
+    return raw
+
+
+def frame_boundaries(raw):
+    """Cumulative end offset of every complete frame in *raw* (frame
+    encoding is deterministic, so re-encoding reproduces the bytes)."""
+    frames, consumed = decode_frames(raw)
+    assert consumed == len(raw)
+    offsets, position = [], 0
+    for frame in frames:
+        encoded = encode_frame(frame.kind, frame.payload)
+        assert raw[position : position + len(encoded)] == encoded
+        position += len(encoded)
+        offsets.append(position)
+    return frames, offsets
+
+
+def expected_applied(raw, cut):
+    """The seq a standby must sit at after receiving exactly
+    ``raw[:cut]``: the last *complete* record frame, or the bootstrap's
+    snapshot seq, or ``None`` when even the bootstrap was beheaded."""
+    frames, _ = decode_frames(raw[:cut])
+    applied = None
+    for frame in frames:
+        if frame.kind == "bootstrap":
+            applied = frame.payload["snapshot_seq"]
+        elif frame.kind == "record":
+            applied = frame.payload["seq"]
+    return applied
+
+
+def feed_prefix_then_die(follower, raw, cut):
+    """Act out the killed daemon: connect to the applier, send exactly
+    ``raw[:cut]``, then end the stream mid-frame.
+
+    The death is a clean FIN (``shutdown(SHUT_WR)``) followed by
+    draining the applier's hello/acks until it hangs up — closing with
+    unread data in our receive buffer would RST the link and let TCP
+    discard sent-but-unread frames, turning the carefully chosen cut
+    into a random earlier one. From the applier's side both look the
+    same (the feed just stops mid-frame); the FIN keeps the cut exact.
+    """
+    conn = socket.create_connection(follower.address, timeout=5)
+    try:
+        conn.sendall(raw[:cut])
+        conn.shutdown(socket.SHUT_WR)
+        conn.settimeout(10)
+        while conn.recv(1 << 16):
+            pass
+    except OSError:
+        pass
+    finally:
+        conn.close()
+
+
+def resume_with_real_daemon(store, follower):
+    with ShipperDaemon(
+        store, connect=[follower.address], poll_interval=0.05
+    ) as daemon:
+        assert daemon.wait_caught_up(timeout=30)
+        assert wait_until(lambda: converged(store, follower.standby))
+
+
+class TestDaemonKilledAtEveryFrameBoundary:
+    def test_resume_is_byte_identical_for_every_cut(self, tmp_path, primary):
+        store, doc_id, _, _ = primary
+        reference = wal_bytes(store, doc_id)
+        raw = capture_stream(store, doc_id)
+        frames, offsets = frame_boundaries(raw)
+        assert [f.kind for f in frames] == ["bootstrap"] + ["record"] * 5
+
+        # every boundary (incl. 0 = died before the bootstrap, and the
+        # full stream = died after the final frame), plus a cut inside
+        # every frame — header bytes and payload bytes both torn
+        cuts = {0, len(raw)}
+        previous = 0
+        for offset in offsets:
+            cuts.add(offset)
+            cuts.add(previous + 2)                    # inside the header
+            cuts.add(previous + (offset - previous) // 2)  # mid-payload
+            previous = offset
+        for index, cut in enumerate(sorted(cuts)):
+            standby = StandbyStore.init(
+                tmp_path / f"cut{index}", primary_root=store.root
+            )
+            follower = FollowerServer(standby, listen=("127.0.0.1", 0))
+            try:
+                follower.start()
+                feed_prefix_then_die(follower, raw, cut)
+                target = expected_applied(raw, cut)
+                if target is None:
+                    # nothing whole arrived: the doc must not exist yet
+                    assert wait_until(lambda: follower.feeds >= 1)
+                    assert wait_until(lambda: standby.positions() == {})
+                else:
+                    assert wait_until(
+                        lambda: standby.positions().get(doc_id) == target
+                    ), f"cut={cut}: standby never reached seq {target}"
+                # the restart: a fresh daemon re-handshakes and reships
+                resume_with_real_daemon(store, follower)
+            finally:
+                follower.stop()
+            assert wal_bytes(standby, doc_id) == reference, f"cut={cut}"
+            standby.close()
+
+
+class TestApplierKilledMidAppend:
+    @pytest.mark.parametrize("torn", [1, 7, 19, 33])
+    def test_truncated_standby_wal_heals_on_reconnect(
+        self, tmp_path, primary, torn
+    ):
+        """The dual kill: the *applier* dies mid-WAL-append, leaving a
+        torn record tail in the standby's log. The restarted applier's
+        hello reports the truncated position and the re-shipped copy
+        lands byte-identically."""
+        store, doc_id, _, _ = primary
+        reference = wal_bytes(store, doc_id)
+        standby = StandbyStore.init(tmp_path / "sby", primary_root=store.root)
+        with FollowerServer(standby, listen=("127.0.0.1", 0)) as follower:
+            with ShipperDaemon(store, connect=[follower.address]) as daemon:
+                assert daemon.wait_caught_up()
+                assert wait_until(lambda: converged(store, standby))
+        standby.close()
+        # the kill: the last *torn* bytes of the append never hit disk
+        wal = tmp_path / "sby" / "docs" / doc_id / "wal.log"
+        wal.write_bytes(reference[:-torn])
+        restarted = StandbyStore(tmp_path / "sby")  # fresh process
+        assert restarted.applied_seq(doc_id) < 5  # tail truncated, not glued
+        with FollowerServer(restarted, listen=("127.0.0.1", 0)) as follower:
+            resume_with_real_daemon(store, follower)
+        assert wal_bytes(restarted, doc_id) == reference
+        restarted.close()
